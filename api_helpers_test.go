@@ -1,0 +1,14 @@
+package diffaudit_test
+
+import (
+	"io"
+
+	"diffaudit/internal/netcap/pcapio"
+)
+
+// pcapng writes a capture in pcapng format (test helper around the internal
+// writer).
+func pcapng(w io.Writer, c *pcapio.Capture) error { return pcapio.WritePcapng(w, c) }
+
+// writePcap writes a capture in classic pcap format.
+func writePcap(w io.Writer, c *pcapio.Capture) error { return pcapio.WritePcap(w, c) }

@@ -1,0 +1,15 @@
+package diffaudit_test
+
+import (
+	"net/netip"
+
+	"diffaudit/internal/har"
+)
+
+var (
+	clientAddr = netip.MustParseAddr("10.0.0.2")
+	serverAddr = netip.MustParseAddr("198.18.0.1")
+)
+
+// parseHAR wraps the internal HAR parser for the pipeline benchmark.
+func parseHAR(data []byte) (*har.HAR, error) { return har.Parse(data) }

@@ -1,0 +1,395 @@
+// Benchmark harness: one benchmark per table and figure of the DiffAudit
+// paper (each regenerates the artifact end-to-end from synthetic traffic),
+// plus ablation benchmarks for the design choices called out in DESIGN.md.
+// Run with:
+//
+//	go test -bench=. -benchmem
+package diffaudit_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"diffaudit"
+	"diffaudit/internal/ats"
+	"diffaudit/internal/classifier"
+	"diffaudit/internal/classifier/baselines"
+	"diffaudit/internal/core"
+	"diffaudit/internal/extract"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/linkability"
+	"diffaudit/internal/netcap/layers"
+	"diffaudit/internal/netcap/pcapio"
+	"diffaudit/internal/netcap/reassembly"
+	"diffaudit/internal/synth"
+)
+
+// benchScale keeps per-iteration work bounded; the artifact shape (flows,
+// destinations, linkability) is scale-invariant.
+const benchScale = 0.01
+
+// audited memoizes one full-pipeline run for the table/figure benchmarks so
+// each benchmark measures its own analysis, not repeated generation.
+func audited(b *testing.B) []*core.ServiceResult {
+	b.Helper()
+	ds := synth.Generate(synth.Config{Scale: benchScale})
+	pipe := core.NewPipeline()
+	var out []*core.ServiceResult
+	for _, st := range ds.Services {
+		out = append(out, pipe.AnalyzeRecords(st.Identity(), st.Records()))
+	}
+	return out
+}
+
+// BenchmarkTable1DatasetSummary regenerates the Table 1 dataset summary:
+// synthesize traffic, run the pipeline, aggregate unique counts.
+func BenchmarkTable1DatasetSummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results := audited(b)
+		tot := core.Totals(results)
+		if tot.Domains == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+// BenchmarkTable2Ontology regenerates Table 2: the observed-category
+// markers derived from the full dataset.
+func BenchmarkTable2Ontology(b *testing.B) {
+	results := audited(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := diffaudit.RenderTable2(results)
+		if len(out) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+// BenchmarkTable3Classifier regenerates the classifier validation: the
+// five-temperature sweep plus both majority-vote ensembles over the n=397
+// labeled sample.
+func BenchmarkTable3Classifier(b *testing.B) {
+	sample := classifier.GenerateCorpus(classifier.DefaultCorpusOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := classifier.Table3(sample)
+		if len(rows) != 7 {
+			b.Fatal("bad row count")
+		}
+	}
+}
+
+// BenchmarkTable4FlowGrid regenerates the Table 4 flow grid for all six
+// services from raw records.
+func BenchmarkTable4FlowGrid(b *testing.B) {
+	ds := synth.Generate(synth.Config{Scale: benchScale})
+	pipe := core.NewPipeline()
+	recs := make([][]core.RequestRecord, len(ds.Services))
+	for i, st := range ds.Services {
+		recs[i] = st.Records()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, st := range ds.Services {
+			res := pipe.AnalyzeRecords(st.Identity(), recs[j])
+			if core.Grid(res) == nil {
+				b.Fatal("nil grid")
+			}
+		}
+	}
+}
+
+// BenchmarkTable5OntologyRender regenerates the full ontology listing.
+func BenchmarkTable5OntologyRender(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(diffaudit.RenderTable5()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFigure3Linkability regenerates the linkable-third-party counts
+// per service and trace category.
+func BenchmarkFigure3Linkability(b *testing.B) {
+	results := audited(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range results {
+			for _, t := range flows.TraceCategories() {
+				linkability.CountLinkable(r.ByTrace[t])
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4LinkableSets regenerates the largest linkable set sizes.
+func BenchmarkFigure4LinkableSets(b *testing.B) {
+	results := audited(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range results {
+			for _, t := range flows.TraceCategories() {
+				linkability.LargestSet(r.ByTrace[t])
+			}
+		}
+	}
+}
+
+// BenchmarkFigure5TopATS regenerates the top ATS organization ranking.
+func BenchmarkFigure5TopATS(b *testing.B) {
+	results := audited(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range results {
+			for _, t := range flows.TraceCategories() {
+				linkability.TopATSOrgs(r.ByTrace[t], 10)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure1PipelineEndToEnd measures the full Figure 1 pipeline for
+// one service from wire formats: HAR parse + PCAP reassembly/decryption +
+// extraction + classification + flow construction.
+func BenchmarkFigure1PipelineEndToEnd(b *testing.B) {
+	ds := synth.Generate(synth.Config{Scale: 0.002})
+	st := ds.Service("TikTok")
+	var harBufs [][]byte
+	var pcapBufs [][]byte
+	for _, tc := range flows.TraceCategories() {
+		data, err := st.EmitHAR(tc).Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		harBufs = append(harBufs, data)
+		capt, err := st.EmitPCAP(tc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := pcapio.WritePcapng(&buf, capt); err != nil {
+			b.Fatal(err)
+		}
+		pcapBufs = append(pcapBufs, buf.Bytes())
+	}
+	pipe := core.NewPipeline()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var recs []core.RequestRecord
+		for ti, tc := range flows.TraceCategories() {
+			h, err := parseHAR(harBufs[ti])
+			if err != nil {
+				b.Fatal(err)
+			}
+			recs = append(recs, core.FromHAR(h, tc, flows.Web)...)
+			capt, err := pcapio.ReadPcapng(pcapBufs[ti])
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, _, err := core.FromPCAP(capt, nil, tc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			recs = append(recs, r...)
+		}
+		res := pipe.AnalyzeRecords(st.Identity(), recs)
+		if res.ByTrace[flows.Child].Len() == 0 {
+			b.Fatal("no flows")
+		}
+	}
+}
+
+// BenchmarkFigure2Classification measures the classification subsystem of
+// Figure 2: the majority-vote ensemble over a realistic key mix.
+func BenchmarkFigure2Classification(b *testing.B) {
+	ens := classifier.NewEnsemble(classifier.MajorityAvg)
+	keys := []string{
+		"user_id", "advertising_id", "gps_lat", "IsOptOutEmailShown",
+		"pers_ad_show_third_part_measurement", "os", "rtt", "watch_time",
+		"qzx81a", "device.hw.model",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ens.Classify(keys[i%len(keys)])
+	}
+}
+
+// BenchmarkBaselineClassifiers measures the four baseline classifiers the
+// paper compares against (Appendix C.2), reporting each one's validation
+// accuracy as a custom metric.
+func BenchmarkBaselineClassifiers(b *testing.B) {
+	sample := classifier.GenerateCorpus(classifier.DefaultCorpusOptions())
+	cases := []struct {
+		name string
+		l    classifier.Labeler
+	}{
+		{"tfidf", baselines.NewTFIDF()},
+		{"bertish", baselines.NewBERTish()},
+		{"zeroshot", baselines.NewZeroShot()},
+		{"fewshot", baselines.NewFewShot()},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.l.Classify(sample[i%len(sample)].Key)
+			}
+			b.ReportMetric(classifier.Validate(c.name, c.l, sample).Accuracy, "accuracy")
+		})
+	}
+}
+
+// ---- Ablation benchmarks (DESIGN.md) -------------------------------------
+
+// BenchmarkAblationEnsemble compares single-temperature models against the
+// two majority-vote rules on accuracy-critical classification.
+func BenchmarkAblationEnsemble(b *testing.B) {
+	sample := classifier.GenerateCorpus(classifier.DefaultCorpusOptions())
+	labelers := map[string]classifier.Labeler{
+		"single-t0":    classifier.NewModel(0),
+		"majority-max": classifier.NewEnsemble(classifier.MajorityMax),
+		"majority-avg": classifier.NewEnsemble(classifier.MajorityAvg),
+	}
+	for name, l := range labelers {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				l.Classify(sample[i%len(sample)].Key)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationConfidence sweeps the confidence threshold, reporting
+// the accuracy/coverage trade-off as custom metrics.
+func BenchmarkAblationConfidence(b *testing.B) {
+	sample := classifier.GenerateCorpus(classifier.DefaultCorpusOptions())
+	row := classifier.Validate("ens", classifier.NewEnsemble(classifier.MajorityAvg), sample)
+	for _, th := range classifier.Thresholds() {
+		th := th
+		b.Run(fmt.Sprintf("threshold-%.1f", th), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = classifier.Validate("ens", classifier.NewEnsemble(classifier.MajorityAvg), sample)
+			}
+			r := row.ByThreshold[th]
+			b.ReportMetric(r.Accuracy, "accuracy")
+			b.ReportMetric(float64(r.Labeled)/float64(len(sample)), "coverage")
+		})
+	}
+}
+
+// BenchmarkAblationReassembly compares full out-of-order TCP reassembly
+// against the sequential-only baseline on a shuffled segment stream.
+func BenchmarkAblationReassembly(b *testing.B) {
+	// Build a shuffled segment workload once.
+	payload := bytes.Repeat([]byte("GET /x HTTP/1.1\r\nHost: example.com\r\n\r\n"), 64)
+	var segs []*layers.Decoded
+	rng := rand.New(rand.NewSource(42))
+	for off := 0; off < len(payload); off += 512 {
+		end := off + 512
+		if end > len(payload) {
+			end = len(payload)
+		}
+		raw := layers.BuildTCPv4(clientAddr, serverAddr, 40000, 443, uint32(1+off), 0, layers.FlagACK, payload[off:end])
+		d, err := layers.Decode(pcapio.LinkRaw, raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		segs = append(segs, d)
+	}
+	rng.Shuffle(len(segs), func(i, j int) { segs[i], segs[j] = segs[j], segs[i] })
+
+	b.Run("full-ooo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := reassembly.New()
+			for _, s := range segs {
+				a.Add(s)
+			}
+			a.Streams()
+		}
+	})
+	b.Run("sequential-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := reassembly.NewSequentialOnly()
+			for _, s := range segs {
+				a.Add(s)
+			}
+			a.Streams()
+		}
+	})
+}
+
+// BenchmarkAblationATSMatch compares subdomain-aware block-list matching
+// against exact-only matching.
+func BenchmarkAblationATSMatch(b *testing.B) {
+	engine := ats.Default()
+	hosts := []string{
+		"stats.g.doubleclick.net", "www.roblox.com", "pixel.mathtag.com",
+		"deep.sub.domain.google-analytics.com", "api.quizlet.com",
+	}
+	b.Run("subdomain-walk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.Check(hosts[i%len(hosts)])
+		}
+	})
+	b.Run("exact-only", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			engine.CheckExact(hosts[i%len(hosts)])
+		}
+	})
+}
+
+// BenchmarkAblationExtractDepth compares recursive nested-JSON harvesting
+// against flat top-level extraction.
+func BenchmarkAblationExtractDepth(b *testing.B) {
+	body := []byte(`{
+	  "user": {"username": "kid1", "profile": {"age": 12, "lang": "en"}},
+	  "device": {"hw": {"model": "Pixel 6", "ids": {"imei": "35-209900"}}},
+	  "blob": "{\"inner_adid\":\"abc\",\"geo\":{\"lat\":1.5,\"lng\":2.5}}"
+	}`)
+	req := extract.RequestView{URL: "https://x.example/v1/batch", BodyMIME: "application/json", Body: body}
+	b.Run("recursive", func(b *testing.B) {
+		opts := extract.DefaultOptions()
+		for i := 0; i < b.N; i++ {
+			if len(extract.Extract(req, opts)) == 0 {
+				b.Fatal("no keys")
+			}
+		}
+	})
+	b.Run("flat-only", func(b *testing.B) {
+		opts := extract.DefaultOptions()
+		opts.FlatOnly = true
+		for i := 0; i < b.N; i++ {
+			extract.Extract(req, opts)
+		}
+	})
+}
+
+// BenchmarkTLSDecryption measures TLS 1.3 record decryption throughput, the
+// hot path of mobile-trace ingestion.
+func BenchmarkTLSDecryption(b *testing.B) {
+	ds := synth.Generate(synth.Config{Scale: 0.002})
+	st := ds.Service("Roblox")
+	capt, err := st.EmitPCAP(flows.Child)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pcapio.WritePcapng(&buf, capt); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		parsed, err := pcapio.ReadPcapng(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := core.FromPCAP(parsed, nil, flows.Child); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command classify runs the DiffAudit data type classifier. With arguments
+// it classifies the given raw data types; with -validate it reproduces the
+// Table 3 validation (accuracy/coverage per temperature and confidence
+// threshold, majority-vote ensembles, and the four baselines).
+//
+// Usage:
+//
+//	classify user_id gps_lat IsOptOutEmailShown
+//	classify -validate
+//	classify -temperature 0.5 -ensemble=false device_os
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"diffaudit/internal/classifier"
+	"diffaudit/internal/classifier/baselines"
+	"diffaudit/internal/report"
+)
+
+func main() {
+	validate := flag.Bool("validate", false, "reproduce the Table 3 classifier validation")
+	withBaselines := flag.Bool("baselines", true, "include baseline classifiers in -validate")
+	ensemble := flag.Bool("ensemble", true, "classify with the majority-avg ensemble (else a single model)")
+	temperature := flag.Float64("temperature", 0, "single-model temperature (with -ensemble=false)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	if *validate {
+		sample := classifier.GenerateCorpus(classifier.DefaultCorpusOptions())
+		rows := classifier.Table3(sample)
+		fmt.Print(report.Table3(rows))
+		if *withBaselines {
+			fmt.Println("\nBaselines (whole-sample accuracy):")
+			for _, b := range []struct {
+				name string
+				l    classifier.Labeler
+			}{
+				{"Fuzzy match, TF-IDF", baselines.NewTFIDF()},
+				{"Fuzzy match, BERT-style embedding", baselines.NewBERTish()},
+				{"Zero-shot (labels only)", baselines.NewZeroShot()},
+				{"Few-shot (SetFit-style centroids)", baselines.NewFewShot()},
+			} {
+				row := classifier.Validate(b.name, b.l, sample)
+				fmt.Printf("  %-36s %.2f\n", b.name, row.Accuracy)
+			}
+		}
+		return
+	}
+
+	if flag.NArg() == 0 {
+		log.Fatal("usage: classify [-validate] <raw data type> ...")
+	}
+	var labeler classifier.Labeler
+	if *ensemble {
+		labeler = classifier.NewEnsemble(classifier.MajorityAvg)
+	} else {
+		labeler = classifier.NewModel(*temperature)
+	}
+	for _, key := range flag.Args() {
+		p := labeler.Classify(key)
+		fmt.Println(p.FormatLine())
+	}
+}

@@ -1,0 +1,129 @@
+// Command diffaudit runs the full DiffAudit pipeline. In dataset mode
+// (default) it synthesizes the six-service dataset and audits every
+// service; in file mode it audits capture files you point it at.
+//
+// Usage:
+//
+//	diffaudit [-scale 0.01] [-service Quizlet] [-findings] [-policy]
+//	diffaudit -har child=child.har -har loggedout=out.har -name MyApp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"diffaudit"
+)
+
+// traceFlag collects repeated "trace=path" capture arguments.
+type traceFlag struct {
+	entries []traceFile
+}
+
+type traceFile struct {
+	trace diffaudit.TraceCategory
+	path  string
+}
+
+func (f *traceFlag) String() string { return fmt.Sprintf("%d files", len(f.entries)) }
+
+func (f *traceFlag) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want trace=path, got %q", v)
+	}
+	var tc diffaudit.TraceCategory
+	switch strings.ToLower(name) {
+	case "child":
+		tc = diffaudit.Child
+	case "adolescent", "teen":
+		tc = diffaudit.Adolescent
+	case "adult":
+		tc = diffaudit.Adult
+	case "loggedout", "logged-out", "out":
+		tc = diffaudit.LoggedOut
+	default:
+		return fmt.Errorf("unknown trace %q (child|adolescent|adult|loggedout)", name)
+	}
+	f.entries = append(f.entries, traceFile{tc, path})
+	return nil
+}
+
+func main() {
+	var hars, pcaps traceFlag
+	scale := flag.Float64("scale", 0.01, "synthetic dataset scale (dataset mode)")
+	service := flag.String("service", "", "audit a single service (dataset mode)")
+	name := flag.String("name", "custom-service", "service name (file mode)")
+	keylog := flag.String("keylog", "", "SSLKEYLOGFILE for pcap decryption (file mode)")
+	findings := flag.Bool("findings", true, "print COPPA/CCPA findings")
+	policyCheck := flag.Bool("policy", true, "print privacy-policy contradictions")
+	flag.Var(&hars, "har", "trace=path of a website HAR capture (repeatable)")
+	flag.Var(&pcaps, "pcap", "trace=path of a mobile pcap/pcapng capture (repeatable)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	auditor := diffaudit.New()
+	if len(hars.entries) > 0 || len(pcaps.entries) > 0 {
+		auditFiles(auditor, *name, *keylog, hars, pcaps, *findings)
+		return
+	}
+
+	results := diffaudit.AuditAll(*scale)
+	for _, r := range results {
+		if *service != "" && !strings.EqualFold(r.Identity.Name, *service) {
+			continue
+		}
+		fmt.Printf("=== %s ===\n", r.Identity.Name)
+		fmt.Printf("domains=%d eSLDs=%d packets=%d tcp-flows=%d unique-data-types=%d\n",
+			len(r.Domains), len(r.ESLDs), r.Packets, r.TCPFlows, len(r.RawKeys))
+		if *findings {
+			for _, f := range diffaudit.Findings(r) {
+				fmt.Println(" ", f)
+			}
+		}
+		if *policyCheck {
+			v := diffaudit.PolicyViolations(r)
+			if len(v) == 0 {
+				fmt.Println("  policy: consistent with observed flows")
+			} else {
+				fmt.Printf("  policy: %d contradictions (first: %s)\n", len(v), v[0])
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func auditFiles(auditor *diffaudit.Auditor, name, keylog string, hars, pcaps traceFlag, findings bool) {
+	var recs []diffaudit.RequestRecord
+	for _, e := range hars.entries {
+		r, err := auditor.LoadHARFile(e.path, e.trace)
+		if err != nil {
+			log.Fatalf("%s: %v", e.path, err)
+		}
+		recs = append(recs, r...)
+	}
+	for _, e := range pcaps.entries {
+		r, stats, err := auditor.LoadPCAPFile(e.path, keylog, e.trace)
+		if err != nil {
+			log.Fatalf("%s: %v", e.path, err)
+		}
+		fmt.Printf("%s: %d packets, %d TCP flows, %d/%d TLS streams decrypted\n",
+			e.path, stats.Packets, stats.TCPFlows, stats.DecryptedStreams, stats.TLSStreams)
+		recs = append(recs, r...)
+	}
+	if len(recs) == 0 {
+		log.Fatal("no requests parsed from the given captures")
+	}
+	id := diffaudit.GuessIdentity(name, recs)
+	res := auditor.AuditRecords(id, recs)
+	fmt.Printf("=== %s (first party: %s) ===\n", id.Name, strings.Join(id.FirstPartyESLDs, ", "))
+	fmt.Printf("domains=%d eSLDs=%d unique-data-types=%d dropped-keys=%d\n",
+		len(res.Domains), len(res.ESLDs), len(res.RawKeys), res.DroppedKeys)
+	if findings {
+		for _, f := range diffaudit.Findings(res) {
+			fmt.Println(" ", f)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"diffaudit"
+)
+
+func TestTraceFlagSet(t *testing.T) {
+	var f traceFlag
+	cases := map[string]diffaudit.TraceCategory{
+		"child=a.har":      diffaudit.Child,
+		"teen=b.har":       diffaudit.Adolescent,
+		"adolescent=c.har": diffaudit.Adolescent,
+		"adult=d.har":      diffaudit.Adult,
+		"loggedout=e.har":  diffaudit.LoggedOut,
+		"logged-out=f.har": diffaudit.LoggedOut,
+		"out=g.har":        diffaudit.LoggedOut,
+	}
+	for in, want := range cases {
+		if err := f.Set(in); err != nil {
+			t.Fatalf("Set(%q): %v", in, err)
+		}
+		got := f.entries[len(f.entries)-1]
+		if got.trace != want {
+			t.Errorf("Set(%q) trace = %v, want %v", in, got.trace, want)
+		}
+	}
+	if f.String() == "" {
+		t.Error("String()")
+	}
+}
+
+func TestTraceFlagSetErrors(t *testing.T) {
+	var f traceFlag
+	for _, in := range []string{"nopath", "grownup=x.har", "=x.har"} {
+		if err := f.Set(in); err == nil {
+			t.Errorf("Set(%q) accepted", in)
+		}
+	}
+}

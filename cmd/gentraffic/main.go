@@ -1,0 +1,93 @@
+// Command gentraffic fabricates the DiffAudit synthetic dataset as on-disk
+// capture files: one HAR per (service, trace) for the web platform and one
+// pcapng (with embedded TLS key log) per (service, trace) for the mobile
+// platform, mirroring the paper's collection layout.
+//
+// Usage:
+//
+//	gentraffic -out ./captures -scale 0.01 [-service Quizlet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"diffaudit"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/netcap/pcapio"
+)
+
+func main() {
+	out := flag.String("out", "captures", "output directory")
+	scale := flag.Float64("scale", 0.01, "packet-count scale in (0,1]; 1 reproduces the paper's 440K packets")
+	service := flag.String("service", "", "generate a single service (default: all six)")
+	classic := flag.Bool("classic-pcap", false, "write classic .pcap files with a side-channel .keylog instead of pcapng with embedded secrets")
+	flag.Parse()
+	log.SetFlags(0)
+
+	ds := diffaudit.GenerateDataset(*scale)
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range ds.Services {
+		if *service != "" && !strings.EqualFold(st.Spec.Name, *service) {
+			continue
+		}
+		svcDir := filepath.Join(*out, strings.ToLower(st.Spec.Name))
+		if err := os.MkdirAll(svcDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, tc := range flows.TraceCategories() {
+			slug := strings.ReplaceAll(strings.ToLower(tc.String()), " ", "-")
+			harPath := filepath.Join(svcDir, slug+"-web.har")
+			if err := st.EmitHAR(tc).WriteFile(harPath); err != nil {
+				log.Fatalf("%s: %v", harPath, err)
+			}
+			capt, err := st.EmitPCAP(tc)
+			if err != nil {
+				log.Fatalf("%s/%s pcap: %v", st.Spec.Name, tc, err)
+			}
+			var pcapPath string
+			if *classic {
+				// PCAPdroid workflow: classic pcap plus SSLKEYLOGFILE.
+				pcapPath = filepath.Join(svcDir, slug+"-mobile.pcap")
+				var keylog []byte
+				for _, s := range capt.Secrets {
+					keylog = append(keylog, s...)
+				}
+				capt.Secrets = nil
+				if err := os.WriteFile(filepath.Join(svcDir, slug+"-mobile.keylog"), keylog, 0o644); err != nil {
+					log.Fatal(err)
+				}
+				f, err := os.Create(pcapPath)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := pcapio.WritePcap(f, capt); err != nil {
+					log.Fatalf("%s: %v", pcapPath, err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+			} else {
+				pcapPath = filepath.Join(svcDir, slug+"-mobile.pcapng")
+				f, err := os.Create(pcapPath)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if err := pcapio.WritePcapng(f, capt); err != nil {
+					log.Fatalf("%s: %v", pcapPath, err)
+				}
+				if err := f.Close(); err != nil {
+					log.Fatal(err)
+				}
+			}
+			fmt.Printf("wrote %s (%d entries) and %s (%d packets)\n",
+				harPath, len(st.EmitHAR(tc).Log.Entries), pcapPath, len(capt.Packets))
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package diffaudit is the public API of the DiffAudit reproduction: a
+// platform-agnostic privacy auditing library for general audience online
+// services, after Figueira et al., "DiffAudit: Auditing Privacy Practices
+// of Online Services for Children and Adolescents" (IMC 2024).
+//
+// The library audits network traffic captured while using a service as a
+// child (<13), adolescent (13-15), adult (≥16), and logged-out user. It
+// parses HAR (web) and PCAP (mobile, with TLS key logs) captures, extracts
+// raw data types from outgoing requests, classifies them against a
+// COPPA/CCPA-rooted ontology with a majority-vote ensemble classifier,
+// resolves destinations (first/third party, advertising & tracking
+// services), and produces differential, policy-consistency, and
+// data-linkability audits.
+//
+// Quickstart:
+//
+//	auditor := diffaudit.New()
+//	dataset := diffaudit.GenerateDataset(0.01) // synthetic six-service data
+//	traffic := dataset.Service("Quizlet")
+//	result := auditor.AuditRecords(traffic.Identity(), traffic.Records())
+//	for _, f := range diffaudit.Findings(result) {
+//	    fmt.Println(f)
+//	}
+package diffaudit
+
+import (
+	"os"
+
+	"diffaudit/internal/classifier"
+	"diffaudit/internal/core"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/har"
+	"diffaudit/internal/lawaudit"
+	"diffaudit/internal/linkability"
+	"diffaudit/internal/netcap/pcapio"
+	"diffaudit/internal/netcap/tlsx"
+	"diffaudit/internal/policy"
+	"diffaudit/internal/report"
+	"diffaudit/internal/services"
+	"diffaudit/internal/synth"
+)
+
+// Re-exported core types. Aliases keep the implementation in internal
+// packages while making every type usable through the public API.
+type (
+	// TraceCategory is a child/adolescent/adult/logged-out trace.
+	TraceCategory = flows.TraceCategory
+	// Platform is the capture platform (web or mobile).
+	Platform = flows.Platform
+	// DestClass is the first/third party × ATS destination class.
+	DestClass = flows.DestClass
+	// Destination is a resolved packet destination.
+	Destination = flows.Destination
+	// Flow is one <data type category, destination> pair.
+	Flow = flows.Flow
+	// FlowSet is a deduplicated set of flows with platform provenance.
+	FlowSet = flows.Set
+	// ServiceIdentity names the audited service and its own domains.
+	ServiceIdentity = core.ServiceIdentity
+	// RequestRecord is one outgoing request fed to the pipeline.
+	RequestRecord = core.RequestRecord
+	// ServiceResult is the pipeline output for one service.
+	ServiceResult = core.ServiceResult
+	// PCAPStats summarizes PCAP ingestion (including undecrypted flows).
+	PCAPStats = core.PCAPStats
+	// Finding is a COPPA/CCPA audit finding.
+	Finding = lawaudit.Finding
+	// PolicyViolation is a privacy-policy consistency contradiction.
+	PolicyViolation = policy.Violation
+	// LinkableParty is a third party with the data type set it received.
+	LinkableParty = linkability.Party
+	// Dataset is a synthetic six-service dataset.
+	Dataset = synth.Dataset
+	// ServiceTraffic is one service's synthetic traffic.
+	ServiceTraffic = synth.ServiceTraffic
+	// ServiceSpec is a calibrated service behavior profile.
+	ServiceSpec = services.Spec
+	// ValidationRow is one row of the classifier validation table.
+	ValidationRow = classifier.ValidationRow
+)
+
+// Trace categories.
+const (
+	Child      = flows.Child
+	Adolescent = flows.Adolescent
+	Adult      = flows.Adult
+	LoggedOut  = flows.LoggedOut
+)
+
+// Platforms.
+const (
+	Web    = flows.Web
+	Mobile = flows.Mobile
+)
+
+// Destination classes.
+const (
+	FirstParty    = flows.FirstParty
+	FirstPartyATS = flows.FirstPartyATS
+	ThirdParty    = flows.ThirdParty
+	ThirdPartyATS = flows.ThirdPartyATS
+)
+
+// Auditor runs the DiffAudit pipeline.
+type Auditor struct {
+	// Pipeline is the underlying analysis configuration; replace its
+	// Labeler, ATS engine or extraction options to customize the audit.
+	Pipeline *core.Pipeline
+}
+
+// New returns an auditor with the paper's production configuration
+// (majority-avg GPT-4-style ensemble at confidence 0.8, embedded ATS block
+// lists, recursive payload extraction).
+func New() *Auditor {
+	return &Auditor{Pipeline: core.NewPipeline()}
+}
+
+// AuditRecords runs the pipeline over request records.
+func (a *Auditor) AuditRecords(id ServiceIdentity, recs []RequestRecord) *ServiceResult {
+	return a.Pipeline.AnalyzeRecords(id, recs)
+}
+
+// LoadHARFile parses a website capture exported from the browser's network
+// panel into request records.
+func (a *Auditor) LoadHARFile(path string, trace TraceCategory) ([]RequestRecord, error) {
+	h, err := har.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return core.FromHAR(h, trace, Web), nil
+}
+
+// LoadPCAPFile parses a mobile capture (pcap or pcapng; TLS key material is
+// read from embedded Decryption Secrets Blocks and, optionally, an external
+// SSLKEYLOGFILE) into request records.
+func (a *Auditor) LoadPCAPFile(path, keylogPath string, trace TraceCategory) ([]RequestRecord, PCAPStats, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, PCAPStats{}, err
+	}
+	capt, err := pcapio.Read(data)
+	if err != nil {
+		return nil, PCAPStats{}, err
+	}
+	var extra *tlsx.KeyLog
+	if keylogPath != "" {
+		klData, err := os.ReadFile(keylogPath)
+		if err != nil {
+			return nil, PCAPStats{}, err
+		}
+		if extra, err = tlsx.ParseKeyLog(klData); err != nil {
+			return nil, PCAPStats{}, err
+		}
+	}
+	return core.FromPCAP(capt, extra, trace)
+}
+
+// GuessIdentity derives a service identity from records when no profile is
+// available (the most-contacted eSLD becomes the first party).
+func GuessIdentity(name string, recs []RequestRecord) ServiceIdentity {
+	return core.GuessIdentity(name, recs)
+}
+
+// Findings runs the COPPA/CCPA rule engine over a result.
+func Findings(r *ServiceResult) []Finding {
+	return lawaudit.Audit(r.Identity.Name, r.ByTrace)
+}
+
+// PolicyViolations checks a result against the service's modeled privacy
+// policy disclosures (nil when no model exists or the policy is consistent).
+func PolicyViolations(r *ServiceResult) []PolicyViolation {
+	m, ok := policy.Models()[r.Identity.Name]
+	if !ok {
+		return nil
+	}
+	return policy.Audit(m, r.ByTrace)
+}
+
+// LinkableParties returns the third parties sent linkable data in a trace.
+func LinkableParties(set *FlowSet) []LinkableParty {
+	return linkability.Linkable(linkability.Analyze(set))
+}
+
+// Diff compares two flow sets (e.g., child vs adult, logged-out vs
+// logged-in) — the paper's differential analysis step.
+func Diff(a, b *FlowSet) core.FlowDiff { return core.Diff(a, b) }
+
+// AgeDifferential returns each minor trace's grid similarity to the adult
+// trace (1.0 = identical processing), the paper's "no differentiation"
+// metric.
+func AgeDifferential(r *ServiceResult) map[TraceCategory]float64 {
+	return core.AgeDifferential(r)
+}
+
+// PlatformDiff returns the grid cells observed on only one platform
+// (Section 4.1.2's "Platform Differences").
+func PlatformDiff(r *ServiceResult) core.PlatformDifference {
+	return core.PlatformDiff(r)
+}
+
+// ContextualIntegrity maps every observed flow to a contextual-integrity
+// tuple with an appropriateness verdict under COPPA/CCPA norms.
+func ContextualIntegrity(r *ServiceResult) []lawaudit.CIAssessment {
+	return lawaudit.CIAnalysis(r.Identity.Name, r.ByTrace)
+}
+
+// ExportJSON renders audit results as machine-readable JSON.
+func ExportJSON(results []*ServiceResult) ([]byte, error) {
+	return report.ExportJSON(results)
+}
+
+// ExportFlowsCSV renders every data flow as CSV.
+func ExportFlowsCSV(results []*ServiceResult) (string, error) {
+	return report.ExportFlowsCSV(results)
+}
+
+// RenderAuditReport renders a full per-service audit as markdown.
+func RenderAuditReport(r *ServiceResult) string {
+	return report.AuditReport(r)
+}
+
+// GenerateDataset fabricates the six-service synthetic dataset at the given
+// scale (1.0 reproduces the paper's packet counts; use small scales for
+// experimentation). See DESIGN.md for the substitution rationale.
+func GenerateDataset(scale float64) *Dataset {
+	return synth.Generate(synth.Config{Scale: scale})
+}
+
+// Services returns the six calibrated service profiles.
+func Services() []*ServiceSpec { return services.All() }
+
+// AuditAll generates the dataset at the given scale and audits every
+// service, returning results in the paper's service order.
+func AuditAll(scale float64) []*ServiceResult {
+	a := New()
+	ds := GenerateDataset(scale)
+	var out []*ServiceResult
+	for _, st := range ds.Services {
+		out = append(out, a.AuditRecords(st.Identity(), st.Records()))
+	}
+	return out
+}
+
+// ValidateClassifier reproduces Table 3: the classifier validation on the
+// n=397 labeled sample.
+func ValidateClassifier() []ValidationRow {
+	sample := classifier.GenerateCorpus(classifier.DefaultCorpusOptions())
+	return classifier.Table3(sample)
+}
+
+// Report renderers for every paper table and figure.
+var (
+	// RenderTable1 renders the dataset summary.
+	RenderTable1 = report.Table1
+	// RenderTable2 renders the ontology with observation markers.
+	RenderTable2 = report.Table2
+	// RenderTable3 renders classifier validation rows.
+	RenderTable3 = report.Table3
+	// RenderTable4 renders the per-service flow grids.
+	RenderTable4 = report.Table4
+	// RenderTable5 renders the full ontology.
+	RenderTable5 = report.Table5
+	// RenderFigure3 renders linkable third-party counts.
+	RenderFigure3 = report.Figure3
+	// RenderFigure4 renders largest linkable set sizes.
+	RenderFigure4 = report.Figure4
+	// RenderFigure5 renders top ATS organizations.
+	RenderFigure5 = report.Figure5
+	// RenderDestinationRoles renders the destination class breakdown.
+	RenderDestinationRoles = report.DestinationRoles
+)

@@ -1,0 +1,77 @@
+// COPPA audit: the paper's differential methodology applied to child
+// accounts — compare the child trace against the adult trace and the
+// pre-consent (logged-out) state for every service, check each service's
+// privacy policy disclosures, and summarize the compliance concerns.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"diffaudit"
+)
+
+func main() {
+	results := diffaudit.AuditAll(0.01)
+
+	fmt.Println("DiffAudit COPPA differential audit (child vs adult vs logged-out)")
+	fmt.Println(strings.Repeat("=", 70))
+
+	for _, r := range results {
+		fmt.Printf("\n%s\n%s\n", r.Identity.Name, strings.Repeat("-", len(r.Identity.Name)))
+
+		child := r.ByTrace[diffaudit.Child]
+		adult := r.ByTrace[diffaudit.Adult]
+		out := r.ByTrace[diffaudit.LoggedOut]
+
+		// Differential view 1: child vs adult — the paper found no service
+		// meaningfully differentiates.
+		childThird := thirdPartyCount(r, diffaudit.Child)
+		adultThird := thirdPartyCount(r, diffaudit.Adult)
+		fmt.Printf("third-party destinations: child=%d adult=%d (flows: child=%d adult=%d)\n",
+			childThird, adultThird, child.Len(), adult.Len())
+
+		// Differential view 2: before consent — data processed while
+		// logged out, when the service cannot know the user is an adult.
+		fmt.Printf("pre-consent flows (logged out): %d across %d destinations\n",
+			out.Len(), len(out.Destinations()))
+
+		// Linkable data about children.
+		parties := diffaudit.LinkableParties(child)
+		fmt.Printf("third parties receiving linkable child data: %d\n", len(parties))
+		for i, p := range parties {
+			if i >= 3 {
+				fmt.Printf("  ... and %d more\n", len(parties)-3)
+				break
+			}
+			fmt.Printf("  %s (%s): %s\n", p.Dest.FQDN, p.Dest.Owner,
+				strings.Join(p.TypeNames(), ", "))
+		}
+
+		// Policy consistency.
+		violations := diffaudit.PolicyViolations(r)
+		if len(violations) == 0 {
+			fmt.Println("privacy policy: consistent with observed traffic")
+		} else {
+			fmt.Printf("privacy policy: %d observed flows contradict disclosures, e.g.\n  %s\n",
+				len(violations), violations[0])
+		}
+
+		// Serious findings only.
+		for _, f := range diffaudit.Findings(r) {
+			if f.Severity.String() == "serious" && (f.Trace == diffaudit.Child || f.Trace == diffaudit.LoggedOut) {
+				fmt.Println("finding:", f)
+			}
+		}
+	}
+}
+
+func thirdPartyCount(r *diffaudit.ServiceResult, t diffaudit.TraceCategory) int {
+	n := 0
+	for _, d := range r.ByTrace[t].Destinations() {
+		if d.Class.IsThirdParty() {
+			n++
+		}
+	}
+	return n
+}

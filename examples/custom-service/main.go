@@ -1,0 +1,75 @@
+// Custom service: audit capture files for a service DiffAudit has no
+// profile for. The example writes a website HAR and a mobile pcapng (with
+// embedded TLS keys) to a temp directory, then audits them through the
+// file-based API exactly as one would audit real captures.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"diffaudit"
+	"diffaudit/internal/netcap/pcapio"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "diffaudit-custom")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Stand-in for "your own captures": synthesize TikTok traffic and save
+	// it as capture files, forgetting the service profile afterwards.
+	traffic := diffaudit.GenerateDataset(0.005).Service("TikTok")
+	harPath := filepath.Join(dir, "child-web.har")
+	if err := traffic.EmitHAR(diffaudit.Child).WriteFile(harPath); err != nil {
+		log.Fatal(err)
+	}
+	capt, err := traffic.EmitPCAP(diffaudit.Child)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcapPath := filepath.Join(dir, "child-mobile.pcapng")
+	f, err := os.Create(pcapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pcapio.WritePcapng(f, capt); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+
+	// From here on: the generic audit workflow for unknown services.
+	auditor := diffaudit.New()
+
+	webRecs, err := auditor.LoadHARFile(harPath, diffaudit.Child)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed %d web requests from %s\n", len(webRecs), filepath.Base(harPath))
+
+	mobileRecs, stats, err := auditor.LoadPCAPFile(pcapPath, "", diffaudit.Child)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parsed %d mobile requests from %s (%d packets, %d TCP flows, %d/%d TLS streams decrypted)\n",
+		len(mobileRecs), filepath.Base(pcapPath),
+		stats.Packets, stats.TCPFlows, stats.DecryptedStreams, stats.TLSStreams)
+
+	recs := append(webRecs, mobileRecs...)
+
+	// No profile: infer the first party from the traffic itself.
+	id := diffaudit.GuessIdentity("mystery-app", recs)
+	fmt.Printf("inferred first party: %v\n\n", id.FirstPartyESLDs)
+
+	result := auditor.AuditRecords(id, recs)
+	fmt.Printf("child-trace flows: %d; unique raw data types: %d (dropped below confidence: %d)\n",
+		result.ByTrace[diffaudit.Child].Len(), len(result.RawKeys), result.DroppedKeys)
+
+	for _, finding := range diffaudit.Findings(result) {
+		fmt.Println(" ", finding)
+	}
+}

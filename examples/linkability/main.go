@@ -1,0 +1,46 @@
+// Linkability deep dive: reproduce the paper's Section 4.2 analysis —
+// which third parties can link a user's identifiers with behavioral data
+// (Figures 3-5), per service and age group.
+package main
+
+import (
+	"fmt"
+
+	"diffaudit"
+)
+
+func main() {
+	results := diffaudit.AuditAll(0.01)
+
+	// Figure 3: counts of third parties sent linkable data.
+	fmt.Print(diffaudit.RenderFigure3(results))
+	fmt.Println()
+
+	// Figure 4: sizes of the largest linkable data type sets.
+	fmt.Print(diffaudit.RenderFigure4(results))
+	fmt.Println()
+
+	// Figure 5: the organizations behind the ATS domains.
+	fmt.Print(diffaudit.RenderFigure5(results, 10))
+	fmt.Println()
+
+	// Beyond the paper's figures: the single riskiest destination per
+	// service — the third party that can link the most data types about a
+	// child.
+	fmt.Println("Riskiest third party per service (child trace):")
+	for _, r := range results {
+		parties := diffaudit.LinkableParties(r.ByTrace[diffaudit.Child])
+		var worst *diffaudit.LinkableParty
+		for i := range parties {
+			if worst == nil || len(parties[i].Types) > len(worst.Types) {
+				worst = &parties[i]
+			}
+		}
+		if worst == nil {
+			fmt.Printf("  %-10s (none)\n", r.Identity.Name)
+			continue
+		}
+		fmt.Printf("  %-10s %s (%s) — %d linkable data types\n",
+			r.Identity.Name, worst.Dest.FQDN, worst.Dest.Owner, len(worst.Types))
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: synthesize one service's traffic, run the DiffAudit pipeline,
+// and print the data flows a child account generates.
+package main
+
+import (
+	"fmt"
+
+	"diffaudit"
+)
+
+func main() {
+	// Generate the six-service synthetic dataset at 1% packet scale
+	// (structure — flows, destinations, data types — is scale-invariant).
+	dataset := diffaudit.GenerateDataset(0.01)
+	traffic := dataset.Service("Duolingo")
+
+	// Run the pipeline: extraction → classification → destination
+	// resolution → data flow construction.
+	auditor := diffaudit.New()
+	result := auditor.AuditRecords(traffic.Identity(), traffic.Records())
+
+	fmt.Printf("%s: %d domains, %d eSLDs, %d outgoing requests, %d unique raw data types\n\n",
+		result.Identity.Name, len(result.Domains), len(result.ESLDs),
+		result.Packets, len(result.RawKeys))
+
+	// The child trace: every <data type category, destination> pair.
+	childFlows := result.ByTrace[diffaudit.Child]
+	fmt.Printf("Child trace: %d distinct data flows\n", childFlows.Len())
+	shown := 0
+	for _, f := range childFlows.Flows() {
+		if !f.Dest.Class.IsThirdParty() {
+			continue
+		}
+		fmt.Printf("  %-40s → %-34s [%s, owner: %s]\n",
+			f.Category.Name, f.Dest.FQDN, f.Dest.Class, f.Dest.Owner)
+		shown++
+		if shown >= 12 {
+			fmt.Println("  ...")
+			break
+		}
+	}
+
+	// COPPA/CCPA findings.
+	fmt.Println("\nAudit findings:")
+	for _, finding := range diffaudit.Findings(result) {
+		fmt.Println(" ", finding)
+	}
+}

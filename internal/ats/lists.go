@@ -1,0 +1,68 @@
+package ats
+
+// The embedded block lists stand in for the Firebog "Big Blocklist
+// Collection" the paper uses. They cover every ATS destination the paper
+// names explicitly. Like real-world lists, some entries are eSLDs (blocking
+// whole families) and some are specific FQDNs (first-party telemetry hosts
+// such as metrics.roblox.com, which make a domain a "first party ATS").
+
+// AdvertisingList blocks advertising exchanges, SSPs, DSPs and ad CDNs.
+func AdvertisingList() List {
+	return List{
+		Name: "advertising",
+		Entries: []string{
+			"doubleclick.net", "googlesyndication.com", "googleadservices.com",
+			"googletagservices.com", "admob.com", "amazon-adsystem.com",
+			"pubmatic.com", "openx.net", "casalemedia.com",
+			"rubiconproject.com", "mathtag.com", "adform.net", "3lift.com",
+			"triplelift.com", "sharethrough.com", "media.net", "criteo.com",
+			"criteo.net", "adsrvr.org", "smartadserver.com", "lijit.com",
+			"33across.com", "gumgum.com", "advertising.com", "adtechus.com",
+			"exponential.com", "tribalfusion.com", "adsafeprotected.com",
+			"iasds01.com", "adlightning.com", "indexww.com",
+			"unityads.unity3d.com", "magnite.com", "adformdsp.net",
+			"lemon8-app.com", "lemoninc.com", "onesoon.com",
+		},
+	}
+}
+
+// TrackingList blocks analytics, attribution, CDP and identity-graph hosts.
+func TrackingList() List {
+	return List{
+		Name: "trackers",
+		Entries: []string{
+			"google-analytics.com", "googletagmanager.com",
+			"app-measurement.com", "crashlytics.com", "appsflyer.com",
+			"appsflyersdk.com", "adjust.com", "adjust.io", "branch.io",
+			"app.link", "braze.com", "appboy.com", "braze.eu", "segment.com",
+			"segment.io", "mixpanel.com", "mxpnl.com", "amplitude.com",
+			"hotjar.com", "hotjar.io", "pendo.io", "clicktale.net",
+			"scorecardresearch.com", "imrworldwide.com", "demdex.net",
+			"omtrdc.net", "everesttech.net", "2o7.net", "tapad.com",
+			"rlcdn.com", "id5-sync.com", "crwdcntrl.net", "agkn.com",
+			"snowplowanalytics.com", "snplow.net", "sentry.io",
+			"sentry-cdn.com", "newrelic.com", "nr-data.net", "profitwell.com",
+			"apptimize.com", "evidon.com", "betrad.com", "facebook.net",
+			"sc-static.net", "onetrust.com", "cookielaw.org",
+		},
+	}
+}
+
+// TelemetryList blocks first-party telemetry endpoints: specific FQDNs that
+// turn a first-party destination into a "first party ATS" in the paper's
+// terminology (e.g., metrics.roblox.com, browser.events.data.microsoft.com).
+func TelemetryList() List {
+	return List{
+		Name: "telemetry",
+		Entries: []string{
+			"metrics.roblox.com", "ephemeralcounters.api.roblox.com",
+			"browser.events.data.microsoft.com", "clarity.ms",
+			"vortex.data.microsoft.com", "telemetry.minecraft.net",
+			"mccollect.minecraft.net",
+			"analytics.tiktok.com", "mon.tiktokv.com", "mon.byteoversea.com",
+			"log.byteoversea.com", "events.redirect.tiktokv.com",
+			// Google first-party telemetry FQDNs used by YouTube/YouTube Kids.
+			"jnn-pa.googleapis.com", "s.youtube.com", "log.youtube.com",
+		},
+	}
+}

@@ -1,0 +1,86 @@
+package baselines
+
+import (
+	"math"
+
+	"diffaudit/internal/classifier"
+	"diffaudit/internal/ontology"
+)
+
+// Distilled is the paper's proposed follow-up to the GPT-4 classifier
+// ("our method produces a set of labeled network traffic payload data that
+// can be used to train smaller models that can be run locally instead"): a
+// TF-IDF nearest-neighbor student trained not on the ontology's examples
+// but on wire keys labeled by the LLM-style teacher. The student inherits
+// the teacher's world knowledge through the training data — "fname" sits in
+// the exemplar set with the Name label — so it beats the ontology-trained
+// TF-IDF baseline while running with no model calls at all.
+type Distilled struct {
+	docs []exampleDoc
+	idf  map[string]float64
+	// Trained counts the exemplars admitted (confident teacher labels).
+	Trained int
+	// Rejected counts keys the teacher was not confident about.
+	Rejected int
+}
+
+// Distill trains a student on teacher-labeled keys. Only predictions at or
+// above minConfidence (the paper's production threshold when 0) become
+// exemplars.
+func Distill(teacher classifier.Labeler, keys []string, minConfidence float64) *Distilled {
+	if minConfidence <= 0 {
+		minConfidence = 0.8
+	}
+	d := &Distilled{idf: make(map[string]float64)}
+	type raw struct {
+		cat *ontology.Category
+		tf  map[string]float64
+	}
+	var admitted []raw
+	df := make(map[string]int)
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		p := teacher.Classify(k)
+		if p.Category == nil || p.Confidence < minConfidence {
+			d.Rejected++
+			continue
+		}
+		tf := charNGrams(k)
+		admitted = append(admitted, raw{p.Category, tf})
+		for g := range tf {
+			df[g]++
+		}
+	}
+	n := float64(len(admitted))
+	for g, c := range df {
+		d.idf[g] = math.Log(1 + n/float64(c))
+	}
+	for _, r := range admitted {
+		vec := make(map[string]float64, len(r.tf))
+		for g, f := range r.tf {
+			vec[g] = f * d.idf[g]
+		}
+		d.docs = append(d.docs, exampleDoc{cat: r.cat, vec: vec})
+	}
+	d.Trained = len(admitted)
+	return d
+}
+
+// Classify matches the input to the nearest teacher-labeled exemplar.
+func (d *Distilled) Classify(input string) classifier.Prediction {
+	q := charNGrams(input)
+	for g := range q {
+		q[g] *= d.idf[g]
+	}
+	best, bestScore := (*ontology.Category)(nil), 0.0
+	for _, doc := range d.docs {
+		if s := cosine(q, doc.vec); s > bestScore {
+			bestScore, best = s, doc.cat
+		}
+	}
+	return prediction(input, best, bestScore, "distilled nearest exemplar")
+}

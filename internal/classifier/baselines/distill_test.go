@@ -1,0 +1,59 @@
+package baselines
+
+import (
+	"testing"
+
+	"diffaudit/internal/classifier"
+)
+
+func TestDistilledBeatsOntologyTFIDF(t *testing.T) {
+	// Train the student on a disjoint teacher-labeled corpus (a different
+	// seed stands in for the rest of the paper's 3,968-key dataset), then
+	// evaluate both on the validation sample.
+	trainOpts := classifier.DefaultCorpusOptions()
+	trainOpts.Seed = 99
+	trainOpts.N = 1200
+	var keys []string
+	for _, lk := range classifier.GenerateCorpus(trainOpts) {
+		keys = append(keys, lk.Key)
+	}
+	teacher := classifier.NewEnsemble(classifier.MajorityAvg)
+	student := Distill(teacher, keys, 0)
+	if student.Trained == 0 {
+		t.Fatal("no exemplars admitted")
+	}
+	if student.Rejected == 0 {
+		t.Fatal("teacher should reject the sub-threshold tail")
+	}
+
+	sample := classifier.GenerateCorpus(classifier.DefaultCorpusOptions())
+	distilled := classifier.Validate("distilled", student, sample).Accuracy
+	rawTFIDF := classifier.Validate("tfidf", NewTFIDF(), sample).Accuracy
+	if distilled <= rawTFIDF {
+		t.Errorf("distilled student (%.2f) must beat ontology-trained TF-IDF (%.2f): "+
+			"the teacher's world knowledge transfers through labels", distilled, rawTFIDF)
+	}
+	teacherAcc := classifier.Validate("teacher", teacher, sample).Accuracy
+	if distilled > teacherAcc+0.05 {
+		t.Errorf("student (%.2f) implausibly beats its teacher (%.2f)", distilled, teacherAcc)
+	}
+	t.Logf("teacher=%.2f distilled=%.2f ontology-tfidf=%.2f (exemplars=%d rejected=%d)",
+		teacherAcc, distilled, rawTFIDF, student.Trained, student.Rejected)
+}
+
+func TestDistillDedupAndThreshold(t *testing.T) {
+	teacher := classifier.NewModel(0)
+	d := Distill(teacher, []string{"email", "email", "email_address"}, 0.5)
+	if d.Trained != 2 {
+		t.Errorf("trained = %d, want 2 (dedup)", d.Trained)
+	}
+	p := d.Classify("email")
+	if p.Category == nil || p.Category.Name != "Contact Information" {
+		t.Errorf("distilled classify = %+v", p)
+	}
+	// Empty training set.
+	empty := Distill(teacher, nil, 0)
+	if p := empty.Classify("email"); p.Category != nil {
+		t.Error("empty student should return no category")
+	}
+}

@@ -1,0 +1,317 @@
+package classifier
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"diffaudit/internal/ontology"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := map[string][]string{
+		"email":                               {"email"},
+		"user_id":                             {"user", "identifier"},
+		"IsOptOutEmailShown":                  {"opt", "out", "email"},
+		"os":                                  {"operating", "system"},
+		"rtt":                                 {"round", "trip", "time"},
+		"device.os.version":                   {"device", "operating", "system", "version"},
+		"lat":                                 {"latitude"},
+		"ts2":                                 {"timestamp"},
+		"URLPath":                             {"uniform", "resource", "locator", "path"},
+		"":                                    nil,
+		"123":                                 nil,
+		"pers_ad_show_third_part_measurement": {"personalized", "advertisement", "third", "party", "measurement"},
+	}
+	for in, want := range cases {
+		got := Tokenize(in)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestTokenizeSegmentsGluedCompounds(t *testing.T) {
+	cases := map[string][]string{
+		"usrlang":  {"user", "language"},
+		"deviceid": {"device", "identifier"},
+		"clientts": {"client", "timestamp"},
+	}
+	for in, want := range cases {
+		if got := Tokenize(in); !reflect.DeepEqual(got, want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestModelDeterminism(t *testing.T) {
+	m := NewModel(0.5)
+	inputs := []string{"user_id", "xj29a", "email", "gps_lat"}
+	for _, in := range inputs {
+		p1, p2 := m.Classify(in), m.Classify(in)
+		if p1.Label != p2.Label || p1.Confidence != p2.Confidence {
+			t.Errorf("nondeterministic prediction for %q", in)
+		}
+	}
+}
+
+func TestModelClassifiesEasyKeysCorrectly(t *testing.T) {
+	m := NewModel(0)
+	cases := map[string]string{
+		"email":          "Contact Information",
+		"email_address":  "Contact Information",
+		"password":       "Login Information",
+		"advertising_id": "Device Software Identifiers",
+		"imei":           "Device Hardware Identifiers",
+		"latitude":       "Precise Geolocation",
+		"timezone":       "Location Time",
+		"gender":         "Gender/Sex",
+		"birthday":       "Age",
+		"search_query":   "Internet Activity",
+		"sdk_version":    "Service Information",
+		"fname":          "Name", // world-knowledge synonym
+		"msisdn":         "Contact Information",
+		"gyro":           "Sensor Data",
+	}
+	for in, want := range cases {
+		p := m.Classify(in)
+		if p.Label != want {
+			t.Errorf("Classify(%q) = %q (conf %.2f), want %q", in, p.Label, p.Confidence, want)
+		}
+		if p.Confidence < 0.7 {
+			t.Errorf("Classify(%q) low confidence %.2f on easy key", in, p.Confidence)
+		}
+	}
+}
+
+func TestModelHallucinatesAboveTemperatureOne(t *testing.T) {
+	m := NewModel(1.8)
+	hallucinated := 0
+	for _, k := range []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"} {
+		if p := m.Classify(k); p.Category == nil {
+			hallucinated++
+			if _, ok := ontology.Lookup(p.Label); ok {
+				t.Errorf("hallucinated label %q is a real category", p.Label)
+			}
+		}
+	}
+	if hallucinated == 0 {
+		t.Error("temperature 1.8 never hallucinated; the paper capped at 1 for this reason")
+	}
+	// At or below temperature 1 hallucination must not happen.
+	m1 := NewModel(1.0)
+	for _, k := range []string{"alpha", "beta", "gamma", "delta"} {
+		if p := m1.Classify(k); p.Category == nil {
+			t.Errorf("temperature 1.0 hallucinated on %q", k)
+		}
+	}
+}
+
+func TestPredictionFormatLine(t *testing.T) {
+	p := NewModel(0).Classify("email")
+	line := p.FormatLine()
+	if !strings.Contains(line, " // ") || !strings.Contains(line, "email") {
+		t.Errorf("FormatLine = %q", line)
+	}
+	if got := strings.Count(line, " // "); got != 3 {
+		t.Errorf("FormatLine has %d separators, want 3 (paper format)", got)
+	}
+}
+
+func TestEnsembleMajorityOverIdenticalModels(t *testing.T) {
+	// Property from DESIGN.md: majority vote over identical models equals
+	// the single model.
+	single := NewModel(0)
+	ens := &Ensemble{Models: []*Model{NewModel(0), NewModel(0), NewModel(0)}, Rule: MajorityAvg}
+	for _, k := range []string{"email", "user_id", "qqzz81", "lat", "session"} {
+		if a, b := single.Classify(k), ens.Classify(k); a.Label != b.Label {
+			t.Errorf("ensemble(%q) = %q, single = %q", k, b.Label, a.Label)
+		}
+	}
+}
+
+func TestEnsembleAvgConfidenceAtMostMax(t *testing.T) {
+	avg := NewEnsemble(MajorityAvg)
+	max := NewEnsemble(MajorityMax)
+	for _, k := range []string{"email", "user_id", "qqzz81", "gps_lat", "watch_time"} {
+		pa, pm := avg.Classify(k), max.Classify(k)
+		if pa.Label != pm.Label {
+			continue // different winners possible only via tie-breaks
+		}
+		if pa.Confidence > pm.Confidence+1e-9 {
+			t.Errorf("avg confidence %.2f > max confidence %.2f for %q", pa.Confidence, pm.Confidence, k)
+		}
+	}
+}
+
+func TestEnsembleNeverHallucinatedWinner(t *testing.T) {
+	// With one t=1.9 model in the pool, valid labels must still win.
+	ens := &Ensemble{Models: []*Model{NewModel(0), NewModel(0.5), NewModel(1.9)}, Rule: MajorityAvg}
+	for _, k := range []string{"email", "user_id", "lat", "tz", "password"} {
+		if p := ens.Classify(k); p.Category == nil {
+			t.Errorf("hallucinated ensemble winner for %q: %q", k, p.Label)
+		}
+	}
+}
+
+func TestThresholdLabeler(t *testing.T) {
+	tl := FinalLabeler()
+	if tl.Threshold != 0.8 {
+		t.Fatalf("final threshold = %v, want 0.8 (paper's choice)", tl.Threshold)
+	}
+	cat, conf, ok := tl.Label("email_address")
+	if !ok || cat == nil || cat.Name != "Contact Information" {
+		t.Errorf("Label(email_address) = %v, %.2f, %v", cat, conf, ok)
+	}
+}
+
+func TestGenerateCorpusDeterministic(t *testing.T) {
+	a := GenerateCorpus(DefaultCorpusOptions())
+	b := GenerateCorpus(DefaultCorpusOptions())
+	if len(a) != 397 {
+		t.Fatalf("corpus size = %d, want 397 (paper's 10%% sample)", len(a))
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].Truth != b[i].Truth {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+}
+
+func TestValidateThresholdMonotonicity(t *testing.T) {
+	sample := GenerateCorpus(DefaultCorpusOptions())
+	for _, row := range Table3(sample) {
+		r7, r8, r9 := row.ByThreshold[0.7], row.ByThreshold[0.8], row.ByThreshold[0.9]
+		if !(r7.Labeled >= r8.Labeled && r8.Labeled >= r9.Labeled) {
+			t.Errorf("%s: coverage not monotone: %d %d %d", row.Name, r7.Labeled, r8.Labeled, r9.Labeled)
+		}
+		if r9.Labeled > 0 && r9.Accuracy+1e-9 < r7.Accuracy-0.05 {
+			t.Errorf("%s: accuracy collapses at high threshold: %.2f -> %.2f", row.Name, r7.Accuracy, r9.Accuracy)
+		}
+	}
+}
+
+func TestTable3ReproducesPaperShape(t *testing.T) {
+	sample := GenerateCorpus(DefaultCorpusOptions())
+	rows := Table3(sample)
+	byName := map[string]ValidationRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	t0, t1 := byName["0"], byName["1"]
+	if t0.Accuracy < 0.6 || t0.Accuracy > 0.8 {
+		t.Errorf("t=0 accuracy %.2f outside paper band [0.6,0.8]", t0.Accuracy)
+	}
+	if t1.Accuracy > t0.Accuracy+0.02 {
+		t.Errorf("t=1 accuracy %.2f should not beat t=0 %.2f", t1.Accuracy, t0.Accuracy)
+	}
+	mavg := byName["Majority-Avg"]
+	r8 := mavg.ByThreshold[0.8]
+	if r8.Accuracy < t0.ByThreshold[0.8].Accuracy-0.02 {
+		t.Errorf("majority-avg @0.8 (%.2f) should be at least single-model level (%.2f)",
+			r8.Accuracy, t0.ByThreshold[0.8].Accuracy)
+	}
+	if r8.Accuracy < 0.80 {
+		t.Errorf("majority-avg @0.8 accuracy %.2f below paper band (~0.87)", r8.Accuracy)
+	}
+	if r8.Labeled < 200 || r8.Labeled > 340 {
+		t.Errorf("majority-avg @0.8 coverage %d outside paper band (~274)", r8.Labeled)
+	}
+}
+
+// Property: classifications are total — every input gets a label and a
+// confidence in [0,1].
+func TestClassifyTotal(t *testing.T) {
+	m := NewModel(0.5)
+	f := func(key string) bool {
+		p := m.Classify(key)
+		return p.Label != "" && p.Confidence >= 0 && p.Confidence <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tokenization is deterministic and produces lowercase tokens.
+func TestTokenizeProperties(t *testing.T) {
+	f := func(s string) bool {
+		a, b := Tokenize(s), Tokenize(s)
+		if !reflect.DeepEqual(a, b) {
+			return false
+		}
+		for _, tok := range a {
+			if tok != strings.ToLower(tok) || tok == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildPrompt(t *testing.T) {
+	p := BuildPrompt([]string{"user_id", "gps_lat"})
+	for _, want := range []string{
+		"You are a text classifier for network traffic payload data",
+		"15 words or less",
+		"// <category> // <score> // <explanation>",
+		"Device Hardware Identifiers",
+		"user_id", "gps_lat",
+	} {
+		if !strings.Contains(p, want) {
+			t.Errorf("prompt missing %q", want)
+		}
+	}
+}
+
+func TestParseResponseLineRoundTrip(t *testing.T) {
+	orig := NewModel(0).Classify("email_address")
+	parsed, err := ParseResponseLine(orig.FormatLine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Input != orig.Input || parsed.Label != orig.Label || parsed.Category != orig.Category {
+		t.Errorf("round trip: %+v vs %+v", parsed, orig)
+	}
+	if parsed.Confidence != orig.Confidence {
+		t.Errorf("confidence %v vs %v", parsed.Confidence, orig.Confidence)
+	}
+}
+
+func TestParseResponseLineErrors(t *testing.T) {
+	for _, in := range []string{
+		"too // few // fields",
+		"a // b // notanumber // c",
+		"a // b // 1.5 // out of range",
+	} {
+		if _, err := ParseResponseLine(in); err == nil {
+			t.Errorf("ParseResponseLine(%q) accepted", in)
+		}
+	}
+	// Hallucinated label: parses, category nil.
+	p, err := ParseResponseLine("x // Quantum Identifiers // 0.9 // made up")
+	if err != nil || p.Category != nil {
+		t.Errorf("hallucinated label: %+v, %v", p, err)
+	}
+}
+
+func TestLabelDataset(t *testing.T) {
+	pairs, rejected := LabelDataset([]string{"email", "email", "user_id", "zzqx81"})
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d, want 2 (dedup, confident only)", len(pairs))
+	}
+	if rejected != 1 {
+		t.Errorf("rejected = %d, want 1", rejected)
+	}
+	for _, p := range pairs {
+		if p.Category == nil || p.Confidence < 0.8 {
+			t.Errorf("pair %+v below production threshold", p)
+		}
+	}
+}

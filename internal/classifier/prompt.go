@@ -1,0 +1,101 @@
+package classifier
+
+import (
+	"fmt"
+	"strings"
+
+	"diffaudit/internal/ontology"
+)
+
+// PaperPrompt is the verbatim system prompt the paper used with the GPT-4
+// Chat Completions API (Appendix C.1). The simulated model reproduces the
+// behavior this prompt elicits — category labels with confidence scores and
+// short explanations in a fixed response format — so the prompt is kept as
+// the canonical specification of the classification task.
+const PaperPrompt = `You are a text classifier for network traffic payload data. ` +
+	`I am going to give you some categories and examples for each category. ` +
+	`Then I will give you text sequences that I want you to categorize using ` +
+	`the provided categories. The input texts were collected from network ` +
+	`traffic payloads. Try to determine the meaning of the input texts and ` +
+	`use the similarity of the categories and input texts to do the ` +
+	`classification. For text with acronyms and abbreviations, use the ` +
+	`meaning of the acronyms and abbreviations to do the classification. ` +
+	`Provide an explanation for each classification in 15 words or less. ` +
+	`Report a score of confidence on a scale of 0 to 1 for each ` +
+	`categorization. Format your response exactly like this for each input ` +
+	`text: <input text> // <category> // <score> // <explanation>.`
+
+// BuildPrompt renders the complete chat-completion request text: the paper
+// prompt, the level-3 category labels with their level-4 examples, and the
+// batch of raw inputs to classify. This is what a real GPT-4 deployment of
+// the pipeline would send.
+func BuildPrompt(inputs []string) string {
+	var b strings.Builder
+	b.WriteString(PaperPrompt)
+	b.WriteString("\n\nCategories and examples:\n")
+	for _, c := range ontology.Categories() {
+		fmt.Fprintf(&b, "- %s: %s\n", c.Name, strings.Join(c.Examples, ", "))
+	}
+	b.WriteString("\nInput texts:\n")
+	for _, in := range inputs {
+		fmt.Fprintf(&b, "%s\n", in)
+	}
+	return b.String()
+}
+
+// ParseResponseLine parses one line of the paper's response format back
+// into a Prediction. It is the inverse of Prediction.FormatLine, used when
+// replaying archived model transcripts through the pipeline.
+func ParseResponseLine(line string) (Prediction, error) {
+	parts := strings.Split(line, " // ")
+	if len(parts) != 4 {
+		return Prediction{}, fmt.Errorf("classifier: response line has %d fields, want 4", len(parts))
+	}
+	var conf float64
+	if _, err := fmt.Sscanf(strings.TrimSpace(parts[2]), "%f", &conf); err != nil {
+		return Prediction{}, fmt.Errorf("classifier: bad confidence %q", parts[2])
+	}
+	if conf < 0 || conf > 1 {
+		return Prediction{}, fmt.Errorf("classifier: confidence %v out of range", conf)
+	}
+	p := Prediction{
+		Input:       strings.TrimSpace(parts[0]),
+		Label:       strings.TrimSpace(parts[1]),
+		Confidence:  conf,
+		Explanation: strings.TrimSpace(parts[3]),
+	}
+	if cat, ok := ontology.Lookup(p.Label); ok {
+		p.Category = cat
+	}
+	return p, nil
+}
+
+// LabeledPair is one teacher-labeled raw data type: the artifact the paper
+// says its method produces ("a set of labeled network traffic payload data
+// that can be used to train smaller models").
+type LabeledPair struct {
+	Key        string
+	Category   *ontology.Category
+	Confidence float64
+}
+
+// LabelDataset runs the production labeler over a key inventory, returning
+// the confident labels (the training set for distillation) and the count of
+// rejected keys.
+func LabelDataset(keys []string) (pairs []LabeledPair, rejected int) {
+	labeler := FinalLabeler()
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		cat, conf, ok := labeler.Label(k)
+		if !ok {
+			rejected++
+			continue
+		}
+		pairs = append(pairs, LabeledPair{Key: k, Category: cat, Confidence: conf})
+	}
+	return pairs, rejected
+}

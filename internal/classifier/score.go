@@ -1,0 +1,123 @@
+package classifier
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"diffaudit/internal/ontology"
+)
+
+// scoreEntry is one category's match strength for an input.
+type scoreEntry struct {
+	cat   *ontology.Category
+	score float64
+}
+
+// scorer ranks ontology categories for a tokenized input. It is the
+// deterministic "semantic core" the simulated LLM perturbs: exact example
+// matches dominate, token-overlap with example phrases and the category
+// name contribute proportionally.
+type scorer struct {
+	cats []*ontology.Category
+	// exact maps a normalized full example string to its category.
+	exact map[string]*ontology.Category
+	// tokenSets maps category index → example token multiset with weights.
+	tokenSets []map[string]float64
+	nameSets  []map[string]bool
+}
+
+var (
+	sharedScorerOnce sync.Once
+	sharedScorer     *scorer
+)
+
+// getScorer returns the process-wide scorer over the full ontology.
+func getScorer() *scorer {
+	sharedScorerOnce.Do(func() { sharedScorer = newScorer() })
+	return sharedScorer
+}
+
+func newScorer() *scorer {
+	cats := make([]*ontology.Category, 0, 35)
+	all := ontology.Categories()
+	for i := range all {
+		cats = append(cats, &all[i])
+	}
+	s := &scorer{
+		cats:      cats,
+		exact:     make(map[string]*ontology.Category, 512),
+		tokenSets: make([]map[string]float64, len(cats)),
+		nameSets:  make([]map[string]bool, len(cats)),
+	}
+	for i, c := range cats {
+		tokens := make(map[string]float64)
+		for _, ex := range c.Examples {
+			norm := strings.Join(Tokenize(ex), " ")
+			if norm != "" {
+				if _, taken := s.exact[norm]; !taken {
+					s.exact[norm] = c
+				}
+			}
+			exTokens := Tokenize(ex)
+			for _, t := range exTokens {
+				// Short example phrases give sharper evidence per token.
+				w := 1.0 / float64(len(exTokens))
+				if w > tokens[t] {
+					tokens[t] = w
+				}
+			}
+		}
+		s.tokenSets[i] = tokens
+		names := make(map[string]bool)
+		for _, t := range Tokenize(c.Name) {
+			names[t] = true
+		}
+		s.nameSets[i] = names
+	}
+	return s
+}
+
+// rank returns all categories scored for the input, sorted descending. The
+// top entry's score is in [0,1]; 0 means no evidence at all.
+func (s *scorer) rank(raw string) []scoreEntry {
+	tokens := Tokenize(raw)
+	norm := strings.Join(tokens, " ")
+	out := make([]scoreEntry, len(s.cats))
+	for i, c := range s.cats {
+		out[i] = scoreEntry{cat: c}
+		if norm == "" {
+			continue
+		}
+		// Exact example match: decisive.
+		if s.exact[norm] == c {
+			out[i].score = 1.0
+			continue
+		}
+		// Token coverage: fraction of input tokens that appear in the
+		// category's example vocabulary, weighted by evidence sharpness.
+		var hit, nameHit float64
+		for _, t := range tokens {
+			if w, ok := s.tokenSets[i][t]; ok {
+				hit += 0.5 + 0.5*w
+			}
+			if s.nameSets[i][t] {
+				nameHit++
+			}
+		}
+		cov := hit / float64(len(tokens))
+		nameCov := nameHit / float64(len(tokens))
+		score := 0.82*cov + 0.1*nameCov
+		// A multi-token phrase fully covered by one category is nearly as
+		// decisive as an exact match.
+		if cov >= 0.999 && len(tokens) >= 2 {
+			score += 0.06
+		}
+		if score > 0.99 {
+			score = 0.99
+		}
+		out[i].score = score
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].score > out[b].score })
+	return out
+}

@@ -1,0 +1,322 @@
+// Package classifier implements the DiffAudit data type classification
+// method: raw data type strings extracted from network traffic are mapped
+// onto the 35 level-3 categories of the COPPA/CCPA ontology. The paper uses
+// OpenAI's GPT-4 with a few-shot prompt, multiple temperatures, per-answer
+// confidence scores, and a majority-vote ensemble; this package reproduces
+// that methodology surface with a local model: a semantic scorer over the
+// ontology plays the role of the LLM, a temperature parameter injects
+// seeded score noise (with hallucinated labels above t=1, as the paper
+// observed), confidence derives from the score margin, and the ensemble
+// combinators implement the paper's majority-max and majority-avg schemes.
+package classifier
+
+import (
+	"strings"
+	"unicode"
+)
+
+// acronyms expands the abbreviations the paper calls out as the hard part
+// of network-traffic vocabulary ("os", "rtt", ...). Expansion happens at
+// token level before scoring.
+var acronyms = map[string]string{
+	"os":    "operating system",
+	"rtt":   "round trip time",
+	"ttfb":  "time to first byte",
+	"ua":    "user agent",
+	"uid":   "user id",
+	"guid":  "globally unique identifier",
+	"uuid":  "universally unique identifier",
+	"imei":  "international mobile equipment identity",
+	"idfa":  "advertising identifier",
+	"gaid":  "advertising identifier",
+	"adid":  "advertising id",
+	"gps":   "gps location",
+	"lat":   "latitude",
+	"lng":   "longitude",
+	"lon":   "longitude",
+	"tz":    "timezone",
+	"ts":    "timestamp",
+	"dob":   "date of birth",
+	"pii":   "personal information",
+	"sdk":   "software development kit",
+	"api":   "application programming interface",
+	"url":   "uniform resource locator",
+	"uri":   "uniform resource identifier",
+	"cdn":   "content delivery network",
+	"dom":   "document object model",
+	"dns":   "domain name system",
+	"tcp":   "transmission control protocol",
+	"tls":   "transport layer security",
+	"ssl":   "transport layer security",
+	"ip":    "ip address",
+	"mac":   "mac address",
+	"cpu":   "central processing unit",
+	"fps":   "frames per second",
+	"abr":   "adaptive bitrate",
+	"ssn":   "social security number",
+	"msg":   "message",
+	"pwd":   "password",
+	"auth":  "authentication",
+	"lang":  "language",
+	"geo":   "geolocation",
+	"ad":    "advertisement",
+	"ads":   "advertisement",
+	"pers":  "personalized",
+	"cfg":   "settings",
+	"prefs": "preferences",
+	"env":   "environment",
+	"ver":   "version",
+	"app":   "application",
+	"dev":   "device",
+	"hw":    "hardware",
+	"sw":    "software",
+	"res":   "resolution",
+	"usr":   "user",
+	"acct":  "account",
+	"sess":  "session",
+	"loc":   "location",
+	"addr":  "address",
+	"tel":   "telephone",
+	"num":   "number",
+	"id":    "identifier",
+	"ids":   "identifier",
+	"info":  "information",
+	"cc":    "credit card",
+	"vid":   "video",
+	"img":   "image",
+	"utc":   "utc offset",
+	"wifi":  "wifi",
+	"conn":  "connection",
+	"req":   "request",
+	"resp":  "response",
+	"cnt":   "count",
+	"btn":   "button",
+	"impr":  "impression",
+	"clk":   "click",
+	"cmp":   "campaign",
+	"mkt":   "marketing",
+	"part":  "party",
+	"third": "third",
+	"meas":  "measurement",
+}
+
+// wireSynonyms is the "world knowledge" table: wire-protocol jargon whose
+// surface form shares nothing with the ontology's example vocabulary but
+// whose meaning an LLM knows. This knowledge — not string similarity — is
+// what separates the GPT-4 classifier from the fuzzy-matching baselines in
+// the paper's comparison. Each entry maps to an ontology example phrase.
+var wireSynonyms = map[string]string{
+	"fname":    "first name",
+	"lname":    "last name",
+	"handle":   "user name",
+	"nick":     "alias",
+	"moniker":  "alias",
+	"bday":     "birthday",
+	"yob":      "birth year",
+	"zip":      "postal code",
+	"msisdn":   "phone number",
+	"pno":      "phone number",
+	"ifa":      "advertising identifier",
+	"idfv":     "unique device identifier",
+	"ssaid":    "android id",
+	"andid":    "android id",
+	"dpi":      "screen resolution",
+	"osv":      "os version",
+	"mcc":      "carrier",
+	"mnc":      "carrier",
+	"apn":      "network type",
+	"rssi":     "network type",
+	"anonid":   "alias",
+	"pseudoid": "pseudonym",
+	"cltime":   "client time",
+	"tzoff":    "time offset",
+	"epochms":  "epoch",
+	"coord":    "coordinates",
+	"gndr":     "gender",
+	"mstat":    "marital status",
+	"srch":     "search query",
+	"qry":      "search query",
+	"hist":     "browsing history",
+	"utm":      "campaign",
+	"dsp":      "advertiser",
+	"ssp":      "advertiser",
+	"crid":     "creative",
+	"xp":       "score",
+	"lvl":      "level",
+	"dur":      "duration",
+	"vol":      "volume",
+	"perm":     "permission",
+	"optin":    "opt in",
+	"gdpr":     "consent",
+	"ccpa":     "consent",
+	"bundleid": "bundle",
+	"pkg":      "application",
+	"appver":   "app version",
+	"buildno":  "build",
+	"seg":      "audience segment",
+	"aff":      "affinity",
+	"empl":     "employment",
+	"edu":      "education",
+	"fin":      "financial information",
+	"medcond":  "medical condition",
+	"mic":      "microphone",
+	"cam":      "camera",
+	"accel":    "accelerometer",
+	"gyro":     "gyroscope",
+	"vzn":      "version",
+	"scrnres":  "screen resolution",
+	"webhist":  "browsing history",
+}
+
+func init() {
+	// World-knowledge synonyms resolve through the same expansion path as
+	// acronyms.
+	for k, v := range wireSynonyms {
+		if _, exists := acronyms[k]; !exists {
+			acronyms[k] = v
+		}
+	}
+}
+
+// fillers are neutral developer context words: recognizable inside glued
+// compounds, then discarded as signal-free.
+var fillers = map[string]bool{
+	"cur": true, "my": true, "raw": true, "tmp": true, "val": true,
+	"obj": true, "str": true, "usr": false, // usr expands via acronyms
+}
+
+// stopTokens carry no categorical signal and are dropped after expansion.
+var stopTokens = map[string]bool{
+	"my": true, "raw": true, "tmp": true, "val": true, "obj": true, "str": true,
+	"the": true, "a": true, "an": true, "of": true, "and": true, "or": true,
+	"is": true, "to": true, "in": true, "for": true, "with": true,
+	"x": true, "v": true, "n": true, "s": true, "t": true,
+	"show": true, "new": true, "old": true, "cur": true, "current": true,
+	"shown": true, "value": true, "values": true, "list": true,
+}
+
+// Tokenize splits a raw data type string into normalized tokens: camelCase
+// and PascalCase boundaries, digits, and punctuation all separate tokens;
+// tokens are lower-cased, acronym-expanded, singularized, and
+// stop-filtered.
+func Tokenize(raw string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, cur.String())
+			cur.Reset()
+		}
+	}
+	runes := []rune(raw)
+	for i, r := range runes {
+		switch {
+		case unicode.IsUpper(r):
+			// Split camelCase ("OptOut" → opt, out) but keep acronym runs
+			// ("URL" stays one token; "URLPath" splits before "Path").
+			if i > 0 && (unicode.IsLower(runes[i-1]) ||
+				(i+1 < len(runes) && unicode.IsLower(runes[i+1]) && unicode.IsUpper(runes[i-1]))) {
+				flush()
+			}
+			cur.WriteRune(unicode.ToLower(r))
+		case unicode.IsLower(r) || unicode.IsDigit(r):
+			if i > 0 && unicode.IsDigit(r) != unicode.IsDigit(runes[i-1]) &&
+				!unicode.IsUpper(runes[i-1]) && cur.Len() > 0 && unicode.IsDigit(r) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+
+	out := make([]string, 0, len(words))
+	var emit func(w string, canSegment bool)
+	emit = func(w string, canSegment bool) {
+		if isNumeric(w) {
+			return
+		}
+		if exp, ok := acronyms[w]; ok {
+			for _, e := range strings.Fields(exp) {
+				if !stopTokens[e] {
+					out = append(out, e)
+				}
+			}
+			return
+		}
+		if s := singular(w); vocab()[s] || !canSegment {
+			if stopTokens[s] || len(s) == 0 {
+				return
+			}
+			out = append(out, s)
+			return
+		}
+		// Unknown compound ("usrlang", "deviceid"): greedy dictionary
+		// segmentation — the contextual step that separates a language
+		// model from surface string matching.
+		if parts, ok := segment(w); ok {
+			for _, p := range parts {
+				emit(p, false)
+			}
+			return
+		}
+		if !stopTokens[w] {
+			out = append(out, singular(w))
+		}
+	}
+	for _, w := range words {
+		emit(w, true)
+	}
+	return out
+}
+
+// segment greedily splits a glued compound into known vocabulary words,
+// longest match first, requiring full coverage.
+func segment(w string) ([]string, bool) {
+	if len(w) < 4 {
+		return nil, false
+	}
+	v := vocab()
+	var parts []string
+	rest := w
+	for len(rest) > 0 {
+		matched := ""
+		for l := len(rest); l >= 2; l-- {
+			cand := rest[:l]
+			if v[cand] || acronyms[cand] != "" || v[singular(cand)] || fillers[cand] {
+				matched = cand
+				break
+			}
+		}
+		if matched == "" {
+			return nil, false
+		}
+		parts = append(parts, matched)
+		rest = rest[len(matched):]
+	}
+	return parts, len(parts) >= 2
+}
+
+// singular strips plural suffixes conservatively.
+func singular(w string) string {
+	switch {
+	case len(w) > 3 && strings.HasSuffix(w, "ies"):
+		return w[:len(w)-3] + "y"
+	case len(w) > 3 && strings.HasSuffix(w, "ses"):
+		return w[:len(w)-2]
+	case len(w) > 2 && strings.HasSuffix(w, "s") && !strings.HasSuffix(w, "ss") && !strings.HasSuffix(w, "us"):
+		return w[:len(w)-1]
+	default:
+		return w
+	}
+}
+
+func isNumeric(w string) bool {
+	for _, r := range w {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return len(w) > 0
+}

@@ -1,0 +1,70 @@
+package classifier
+
+import "fmt"
+
+// ValidationRow is one row of Table 3: a model (or ensemble) evaluated on
+// the labeled sample at several confidence thresholds.
+type ValidationRow struct {
+	// Name identifies the model ("0.25", "Majority-Avg", "tfidf", ...).
+	Name string
+	// Accuracy is the whole-sample accuracy (no threshold).
+	Accuracy float64
+	// ByThreshold maps a confidence threshold to (accuracy, labeled count)
+	// over only the predictions meeting the threshold.
+	ByThreshold map[float64]ThresholdResult
+}
+
+// ThresholdResult pairs accuracy with coverage at one confidence threshold.
+type ThresholdResult struct {
+	Accuracy float64
+	Labeled  int
+}
+
+// Thresholds are the confidence cutoffs of Table 3.
+func Thresholds() []float64 { return []float64{0.7, 0.8, 0.9} }
+
+// Validate evaluates a labeler against a labeled sample.
+func Validate(name string, l Labeler, sample []LabeledKey) ValidationRow {
+	row := ValidationRow{Name: name, ByThreshold: make(map[float64]ThresholdResult)}
+	preds := make([]Prediction, len(sample))
+	correct := 0
+	for i, lk := range sample {
+		preds[i] = l.Classify(lk.Key)
+		if preds[i].Category == lk.Truth {
+			correct++
+		}
+	}
+	if len(sample) > 0 {
+		row.Accuracy = float64(correct) / float64(len(sample))
+	}
+	for _, th := range Thresholds() {
+		var labeled, right int
+		for i, p := range preds {
+			if p.Confidence >= th && p.Category != nil {
+				labeled++
+				if p.Category == sample[i].Truth {
+					right++
+				}
+			}
+		}
+		res := ThresholdResult{Labeled: labeled}
+		if labeled > 0 {
+			res.Accuracy = float64(right) / float64(labeled)
+		}
+		row.ByThreshold[th] = res
+	}
+	return row
+}
+
+// Table3 reproduces the paper's classifier validation table: the five
+// single-temperature models plus the two majority-vote ensembles, all
+// evaluated on the same sample.
+func Table3(sample []LabeledKey) []ValidationRow {
+	var rows []ValidationRow
+	for _, t := range DefaultTemperatures() {
+		rows = append(rows, Validate(fmt.Sprintf("%g", t), NewModel(t), sample))
+	}
+	rows = append(rows, Validate("Majority-Max", NewEnsemble(MajorityMax), sample))
+	rows = append(rows, Validate("Majority-Avg", NewEnsemble(MajorityAvg), sample))
+	return rows
+}

@@ -1,0 +1,45 @@
+package classifier
+
+import (
+	"strings"
+	"sync"
+
+	"diffaudit/internal/ontology"
+)
+
+// vocab is the word inventory the contextual tokenizer can recognize inside
+// glued compounds: every word of every ontology example plus the
+// abbreviation table. Built once.
+var (
+	vocabOnce sync.Once
+	vocabSet  map[string]bool
+)
+
+func vocab() map[string]bool {
+	vocabOnce.Do(func() {
+		vocabSet = make(map[string]bool, 1024)
+		add := func(w string) {
+			w = strings.ToLower(strings.TrimSpace(w))
+			if len(w) >= 2 {
+				vocabSet[w] = true
+			}
+		}
+		for _, c := range ontology.Categories() {
+			for _, t := range strings.Fields(strings.ToLower(c.Name)) {
+				add(strings.Trim(t, "/()"))
+			}
+			for _, ex := range c.Examples {
+				for _, t := range strings.Fields(strings.ToLower(ex)) {
+					add(strings.Trim(t, "/()',"))
+				}
+			}
+		}
+		for short, exp := range acronyms {
+			add(short)
+			for _, t := range strings.Fields(exp) {
+				add(t)
+			}
+		}
+	})
+	return vocabSet
+}

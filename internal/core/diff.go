@@ -1,0 +1,156 @@
+package core
+
+import (
+	"sort"
+
+	"diffaudit/internal/flows"
+	"diffaudit/internal/ontology"
+)
+
+// FlowDiff is the result of a differential comparison between two flow
+// sets — the paper's core analysis step ("compare the data flows by age
+// group", "before and after consent is given").
+type FlowDiff struct {
+	// OnlyA and OnlyB hold flows present in exactly one set.
+	OnlyA, OnlyB []flows.Flow
+	// Both holds flows present in both sets.
+	Both []flows.Flow
+}
+
+// Jaccard returns the similarity of the two sets (1 = identical). The paper
+// concludes services barely differentiate age groups; the child/adult
+// Jaccard quantifies that.
+func (d FlowDiff) Jaccard() float64 {
+	union := len(d.OnlyA) + len(d.OnlyB) + len(d.Both)
+	if union == 0 {
+		return 1
+	}
+	return float64(len(d.Both)) / float64(union)
+}
+
+// Diff compares two flow sets by flow key.
+func Diff(a, b *flows.Set) FlowDiff {
+	var d FlowDiff
+	inB := map[string]bool{}
+	for _, f := range b.Flows() {
+		inB[f.Key()] = true
+	}
+	seenBoth := map[string]bool{}
+	for _, f := range a.Flows() {
+		if inB[f.Key()] {
+			d.Both = append(d.Both, f)
+			seenBoth[f.Key()] = true
+		} else {
+			d.OnlyA = append(d.OnlyA, f)
+		}
+	}
+	for _, f := range b.Flows() {
+		if !seenBoth[f.Key()] {
+			d.OnlyB = append(d.OnlyB, f)
+		}
+	}
+	return d
+}
+
+// AgeDifferential compares each minor trace against the adult trace at the
+// paper's Table 4 granularity (level-2 group × destination class presence),
+// returning the fraction of identical cells — the headline "no
+// differentiation" metric. Flow-level identity would under-count: services
+// contact different individual trackers per session while exhibiting the
+// same processing behavior.
+func AgeDifferential(r *ServiceResult) map[flows.TraceCategory]float64 {
+	out := map[flows.TraceCategory]float64{}
+	adultGrid := r.ByTrace[flows.Adult].GroupGrid()
+	for _, t := range []flows.TraceCategory{flows.Child, flows.Adolescent} {
+		grid := r.ByTrace[t].GroupGrid()
+		same, total := 0, 0
+		for _, g := range ontology.FlowGroups() {
+			for _, c := range flows.DestClasses() {
+				total++
+				if (adultGrid[g][c] != 0) == (grid[g][c] != 0) {
+					same++
+				}
+			}
+		}
+		out[t] = float64(same) / float64(total)
+	}
+	return out
+}
+
+// PlatformCell is a Table 4 grid cell observed on exactly one platform.
+type PlatformCell struct {
+	Trace flows.TraceCategory
+	Group ontology.Level2
+	Class flows.DestClass
+}
+
+// PlatformDifference summarizes the paper's "Platform Differences" finding
+// at Table 4 granularity: grid cells observed only on the mobile app or
+// only on the website.
+type PlatformDifference struct {
+	MobileOnly []PlatformCell
+	WebOnly    []PlatformCell
+}
+
+// MobileOnlyAllThirdParty reports whether every mobile-only cell targets a
+// third party — the paper's observation ("the observed data flows unique to
+// the mobile apps were all related to sharing data with third parties").
+func (p PlatformDifference) MobileOnlyAllThirdParty() bool {
+	for _, c := range p.MobileOnly {
+		if !c.Class.IsThirdParty() {
+			return false
+		}
+	}
+	return len(p.MobileOnly) > 0
+}
+
+// PlatformDiff extracts the platform-unique grid cells of a service result.
+func PlatformDiff(r *ServiceResult) PlatformDifference {
+	var out PlatformDifference
+	for _, t := range flows.TraceCategories() {
+		grid := r.ByTrace[t].GroupGrid()
+		for _, g := range ontology.Level2Groups() {
+			for _, c := range flows.DestClasses() {
+				switch grid[g][c] {
+				case flows.OnMobile:
+					out.MobileOnly = append(out.MobileOnly, PlatformCell{t, g, c})
+				case flows.OnWeb:
+					out.WebOnly = append(out.WebOnly, PlatformCell{t, g, c})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GroupDelta describes a grid-level difference between two traces for one
+// (group, class) cell.
+type GroupDelta struct {
+	Group ontology.Level2
+	Class flows.DestClass
+	// InA and InB report cell presence in each trace.
+	InA, InB bool
+}
+
+// GridDiff compares two traces at Table 4 granularity, returning only the
+// differing cells, sorted for stable output.
+func GridDiff(a, b *flows.Set) []GroupDelta {
+	ga, gb := a.GroupGrid(), b.GroupGrid()
+	var out []GroupDelta
+	for _, g := range ontology.Level2Groups() {
+		for _, c := range flows.DestClasses() {
+			ia := ga[g][c] != 0
+			ib := gb[g][c] != 0
+			if ia != ib {
+				out = append(out, GroupDelta{Group: g, Class: c, InA: ia, InB: ib})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Group != out[j].Group {
+			return out[i].Group < out[j].Group
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}

@@ -1,0 +1,112 @@
+package core_test
+
+import (
+	"testing"
+
+	"diffaudit/internal/core"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/ontology"
+)
+
+func mustCat(name string) *ontology.Category {
+	c, ok := ontology.Lookup(name)
+	if !ok {
+		panic("unknown category " + name)
+	}
+	return c
+}
+
+func mkFlow(cat, fqdn string, class flows.DestClass) flows.Flow {
+	return flows.Flow{
+		Category: mustCat(cat),
+		Dest:     flows.Destination{FQDN: fqdn, ESLD: fqdn, Class: class},
+	}
+}
+
+func TestDiffBasics(t *testing.T) {
+	a, b := flows.NewSet(), flows.NewSet()
+	shared := mkFlow("Aliases", "x.example", flows.ThirdParty)
+	onlyA := mkFlow("Age", "y.example", flows.FirstParty)
+	onlyB := mkFlow("Language", "z.example", flows.ThirdPartyATS)
+	a.Add(shared, flows.Web)
+	a.Add(onlyA, flows.Web)
+	b.Add(shared, flows.Mobile)
+	b.Add(onlyB, flows.Web)
+
+	d := core.Diff(a, b)
+	if len(d.Both) != 1 || len(d.OnlyA) != 1 || len(d.OnlyB) != 1 {
+		t.Fatalf("diff = %d/%d/%d", len(d.Both), len(d.OnlyA), len(d.OnlyB))
+	}
+	if got := d.Jaccard(); got != 1.0/3.0 {
+		t.Errorf("jaccard = %v", got)
+	}
+	// Identical sets.
+	if got := core.Diff(a, a).Jaccard(); got != 1 {
+		t.Errorf("self jaccard = %v", got)
+	}
+	// Empty sets.
+	if got := core.Diff(flows.NewSet(), flows.NewSet()).Jaccard(); got != 1 {
+		t.Errorf("empty jaccard = %v", got)
+	}
+}
+
+func TestAgeDifferentialOnDataset(t *testing.T) {
+	_, results := analyzeAll(t, 0.002)
+	for _, r := range results {
+		sims := core.AgeDifferential(r)
+		for tc, sim := range sims {
+			if sim < 0.75 {
+				t.Errorf("%s %v/adult grid similarity %.2f — the paper found near-identical treatment",
+					r.Identity.Name, tc, sim)
+			}
+		}
+	}
+}
+
+func TestPlatformDiffMatchesPaper(t *testing.T) {
+	// Paper: mobile-only flows exist for Roblox, TikTok, Minecraft and
+	// Duolingo (not Quizlet, not YouTube), and all of them involve sharing
+	// data with third parties.
+	_, results := analyzeAll(t, 0.002)
+	wantMobileOnly := map[string]bool{
+		"Duolingo": true, "Minecraft": true, "Roblox": true, "TikTok": true,
+		"Quizlet": false, "YouTube": false,
+	}
+	for _, r := range results {
+		pd := core.PlatformDiff(r)
+		has := len(pd.MobileOnly) > 0
+		if has != wantMobileOnly[r.Identity.Name] {
+			t.Errorf("%s: mobile-only flows present = %v, want %v",
+				r.Identity.Name, has, wantMobileOnly[r.Identity.Name])
+		}
+		if has && !pd.MobileOnlyAllThirdParty() {
+			// The paper's mobile-only observations were all third-party
+			// shares; Minecraft's logged-out PI collect is the exception
+			// encoded in Table 4, so allow first-party only for Minecraft.
+			if r.Identity.Name != "Minecraft" {
+				t.Errorf("%s: mobile-only flows include first-party destinations", r.Identity.Name)
+			}
+		}
+		if len(pd.WebOnly) == 0 {
+			t.Errorf("%s: web-only flows missing (paper saw many on every service)", r.Identity.Name)
+		}
+	}
+}
+
+func TestGridDiff(t *testing.T) {
+	a, b := flows.NewSet(), flows.NewSet()
+	a.Add(mkFlow("Aliases", "x.example", flows.ThirdPartyATS), flows.Web)
+	b.Add(mkFlow("Language", "y.example", flows.FirstParty), flows.Web)
+	deltas := core.GridDiff(a, b)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	for _, d := range deltas {
+		if d.InA == d.InB {
+			t.Error("delta with equal presence")
+		}
+	}
+	if got := core.GridDiff(a, a); len(got) != 0 {
+		t.Errorf("self grid diff = %+v", got)
+	}
+}

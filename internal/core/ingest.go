@@ -1,0 +1,202 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"diffaudit/internal/domains"
+	"diffaudit/internal/extract"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/har"
+	"diffaudit/internal/httpx"
+	"diffaudit/internal/netcap/dnsx"
+	"diffaudit/internal/netcap/layers"
+	"diffaudit/internal/netcap/pcapio"
+	"diffaudit/internal/netcap/reassembly"
+	"diffaudit/internal/netcap/tlsx"
+)
+
+// FromHAR converts a HAR document (a website trace exported from the
+// browser's network panel) into request records.
+func FromHAR(h *har.HAR, trace flows.TraceCategory, platform flows.Platform) []RequestRecord {
+	var out []RequestRecord
+	for i := range h.Log.Entries {
+		e := &h.Log.Entries[i]
+		req := &e.Request
+		rec := RequestRecord{
+			Trace:    trace,
+			Platform: platform,
+			Method:   req.Method,
+			URL:      req.URL,
+			FQDN:     req.Host(),
+			Repeat:   1,
+			ConnID:   e.Connection,
+		}
+		for _, hd := range req.Headers {
+			rec.Headers = append(rec.Headers, extract.KVPair{Name: hd.Name, Value: hd.Value})
+		}
+		for _, c := range req.Cookies {
+			rec.Cookies = append(rec.Cookies, extract.KVPair{Name: c.Name, Value: c.Value})
+		}
+		if req.PostData != nil {
+			rec.BodyMIME = req.PostData.MimeType
+			rec.Body = []byte(req.PostData.Text)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// PCAPStats reports what the PCAP ingestion saw, including traffic that
+// stayed encrypted — the paper includes undecrypted traffic in its counts.
+type PCAPStats struct {
+	Packets          int
+	TCPFlows         int
+	TLSStreams       int
+	DecryptedStreams int
+	OpaqueStreams    int
+	// TLS12Streams counts flows that negotiated TLS 1.2 (the remainder of
+	// TLSStreams negotiated 1.3); mixed captures exercise both decryption
+	// paths.
+	TLS12Streams int
+	// DNSQueries counts outgoing DNS questions; QueriedNames lists the
+	// distinct names looked up, corroborating packet destinations.
+	DNSQueries   int
+	QueriedNames []string
+	// OpaqueSNIs lists the server names of flows that stayed encrypted:
+	// the paper counts such destinations even without payload visibility.
+	OpaqueSNIs []string
+}
+
+// FromPCAP reassembles a mobile capture, decrypts TLS streams with the key
+// log (from pcapng Decryption Secrets Blocks and/or an external
+// SSLKEYLOGFILE), parses the HTTP requests, and emits request records.
+// Undecryptable or non-HTTP flows are counted but yield no records.
+func FromPCAP(capt *pcapio.Capture, extraKeylog *tlsx.KeyLog, trace flows.TraceCategory) ([]RequestRecord, PCAPStats, error) {
+	if capt == nil {
+		return nil, PCAPStats{}, errors.New("core: nil capture")
+	}
+	keylog := tlsx.NewKeyLog()
+	for _, s := range capt.Secrets {
+		kl, err := tlsx.ParseKeyLog(s)
+		if err != nil {
+			return nil, PCAPStats{}, fmt.Errorf("core: embedded keylog: %w", err)
+		}
+		keylog.Merge(kl)
+	}
+	keylog.Merge(extraKeylog)
+
+	asm := reassembly.New()
+	stats := PCAPStats{}
+	queried := map[string]bool{}
+	for _, pkt := range capt.Packets {
+		stats.Packets++
+		d, err := layers.Decode(capt.LinkType, pkt.Data)
+		if err != nil {
+			continue // non-IP or malformed: counted, not parsed
+		}
+		if d.UDP != nil && d.DstPort == 53 {
+			if msg, err := dnsx.Parse(d.Payload); err == nil && !msg.Response {
+				for _, q := range msg.Questions {
+					stats.DNSQueries++
+					queried[q.Name] = true
+				}
+			}
+			continue
+		}
+		asm.Add(d)
+	}
+	stats.TCPFlows = asm.FlowCount()
+	for name := range queried {
+		stats.QueriedNames = append(stats.QueriedNames, name)
+	}
+	sort.Strings(stats.QueriedNames)
+
+	dec := tlsx.NewStreamDecryptor(keylog)
+	var out []RequestRecord
+	for _, stream := range asm.Streams() {
+		// The client half is whichever direction targets port 443/80.
+		clientData, serverData := stream.ClientData, stream.ServerData
+		if stream.Key.PortLo == 443 || stream.Key.PortLo == 80 {
+			clientData, serverData = serverData, clientData
+		}
+		if len(clientData) == 0 {
+			continue
+		}
+		connID := fmt.Sprintf("%s:%d-%s:%d",
+			stream.Key.AddrLo, stream.Key.PortLo, stream.Key.AddrHi, stream.Key.PortHi)
+
+		var plaintext []byte
+		if res, err := dec.DecryptConversation(clientData, serverData); err == nil {
+			stats.TLSStreams++
+			if res.TLS12 {
+				stats.TLS12Streams++
+			}
+			if !res.Decrypted {
+				stats.OpaqueStreams++
+				if res.SNI != "" {
+					stats.OpaqueSNIs = append(stats.OpaqueSNIs, res.SNI)
+				}
+				continue
+			}
+			stats.DecryptedStreams++
+			plaintext = res.Plaintext
+		} else {
+			// Not TLS: try plain HTTP.
+			plaintext = clientData
+		}
+		reqs, err := httpx.ParseStream(plaintext)
+		if err != nil && !errors.Is(err, httpx.ErrIncomplete) {
+			continue
+		}
+		for _, r := range reqs {
+			rec := RequestRecord{
+				Trace:    trace,
+				Platform: flows.Mobile,
+				Method:   r.Method,
+				URL:      r.URL(),
+				FQDN:     r.Host(),
+				BodyMIME: r.Get("Content-Type"),
+				Body:     r.Body,
+				Repeat:   1,
+				ConnID:   connID,
+			}
+			for _, h := range r.Headers {
+				if strings.EqualFold(h.Name, "Cookie") {
+					continue
+				}
+				rec.Headers = append(rec.Headers, extract.KVPair{Name: h.Name, Value: h.Value})
+			}
+			for _, c := range r.Cookies() {
+				rec.Cookies = append(rec.Cookies, extract.KVPair{Name: c.Name, Value: c.Value})
+			}
+			out = append(out, rec)
+		}
+	}
+	return out, stats, nil
+}
+
+// GuessIdentity derives a service identity from a set of records by taking
+// the most-contacted eSLD as the first party, for auditing services without
+// a profile (the custom-service example).
+func GuessIdentity(name string, recs []RequestRecord) ServiceIdentity {
+	counts := map[string]int{}
+	for i := range recs {
+		if e := domains.ESLD(recs[i].FQDN); e != "" {
+			counts[e]++
+		}
+	}
+	best, bestN := "", 0
+	for e, n := range counts {
+		if n > bestN || (n == bestN && e < best) {
+			best, bestN = e, n
+		}
+	}
+	id := ServiceIdentity{Name: name}
+	if best != "" {
+		id.FirstPartyESLDs = []string{best}
+	}
+	return id
+}

@@ -1,0 +1,283 @@
+// Package core implements the DiffAudit pipeline — the paper's primary
+// contribution. Starting from raw outgoing requests (parsed out of HAR
+// files for web traces or reassembled/decrypted PCAP files for mobile
+// traces), it extracts raw data types, classifies them against the
+// COPPA/CCPA ontology with the production classifier, resolves packet
+// destinations (eSLD → owner → first/third party, ATS block lists), and
+// constructs the per-trace data flow sets that every downstream analysis
+// (differential audit, policy consistency, linkability) consumes.
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"diffaudit/internal/ats"
+	"diffaudit/internal/classifier"
+	"diffaudit/internal/extract"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/ontology"
+)
+
+// ServiceIdentity tells the pipeline whose traffic it is auditing: the
+// first/third-party split is relative to the audited service, exactly as
+// the paper matches destinations against "the name of the service" and its
+// parent organization.
+type ServiceIdentity struct {
+	Name            string
+	Owner           string
+	FirstPartyESLDs []string
+}
+
+// RequestRecord is one outgoing request, the pipeline's unit of input. Both
+// ingestion paths (HAR and PCAP) produce it.
+type RequestRecord struct {
+	Trace    flows.TraceCategory
+	Platform flows.Platform
+	Method   string
+	URL      string
+	FQDN     string
+	Headers  []extract.KVPair
+	Cookies  []extract.KVPair
+	BodyMIME string
+	Body     []byte
+	// Repeat is the number of identical transmissions this record stands
+	// for (1 for wire-parsed records).
+	Repeat int
+	// ConnID identifies the TCP connection ("" when unknown).
+	ConnID string
+}
+
+// ServiceResult is the pipeline output for one service.
+type ServiceResult struct {
+	Identity ServiceIdentity
+	// ByTrace holds the deduplicated flow set per trace category.
+	ByTrace map[flows.TraceCategory]*flows.Set
+	// Packets counts outgoing requests (Table 1).
+	Packets int
+	// TCPFlows counts distinct connections (Table 1).
+	TCPFlows int
+	// Domains and ESLDs are the distinct destinations (Table 1).
+	Domains map[string]bool
+	ESLDs   map[string]bool
+	// RawKeys are the distinct raw data types extracted.
+	RawKeys map[string]bool
+	// DroppedKeys counts extracted pairs rejected by the confidence
+	// threshold or hallucinated, mirroring the paper's exclusion of
+	// low-confidence guesses.
+	DroppedKeys int
+}
+
+// Merged returns the union of the age-specific flow sets (child,
+// adolescent, adult) — the "logged-in" view.
+func (r *ServiceResult) Merged(categories ...flows.TraceCategory) *flows.Set {
+	if len(categories) == 0 {
+		categories = flows.TraceCategories()
+	}
+	out := flows.NewSet()
+	for _, t := range categories {
+		out.Merge(r.ByTrace[t])
+	}
+	return out
+}
+
+// Pipeline holds the analysis configuration.
+type Pipeline struct {
+	// Labeler is the data type classifier; defaults to the paper's
+	// majority-avg ensemble at confidence 0.8.
+	Labeler *classifier.ThresholdLabeler
+	// ATS is the block-list engine; defaults to the embedded lists.
+	ATS *ats.Engine
+	// Extract tunes key harvesting.
+	Extract extract.Options
+
+	mu    sync.Mutex
+	cache map[string]cachedLabel
+}
+
+type cachedLabel struct {
+	cat *ontology.Category
+	ok  bool
+}
+
+// NewPipeline returns a pipeline with the paper's production configuration.
+func NewPipeline() *Pipeline {
+	return &Pipeline{
+		Labeler: classifier.FinalLabeler(),
+		ATS:     ats.Default(),
+		Extract: extract.DefaultOptions(),
+		cache:   make(map[string]cachedLabel),
+	}
+}
+
+// label classifies one raw key with caching (the dataset repeats keys
+// heavily, as real traffic does).
+func (p *Pipeline) label(key string) (*ontology.Category, bool) {
+	p.mu.Lock()
+	if c, hit := p.cache[key]; hit {
+		p.mu.Unlock()
+		return c.cat, c.ok
+	}
+	p.mu.Unlock()
+	cat, _, ok := p.Labeler.Label(key)
+	p.mu.Lock()
+	if p.cache == nil {
+		p.cache = make(map[string]cachedLabel)
+	}
+	p.cache[key] = cachedLabel{cat, ok}
+	p.mu.Unlock()
+	return cat, ok
+}
+
+// AnalyzeRecords runs the full pipeline over a service's request records.
+func (p *Pipeline) AnalyzeRecords(id ServiceIdentity, recs []RequestRecord) *ServiceResult {
+	res := &ServiceResult{
+		Identity: id,
+		ByTrace:  make(map[flows.TraceCategory]*flows.Set),
+		Domains:  make(map[string]bool),
+		ESLDs:    make(map[string]bool),
+		RawKeys:  make(map[string]bool),
+	}
+	for _, t := range flows.TraceCategories() {
+		res.ByTrace[t] = flows.NewSet()
+	}
+	conns := make(map[string]bool)
+	for i := range recs {
+		rec := &recs[i]
+		repeat := rec.Repeat
+		if repeat <= 0 {
+			repeat = 1
+		}
+		res.Packets += repeat
+		if rec.ConnID != "" {
+			conns[rec.ConnID] = true
+		}
+		dest := flows.ResolveDestination(id.Owner, id.FirstPartyESLDs, rec.FQDN, p.ATS)
+		if dest.FQDN == "" {
+			continue
+		}
+		res.Domains[dest.FQDN] = true
+		if dest.ESLD != "" {
+			res.ESLDs[dest.ESLD] = true
+		}
+
+		view := extract.RequestView{
+			Method:   rec.Method,
+			URL:      rec.URL,
+			Headers:  rec.Headers,
+			Cookies:  rec.Cookies,
+			BodyMIME: rec.BodyMIME,
+			Body:     rec.Body,
+		}
+		for _, pair := range extract.Extract(view, p.Extract) {
+			// Per the paper, data types come from payload data: query
+			// strings, cookies and bodies. Transport headers only carry
+			// the destination.
+			if pair.Source == extract.SourceHeader {
+				continue
+			}
+			res.RawKeys[pair.Key] = true
+			cat, ok := p.label(pair.Key)
+			if !ok {
+				res.DroppedKeys++
+				continue
+			}
+			res.ByTrace[rec.Trace].Add(flows.Flow{Category: cat, Dest: dest}, rec.Platform)
+		}
+	}
+	res.TCPFlows = len(conns)
+	return res
+}
+
+// Table1Totals aggregates results into the unique-total row of Table 1.
+type Table1Totals struct {
+	Domains, ESLDs, Packets, TCPFlows int
+	UniqueRawKeys                     int
+	UniqueFlows                       int
+}
+
+// Totals computes dataset-wide unique counts across service results
+// (domains and eSLDs are deduplicated across services, as in Table 1).
+func Totals(results []*ServiceResult) Table1Totals {
+	domains := map[string]bool{}
+	eslds := map[string]bool{}
+	keys := map[string]bool{}
+	fl := map[string]bool{}
+	var t Table1Totals
+	for _, r := range results {
+		for d := range r.Domains {
+			domains[d] = true
+		}
+		for e := range r.ESLDs {
+			eslds[e] = true
+		}
+		for k := range r.RawKeys {
+			keys[k] = true
+		}
+		t.Packets += r.Packets
+		t.TCPFlows += r.TCPFlows
+		for _, set := range r.ByTrace {
+			for _, f := range set.Flows() {
+				fl[f.Key()] = true
+			}
+		}
+	}
+	t.Domains = len(domains)
+	t.ESLDs = len(eslds)
+	t.UniqueRawKeys = len(keys)
+	t.UniqueFlows = len(fl)
+	return t
+}
+
+// Grid renders a service result at Table 4 granularity: for each level-2
+// flow group and destination class, the platform mask per trace category.
+func Grid(r *ServiceResult) map[ontology.Level2]map[flows.DestClass][4]flows.PlatformMask {
+	out := make(map[ontology.Level2]map[flows.DestClass][4]flows.PlatformMask)
+	for _, g := range ontology.Level2Groups() {
+		out[g] = make(map[flows.DestClass][4]flows.PlatformMask)
+	}
+	for _, t := range flows.TraceCategories() {
+		gg := r.ByTrace[t].GroupGrid()
+		for g, classes := range gg {
+			for c, mask := range classes {
+				arr := out[g][c]
+				arr[t] |= mask
+				out[g][c] = arr
+			}
+		}
+	}
+	return out
+}
+
+// DestinationRoles counts distinct destinations per class across results,
+// mirroring the paper's "320 first parties, 33 first party ATS, 150 third
+// parties, 485 third party ATS" breakdown. A domain contacted by several
+// services may hold a different role for each.
+func DestinationRoles(results []*ServiceResult) map[flows.DestClass]int {
+	seen := map[flows.DestClass]map[string]bool{}
+	for _, c := range flows.DestClasses() {
+		seen[c] = map[string]bool{}
+	}
+	for _, r := range results {
+		for _, t := range flows.TraceCategories() {
+			for _, d := range r.ByTrace[t].Destinations() {
+				seen[d.Class][d.FQDN] = true
+			}
+		}
+	}
+	out := map[flows.DestClass]int{}
+	for c, m := range seen {
+		out[c] = len(m)
+	}
+	return out
+}
+
+// SortedKeys returns the unique raw data types of a result, sorted.
+func (r *ServiceResult) SortedKeys() []string {
+	out := make([]string, 0, len(r.RawKeys))
+	for k := range r.RawKeys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,154 @@
+package core_test
+
+import (
+	"testing"
+
+	"diffaudit/internal/core"
+	"diffaudit/internal/extract"
+	"diffaudit/internal/flows"
+)
+
+func testID() core.ServiceIdentity {
+	return core.ServiceIdentity{
+		Name:            "TestSvc",
+		FirstPartyESLDs: []string{"svc.example"},
+	}
+}
+
+func TestAnalyzeRecordsEmpty(t *testing.T) {
+	res := core.NewPipeline().AnalyzeRecords(testID(), nil)
+	if res.Packets != 0 || res.TCPFlows != 0 || len(res.Domains) != 0 {
+		t.Errorf("empty analysis: %+v", res)
+	}
+	for _, tc := range flows.TraceCategories() {
+		if res.ByTrace[tc] == nil || res.ByTrace[tc].Len() != 0 {
+			t.Errorf("trace %v not initialized empty", tc)
+		}
+	}
+}
+
+func TestAnalyzeRecordsBasics(t *testing.T) {
+	recs := []core.RequestRecord{
+		{
+			Trace: flows.Child, Platform: flows.Web, Method: "POST",
+			URL: "https://api.svc.example/v1?language=en", FQDN: "api.svc.example",
+			BodyMIME: "application/json", Body: []byte(`{"user_id":"u1"}`),
+			Repeat: 3, ConnID: "c1",
+		},
+		{
+			Trace: flows.Child, Platform: flows.Mobile, Method: "POST",
+			URL: "https://api.svc.example/v1", FQDN: "api.svc.example",
+			Cookies: []extract.KVPair{{Name: "advertising_id", Value: "aa-bb"}},
+			Repeat:  2, ConnID: "c2",
+		},
+		// Same connection reused: one TCP flow.
+		{
+			Trace: flows.Child, Platform: flows.Web, Method: "GET",
+			URL: "https://api.svc.example/v2", FQDN: "api.svc.example",
+			Repeat: 1, ConnID: "c1",
+		},
+	}
+	res := core.NewPipeline().AnalyzeRecords(testID(), recs)
+	if res.Packets != 6 {
+		t.Errorf("packets = %d, want 6 (repeat-weighted)", res.Packets)
+	}
+	if res.TCPFlows != 2 {
+		t.Errorf("tcp flows = %d, want 2 (c1 reused)", res.TCPFlows)
+	}
+	if len(res.Domains) != 1 || !res.Domains["api.svc.example"] {
+		t.Errorf("domains = %v", res.Domains)
+	}
+	if !res.ESLDs["svc.example"] {
+		t.Errorf("eslds = %v", res.ESLDs)
+	}
+	set := res.ByTrace[flows.Child]
+	var haveLang, haveAlias, haveAdID bool
+	for _, f := range set.Flows() {
+		switch f.Category.Name {
+		case "Language":
+			haveLang = true
+			if !set.Platforms(f).Has(flows.Web) {
+				t.Error("query-sourced flow should be web")
+			}
+		case "Aliases":
+			haveAlias = true
+		case "Device Software Identifiers":
+			haveAdID = true
+			if !set.Platforms(f).Has(flows.Mobile) {
+				t.Error("cookie-sourced flow should be mobile")
+			}
+		}
+	}
+	if !haveLang || !haveAlias || !haveAdID {
+		t.Errorf("flows missing: lang=%v alias=%v adid=%v (%d flows)",
+			haveLang, haveAlias, haveAdID, set.Len())
+	}
+}
+
+func TestAnalyzeRecordsHeaderKeysExcluded(t *testing.T) {
+	// Headers carry destinations, not payload data types (paper §3.2.1):
+	// a User-Agent header must not create a Device Information flow.
+	recs := []core.RequestRecord{{
+		Trace: flows.Adult, Platform: flows.Web, Method: "GET",
+		URL: "https://api.svc.example/", FQDN: "api.svc.example",
+		Headers: []extract.KVPair{{Name: "User-Agent", Value: "Mozilla/5.0"}},
+	}}
+	res := core.NewPipeline().AnalyzeRecords(testID(), recs)
+	if res.ByTrace[flows.Adult].Len() != 0 {
+		t.Errorf("header-sourced flows created: %d", res.ByTrace[flows.Adult].Len())
+	}
+	if len(res.RawKeys) != 0 {
+		t.Errorf("header keys counted as raw data types: %v", res.RawKeys)
+	}
+}
+
+func TestAnalyzeRecordsEmptyFQDNSkipped(t *testing.T) {
+	recs := []core.RequestRecord{{
+		Trace: flows.Adult, Platform: flows.Web, Method: "GET",
+		URL: "", FQDN: "", Repeat: 5,
+	}}
+	res := core.NewPipeline().AnalyzeRecords(testID(), recs)
+	if res.Packets != 5 {
+		t.Errorf("packets = %d (still counted)", res.Packets)
+	}
+	if len(res.Domains) != 0 {
+		t.Errorf("empty FQDN entered domains: %v", res.Domains)
+	}
+}
+
+func TestMergedView(t *testing.T) {
+	recs := []core.RequestRecord{
+		{Trace: flows.Child, Platform: flows.Web, URL: "https://a.svc.example/?age=12", FQDN: "a.svc.example"},
+		{Trace: flows.Adult, Platform: flows.Web, URL: "https://a.svc.example/?gender=f", FQDN: "a.svc.example"},
+	}
+	res := core.NewPipeline().AnalyzeRecords(testID(), recs)
+	all := res.Merged()
+	if all.Len() != 2 {
+		t.Errorf("merged flows = %d", all.Len())
+	}
+	justChild := res.Merged(flows.Child)
+	if justChild.Len() != 1 {
+		t.Errorf("child-only merged = %d", justChild.Len())
+	}
+}
+
+func TestTotalsAcrossServices(t *testing.T) {
+	pipe := core.NewPipeline()
+	a := pipe.AnalyzeRecords(testID(), []core.RequestRecord{
+		{Trace: flows.Adult, Platform: flows.Web, URL: "https://shared.example/?age=1", FQDN: "shared.example", Repeat: 2, ConnID: "x"},
+	})
+	b := pipe.AnalyzeRecords(core.ServiceIdentity{Name: "Other", FirstPartyESLDs: []string{"other.example"}},
+		[]core.RequestRecord{
+			{Trace: flows.Adult, Platform: flows.Web, URL: "https://shared.example/?age=1", FQDN: "shared.example", Repeat: 3, ConnID: "y"},
+		})
+	tot := core.Totals([]*core.ServiceResult{a, b})
+	if tot.Domains != 1 {
+		t.Errorf("shared domain double-counted: %d", tot.Domains)
+	}
+	if tot.Packets != 5 || tot.TCPFlows != 2 {
+		t.Errorf("totals = %+v", tot)
+	}
+	if tot.UniqueRawKeys != 1 {
+		t.Errorf("raw keys = %d", tot.UniqueRawKeys)
+	}
+}

@@ -1,0 +1,219 @@
+// Package domains extracts effective second-level domains (eSLDs) from fully
+// qualified domain names, mirroring the role the tldextract library plays in
+// the DiffAudit paper. Matching follows the public suffix list algorithm:
+// the longest matching suffix rule wins, wildcard rules ("*.ck") match one
+// extra label, and exception rules ("!www.ck") override wildcards.
+//
+// The embedded rule set is a subset of the public suffix list sufficient for
+// the domains observed in the paper's dataset plus the common generic and
+// country-code suffixes; callers can extend it with AddRule.
+package domains
+
+import (
+	"strings"
+	"sync"
+)
+
+// Result is the decomposition of a fully qualified domain name.
+type Result struct {
+	// Subdomain is everything left of the registered domain ("metrics" in
+	// metrics.roblox.com). Empty when the FQDN is the registered domain.
+	Subdomain string
+	// Domain is the registrable label ("roblox").
+	Domain string
+	// Suffix is the public suffix ("com", "co.uk").
+	Suffix string
+}
+
+// ESLD returns the effective second-level domain ("roblox.com"), or the
+// empty string when the input had no registrable domain.
+func (r Result) ESLD() string {
+	if r.Domain == "" {
+		return ""
+	}
+	if r.Suffix == "" {
+		return r.Domain
+	}
+	return r.Domain + "." + r.Suffix
+}
+
+// FQDN reconstructs the input name.
+func (r Result) FQDN() string {
+	parts := make([]string, 0, 3)
+	if r.Subdomain != "" {
+		parts = append(parts, r.Subdomain)
+	}
+	if r.Domain != "" {
+		parts = append(parts, r.Domain)
+	}
+	if r.Suffix != "" {
+		parts = append(parts, r.Suffix)
+	}
+	return strings.Join(parts, ".")
+}
+
+// ruleSet holds public suffix rules keyed by the normalized rule text
+// without wildcard/exception markers.
+type ruleSet struct {
+	mu    sync.RWMutex
+	exact map[string]bool // "com", "co.uk"
+	wild  map[string]bool // "ck" for "*.ck"
+	exc   map[string]bool // "www.ck" for "!www.ck"
+}
+
+var rules = newRuleSet()
+
+func newRuleSet() *ruleSet {
+	rs := &ruleSet{
+		exact: make(map[string]bool, len(defaultSuffixes)),
+		wild:  make(map[string]bool),
+		exc:   make(map[string]bool),
+	}
+	for _, r := range defaultSuffixes {
+		rs.add(r)
+	}
+	return rs
+}
+
+func (rs *ruleSet) add(rule string) {
+	rule = strings.ToLower(strings.TrimSpace(rule))
+	if rule == "" || strings.HasPrefix(rule, "//") {
+		return
+	}
+	switch {
+	case strings.HasPrefix(rule, "!"):
+		rs.exc[rule[1:]] = true
+	case strings.HasPrefix(rule, "*."):
+		rs.wild[rule[2:]] = true
+	default:
+		rs.exact[rule] = true
+	}
+}
+
+// AddRule registers an extra public suffix rule at runtime, using public
+// suffix list syntax ("dev", "*.compute.amazonaws.com", "!special.ck").
+func AddRule(rule string) {
+	rules.mu.Lock()
+	defer rules.mu.Unlock()
+	rules.add(rule)
+}
+
+// publicSuffixLen returns the number of trailing labels that form the public
+// suffix of labels, per the PSL algorithm. A name with no matching rule uses
+// the implicit "*" rule (suffix = last label).
+func publicSuffixLen(labels []string) int {
+	rules.mu.RLock()
+	defer rules.mu.RUnlock()
+	best := 1 // implicit "*" rule
+	for i := 0; i < len(labels); i++ {
+		cand := strings.Join(labels[i:], ".")
+		n := len(labels) - i
+		if rules.exc[cand] {
+			// Exception rule: the suffix is the rule minus its left label.
+			return n - 1
+		}
+		if rules.exact[cand] && n > best {
+			best = n
+		}
+		if i > 0 && rules.wild[cand] && n+1 > best {
+			best = n + 1
+		}
+	}
+	if best > len(labels) {
+		best = len(labels)
+	}
+	return best
+}
+
+// Extract decomposes an FQDN (or URL host) into subdomain, domain and public
+// suffix. Inputs are lower-cased; trailing dots, ports and brackets are
+// stripped. IP addresses and single-label hosts yield Domain-only results.
+func Extract(fqdn string) Result {
+	host := normalizeHost(fqdn)
+	if host == "" {
+		return Result{}
+	}
+	if isIP(host) {
+		return Result{Domain: host}
+	}
+	labels := strings.Split(host, ".")
+	if len(labels) == 1 {
+		rules.mu.RLock()
+		isSuffix := rules.exact[host]
+		rules.mu.RUnlock()
+		if isSuffix {
+			return Result{Suffix: host}
+		}
+		return Result{Domain: labels[0]}
+	}
+	sl := publicSuffixLen(labels)
+	if sl >= len(labels) {
+		// Entire name is a public suffix: no registrable domain.
+		return Result{Suffix: host}
+	}
+	suffix := strings.Join(labels[len(labels)-sl:], ".")
+	domain := labels[len(labels)-sl-1]
+	sub := strings.Join(labels[:len(labels)-sl-1], ".")
+	return Result{Subdomain: sub, Domain: domain, Suffix: suffix}
+}
+
+// ESLD is shorthand for Extract(fqdn).ESLD().
+func ESLD(fqdn string) string { return Extract(fqdn).ESLD() }
+
+// normalizeHost lowers the name and removes scheme/port/path remnants so
+// both bare FQDNs and URL hosts are accepted.
+func normalizeHost(s string) string {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	for _, cut := range []byte{'/', '?', '#'} {
+		if i := strings.IndexByte(s, cut); i >= 0 {
+			s = s[:i]
+		}
+	}
+	if strings.HasPrefix(s, "[") { // bracketed IPv6, possibly with port
+		if i := strings.IndexByte(s, ']'); i >= 0 {
+			return s[1:i]
+		}
+		return strings.TrimPrefix(s, "[")
+	}
+	// Strip a port only when the remainder is not a bare IPv6 address.
+	if i := strings.LastIndexByte(s, ':'); i >= 0 && strings.Count(s, ":") == 1 {
+		s = s[:i]
+	}
+	return strings.Trim(s, ".")
+}
+
+// isIP reports whether host looks like an IPv4 or IPv6 literal.
+func isIP(host string) bool {
+	if strings.Contains(host, ":") {
+		return true // IPv6 (colons never appear in hostnames post-normalization)
+	}
+	dots := 0
+	for _, r := range host {
+		switch {
+		case r == '.':
+			dots++
+		case r < '0' || r > '9':
+			return false
+		}
+	}
+	return dots == 3
+}
+
+// LoadPSL merges public suffix rules in the official file format (one rule
+// per line, "//" comments) into the live rule set, for callers that want
+// the complete list instead of the embedded subset.
+func LoadPSL(data []byte) int {
+	n := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		AddRule(line)
+		n++
+	}
+	return n
+}

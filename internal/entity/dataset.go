@@ -1,0 +1,121 @@
+package entity
+
+// defaultOrgs is the embedded ownership dataset. It covers the six audited
+// services' own corporate families and every third-party organization named
+// in the paper (the 32 organizations of Figure 5 plus the destination
+// examples of Section 4.2). It mirrors the role of the DuckDuckGo Tracker
+// Radar entity map.
+var defaultOrgs = []Org{
+	// ---- First-party families of the audited services ---------------------
+	{
+		Name: "Duolingo, Inc.",
+		Domains: []string{
+			"duolingo.com", "duolingo.cn",
+		},
+	},
+	{
+		Name: "Microsoft Corporation",
+		Domains: []string{
+			"microsoft.com", "minecraft.net", "mojang.com", "xboxlive.com",
+			"live.com", "msecnd.net", "bing.com", "msn.com", "azure.com",
+			"clarity.ms", "azureedge.net", "msauth.net", "s-microsoft.com",
+			"office.com", "skype.com", "windows.net",
+		},
+	},
+	{
+		Name:    "Quizlet, Inc.",
+		Domains: []string{"quizlet.com", "qzlt.io"},
+	},
+	{
+		Name: "Roblox Corporation",
+		Domains: []string{
+			"roblox.com", "rbxcdn.com", "rbx.com", "robloxlabs.com",
+		},
+	},
+	{
+		Name: "TikTok Pte. Ltd.",
+		Domains: []string{
+			"tiktok.com", "tiktokcdn.com", "tiktokv.com", "musical.ly",
+			"byteoversea.com", "ibytedtos.com", "ibyteimg.com",
+			"tiktokcdn-us.com",
+		},
+	},
+	{
+		Name: "Google LLC",
+		Domains: []string{
+			"google.com", "youtube.com", "youtubekids.com", "googlevideo.com",
+			"gstatic.com", "googleapis.com", "ggpht.com", "ytimg.com",
+			"google-analytics.com", "doubleclick.net", "googlesyndication.com",
+			"googleadservices.com", "googletagmanager.com", "admob.com",
+			"googleusercontent.com", "youtube-nocookie.com", "firebaseio.com",
+			"crashlytics.com", "app-measurement.com", "googletagservices.com",
+			"withgoogle.com", "android.com",
+		},
+	},
+
+	// ---- Figure 5 third-party organizations -------------------------------
+	{Name: "Lemon Inc", Domains: []string{"lemon8-app.com", "lemoninc.com"}, Tracker: true},
+	{Name: "OneSoon Ltd", Domains: []string{"onesoon.com", "aliyuncs.com"}, Tracker: true},
+	{Name: "MediaMath, Inc.", Domains: []string{"mathtag.com", "mediamath.com"}, Tracker: true},
+	{Name: "Apptimize, Inc.", Domains: []string{"apptimize.com"}, Tracker: true},
+	{Name: "Adform A/S", Domains: []string{"adform.net", "adformdsp.net"}, Tracker: true},
+	{Name: "Adjust GmbH", Domains: []string{"adjust.com", "adjust.io"}, Tracker: true},
+	{Name: "Exponential Interactive", Domains: []string{"exponential.com", "tribalfusion.com"}, Tracker: true},
+	{Name: "Braze, Inc.", Domains: []string{"braze.com", "appboy.com", "braze.eu"}, Tracker: true},
+	{Name: "Tapad, Inc.", Domains: []string{"tapad.com"}, Tracker: true},
+	{Name: "ProfitWell", Domains: []string{"profitwell.com"}, Tracker: true},
+	{Name: "Integral Ad Science", Domains: []string{"adsafeprotected.com", "iasds01.com"}, Tracker: true},
+	{Name: "ClickTale", Domains: []string{"clicktale.net"}, Tracker: true},
+	{Name: "OpenX Technologies", Domains: []string{"openx.net", "openx.com"}, Tracker: true},
+	{Name: "Snap Inc.", Domains: []string{"snapchat.com", "sc-cdn.net", "sc-static.net"}, Tracker: true},
+	{Name: "Index Exchange", Domains: []string{"casalemedia.com", "indexww.com"}, Tracker: true},
+	{Name: "Crownpeak Technology", Domains: []string{"evidon.com", "betrad.com", "crownpeak.com"}, Tracker: true},
+	{Name: "OneTrust", Domains: []string{"onetrust.com", "cookielaw.org", "cookiepro.com"}, Tracker: true},
+	{Name: "NSONE Inc", Domains: []string{"nsone.net", "ns1.com"}},
+	{Name: "Functional Software", Domains: []string{"sentry.io", "sentry-cdn.com"}, Tracker: true},
+	{Name: "TripleLift", Domains: []string{"3lift.com", "triplelift.com"}, Tracker: true},
+	{Name: "Ad Lightning, Inc.", Domains: []string{"adlightning.com"}, Tracker: true},
+	{Name: "AppsFlyer", Domains: []string{"appsflyer.com", "appsflyersdk.com"}, Tracker: true},
+	{Name: "Akamai Technologies", Domains: []string{"akamai.net", "akamaized.net", "akamaihd.net", "akamai.com", "edgekey.net", "abmr.net"}},
+	{Name: "Media.net Advertising", Domains: []string{"media.net"}, Tracker: true},
+	{Name: "Magnite, Inc.", Domains: []string{"rubiconproject.com", "magnite.com"}, Tracker: true},
+	{Name: "Sharethrough, Inc.", Domains: []string{"sharethrough.com", "btlr.com"}, Tracker: true},
+	{Name: "Snowplow Analytics", Domains: []string{"snowplowanalytics.com", "snplow.net"}, Tracker: true},
+	{Name: "Adobe Inc.", Domains: []string{"adobe.com", "omtrdc.net", "demdex.net", "adobedtm.com", "everesttech.net", "typekit.net", "2o7.net"}, Tracker: true},
+	{Name: "Amazon Technologies", Domains: []string{"amazon.com", "amazonaws.com", "amazon-adsystem.com", "cloudfront.net", "media-amazon.com", "a2z.com"}},
+	{Name: "PubMatic, Inc.", Domains: []string{"pubmatic.com"}, Tracker: true},
+
+	// ---- Other destinations named in the paper ----------------------------
+	{Name: "Vimeo, Inc.", Domains: []string{"vimeo.com", "vimeocdn.com"}},
+	{Name: "Meta Platforms, Inc.", Domains: []string{"facebook.com", "fbcdn.net", "instagram.com", "facebook.net"}, Tracker: true},
+	{Name: "Cloudflare, Inc.", Domains: []string{"cloudflare.com", "cdnjs.com"}},
+	{Name: "Fastly, Inc.", Domains: []string{"fastly.net", "fastlylb.net"}},
+	{Name: "Twilio Inc.", Domains: []string{"twilio.com", "segment.com", "segment.io"}, Tracker: true},
+	{Name: "Branch Metrics", Domains: []string{"branch.io", "app.link"}, Tracker: true},
+	{Name: "The Trade Desk", Domains: []string{"adsrvr.org"}, Tracker: true},
+	{Name: "Criteo SA", Domains: []string{"criteo.com", "criteo.net"}, Tracker: true},
+	{Name: "comScore, Inc.", Domains: []string{"scorecardresearch.com", "comscore.com"}, Tracker: true},
+	{Name: "Nielsen", Domains: []string{"imrworldwide.com", "nielsen.com"}, Tracker: true},
+	{Name: "Unity Technologies", Domains: []string{"unity3d.com", "unityads.unity3d.com"}, Tracker: true},
+	{Name: "New Relic", Domains: []string{"newrelic.com", "nr-data.net"}, Tracker: true},
+	{Name: "Datadog", Domains: []string{"datadoghq.com", "datadoghq-browser-agent.com"}},
+	{Name: "Mixpanel", Domains: []string{"mixpanel.com", "mxpnl.com"}, Tracker: true},
+	{Name: "Amplitude", Domains: []string{"amplitude.com"}, Tracker: true},
+	{Name: "Hotjar Ltd", Domains: []string{"hotjar.com", "hotjar.io"}, Tracker: true},
+	{Name: "Pendo.io", Domains: []string{"pendo.io"}, Tracker: true},
+	{Name: "LiveRamp", Domains: []string{"rlcdn.com", "liveramp.com"}, Tracker: true},
+	{Name: "ID5 Technology", Domains: []string{"id5-sync.com"}, Tracker: true},
+	{Name: "Lotame Solutions", Domains: []string{"crwdcntrl.net", "lotame.com"}, Tracker: true},
+	{Name: "Neustar, Inc.", Domains: []string{"agkn.com"}, Tracker: true},
+	{Name: "Smart AdServer", Domains: []string{"smartadserver.com"}, Tracker: true},
+	{Name: "Sovrn Holdings", Domains: []string{"lijit.com", "sovrn.com"}, Tracker: true},
+	{Name: "33Across", Domains: []string{"33across.com"}, Tracker: true},
+	{Name: "GumGum", Domains: []string{"gumgum.com"}, Tracker: true},
+	{Name: "Yahoo Inc.", Domains: []string{"yahoo.com", "adtechus.com", "advertising.com"}, Tracker: true},
+	{Name: "jsDelivr", Domains: []string{"jsdelivr.net"}},
+	{Name: "Sift Science", Domains: []string{"sift.com", "siftscience.com"}},
+	{Name: "PayPal, Inc.", Domains: []string{"paypal.com", "paypalobjects.com"}},
+	{Name: "Stripe, Inc.", Domains: []string{"stripe.com", "stripe.network"}},
+	{Name: "Zendesk", Domains: []string{"zendesk.com", "zdassets.com"}},
+	{Name: "Intercom", Domains: []string{"intercom.io", "intercomcdn.com"}},
+}

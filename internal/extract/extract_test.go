@@ -1,0 +1,287 @@
+package extract
+
+import (
+	"bytes"
+	"encoding/json"
+	"mime/multipart"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func keysBySource(kvs []KV, src Source) map[string]bool {
+	out := map[string]bool{}
+	for _, kv := range kvs {
+		if kv.Source == src {
+			out[kv.Key] = true
+		}
+	}
+	return out
+}
+
+func TestExtractQuery(t *testing.T) {
+	req := RequestView{
+		URL: "https://ads.pubmatic.com/AdServer?adid=XYZ&gdpr_consent=1&lat=34.1&empty=&os=android#frag",
+	}
+	kvs := Extract(req, DefaultOptions())
+	got := keysBySource(kvs, SourceQuery)
+	for _, want := range []string{"adid", "gdpr_consent", "lat", "empty", "os"} {
+		if !got[want] {
+			t.Errorf("query key %q missing (got %v)", want, got)
+		}
+	}
+	if got["frag"] {
+		t.Error("fragment leaked into query keys")
+	}
+}
+
+func TestExtractQueryEscapes(t *testing.T) {
+	req := RequestView{URL: "https://x.com/p?user%5Fid=1&bad%zz=2"}
+	kvs := Extract(req, DefaultOptions())
+	got := keysBySource(kvs, SourceQuery)
+	if !got["user_id"] {
+		t.Errorf("escaped key not decoded: %v", got)
+	}
+	if !got["bad%zz"] {
+		t.Errorf("undecodable key not kept raw: %v", got)
+	}
+}
+
+func TestExtractHeadersAndCookies(t *testing.T) {
+	req := RequestView{
+		URL: "https://www.roblox.com/games",
+		Headers: []KVPair{
+			{"User-Agent", "Mozilla/5.0"},
+			{"Referer", "https://www.roblox.com/"},
+			{"Content-Length", "42"},
+			{"Cookie", "ignored-here"},
+			{":authority", "www.roblox.com"},
+		},
+		Cookies: []KVPair{
+			{"RBXSessionTracker", "sid123"},
+			{"GuestData", "UserID=-1"},
+		},
+	}
+	kvs := Extract(req, DefaultOptions())
+	h := keysBySource(kvs, SourceHeader)
+	if !h["User-Agent"] || !h["Referer"] {
+		t.Errorf("headers missing: %v", h)
+	}
+	if h["Content-Length"] {
+		t.Error("standard header not skipped")
+	}
+	if h["Cookie"] || h[":authority"] {
+		t.Error("cookie/pseudo headers leaked")
+	}
+	c := keysBySource(kvs, SourceCookie)
+	if !c["RBXSessionTracker"] || !c["GuestData"] {
+		t.Errorf("cookies missing: %v", c)
+	}
+}
+
+func TestExtractJSONBodyNested(t *testing.T) {
+	body := `{
+	  "user": {"username": "kid1", "age": 12, "email": "k@x.com"},
+	  "device": {"os": "Android", "hw": {"model": "Pixel 6", "imei": "35-2099"}},
+	  "events": [{"event_name": "lesson_start", "ts": 1696258845}],
+	  "blob": "{\"inner_adid\":\"abc\",\"depth2\":{\"gps_lat\":1.5}}"
+	}`
+	req := RequestView{URL: "https://excess.duolingo.com/batch", BodyMIME: "application/json", Body: []byte(body)}
+	kvs := Extract(req, DefaultOptions())
+	got := keysBySource(kvs, SourceBody)
+	for _, want := range []string{
+		"username", "age", "email", "os", "model", "imei",
+		"event_name", "ts", "inner_adid", "gps_lat", "depth2",
+	} {
+		if !got[want] {
+			t.Errorf("nested key %q missing", want)
+		}
+	}
+	// Paths must be dotted.
+	var foundPath bool
+	for _, kv := range kvs {
+		if kv.Path == "device.hw.imei" {
+			foundPath = true
+		}
+	}
+	if !foundPath {
+		t.Error("dotted path device.hw.imei missing")
+	}
+}
+
+func TestExtractFormBody(t *testing.T) {
+	req := RequestView{
+		URL:      "https://www.minecraft.net/login",
+		BodyMIME: "application/x-www-form-urlencoded",
+		Body:     []byte("username=steve&password=hunter2&remember=1"),
+	}
+	got := keysBySource(Extract(req, DefaultOptions()), SourceBody)
+	for _, want := range []string{"username", "password", "remember"} {
+		if !got[want] {
+			t.Errorf("form key %q missing", want)
+		}
+	}
+}
+
+func TestExtractJSONInQueryValue(t *testing.T) {
+	req := RequestView{URL: `https://t.co/p?payload={"device_id":"d1","loc":{"city":"irvine"}}`}
+	got := keysBySource(Extract(req, DefaultOptions()), SourceQuery)
+	if !got["device_id"] || !got["city"] || !got["payload"] {
+		t.Errorf("json-in-query keys missing: %v", got)
+	}
+}
+
+func TestFlatOnlyAblation(t *testing.T) {
+	body := `{"top":{"nested":{"deep_key":1}},"blob":"{\"embedded\":2}"}`
+	req := RequestView{URL: "https://x.com/a", BodyMIME: "application/json", Body: []byte(body)}
+	full := keysBySource(Extract(req, DefaultOptions()), SourceBody)
+	flat := keysBySource(Extract(req, Options{FlatOnly: true, MaxDepth: 8, SkipStandardHeaders: true}), SourceBody)
+	if !full["deep_key"] || !full["embedded"] {
+		t.Errorf("full extraction missing deep keys: %v", full)
+	}
+	if flat["deep_key"] || flat["embedded"] {
+		t.Errorf("flat extraction should not recurse: %v", flat)
+	}
+	if !flat["top"] || !flat["blob"] {
+		t.Errorf("flat extraction missing top-level keys: %v", flat)
+	}
+	if len(flat) >= len(full) {
+		t.Error("flat should find strictly fewer keys here")
+	}
+}
+
+func TestMaxDepthBound(t *testing.T) {
+	// Build JSON nested 20 deep; defaults stop at depth 8.
+	inner := `{"leaf":1}`
+	for i := 0; i < 20; i++ {
+		inner = `{"level` + string(rune('a'+i%26)) + `":` + inner + `}`
+	}
+	req := RequestView{URL: "https://x.com/a", BodyMIME: "application/json", Body: []byte(inner)}
+	got := keysBySource(Extract(req, DefaultOptions()), SourceBody)
+	if got["leaf"] {
+		t.Error("depth bound not enforced")
+	}
+	if len(got) == 0 {
+		t.Error("outer levels should still be extracted")
+	}
+}
+
+func TestMalformedBodiesIgnored(t *testing.T) {
+	for _, body := range []string{"{not json", "<xml/>", "\x00\x01\x02", ""} {
+		req := RequestView{URL: "https://x.com/a", BodyMIME: "application/json", Body: []byte(body)}
+		kvs := Extract(req, DefaultOptions())
+		if n := len(keysBySource(kvs, SourceBody)); n != 0 {
+			t.Errorf("body %q extracted %d keys", body, n)
+		}
+	}
+}
+
+func TestArrayOfObjects(t *testing.T) {
+	body := `[{"batch_event":"click"},{"batch_event":"scroll","extra_field":1}]`
+	req := RequestView{URL: "https://x.com/a", BodyMIME: "application/json", Body: []byte(body)}
+	got := keysBySource(Extract(req, DefaultOptions()), SourceBody)
+	if !got["batch_event"] || !got["extra_field"] {
+		t.Errorf("array keys missing: %v", got)
+	}
+}
+
+func TestUniqueKeys(t *testing.T) {
+	kvs := []KV{{Key: "b"}, {Key: "a"}, {Key: "b"}, {Key: "c"}}
+	got := UniqueKeys(kvs)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("UniqueKeys = %v", got)
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	names := map[Source]string{
+		SourceQuery: "query", SourceHeader: "header",
+		SourceCookie: "cookie", SourceBody: "body", Source(9): "unknown",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestValueClipping(t *testing.T) {
+	long := strings.Repeat("v", 500)
+	req := RequestView{URL: "https://x.com/?k=" + long}
+	for _, kv := range Extract(req, DefaultOptions()) {
+		if len(kv.Value) > 120 {
+			t.Errorf("value not clipped: %d bytes", len(kv.Value))
+		}
+	}
+}
+
+// Property: every key present in a flat JSON object is extracted exactly.
+func TestFlatJSONKeysExtracted(t *testing.T) {
+	f := func(keys []string) bool {
+		obj := map[string]int{}
+		valid := map[string]bool{}
+		for i, k := range keys {
+			k = strings.Map(func(r rune) rune {
+				if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_' {
+					return r
+				}
+				return -1
+			}, k)
+			if k == "" {
+				continue
+			}
+			obj[k] = i
+			valid[k] = true
+		}
+		body, err := json.Marshal(obj)
+		if err != nil {
+			return false
+		}
+		req := RequestView{URL: "https://x.com/a", BodyMIME: "application/json", Body: body}
+		got := keysBySource(Extract(req, DefaultOptions()), SourceBody)
+		if len(got) != len(valid) {
+			return false
+		}
+		for k := range valid {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExtractMultipart(t *testing.T) {
+	var buf bytes.Buffer
+	w := multipart.NewWriter(&buf)
+	_ = w.WriteField("username", "kid1")
+	_ = w.WriteField("avatar_meta", `{"gps_lat":33.6,"device_id":"d-11"}`)
+	fw, _ := w.CreateFormFile("upload", "a.png")
+	_, _ = fw.Write([]byte{0x89, 0x50})
+	w.Close()
+
+	req := RequestView{
+		URL:      "https://api.example/upload",
+		BodyMIME: w.FormDataContentType(),
+		Body:     buf.Bytes(),
+	}
+	got := keysBySource(Extract(req, DefaultOptions()), SourceBody)
+	for _, want := range []string{"username", "avatar_meta", "upload", "gps_lat", "device_id"} {
+		if !got[want] {
+			t.Errorf("multipart key %q missing (got %v)", want, got)
+		}
+	}
+	// Flat mode skips the embedded JSON.
+	flat := keysBySource(Extract(req, Options{FlatOnly: true, MaxDepth: 8}), SourceBody)
+	if flat["gps_lat"] {
+		t.Error("flat mode must not recurse into multipart JSON values")
+	}
+	// Corrupt boundary: no keys, no crash.
+	bad := RequestView{URL: "https://x/", BodyMIME: "multipart/form-data", Body: buf.Bytes()}
+	if n := len(keysBySource(Extract(bad, DefaultOptions()), SourceBody)); n != 0 {
+		t.Errorf("boundary-less multipart extracted %d keys", n)
+	}
+}

@@ -1,0 +1,302 @@
+// Package flows constructs DiffAudit data flows: pairs of <data type
+// category, destination> extracted from outgoing requests, with
+// destinations resolved to first/third party (entity analysis) and ATS /
+// non-ATS (block lists). Flows carry platform provenance (website, mobile
+// app, or both), the dimension Table 4 of the paper reports.
+package flows
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"diffaudit/internal/ats"
+	"diffaudit/internal/domains"
+	"diffaudit/internal/entity"
+	"diffaudit/internal/ontology"
+)
+
+// TraceCategory is the trace a request belongs to: one of the three
+// logged-in age groups, or the logged-out (pre-consent) state.
+type TraceCategory int
+
+// Trace categories, ordered as in the paper's tables.
+const (
+	Child      TraceCategory = iota // younger than 13 (COPPA)
+	Adolescent                      // 13-15 (CCPA minors)
+	Adult                           // 16 and older
+	LoggedOut                       // no consent, no age disclosed
+)
+
+var traceNames = [...]string{"Child", "Adolescent", "Adult", "Logged Out"}
+
+// String names the category as printed in Table 4.
+func (t TraceCategory) String() string {
+	if int(t) < len(traceNames) {
+		return traceNames[t]
+	}
+	return fmt.Sprintf("TraceCategory(%d)", int(t))
+}
+
+// TraceCategories returns all four trace categories in table order.
+func TraceCategories() []TraceCategory {
+	return []TraceCategory{Child, Adolescent, Adult, LoggedOut}
+}
+
+// Platform is the capture platform.
+type Platform int
+
+// Platforms audited by the paper.
+const (
+	Web Platform = iota
+	Mobile
+)
+
+// String names the platform.
+func (p Platform) String() string {
+	if p == Web {
+		return "web"
+	}
+	return "mobile"
+}
+
+// PlatformMask records on which platforms a flow was observed.
+type PlatformMask uint8
+
+// Platform mask bits.
+const (
+	OnWeb PlatformMask = 1 << iota
+	OnMobile
+)
+
+// Has reports whether the mask includes the platform.
+func (m PlatformMask) Has(p Platform) bool {
+	if p == Web {
+		return m&OnWeb != 0
+	}
+	return m&OnMobile != 0
+}
+
+// Symbol renders the Table 4 cell marker: "●" both, "◐" web-only, "◑"
+// mobile-only, "—" neither.
+func (m PlatformMask) Symbol() string {
+	switch m {
+	case OnWeb | OnMobile:
+		return "●"
+	case OnWeb:
+		return "◐"
+	case OnMobile:
+		return "◑"
+	default:
+		return "—"
+	}
+}
+
+// DestClass is the four-way destination classification of the paper:
+// first party, first party ATS, third party, third party ATS.
+type DestClass int
+
+// Destination classes, in Table 4 column order.
+const (
+	FirstParty DestClass = iota
+	FirstPartyATS
+	ThirdParty
+	ThirdPartyATS
+)
+
+var destNames = [...]string{"Collect 1st", "Collect 1st ATS", "Share 3rd", "Share 3rd ATS"}
+
+// String names the class as a Table 4 column header.
+func (d DestClass) String() string {
+	if int(d) < len(destNames) {
+		return destNames[d]
+	}
+	return fmt.Sprintf("DestClass(%d)", int(d))
+}
+
+// DestClasses returns the four classes in column order.
+func DestClasses() []DestClass {
+	return []DestClass{FirstParty, FirstPartyATS, ThirdParty, ThirdPartyATS}
+}
+
+// IsThirdParty reports whether the class is one of the "share" columns.
+func (d DestClass) IsThirdParty() bool { return d == ThirdParty || d == ThirdPartyATS }
+
+// IsATS reports whether the class is an ATS column.
+func (d DestClass) IsATS() bool { return d == FirstPartyATS || d == ThirdPartyATS }
+
+// Destination is a resolved packet destination.
+type Destination struct {
+	FQDN  string
+	ESLD  string
+	Owner string
+	Class DestClass
+}
+
+// ResolveDestination classifies an FQDN relative to the audited service.
+// First party: the eSLD matches one of the service's own domains, or the
+// domain's owner organization equals the service's owner. The ATS flag
+// comes from the block-list engine on the FQDN, as in the paper.
+func ResolveDestination(serviceOwner string, serviceESLDs []string, fqdn string, engine *ats.Engine) Destination {
+	fqdn = strings.ToLower(strings.TrimSpace(fqdn))
+	d := Destination{
+		FQDN:  fqdn,
+		ESLD:  domains.ESLD(fqdn),
+		Owner: entity.OwnerName(fqdn),
+	}
+	first := false
+	for _, e := range serviceESLDs {
+		if strings.EqualFold(e, d.ESLD) {
+			first = true
+			break
+		}
+	}
+	if !first && serviceOwner != "" && d.Owner == serviceOwner {
+		first = true
+	}
+	isATS := engine.IsATS(fqdn)
+	switch {
+	case first && isATS:
+		d.Class = FirstPartyATS
+	case first:
+		d.Class = FirstParty
+	case isATS:
+		d.Class = ThirdPartyATS
+	default:
+		d.Class = ThirdParty
+	}
+	return d
+}
+
+// Flow is one data flow: a level-3 data type category observed being sent
+// to a destination.
+type Flow struct {
+	Category *ontology.Category
+	Dest     Destination
+}
+
+// Key identifies the flow for deduplication: <category, FQDN>.
+func (f Flow) Key() string { return f.Category.Name + "→" + f.Dest.FQDN }
+
+// Set accumulates deduplicated flows with platform provenance.
+type Set struct {
+	flows map[string]*entry
+}
+
+type entry struct {
+	flow      Flow
+	platforms PlatformMask
+}
+
+// NewSet returns an empty flow set.
+func NewSet() *Set {
+	return &Set{flows: make(map[string]*entry)}
+}
+
+// Add records a flow observed on a platform.
+func (s *Set) Add(f Flow, p Platform) {
+	e, ok := s.flows[f.Key()]
+	if !ok {
+		e = &entry{flow: f}
+		s.flows[f.Key()] = e
+	}
+	if p == Web {
+		e.platforms |= OnWeb
+	} else {
+		e.platforms |= OnMobile
+	}
+}
+
+// Merge folds another set into this one.
+func (s *Set) Merge(other *Set) {
+	if other == nil {
+		return
+	}
+	for k, e := range other.flows {
+		mine, ok := s.flows[k]
+		if !ok {
+			s.flows[k] = &entry{flow: e.flow, platforms: e.platforms}
+			continue
+		}
+		mine.platforms |= e.platforms
+	}
+}
+
+// Len returns the number of distinct flows.
+func (s *Set) Len() int { return len(s.flows) }
+
+// Flows returns the flows sorted by key for deterministic iteration.
+func (s *Set) Flows() []Flow {
+	keys := make([]string, 0, len(s.flows))
+	for k := range s.flows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Flow, len(keys))
+	for i, k := range keys {
+		out[i] = s.flows[k].flow
+	}
+	return out
+}
+
+// Platforms returns the platform mask for a flow key (zero when absent).
+func (s *Set) Platforms(f Flow) PlatformMask {
+	if e, ok := s.flows[f.Key()]; ok {
+		return e.platforms
+	}
+	return 0
+}
+
+// GroupGrid reduces the set to Table 4 granularity: level-2 data type group
+// × destination class → platform mask.
+func (s *Set) GroupGrid() map[ontology.Level2]map[DestClass]PlatformMask {
+	grid := make(map[ontology.Level2]map[DestClass]PlatformMask)
+	for _, e := range s.flows {
+		g := e.flow.Category.Group
+		if grid[g] == nil {
+			grid[g] = make(map[DestClass]PlatformMask)
+		}
+		grid[g][e.flow.Dest.Class] |= e.platforms
+	}
+	return grid
+}
+
+// CategoriesToward returns the distinct level-3 categories sent to a
+// specific destination FQDN.
+func (s *Set) CategoriesToward(fqdn string) []*ontology.Category {
+	seen := map[string]*ontology.Category{}
+	for _, e := range s.flows {
+		if e.flow.Dest.FQDN == fqdn {
+			seen[e.flow.Category.Name] = e.flow.Category
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*ontology.Category, len(names))
+	for i, n := range names {
+		out[i] = seen[n]
+	}
+	return out
+}
+
+// Destinations returns every distinct destination in the set, sorted by
+// FQDN.
+func (s *Set) Destinations() []Destination {
+	seen := map[string]Destination{}
+	for _, e := range s.flows {
+		seen[e.flow.Dest.FQDN] = e.flow.Dest
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Destination, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}

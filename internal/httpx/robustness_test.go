@@ -1,0 +1,24 @@
+package httpx
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseStreamNeverPanics fuzzes the HTTP parser.
+func TestParseStreamNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	valid := []byte("POST /v1 HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nWiki\r\n0\r\n\r\n")
+	for i := 0; i < 800; i++ {
+		var data []byte
+		if i%2 == 0 {
+			data = make([]byte, rng.Intn(150))
+			rng.Read(data)
+		} else {
+			data = append([]byte(nil), valid...)
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+			data = data[:rng.Intn(len(data)+1)]
+		}
+		_, _ = ParseStream(data)
+	}
+}

@@ -1,0 +1,155 @@
+package lawaudit
+
+import (
+	"fmt"
+
+	"diffaudit/internal/flows"
+)
+
+// The paper frames its data flow audit as "a special case of appropriate
+// information flows in the contextual integrity framework" (Nissenbaum).
+// This file makes that framing executable: every data flow maps to a CI
+// tuple — sender, recipient, subject, information type, transmission
+// principle — and an appropriateness verdict under the COPPA/CCPA norms.
+
+// CITuple is a contextual-integrity information flow description.
+type CITuple struct {
+	// Sender is the party transmitting (the service acting on the device).
+	Sender string
+	// Recipient is the receiving party (destination owner, qualified by
+	// its destination class).
+	Recipient string
+	// Subject is the person the information is about.
+	Subject string
+	// InformationType is the ontology category.
+	InformationType string
+	// TransmissionPrinciple is the consent state governing the flow.
+	TransmissionPrinciple string
+}
+
+// Verdict grades a flow's appropriateness under the contextual norms COPPA
+// and CCPA encode.
+type Verdict int
+
+// Verdicts.
+const (
+	Appropriate Verdict = iota
+	Questionable
+	Inappropriate
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Appropriate:
+		return "appropriate"
+	case Questionable:
+		return "questionable"
+	default:
+		return "inappropriate"
+	}
+}
+
+// CIAssessment is one flow with its tuple and verdict.
+type CIAssessment struct {
+	Tuple   CITuple
+	Flow    flows.Flow
+	Trace   flows.TraceCategory
+	Verdict Verdict
+	Reason  string
+}
+
+// subjectFor names the data subject per trace.
+func subjectFor(t flows.TraceCategory) string {
+	switch t {
+	case flows.Child:
+		return "child user (under 13)"
+	case flows.Adolescent:
+		return "adolescent user (13-15)"
+	case flows.Adult:
+		return "adult user (16+)"
+	default:
+		return "unidentified user (age undisclosed)"
+	}
+}
+
+// principleFor names the transmission principle per trace.
+func principleFor(t flows.TraceCategory) string {
+	switch t {
+	case flows.Child:
+		return "verifiable parental opt-in consent (COPPA)"
+	case flows.Adolescent:
+		return "affirmative opt-in consent (CCPA §1798.120(c))"
+	case flows.Adult:
+		return "notice with opt-out (CCPA)"
+	default:
+		return "no consent given, age undisclosed"
+	}
+}
+
+// TupleFor renders the CI tuple for a flow.
+func TupleFor(service string, t flows.TraceCategory, f flows.Flow) CITuple {
+	return CITuple{
+		Sender:                service,
+		Recipient:             fmt.Sprintf("%s (%s)", f.Dest.Owner, f.Dest.Class),
+		Subject:               subjectFor(t),
+		InformationType:       f.Category.Name,
+		TransmissionPrinciple: principleFor(t),
+	}
+}
+
+// judge applies the contextual norms.
+func judge(t flows.TraceCategory, f flows.Flow) (Verdict, string) {
+	class := f.Dest.Class
+	switch t {
+	case flows.LoggedOut:
+		if class.IsThirdParty() {
+			return Inappropriate, "disclosure to a third party before age is known or consent given"
+		}
+		return Questionable, "collection before age is known; the audience includes children"
+	case flows.Child, flows.Adolescent:
+		switch {
+		case class == flows.ThirdPartyATS:
+			return Inappropriate, "advertising/tracking disclosure about a minor exceeds support for internal operations"
+		case class == flows.ThirdParty:
+			return Questionable, "third-party disclosure about a minor requires opt-in consent and a functional purpose"
+		case class == flows.FirstPartyATS:
+			return Questionable, "first-party telemetry about a minor; appropriate only for internal operations"
+		default:
+			return Appropriate, "first-party collection within the service context"
+		}
+	default: // Adult
+		return Appropriate, "adult flows are not audited (CCPA notice-and-opt-out applies)"
+	}
+}
+
+// CIAnalysis assesses every flow of every trace.
+func CIAnalysis(service string, byTrace map[flows.TraceCategory]*flows.Set) []CIAssessment {
+	var out []CIAssessment
+	for _, t := range flows.TraceCategories() {
+		set := byTrace[t]
+		if set == nil {
+			continue
+		}
+		for _, f := range set.Flows() {
+			v, reason := judge(t, f)
+			out = append(out, CIAssessment{
+				Tuple:   TupleFor(service, t, f),
+				Flow:    f,
+				Trace:   t,
+				Verdict: v,
+				Reason:  reason,
+			})
+		}
+	}
+	return out
+}
+
+// CISummary counts assessments per verdict.
+func CISummary(assessments []CIAssessment) map[Verdict]int {
+	out := map[Verdict]int{}
+	for _, a := range assessments {
+		out[a.Verdict]++
+	}
+	return out
+}

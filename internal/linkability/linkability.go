@@ -1,0 +1,174 @@
+// Package linkability implements the DiffAudit data linkability analysis
+// (Section 4.2): a third party is "sent linkable data" when it receives at
+// least one data type from the identifiers bucket and at least one from the
+// personal-information bucket of the ontology, enabling the tracking and
+// profiling risks the paper discusses via Powar et al.'s linkage-attack SoK.
+package linkability
+
+import (
+	"sort"
+
+	"diffaudit/internal/entity"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/ontology"
+)
+
+// Party is one third-party destination with the data type set it received.
+type Party struct {
+	Dest flows.Destination
+	// Types are the distinct level-3 categories received, sorted by name.
+	Types []*ontology.Category
+	// Linkable reports whether Types spans both level-1 buckets.
+	Linkable bool
+}
+
+// TypeNames lists the received category names.
+func (p Party) TypeNames() []string {
+	out := make([]string, len(p.Types))
+	for i, c := range p.Types {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Analyze computes the third-party linkability view of one trace's flows.
+func Analyze(set *flows.Set) []Party {
+	byFQDN := map[string]*Party{}
+	typeSeen := map[string]map[string]bool{}
+	for _, f := range set.Flows() {
+		if !f.Dest.Class.IsThirdParty() {
+			continue
+		}
+		p, ok := byFQDN[f.Dest.FQDN]
+		if !ok {
+			p = &Party{Dest: f.Dest}
+			byFQDN[f.Dest.FQDN] = p
+			typeSeen[f.Dest.FQDN] = map[string]bool{}
+		}
+		if !typeSeen[f.Dest.FQDN][f.Category.Name] {
+			typeSeen[f.Dest.FQDN][f.Category.Name] = true
+			p.Types = append(p.Types, f.Category)
+		}
+	}
+	fqdns := make([]string, 0, len(byFQDN))
+	for f := range byFQDN {
+		fqdns = append(fqdns, f)
+	}
+	sort.Strings(fqdns)
+	out := make([]Party, 0, len(fqdns))
+	for _, f := range fqdns {
+		p := byFQDN[f]
+		sort.Slice(p.Types, func(i, j int) bool { return p.Types[i].Name < p.Types[j].Name })
+		var hasID, hasPI bool
+		for _, c := range p.Types {
+			if c.IsIdentifier() {
+				hasID = true
+			} else {
+				hasPI = true
+			}
+		}
+		p.Linkable = hasID && hasPI
+		out = append(out, *p)
+	}
+	return out
+}
+
+// Linkable filters the linkable parties.
+func Linkable(parties []Party) []Party {
+	var out []Party
+	for _, p := range parties {
+		if p.Linkable {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CountLinkable returns the Figure 3 statistic: the number of third-party
+// domains sent linkable data in one trace.
+func CountLinkable(set *flows.Set) int {
+	return len(Linkable(Analyze(set)))
+}
+
+// LargestSet returns the Figure 4 statistic: the size of the largest
+// linkable data type set, along with the types of one maximal set.
+func LargestSet(set *flows.Set) (int, []*ontology.Category) {
+	var best []*ontology.Category
+	for _, p := range Linkable(Analyze(set)) {
+		if len(p.Types) > len(best) {
+			best = p.Types
+		}
+	}
+	return len(best), best
+}
+
+// CommonSet returns the most frequent linkable data type set across
+// parties, with its frequency.
+func CommonSet(set *flows.Set) ([]string, int) {
+	counts := map[string]int{}
+	rep := map[string][]string{}
+	for _, p := range Linkable(Analyze(set)) {
+		names := p.TypeNames()
+		key := ""
+		for _, n := range names {
+			key += n + "|"
+		}
+		counts[key]++
+		rep[key] = names
+	}
+	bestKey, bestN := "", 0
+	for k, n := range counts {
+		if n > bestN || (n == bestN && k < bestKey) {
+			bestKey, bestN = k, n
+		}
+	}
+	return rep[bestKey], bestN
+}
+
+// OrgCount is an organization's linkable-flow frequency (Figure 5).
+type OrgCount struct {
+	Organization string
+	// Flows counts linkable data flows (category × destination pairs)
+	// toward the organization's ATS domains.
+	Flows int
+	// Domains lists the distinct ATS FQDNs involved.
+	Domains []string
+}
+
+// TopATSOrgs returns the Figure 5 statistic: the organizations owning the
+// third-party ATS domains that received linkable data, ranked by flow
+// count, at most n entries.
+func TopATSOrgs(set *flows.Set, n int) []OrgCount {
+	flowCount := map[string]int{}
+	domSet := map[string]map[string]bool{}
+	for _, p := range Linkable(Analyze(set)) {
+		if p.Dest.Class != flows.ThirdPartyATS {
+			continue
+		}
+		org := entity.OwnerName(p.Dest.FQDN)
+		flowCount[org] += len(p.Types)
+		if domSet[org] == nil {
+			domSet[org] = map[string]bool{}
+		}
+		domSet[org][p.Dest.FQDN] = true
+	}
+	var out []OrgCount
+	for org, n := range flowCount {
+		oc := OrgCount{Organization: org, Flows: n}
+		for d := range domSet[org] {
+			oc.Domains = append(oc.Domains, d)
+		}
+		sort.Strings(oc.Domains)
+		out = append(out, oc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Flows != out[j].Flows {
+			return out[i].Flows > out[j].Flows
+		}
+		return out[i].Organization < out[j].Organization
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

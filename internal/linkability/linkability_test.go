@@ -1,0 +1,156 @@
+package linkability
+
+import (
+	"testing"
+	"testing/quick"
+
+	"diffaudit/internal/flows"
+	"diffaudit/internal/ontology"
+)
+
+func cat(name string) *ontology.Category {
+	c, ok := ontology.Lookup(name)
+	if !ok {
+		panic("unknown category " + name)
+	}
+	return c
+}
+
+func dest(fqdn string, class flows.DestClass) flows.Destination {
+	return flows.Destination{FQDN: fqdn, ESLD: fqdn, Class: class}
+}
+
+func TestLinkableRequiresBothBuckets(t *testing.T) {
+	s := flows.NewSet()
+	// Party A: identifier only.
+	s.Add(flows.Flow{Category: cat("Aliases"), Dest: dest("a.example", flows.ThirdParty)}, flows.Web)
+	// Party B: personal information only.
+	s.Add(flows.Flow{Category: cat("Language"), Dest: dest("b.example", flows.ThirdPartyATS)}, flows.Web)
+	// Party C: both — linkable.
+	s.Add(flows.Flow{Category: cat("Aliases"), Dest: dest("c.example", flows.ThirdPartyATS)}, flows.Web)
+	s.Add(flows.Flow{Category: cat("Language"), Dest: dest("c.example", flows.ThirdPartyATS)}, flows.Mobile)
+	// First party with both — not a third party, never linkable.
+	s.Add(flows.Flow{Category: cat("Aliases"), Dest: dest("fp.example", flows.FirstParty)}, flows.Web)
+	s.Add(flows.Flow{Category: cat("Language"), Dest: dest("fp.example", flows.FirstParty)}, flows.Web)
+
+	parties := Analyze(s)
+	if len(parties) != 3 {
+		t.Fatalf("parties = %d, want 3 (first party excluded)", len(parties))
+	}
+	link := Linkable(parties)
+	if len(link) != 1 || link[0].Dest.FQDN != "c.example" {
+		t.Fatalf("linkable = %+v", link)
+	}
+	if CountLinkable(s) != 1 {
+		t.Error("CountLinkable mismatch")
+	}
+}
+
+func TestLargestSet(t *testing.T) {
+	s := flows.NewSet()
+	for _, name := range []string{"Aliases", "Language", "Age", "Location Time"} {
+		s.Add(flows.Flow{Category: cat(name), Dest: dest("big.example", flows.ThirdPartyATS)}, flows.Web)
+	}
+	s.Add(flows.Flow{Category: cat("Aliases"), Dest: dest("small.example", flows.ThirdParty)}, flows.Web)
+	s.Add(flows.Flow{Category: cat("Age"), Dest: dest("small.example", flows.ThirdParty)}, flows.Web)
+	n, types := LargestSet(s)
+	if n != 4 || len(types) != 4 {
+		t.Fatalf("largest = %d", n)
+	}
+	// Empty set.
+	if n, _ := LargestSet(flows.NewSet()); n != 0 {
+		t.Errorf("empty largest = %d", n)
+	}
+}
+
+func TestCommonSet(t *testing.T) {
+	s := flows.NewSet()
+	for _, fq := range []string{"p1.example", "p2.example", "p3.example"} {
+		s.Add(flows.Flow{Category: cat("Aliases"), Dest: dest(fq, flows.ThirdPartyATS)}, flows.Web)
+		s.Add(flows.Flow{Category: cat("Language"), Dest: dest(fq, flows.ThirdPartyATS)}, flows.Web)
+	}
+	s.Add(flows.Flow{Category: cat("Aliases"), Dest: dest("p4.example", flows.ThirdParty)}, flows.Web)
+	s.Add(flows.Flow{Category: cat("Age"), Dest: dest("p4.example", flows.ThirdParty)}, flows.Web)
+	names, n := CommonSet(s)
+	if n != 3 || len(names) != 2 || names[0] != "Aliases" || names[1] != "Language" {
+		t.Errorf("CommonSet = %v × %d", names, n)
+	}
+}
+
+func TestTopATSOrgs(t *testing.T) {
+	s := flows.NewSet()
+	// doubleclick.net resolves to Google LLC in the entity dataset.
+	for _, name := range []string{"Aliases", "Language", "Age"} {
+		s.Add(flows.Flow{Category: cat(name), Dest: dest("stats.g.doubleclick.net", flows.ThirdPartyATS)}, flows.Web)
+	}
+	// Non-ATS third party with linkable data: excluded from Figure 5.
+	s.Add(flows.Flow{Category: cat("Aliases"), Dest: dest("cdn.example", flows.ThirdParty)}, flows.Web)
+	s.Add(flows.Flow{Category: cat("Age"), Dest: dest("cdn.example", flows.ThirdParty)}, flows.Web)
+	orgs := TopATSOrgs(s, 10)
+	if len(orgs) != 1 {
+		t.Fatalf("orgs = %+v", orgs)
+	}
+	if orgs[0].Organization != "Google LLC" || orgs[0].Flows != 3 || len(orgs[0].Domains) != 1 {
+		t.Errorf("top org = %+v", orgs[0])
+	}
+	// topN truncation.
+	if got := TopATSOrgs(s, 0); len(got) != 1 {
+		t.Errorf("topN=0 should mean unlimited, got %d", len(got))
+	}
+}
+
+// Property: a party is linkable iff it received ≥1 identifier and ≥1
+// personal-information category (DESIGN.md invariant).
+func TestLinkableInvariant(t *testing.T) {
+	ids := []string{"Aliases", "Name", "Device Information"}
+	pis := []string{"Language", "Age", "Network Connection Information"}
+	f := func(mask uint8) bool {
+		s := flows.NewSet()
+		hasID, hasPI := false, false
+		for i, n := range ids {
+			if mask&(1<<i) != 0 {
+				s.Add(flows.Flow{Category: cat(n), Dest: dest("p.example", flows.ThirdParty)}, flows.Web)
+				hasID = true
+			}
+		}
+		for i, n := range pis {
+			if mask&(1<<(i+3)) != 0 {
+				s.Add(flows.Flow{Category: cat(n), Dest: dest("p.example", flows.ThirdParty)}, flows.Web)
+				hasPI = true
+			}
+		}
+		want := 0
+		if hasID && hasPI {
+			want = 1
+		}
+		return CountLinkable(s) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the largest set size is ≥ every party's set size.
+func TestLargestSetDominates(t *testing.T) {
+	s := flows.NewSet()
+	names := []string{"Aliases", "Language", "Age", "Name", "Location Time"}
+	hosts := []string{"a.example", "b.example", "c.example"}
+	f := func(ops []uint8) bool {
+		for _, op := range ops {
+			s.Add(flows.Flow{
+				Category: cat(names[int(op)%len(names)]),
+				Dest:     dest(hosts[int(op/8)%len(hosts)], flows.ThirdPartyATS),
+			}, flows.Web)
+		}
+		max, _ := LargestSet(s)
+		for _, p := range Linkable(Analyze(s)) {
+			if len(p.Types) > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package dnsx implements DNS message encoding and decoding for the capture
+// pipeline. Mobile captures contain the DNS lookups that precede every TLS
+// connection; the auditor parses outgoing queries to corroborate packet
+// destinations (DNS itself is a data type in the ontology's network
+// connection information category).
+package dnsx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Common query types.
+const (
+	TypeA    uint16 = 1
+	TypeAAAA uint16 = 28
+)
+
+// ClassIN is the Internet class.
+const ClassIN uint16 = 1
+
+// Question is one DNS question.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// Message is a parsed DNS message (questions only; the audit cares about
+// outgoing lookups).
+type Message struct {
+	ID        uint16
+	Response  bool
+	Questions []Question
+	// AnswerCount preserves the header count for responses.
+	AnswerCount int
+}
+
+// Errors returned by the parser.
+var (
+	ErrTruncatedMessage = errors.New("dnsx: truncated message")
+	ErrBadName          = errors.New("dnsx: malformed name")
+)
+
+// EncodeQuery builds a standard recursive query for one name.
+func EncodeQuery(id uint16, name string, qtype uint16) ([]byte, error) {
+	encoded, err := encodeName(name)
+	if err != nil {
+		return nil, err
+	}
+	msg := make([]byte, 12, 12+len(encoded)+4)
+	binary.BigEndian.PutUint16(msg[0:2], id)
+	binary.BigEndian.PutUint16(msg[2:4], 0x0100) // RD
+	binary.BigEndian.PutUint16(msg[4:6], 1)      // QDCOUNT
+	msg = append(msg, encoded...)
+	var tail [4]byte
+	binary.BigEndian.PutUint16(tail[0:2], qtype)
+	binary.BigEndian.PutUint16(tail[2:4], ClassIN)
+	return append(msg, tail[:]...), nil
+}
+
+// encodeName renders a dotted name in DNS label format.
+func encodeName(name string) ([]byte, error) {
+	name = strings.TrimSuffix(strings.ToLower(name), ".")
+	if name == "" {
+		return []byte{0}, nil
+	}
+	var out []byte
+	for _, label := range strings.Split(name, ".") {
+		if len(label) == 0 || len(label) > 63 {
+			return nil, fmt.Errorf("%w: label %q", ErrBadName, label)
+		}
+		out = append(out, byte(len(label)))
+		out = append(out, label...)
+	}
+	return append(out, 0), nil
+}
+
+// Parse decodes a DNS message, following name compression pointers.
+func Parse(data []byte) (*Message, error) {
+	if len(data) < 12 {
+		return nil, ErrTruncatedMessage
+	}
+	m := &Message{
+		ID:          binary.BigEndian.Uint16(data[0:2]),
+		Response:    data[2]&0x80 != 0,
+		AnswerCount: int(binary.BigEndian.Uint16(data[6:8])),
+	}
+	qd := int(binary.BigEndian.Uint16(data[4:6]))
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, n, err := decodeName(data, off)
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		if off+4 > len(data) {
+			return nil, ErrTruncatedMessage
+		}
+		m.Questions = append(m.Questions, Question{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(data[off : off+2]),
+			Class: binary.BigEndian.Uint16(data[off+2 : off+4]),
+		})
+		off += 4
+	}
+	return m, nil
+}
+
+// decodeName reads a possibly-compressed name starting at off, returning
+// the dotted name and the bytes consumed at the original position.
+func decodeName(data []byte, off int) (string, int, error) {
+	var labels []string
+	consumed := 0
+	jumped := false
+	pos := off
+	for hops := 0; ; hops++ {
+		if hops > 64 {
+			return "", 0, fmt.Errorf("%w: pointer loop", ErrBadName)
+		}
+		if pos >= len(data) {
+			return "", 0, ErrTruncatedMessage
+		}
+		l := int(data[pos])
+		switch {
+		case l == 0:
+			if !jumped {
+				consumed = pos - off + 1
+			}
+			return strings.Join(labels, "."), consumed, nil
+		case l&0xC0 == 0xC0:
+			if pos+1 >= len(data) {
+				return "", 0, ErrTruncatedMessage
+			}
+			target := int(binary.BigEndian.Uint16(data[pos:pos+2]) & 0x3FFF)
+			if !jumped {
+				consumed = pos - off + 2
+				jumped = true
+			}
+			if target >= pos {
+				return "", 0, fmt.Errorf("%w: forward pointer", ErrBadName)
+			}
+			pos = target
+		case l > 63:
+			return "", 0, fmt.Errorf("%w: label length %d", ErrBadName, l)
+		default:
+			if pos+1+l > len(data) {
+				return "", 0, ErrTruncatedMessage
+			}
+			labels = append(labels, string(data[pos+1:pos+1+l]))
+			pos += 1 + l
+		}
+	}
+}

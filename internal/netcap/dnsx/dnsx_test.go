@@ -1,0 +1,109 @@
+package dnsx
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	msg, err := EncodeQuery(0xBEEF, "metrics.roblox.com", TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != 0xBEEF || got.Response {
+		t.Errorf("header = %+v", got)
+	}
+	if len(got.Questions) != 1 {
+		t.Fatalf("questions = %d", len(got.Questions))
+	}
+	q := got.Questions[0]
+	if q.Name != "metrics.roblox.com" || q.Type != TypeA || q.Class != ClassIN {
+		t.Errorf("question = %+v", q)
+	}
+}
+
+func TestEncodeNameErrors(t *testing.T) {
+	if _, err := EncodeQuery(1, "bad..name", TypeA); err == nil {
+		t.Error("empty label accepted")
+	}
+	if _, err := EncodeQuery(1, strings.Repeat("x", 64)+".com", TypeA); err == nil {
+		t.Error("oversized label accepted")
+	}
+	// Root name is valid.
+	if _, err := EncodeQuery(1, ".", TypeA); err != nil {
+		t.Errorf("root: %v", err)
+	}
+}
+
+func TestParseCompressionPointer(t *testing.T) {
+	// Hand-build a message with two questions where the second name is a
+	// pointer to the first ("example.com" at offset 12).
+	var msg []byte
+	hdr := make([]byte, 12)
+	binary.BigEndian.PutUint16(hdr[0:2], 7)
+	binary.BigEndian.PutUint16(hdr[4:6], 2) // QDCOUNT=2
+	msg = append(msg, hdr...)
+	name, _ := encodeName("example.com")
+	msg = append(msg, name...)
+	msg = append(msg, 0, 1, 0, 1) // A IN
+	// Second question: pointer to offset 12, prefixed with label "www".
+	msg = append(msg, 3, 'w', 'w', 'w', 0xC0, 12)
+	msg = append(msg, 0, 28, 0, 1) // AAAA IN
+	got, err := Parse(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Questions) != 2 {
+		t.Fatalf("questions = %d", len(got.Questions))
+	}
+	if got.Questions[1].Name != "www.example.com" || got.Questions[1].Type != TypeAAAA {
+		t.Errorf("compressed question = %+v", got.Questions[1])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte{1, 2, 3}); err == nil {
+		t.Error("short message accepted")
+	}
+	// Truncated question.
+	msg, _ := EncodeQuery(1, "a.example", TypeA)
+	if _, err := Parse(msg[:len(msg)-2]); err == nil {
+		t.Error("truncated question accepted")
+	}
+	// Pointer loop: name at 12 points to itself.
+	var loop []byte
+	hdr := make([]byte, 12)
+	binary.BigEndian.PutUint16(hdr[4:6], 1)
+	loop = append(loop, hdr...)
+	loop = append(loop, 0xC0, 12, 0, 1, 0, 1)
+	if _, err := Parse(loop); err == nil {
+		t.Error("pointer loop accepted")
+	}
+}
+
+// Property: encode→parse is the identity on syntactically valid names.
+func TestQueryRoundTripProperty(t *testing.T) {
+	f := func(a, b uint8, id uint16) bool {
+		labels := []string{"www", "api", "cdn", "t", "events", "metrics"}
+		doms := []string{"example.com", "roblox.com", "a.co.uk", "x.io"}
+		name := labels[int(a)%len(labels)] + "." + doms[int(b)%len(doms)]
+		msg, err := EncodeQuery(id, name, TypeA)
+		if err != nil {
+			return false
+		}
+		got, err := Parse(msg)
+		if err != nil || len(got.Questions) != 1 {
+			return false
+		}
+		return got.Questions[0].Name == name && got.ID == id
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

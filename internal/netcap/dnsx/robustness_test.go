@@ -1,0 +1,24 @@
+package dnsx
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParseNeverPanics fuzzes the DNS parser.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	valid, _ := EncodeQuery(9, "fuzz.example.com", TypeA)
+	for i := 0; i < 800; i++ {
+		var data []byte
+		if i%2 == 0 {
+			data = make([]byte, rng.Intn(80))
+			rng.Read(data)
+		} else {
+			data = append([]byte(nil), valid...)
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+			data = data[:rng.Intn(len(data)+1)]
+		}
+		_, _ = Parse(data)
+	}
+}

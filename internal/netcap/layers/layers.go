@@ -1,0 +1,354 @@
+// Package layers decodes and encodes the link, network and transport layers
+// of captured packets: Ethernet II, IPv4, IPv6, TCP and UDP. The design
+// follows the gopacket layer model — each protocol is a Layer with typed
+// header fields and a payload — restricted to the protocols the DiffAudit
+// pipeline needs to reconstruct HTTP requests from mobile captures.
+package layers
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Errors returned by decoders.
+var (
+	ErrTooShort = errors.New("layers: packet too short")
+	ErrVersion  = errors.New("layers: unexpected IP version")
+)
+
+// EtherType identifies the Ethernet payload protocol.
+type EtherType uint16
+
+// Ethernet payload types.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeIPv6 EtherType = 0x86DD
+)
+
+// IPProtocol identifies the transport protocol in an IP header.
+type IPProtocol uint8
+
+// Transport protocols.
+const (
+	IPProtoTCP IPProtocol = 6
+	IPProtoUDP IPProtocol = 17
+)
+
+// Ethernet is an Ethernet II frame header.
+type Ethernet struct {
+	Dst, Src  [6]byte
+	EtherType EtherType
+	Payload   []byte
+}
+
+// DecodeEthernet parses an Ethernet II frame.
+func DecodeEthernet(data []byte) (*Ethernet, error) {
+	if len(data) < 14 {
+		return nil, fmt.Errorf("ethernet: %w", ErrTooShort)
+	}
+	e := &Ethernet{EtherType: EtherType(binary.BigEndian.Uint16(data[12:14]))}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.Payload = data[14:]
+	return e, nil
+}
+
+// Encode serializes the frame header followed by the payload.
+func (e *Ethernet) Encode() []byte {
+	out := make([]byte, 14+len(e.Payload))
+	copy(out[0:6], e.Dst[:])
+	copy(out[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(out[12:14], uint16(e.EtherType))
+	copy(out[14:], e.Payload)
+	return out
+}
+
+// IPv4 is an IPv4 header.
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	Flags    uint8 // 3 bits: reserved, DF, MF
+	FragOff  uint16
+	TTL      uint8
+	Protocol IPProtocol
+	Src, Dst netip.Addr
+	Options  []byte
+	Payload  []byte
+}
+
+// DecodeIPv4 parses an IPv4 header and returns it with its payload.
+func DecodeIPv4(data []byte) (*IPv4, error) {
+	if len(data) < 20 {
+		return nil, fmt.Errorf("ipv4: %w", ErrTooShort)
+	}
+	if data[0]>>4 != 4 {
+		return nil, fmt.Errorf("ipv4: %w: %d", ErrVersion, data[0]>>4)
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < 20 || len(data) < ihl {
+		return nil, fmt.Errorf("ipv4: bad IHL %d: %w", ihl, ErrTooShort)
+	}
+	totalLen := int(binary.BigEndian.Uint16(data[2:4]))
+	if totalLen < ihl || totalLen > len(data) {
+		totalLen = len(data) // tolerate snap-truncated captures
+	}
+	src, _ := netip.AddrFromSlice(data[12:16])
+	dst, _ := netip.AddrFromSlice(data[16:20])
+	ip := &IPv4{
+		TOS:      data[1],
+		ID:       binary.BigEndian.Uint16(data[4:6]),
+		Flags:    data[6] >> 5,
+		FragOff:  binary.BigEndian.Uint16(data[6:8]) & 0x1fff,
+		TTL:      data[8],
+		Protocol: IPProtocol(data[9]),
+		Src:      src,
+		Dst:      dst,
+	}
+	if ihl > 20 {
+		ip.Options = data[20:ihl]
+	}
+	ip.Payload = data[ihl:totalLen]
+	return ip, nil
+}
+
+// Encode serializes the header (with a valid checksum) and payload.
+func (ip *IPv4) Encode() []byte {
+	ihl := 20 + (len(ip.Options)+3)&^3
+	out := make([]byte, ihl+len(ip.Payload))
+	out[0] = 4<<4 | uint8(ihl/4)
+	out[1] = ip.TOS
+	binary.BigEndian.PutUint16(out[2:4], uint16(len(out)))
+	binary.BigEndian.PutUint16(out[4:6], ip.ID)
+	binary.BigEndian.PutUint16(out[6:8], uint16(ip.Flags)<<13|ip.FragOff)
+	out[8] = ip.TTL
+	if out[8] == 0 {
+		out[8] = 64
+	}
+	out[9] = uint8(ip.Protocol)
+	src := ip.Src.As4()
+	dst := ip.Dst.As4()
+	copy(out[12:16], src[:])
+	copy(out[16:20], dst[:])
+	copy(out[20:ihl], ip.Options)
+	binary.BigEndian.PutUint16(out[10:12], Checksum(out[:ihl]))
+	copy(out[ihl:], ip.Payload)
+	return out
+}
+
+// IPv6 is an IPv6 fixed header (extension headers are not modeled; the
+// NextHeader must directly identify the transport).
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32
+	NextHeader   IPProtocol
+	HopLimit     uint8
+	Src, Dst     netip.Addr
+	Payload      []byte
+}
+
+// DecodeIPv6 parses an IPv6 fixed header.
+func DecodeIPv6(data []byte) (*IPv6, error) {
+	if len(data) < 40 {
+		return nil, fmt.Errorf("ipv6: %w", ErrTooShort)
+	}
+	if data[0]>>4 != 6 {
+		return nil, fmt.Errorf("ipv6: %w: %d", ErrVersion, data[0]>>4)
+	}
+	plen := int(binary.BigEndian.Uint16(data[4:6]))
+	if 40+plen > len(data) {
+		plen = len(data) - 40
+	}
+	src, _ := netip.AddrFromSlice(data[8:24])
+	dst, _ := netip.AddrFromSlice(data[24:40])
+	return &IPv6{
+		TrafficClass: data[0]<<4 | data[1]>>4,
+		FlowLabel:    binary.BigEndian.Uint32(data[0:4]) & 0xfffff,
+		NextHeader:   IPProtocol(data[6]),
+		HopLimit:     data[7],
+		Src:          src,
+		Dst:          dst,
+		Payload:      data[40 : 40+plen],
+	}, nil
+}
+
+// Encode serializes the header and payload.
+func (ip *IPv6) Encode() []byte {
+	out := make([]byte, 40+len(ip.Payload))
+	binary.BigEndian.PutUint32(out[0:4], 6<<28|uint32(ip.TrafficClass)<<20|ip.FlowLabel&0xfffff)
+	binary.BigEndian.PutUint16(out[4:6], uint16(len(ip.Payload)))
+	out[6] = uint8(ip.NextHeader)
+	out[7] = ip.HopLimit
+	if out[7] == 0 {
+		out[7] = 64
+	}
+	src := ip.Src.As16()
+	dst := ip.Dst.As16()
+	copy(out[8:24], src[:])
+	copy(out[24:40], dst[:])
+	copy(out[40:], ip.Payload)
+	return out
+}
+
+// TCP flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+)
+
+// TCP is a TCP segment header.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Options          []byte
+	Payload          []byte
+}
+
+// SYN reports whether the SYN flag is set.
+func (t *TCP) SYN() bool { return t.Flags&FlagSYN != 0 }
+
+// FIN reports whether the FIN flag is set.
+func (t *TCP) FIN() bool { return t.Flags&FlagFIN != 0 }
+
+// RST reports whether the RST flag is set.
+func (t *TCP) RST() bool { return t.Flags&FlagRST != 0 }
+
+// ACK reports whether the ACK flag is set.
+func (t *TCP) ACK() bool { return t.Flags&FlagACK != 0 }
+
+// DecodeTCP parses a TCP segment.
+func DecodeTCP(data []byte) (*TCP, error) {
+	if len(data) < 20 {
+		return nil, fmt.Errorf("tcp: %w", ErrTooShort)
+	}
+	doff := int(data[12]>>4) * 4
+	if doff < 20 || len(data) < doff {
+		return nil, fmt.Errorf("tcp: bad data offset %d: %w", doff, ErrTooShort)
+	}
+	t := &TCP{
+		SrcPort: binary.BigEndian.Uint16(data[0:2]),
+		DstPort: binary.BigEndian.Uint16(data[2:4]),
+		Seq:     binary.BigEndian.Uint32(data[4:8]),
+		Ack:     binary.BigEndian.Uint32(data[8:12]),
+		Flags:   data[13],
+		Window:  binary.BigEndian.Uint16(data[14:16]),
+	}
+	if doff > 20 {
+		t.Options = data[20:doff]
+	}
+	t.Payload = data[doff:]
+	return t, nil
+}
+
+// Encode serializes the segment. When src and dst are valid addresses the
+// checksum is computed over the corresponding pseudo-header.
+func (t *TCP) Encode(src, dst netip.Addr) []byte {
+	doff := 20 + (len(t.Options)+3)&^3
+	out := make([]byte, doff+len(t.Payload))
+	binary.BigEndian.PutUint16(out[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(out[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(out[4:8], t.Seq)
+	binary.BigEndian.PutUint32(out[8:12], t.Ack)
+	out[12] = uint8(doff/4) << 4
+	out[13] = t.Flags
+	win := t.Window
+	if win == 0 {
+		win = 65535
+	}
+	binary.BigEndian.PutUint16(out[14:16], win)
+	copy(out[20:doff], t.Options)
+	copy(out[doff:], t.Payload)
+	if src.IsValid() && dst.IsValid() {
+		binary.BigEndian.PutUint16(out[16:18], pseudoChecksum(src, dst, IPProtoTCP, out))
+	}
+	return out
+}
+
+// UDP is a UDP datagram header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// DecodeUDP parses a UDP datagram.
+func DecodeUDP(data []byte) (*UDP, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("udp: %w", ErrTooShort)
+	}
+	ulen := int(binary.BigEndian.Uint16(data[4:6]))
+	if ulen < 8 || ulen > len(data) {
+		ulen = len(data)
+	}
+	return &UDP{
+		SrcPort: binary.BigEndian.Uint16(data[0:2]),
+		DstPort: binary.BigEndian.Uint16(data[2:4]),
+		Payload: data[8:ulen],
+	}, nil
+}
+
+// Encode serializes the datagram with a pseudo-header checksum.
+func (u *UDP) Encode(src, dst netip.Addr) []byte {
+	out := make([]byte, 8+len(u.Payload))
+	binary.BigEndian.PutUint16(out[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(out[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(out[4:6], uint16(len(out)))
+	copy(out[8:], u.Payload)
+	if src.IsValid() && dst.IsValid() {
+		binary.BigEndian.PutUint16(out[6:8], pseudoChecksum(src, dst, IPProtoUDP, out))
+	}
+	return out
+}
+
+// Checksum computes the RFC 1071 Internet checksum of data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoChecksum computes the transport checksum including the IPv4/IPv6
+// pseudo-header. The checksum field inside segment must be zero.
+func pseudoChecksum(src, dst netip.Addr, proto IPProtocol, segment []byte) uint16 {
+	var pseudo []byte
+	if src.Is4() {
+		pseudo = make([]byte, 12)
+		s4, d4 := src.As4(), dst.As4()
+		copy(pseudo[0:4], s4[:])
+		copy(pseudo[4:8], d4[:])
+		pseudo[9] = uint8(proto)
+		binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(segment)))
+	} else {
+		pseudo = make([]byte, 40)
+		s16, d16 := src.As16(), dst.As16()
+		copy(pseudo[0:16], s16[:])
+		copy(pseudo[16:32], d16[:])
+		binary.BigEndian.PutUint32(pseudo[32:36], uint32(len(segment)))
+		pseudo[39] = uint8(proto)
+	}
+	var sum uint32
+	full := append(pseudo, segment...)
+	for i := 0; i+1 < len(full); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(full[i : i+2]))
+	}
+	if len(full)%2 == 1 {
+		sum += uint32(full[len(full)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,128 @@
+package layers
+
+import (
+	"fmt"
+	"net/netip"
+
+	"diffaudit/internal/netcap/pcapio"
+)
+
+// Decoded is a fully decoded packet: network and transport headers plus the
+// application payload and the flow 5-tuple, in the spirit of gopacket's
+// Packet with a flow Endpoint pair.
+type Decoded struct {
+	SrcIP, DstIP     netip.Addr
+	Protocol         IPProtocol
+	SrcPort, DstPort uint16
+	TCP              *TCP // nil for UDP
+	UDP              *UDP // nil for TCP
+	Payload          []byte
+}
+
+// FlowKey identifies a bidirectional transport flow. Keys are canonical:
+// A→B and B→A segments share one key.
+type FlowKey struct {
+	AddrLo, AddrHi netip.Addr
+	PortLo, PortHi uint16
+	Protocol       IPProtocol
+}
+
+// Flow returns the canonical bidirectional flow key.
+func (d *Decoded) Flow() FlowKey {
+	a, b := d.SrcIP, d.DstIP
+	pa, pb := d.SrcPort, d.DstPort
+	if b.Less(a) || (a == b && pb < pa) {
+		a, b = b, a
+		pa, pb = pb, pa
+	}
+	return FlowKey{AddrLo: a, AddrHi: b, PortLo: pa, PortHi: pb, Protocol: d.Protocol}
+}
+
+// Forward reports whether the packet travels in the canonical (lo→hi)
+// direction of its flow key.
+func (d *Decoded) Forward() bool {
+	k := d.Flow()
+	return d.SrcIP == k.AddrLo && d.SrcPort == k.PortLo
+}
+
+// Decode walks the layer chain of a captured frame according to the capture
+// link type (Ethernet or raw IP). Non-IP and non-TCP/UDP packets return an
+// error; callers typically count and skip them.
+func Decode(link pcapio.LinkType, data []byte) (*Decoded, error) {
+	ipData := data
+	if link == pcapio.LinkEthernet {
+		eth, err := DecodeEthernet(data)
+		if err != nil {
+			return nil, err
+		}
+		switch eth.EtherType {
+		case EtherTypeIPv4, EtherTypeIPv6:
+			ipData = eth.Payload
+		default:
+			return nil, fmt.Errorf("layers: non-IP ethertype %#04x", uint16(eth.EtherType))
+		}
+	}
+	if len(ipData) == 0 {
+		return nil, ErrTooShort
+	}
+	d := &Decoded{}
+	var transport []byte
+	switch ipData[0] >> 4 {
+	case 4:
+		ip, err := DecodeIPv4(ipData)
+		if err != nil {
+			return nil, err
+		}
+		d.SrcIP, d.DstIP, d.Protocol = ip.Src, ip.Dst, ip.Protocol
+		transport = ip.Payload
+	case 6:
+		ip, err := DecodeIPv6(ipData)
+		if err != nil {
+			return nil, err
+		}
+		d.SrcIP, d.DstIP, d.Protocol = ip.Src, ip.Dst, ip.NextHeader
+		transport = ip.Payload
+	default:
+		return nil, ErrVersion
+	}
+	switch d.Protocol {
+	case IPProtoTCP:
+		t, err := DecodeTCP(transport)
+		if err != nil {
+			return nil, err
+		}
+		d.TCP = t
+		d.SrcPort, d.DstPort = t.SrcPort, t.DstPort
+		d.Payload = t.Payload
+	case IPProtoUDP:
+		u, err := DecodeUDP(transport)
+		if err != nil {
+			return nil, err
+		}
+		d.UDP = u
+		d.SrcPort, d.DstPort = u.SrcPort, u.DstPort
+		d.Payload = u.Payload
+	default:
+		return nil, fmt.Errorf("layers: unsupported transport protocol %d", d.Protocol)
+	}
+	return d, nil
+}
+
+// BuildTCPv4 assembles a raw-IP (DLT_RAW) IPv4+TCP packet, the shape
+// PCAPdroid captures emit. The synthesizer uses it to fabricate wire bytes
+// that the decoding path then consumes.
+func BuildTCPv4(src, dst netip.Addr, srcPort, dstPort uint16, seq, ack uint32, flags uint8, payload []byte) []byte {
+	tcp := &TCP{
+		SrcPort: srcPort, DstPort: dstPort,
+		Seq: seq, Ack: ack, Flags: flags,
+		Payload: payload,
+	}
+	ip := &IPv4{
+		TTL:      64,
+		Protocol: IPProtoTCP,
+		Src:      src,
+		Dst:      dst,
+		Payload:  tcp.Encode(src, dst),
+	}
+	return ip.Encode()
+}

@@ -1,0 +1,28 @@
+package layers
+
+import (
+	"math/rand"
+	"testing"
+
+	"diffaudit/internal/netcap/pcapio"
+)
+
+// TestDecodeNeverPanics fuzzes the layer decoders.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	valid := BuildTCPv4(clientIP, serverIP, 1, 2, 3, 4, FlagACK, []byte("payload"))
+	for i := 0; i < 800; i++ {
+		var data []byte
+		if i%2 == 0 {
+			data = make([]byte, rng.Intn(120))
+			rng.Read(data)
+		} else {
+			data = append([]byte(nil), valid...)
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+			data = data[:rng.Intn(len(data)+1)]
+		}
+		for _, link := range []pcapio.LinkType{pcapio.LinkRaw, pcapio.LinkEthernet} {
+			_, _ = Decode(link, data)
+		}
+	}
+}

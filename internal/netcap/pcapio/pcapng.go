@@ -1,0 +1,236 @@
+package pcapio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// pcapng block types.
+const (
+	blockSHB = 0x0A0D0D0A // Section Header Block
+	blockIDB = 0x00000001 // Interface Description Block
+	blockEPB = 0x00000006 // Enhanced Packet Block
+	blockDSB = 0x0000000A // Decryption Secrets Block
+	blockSPB = 0x00000003 // Simple Packet Block
+
+	byteOrderMagic = 0x1A2B3C4D
+	secretsTLSKeys = 0x544c534b // "TLSK": TLS key log secrets
+)
+
+// ReadPcapng parses a pcapng file, collecting packets from Enhanced Packet
+// Blocks and TLS key logs from Decryption Secrets Blocks. Multiple sections
+// and interfaces are supported; unknown block types are skipped, as the
+// format requires.
+func ReadPcapng(data []byte) (*Capture, error) {
+	if len(data) < 12 {
+		return nil, ErrShortFile
+	}
+	cap := &Capture{}
+	var bo binary.ByteOrder = binary.LittleEndian
+	type iface struct {
+		link    LinkType
+		tsScale int64 // nanoseconds per tick
+	}
+	var ifaces []iface
+	off := 0
+	for off+12 <= len(data) {
+		// Block type is endianness-independent for SHB detection.
+		btype := binary.LittleEndian.Uint32(data[off : off+4])
+		btypeBE := binary.BigEndian.Uint32(data[off : off+4])
+		if btype == blockSHB || btypeBE == blockSHB {
+			// Determine section endianness from the byte-order magic.
+			if off+12 > len(data) {
+				return nil, ErrShortFile
+			}
+			if binary.LittleEndian.Uint32(data[off+8:off+12]) == byteOrderMagic {
+				bo = binary.LittleEndian
+			} else if binary.BigEndian.Uint32(data[off+8:off+12]) == byteOrderMagic {
+				bo = binary.BigEndian
+			} else {
+				return nil, fmt.Errorf("%w: bad byte-order magic", ErrBadMagic)
+			}
+			ifaces = ifaces[:0] // interfaces are per-section
+		}
+		totalLen := int(bo.Uint32(data[off+4 : off+8]))
+		if totalLen < 12 || totalLen%4 != 0 || off+totalLen > len(data) {
+			return nil, ErrShortFile
+		}
+		body := data[off+8 : off+totalLen-4]
+		switch bo.Uint32(data[off : off+4]) {
+		case blockSHB:
+			// Already handled above.
+		case blockIDB:
+			if len(body) < 8 {
+				return nil, ErrShortFile
+			}
+			ifc := iface{
+				link:    LinkType(bo.Uint16(body[0:2])),
+				tsScale: 1000, // default: microseconds
+			}
+			// Scan options for if_tsresol (code 9).
+			for opts := body[8:]; len(opts) >= 4; {
+				code := bo.Uint16(opts[0:2])
+				olen := int(bo.Uint16(opts[2:4]))
+				if 4+olen > len(opts) {
+					break
+				}
+				if code == 9 && olen >= 1 {
+					r := opts[4]
+					if r&0x80 == 0 {
+						scale := int64(1_000_000_000)
+						for i := 0; i < int(r); i++ {
+							scale /= 10
+						}
+						if scale < 1 {
+							scale = 1
+						}
+						ifc.tsScale = scale
+					}
+				}
+				opts = opts[4+((olen+3)&^3):]
+				if code == 0 { // opt_endofopt
+					break
+				}
+			}
+			ifaces = append(ifaces, ifc)
+		case blockEPB:
+			if len(body) < 20 {
+				return nil, ErrShortFile
+			}
+			ifID := int(bo.Uint32(body[0:4]))
+			tsHigh := uint64(bo.Uint32(body[4:8]))
+			tsLow := uint64(bo.Uint32(body[8:12]))
+			capLen := int(bo.Uint32(body[12:16]))
+			origLen := int(bo.Uint32(body[16:20]))
+			if capLen < 0 || 20+capLen > len(body) {
+				return nil, ErrShortFile
+			}
+			scale := int64(1000)
+			if ifID < len(ifaces) {
+				scale = ifaces[ifID].tsScale
+				if cap.LinkType == 0 {
+					cap.LinkType = ifaces[ifID].link
+				}
+			}
+			ticks := tsHigh<<32 | tsLow
+			ns := int64(ticks) * scale
+			cap.NanoRes = cap.NanoRes || scale == 1
+			cap.Packets = append(cap.Packets, Packet{
+				Timestamp: time.Unix(0, ns).UTC(),
+				Data:      append([]byte(nil), body[20:20+capLen]...),
+				OrigLen:   origLen,
+			})
+		case blockDSB:
+			if len(body) < 8 {
+				return nil, ErrShortFile
+			}
+			stype := bo.Uint32(body[0:4])
+			slen := int(bo.Uint32(body[4:8]))
+			if slen < 0 || 8+slen > len(body) {
+				return nil, ErrShortFile
+			}
+			if stype == secretsTLSKeys {
+				cap.Secrets = append(cap.Secrets, append([]byte(nil), body[8:8+slen]...))
+			}
+		default:
+			// Unknown block: skip.
+		}
+		off += totalLen
+	}
+	return cap, nil
+}
+
+// WritePcapng serializes the capture as a single-section little-endian
+// pcapng file with one interface. TLS secrets are embedded as Decryption
+// Secrets Blocks before the packet blocks, mirroring editcap
+// --inject-secrets output.
+func WritePcapng(w io.Writer, c *Capture) error {
+	bo := binary.LittleEndian
+	writeBlock := func(btype uint32, body []byte) error {
+		pad := (4 - len(body)%4) % 4
+		total := 12 + len(body) + pad
+		buf := make([]byte, total)
+		bo.PutUint32(buf[0:4], btype)
+		bo.PutUint32(buf[4:8], uint32(total))
+		copy(buf[8:], body)
+		bo.PutUint32(buf[total-4:], uint32(total))
+		_, err := w.Write(buf)
+		return err
+	}
+
+	// Section header.
+	shb := make([]byte, 16)
+	bo.PutUint32(shb[0:4], byteOrderMagic)
+	bo.PutUint16(shb[4:6], 1) // major
+	bo.PutUint16(shb[6:8], 0) // minor
+	for i := 8; i < 16; i++ {
+		shb[i] = 0xff // section length unknown
+	}
+	if err := writeBlock(blockSHB, shb); err != nil {
+		return err
+	}
+
+	// Interface description with nanosecond resolution when needed.
+	idb := make([]byte, 8)
+	bo.PutUint16(idb[0:2], uint16(c.LinkType))
+	bo.PutUint32(idb[4:8], 262144) // snaplen
+	if c.NanoRes {
+		// Option if_tsresol = 9 (10^-9), then end-of-options.
+		opt := make([]byte, 8)
+		bo.PutUint16(opt[0:2], 9)
+		bo.PutUint16(opt[2:4], 1)
+		opt[4] = 9
+		idb = append(idb, opt...)
+		end := make([]byte, 4)
+		idb = append(idb, end...)
+	}
+	if err := writeBlock(blockIDB, idb); err != nil {
+		return err
+	}
+
+	// Secrets first, so readers have keys before packets (per spec advice).
+	for _, s := range c.Secrets {
+		dsb := make([]byte, 8+len(s))
+		bo.PutUint32(dsb[0:4], secretsTLSKeys)
+		bo.PutUint32(dsb[4:8], uint32(len(s)))
+		copy(dsb[8:], s)
+		if err := writeBlock(blockDSB, dsb); err != nil {
+			return err
+		}
+	}
+
+	scale := int64(1000) // microsecond ticks
+	if c.NanoRes {
+		scale = 1
+	}
+	for _, p := range c.Packets {
+		ticks := uint64(p.Timestamp.UnixNano() / scale)
+		body := make([]byte, 20+len(p.Data))
+		bo.PutUint32(body[0:4], 0) // interface 0
+		bo.PutUint32(body[4:8], uint32(ticks>>32))
+		bo.PutUint32(body[8:12], uint32(ticks))
+		bo.PutUint32(body[12:16], uint32(len(p.Data)))
+		orig := p.OrigLen
+		if orig < len(p.Data) {
+			orig = len(p.Data)
+		}
+		bo.PutUint32(body[16:20], uint32(orig))
+		copy(body[20:], p.Data)
+		if err := writeBlock(blockEPB, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read auto-detects the capture format (pcap or pcapng) and parses it.
+func Read(data []byte) (*Capture, error) {
+	if len(data) >= 4 {
+		if binary.LittleEndian.Uint32(data[0:4]) == blockSHB {
+			return ReadPcapng(data)
+		}
+	}
+	return ReadPcap(data)
+}

@@ -1,0 +1,188 @@
+// Package reassembly reconstructs TCP byte streams from captured segments.
+// It handles out-of-order arrival, retransmission, and overlapping segments
+// (first-arrival wins, as Wireshark's follow-stream does), producing one
+// ordered byte stream per flow direction. It also counts TCP flows, the
+// statistic reported in Table 1 of the DiffAudit paper.
+package reassembly
+
+import (
+	"sort"
+
+	"diffaudit/internal/netcap/layers"
+)
+
+// Direction distinguishes the two halves of a bidirectional flow.
+type Direction int
+
+const (
+	// ClientToServer is the canonical-forward direction.
+	ClientToServer Direction = iota
+	// ServerToClient is the reverse direction.
+	ServerToClient
+)
+
+// segment is one TCP payload with its relative stream offset.
+type segment struct {
+	offset uint64 // relative to the direction's initial sequence number
+	data   []byte
+}
+
+// half reassembles one direction of a flow.
+type half struct {
+	initSeq    uint32
+	hasInitSeq bool
+	segments   []segment
+	sawSYN     bool
+}
+
+// isn records the initial sequence number for relative offsets. SYN
+// consumes one sequence number.
+func (h *half) add(t *layers.TCP) {
+	if !h.hasInitSeq {
+		h.initSeq = t.Seq
+		if t.SYN() {
+			h.initSeq++
+		}
+		h.hasInitSeq = true
+	}
+	if t.SYN() {
+		h.sawSYN = true
+	}
+	if len(t.Payload) == 0 {
+		return
+	}
+	// Relative offset handles 32-bit sequence wraparound for streams under
+	// 2^31 bytes by signed distance.
+	off := int64(int32(t.Seq - h.initSeq))
+	if off < 0 {
+		return // before ISN: spurious retransmission
+	}
+	h.segments = append(h.segments, segment{offset: uint64(off), data: t.Payload})
+}
+
+// bytes merges the segments into a contiguous prefix stream. Gaps terminate
+// the stream (bytes after a hole are not emitted); overlaps keep the
+// earliest-arriving bytes.
+func (h *half) bytes() []byte {
+	if len(h.segments) == 0 {
+		return nil
+	}
+	segs := make([]segment, len(h.segments))
+	copy(segs, h.segments)
+	sort.SliceStable(segs, func(i, j int) bool { return segs[i].offset < segs[j].offset })
+	var out []byte
+	for _, s := range segs {
+		end := uint64(len(out))
+		switch {
+		case s.offset > end:
+			// Hole: stop at the gap.
+			return out
+		case s.offset+uint64(len(s.data)) <= end:
+			// Fully duplicate segment.
+			continue
+		default:
+			out = append(out, s.data[end-s.offset:]...)
+		}
+	}
+	return out
+}
+
+// Stream is a fully reassembled bidirectional TCP flow.
+type Stream struct {
+	Key layers.FlowKey
+	// ClientData holds the canonical-forward byte stream, ServerData the
+	// reverse stream. For outgoing-request auditing, ClientData is the
+	// interesting half when the client initiated the flow.
+	ClientData []byte
+	ServerData []byte
+	// Packets counts segments attributed to this flow.
+	Packets int
+	// SawSYN reports whether a SYN was observed (complete capture start).
+	SawSYN bool
+}
+
+// Assembler accumulates segments and produces streams.
+type Assembler struct {
+	flows map[layers.FlowKey]*flowState
+	order []layers.FlowKey
+	// disableOOO turns off out-of-order handling: segments that do not
+	// extend the contiguous prefix are dropped. This exists for the
+	// ablation benchmark mirroring naive follow-stream implementations.
+	disableOOO bool
+}
+
+type flowState struct {
+	fwd, rev half
+	packets  int
+	sawSYN   bool
+}
+
+// New returns an empty assembler.
+func New() *Assembler {
+	return &Assembler{flows: make(map[layers.FlowKey]*flowState)}
+}
+
+// NewSequentialOnly returns an assembler with out-of-order handling
+// disabled (ablation baseline).
+func NewSequentialOnly() *Assembler {
+	a := New()
+	a.disableOOO = true
+	return a
+}
+
+// Add feeds one decoded TCP packet into the assembler. Non-TCP packets are
+// ignored.
+func (a *Assembler) Add(d *layers.Decoded) {
+	if d == nil || d.TCP == nil {
+		return
+	}
+	key := d.Flow()
+	st, ok := a.flows[key]
+	if !ok {
+		st = &flowState{}
+		a.flows[key] = st
+		a.order = append(a.order, key)
+	}
+	st.packets++
+	if d.TCP.SYN() {
+		st.sawSYN = true
+	}
+	h := &st.rev
+	if d.Forward() {
+		h = &st.fwd
+	}
+	if a.disableOOO {
+		// Only accept segments that extend the contiguous prefix.
+		if !h.hasInitSeq {
+			h.add(d.TCP)
+			return
+		}
+		off := int64(int32(d.TCP.Seq - h.initSeq))
+		if off >= 0 && uint64(off) <= uint64(len(h.bytes())) {
+			h.add(d.TCP)
+		}
+		return
+	}
+	h.add(d.TCP)
+}
+
+// FlowCount returns the number of distinct TCP flows observed.
+func (a *Assembler) FlowCount() int { return len(a.flows) }
+
+// Streams returns the reassembled flows in first-seen order. Direction
+// attribution: the half that sent data from the lower endpoint maps to
+// ClientData; for audits the caller distinguishes directions by endpoint.
+func (a *Assembler) Streams() []*Stream {
+	out := make([]*Stream, 0, len(a.flows))
+	for _, key := range a.order {
+		st := a.flows[key]
+		out = append(out, &Stream{
+			Key:        key,
+			ClientData: st.fwd.bytes(),
+			ServerData: st.rev.bytes(),
+			Packets:    st.packets,
+			SawSYN:     st.sawSYN,
+		})
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package tlsx
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Key log labels from the NSS key log format (SSLKEYLOGFILE).
+const (
+	LabelClientTraffic = "CLIENT_TRAFFIC_SECRET_0"
+	LabelServerTraffic = "SERVER_TRAFFIC_SECRET_0"
+	LabelClientHS      = "CLIENT_HANDSHAKE_TRAFFIC_SECRET"
+	LabelServerHS      = "SERVER_HANDSHAKE_TRAFFIC_SECRET"
+)
+
+// KeyLog indexes TLS secrets by (label, client random).
+type KeyLog struct {
+	secrets map[string][]byte // key: label + "/" + hex(random)
+}
+
+// NewKeyLog returns an empty key log.
+func NewKeyLog() *KeyLog {
+	return &KeyLog{secrets: make(map[string][]byte)}
+}
+
+// ParseKeyLog parses NSS key-log-format text ("LABEL <random> <secret>" per
+// line, # comments allowed), as written by browsers and PCAPdroid and as
+// embedded in pcapng Decryption Secrets Blocks.
+func ParseKeyLog(data []byte) (*KeyLog, error) {
+	kl := NewKeyLog()
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("tlsx: keylog line %d: want 3 fields, got %d", line, len(fields))
+		}
+		random, err := hex.DecodeString(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("tlsx: keylog line %d: bad random: %v", line, err)
+		}
+		secret, err := hex.DecodeString(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("tlsx: keylog line %d: bad secret: %v", line, err)
+		}
+		kl.Add(strings.ToUpper(fields[0]), random, secret)
+	}
+	return kl, sc.Err()
+}
+
+// Add registers a secret.
+func (k *KeyLog) Add(label string, clientRandom, secret []byte) {
+	k.secrets[label+"/"+hex.EncodeToString(clientRandom)] = append([]byte(nil), secret...)
+}
+
+// Lookup returns the secret for a label and client random.
+func (k *KeyLog) Lookup(label string, clientRandom []byte) ([]byte, bool) {
+	s, ok := k.secrets[label+"/"+hex.EncodeToString(clientRandom)]
+	return s, ok
+}
+
+// Merge folds another key log into this one.
+func (k *KeyLog) Merge(other *KeyLog) {
+	if other == nil {
+		return
+	}
+	for key, s := range other.secrets {
+		k.secrets[key] = s
+	}
+}
+
+// Len returns the number of stored secrets.
+func (k *KeyLog) Len() int { return len(k.secrets) }
+
+// FormatLine renders one key log line in NSS format.
+func FormatLine(label string, clientRandom, secret []byte) string {
+	return fmt.Sprintf("%s %s %s\n", label,
+		hex.EncodeToString(clientRandom), hex.EncodeToString(secret))
+}
+
+// hkdfExtract implements HKDF-Extract with SHA-256 (RFC 5869).
+func hkdfExtract(salt, ikm []byte) []byte {
+	if len(salt) == 0 {
+		salt = make([]byte, sha256.Size)
+	}
+	m := hmac.New(sha256.New, salt)
+	m.Write(ikm)
+	return m.Sum(nil)
+}
+
+// hkdfExpand implements HKDF-Expand with SHA-256 (RFC 5869).
+func hkdfExpand(prk, info []byte, length int) []byte {
+	var out []byte
+	var t []byte
+	counter := byte(1)
+	for len(out) < length {
+		m := hmac.New(sha256.New, prk)
+		m.Write(t)
+		m.Write(info)
+		m.Write([]byte{counter})
+		t = m.Sum(nil)
+		out = append(out, t...)
+		counter++
+	}
+	return out[:length]
+}
+
+// hkdfExpandLabel implements HKDF-Expand-Label (RFC 8446 §7.1).
+func hkdfExpandLabel(secret []byte, label string, context []byte, length int) []byte {
+	full := "tls13 " + label
+	info := make([]byte, 0, 4+len(full)+len(context))
+	info = append(info, byte(length>>8), byte(length))
+	info = append(info, byte(len(full)))
+	info = append(info, full...)
+	info = append(info, byte(len(context)))
+	info = append(info, context...)
+	return hkdfExpand(secret, info, length)
+}
+
+// trafficKeys derives the AES-128-GCM write key and IV from a traffic
+// secret (RFC 8446 §7.3).
+func trafficKeys(secret []byte) (key, iv []byte) {
+	return hkdfExpandLabel(secret, "key", nil, 16),
+		hkdfExpandLabel(secret, "iv", nil, 12)
+}

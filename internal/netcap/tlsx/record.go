@@ -1,0 +1,236 @@
+// Package tlsx implements the TLS pieces of the DiffAudit capture pipeline:
+// record-layer parsing, ClientHello inspection (SNI, client random), TLS key
+// log files (SSLKEYLOGFILE), and TLS 1.3 application-data decryption with
+// AES-128-GCM keys derived per RFC 8446. It reproduces the paper's
+// PCAPdroid + editcap workflow: captures whose key log is available decrypt
+// to cleartext HTTP; captures without keys remain opaque but are still
+// counted in the dataset statistics.
+package tlsx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ContentType is the TLS record content type.
+type ContentType uint8
+
+// Record content types.
+const (
+	TypeChangeCipherSpec ContentType = 20
+	TypeAlert            ContentType = 21
+	TypeHandshake        ContentType = 22
+	TypeApplicationData  ContentType = 23
+)
+
+// Record is one TLS record.
+type Record struct {
+	Type ContentType
+	// Version is the legacy record version (0x0303 for TLS 1.2/1.3).
+	Version uint16
+	// Payload is the record body (ciphertext for application data).
+	Payload []byte
+}
+
+// ErrPartialRecord reports that the stream ends mid-record.
+var ErrPartialRecord = errors.New("tlsx: partial record at end of stream")
+
+// ParseRecords splits a reassembled TCP stream into TLS records. A trailing
+// partial record yields the records parsed so far plus ErrPartialRecord.
+func ParseRecords(stream []byte) ([]Record, error) {
+	var out []Record
+	off := 0
+	for off < len(stream) {
+		if off+5 > len(stream) {
+			return out, ErrPartialRecord
+		}
+		typ := ContentType(stream[off])
+		if typ < TypeChangeCipherSpec || typ > TypeApplicationData {
+			return out, fmt.Errorf("tlsx: invalid content type %d at offset %d", typ, off)
+		}
+		ver := binary.BigEndian.Uint16(stream[off+1 : off+3])
+		n := int(binary.BigEndian.Uint16(stream[off+3 : off+5]))
+		if off+5+n > len(stream) {
+			return out, ErrPartialRecord
+		}
+		out = append(out, Record{Type: typ, Version: ver, Payload: stream[off+5 : off+5+n]})
+		off += 5 + n
+	}
+	return out, nil
+}
+
+// Encode serializes the record with its 5-byte header.
+func (r Record) Encode() []byte {
+	out := make([]byte, 5+len(r.Payload))
+	out[0] = byte(r.Type)
+	ver := r.Version
+	if ver == 0 {
+		ver = 0x0303
+	}
+	binary.BigEndian.PutUint16(out[1:3], ver)
+	binary.BigEndian.PutUint16(out[3:5], uint16(len(r.Payload)))
+	copy(out[5:], r.Payload)
+	return out
+}
+
+// ClientHello carries the handshake fields the pipeline needs.
+type ClientHello struct {
+	// Random is the 32-byte client random, the key-log lookup key.
+	Random [32]byte
+	// SNI is the server_name extension value ("" when absent).
+	SNI string
+	// CipherSuites lists the offered suites.
+	CipherSuites []uint16
+	// SupportsTLS13 reports whether supported_versions offers 0x0304.
+	SupportsTLS13 bool
+}
+
+// Handshake message types.
+const (
+	handshakeClientHello = 1
+)
+
+// TLS extension numbers.
+const (
+	extServerName        = 0
+	extSupportedVersions = 43
+)
+
+// ParseClientHello parses a ClientHello handshake message from a handshake
+// record payload.
+func ParseClientHello(hs []byte) (*ClientHello, error) {
+	if len(hs) < 4 || hs[0] != handshakeClientHello {
+		return nil, errors.New("tlsx: not a ClientHello")
+	}
+	bodyLen := int(hs[1])<<16 | int(hs[2])<<8 | int(hs[3])
+	if 4+bodyLen > len(hs) {
+		return nil, errors.New("tlsx: truncated ClientHello")
+	}
+	b := hs[4 : 4+bodyLen]
+	// legacy_version(2) random(32) session_id cipher_suites compression ext
+	if len(b) < 35 {
+		return nil, errors.New("tlsx: ClientHello too short")
+	}
+	ch := &ClientHello{}
+	copy(ch.Random[:], b[2:34])
+	off := 34
+	sidLen := int(b[off])
+	off += 1 + sidLen
+	if off+2 > len(b) {
+		return nil, errors.New("tlsx: bad session id")
+	}
+	csLen := int(binary.BigEndian.Uint16(b[off : off+2]))
+	off += 2
+	if off+csLen > len(b) || csLen%2 != 0 {
+		return nil, errors.New("tlsx: bad cipher suites")
+	}
+	for i := 0; i < csLen; i += 2 {
+		ch.CipherSuites = append(ch.CipherSuites, binary.BigEndian.Uint16(b[off+i:off+i+2]))
+	}
+	off += csLen
+	if off >= len(b) {
+		return ch, nil
+	}
+	compLen := int(b[off])
+	off += 1 + compLen
+	if off+2 > len(b) {
+		return ch, nil // no extensions
+	}
+	extLen := int(binary.BigEndian.Uint16(b[off : off+2]))
+	off += 2
+	if off+extLen > len(b) {
+		return nil, errors.New("tlsx: bad extensions length")
+	}
+	exts := b[off : off+extLen]
+	for len(exts) >= 4 {
+		typ := binary.BigEndian.Uint16(exts[0:2])
+		n := int(binary.BigEndian.Uint16(exts[2:4]))
+		if 4+n > len(exts) {
+			break
+		}
+		body := exts[4 : 4+n]
+		switch typ {
+		case extServerName:
+			// server_name_list: len(2) type(1) name_len(2) name
+			if len(body) >= 5 && body[2] == 0 {
+				nameLen := int(binary.BigEndian.Uint16(body[3:5]))
+				if 5+nameLen <= len(body) {
+					ch.SNI = string(body[5 : 5+nameLen])
+				}
+			}
+		case extSupportedVersions:
+			// versions: len(1) then 2-byte versions
+			if len(body) >= 1 {
+				vs := body[1:]
+				for i := 0; i+1 < len(vs) && i < int(body[0]); i += 2 {
+					if binary.BigEndian.Uint16(vs[i:i+2]) == 0x0304 {
+						ch.SupportsTLS13 = true
+					}
+				}
+			}
+		}
+		exts = exts[4+n:]
+	}
+	return ch, nil
+}
+
+// BuildClientHello constructs a minimal TLS 1.3 ClientHello handshake
+// message with the given random and SNI. The synthesizer uses it so that
+// decryption-side parsing is exercised against real handshake bytes.
+func BuildClientHello(random [32]byte, sni string) []byte {
+	return buildClientHello(random, sni, true)
+}
+
+// BuildClientHello12 constructs a TLS 1.2 ClientHello: no
+// supported_versions extension, a TLS 1.2 AES-128-GCM suite.
+func BuildClientHello12(random [32]byte, sni string) []byte {
+	return buildClientHello(random, sni, false)
+}
+
+func buildClientHello(random [32]byte, sni string, tls13 bool) []byte {
+	var body []byte
+	body = append(body, 0x03, 0x03) // legacy_version TLS 1.2
+	body = append(body, random[:]...)
+	body = append(body, 0) // empty session id
+	if tls13 {
+		// TLS_AES_128_GCM_SHA256.
+		body = append(body, 0x00, 0x02, 0x13, 0x01)
+	} else {
+		// TLS_RSA_WITH_AES_128_GCM_SHA256.
+		body = append(body, 0x00, 0x02, 0x00, 0x9C)
+	}
+	body = append(body, 0x01, 0x00) // compression: null
+
+	var exts []byte
+	if sni != "" {
+		name := []byte(sni)
+		ext := make([]byte, 9+len(name))
+		binary.BigEndian.PutUint16(ext[0:2], extServerName)
+		binary.BigEndian.PutUint16(ext[2:4], uint16(5+len(name)))
+		binary.BigEndian.PutUint16(ext[4:6], uint16(3+len(name)))
+		ext[6] = 0 // host_name
+		binary.BigEndian.PutUint16(ext[7:9], uint16(len(name)))
+		copy(ext[9:], name)
+		exts = append(exts, ext...)
+	}
+	if tls13 {
+		// supported_versions: TLS 1.3.
+		sv := []byte{0, 0, 0, 3, 2, 0x03, 0x04}
+		binary.BigEndian.PutUint16(sv[0:2], extSupportedVersions)
+		exts = append(exts, sv...)
+	}
+
+	extHdr := make([]byte, 2)
+	binary.BigEndian.PutUint16(extHdr, uint16(len(exts)))
+	body = append(body, extHdr...)
+	body = append(body, exts...)
+
+	msg := make([]byte, 4+len(body))
+	msg[0] = handshakeClientHello
+	msg[1] = byte(len(body) >> 16)
+	msg[2] = byte(len(body) >> 8)
+	msg[3] = byte(len(body))
+	copy(msg[4:], body)
+	return msg
+}

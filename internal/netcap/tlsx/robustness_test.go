@@ -1,0 +1,43 @@
+package tlsx
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParsersNeverPanic fuzzes the TLS parsers with random and mutated
+// bytes.
+func TestParsersNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	random := testRandom(1)
+	validCH := BuildClientHello(random, "fuzz.example")
+	validSH := BuildServerHello(random, 0x009C)
+	validRec := Record{Type: TypeHandshake, Payload: validCH}.Encode()
+
+	mutate := func(src []byte) []byte {
+		data := append([]byte(nil), src...)
+		if len(data) > 0 {
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		}
+		return data[:rng.Intn(len(data)+1)]
+	}
+	for i := 0; i < 800; i++ {
+		var data []byte
+		switch i % 4 {
+		case 0:
+			data = make([]byte, rng.Intn(120))
+			rng.Read(data)
+		case 1:
+			data = mutate(validCH)
+		case 2:
+			data = mutate(validSH)
+		default:
+			data = mutate(validRec)
+		}
+		_, _ = ParseRecords(data)
+		_, _ = ParseClientHello(data)
+		_, _ = ParseServerHello(data)
+		_, _ = ParseKeyLog(data)
+		_, _ = NewStreamDecryptor(nil).DecryptConversation(data, data)
+	}
+}

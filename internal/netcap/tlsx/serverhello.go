@@ -1,0 +1,89 @@
+package tlsx
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Handshake message type for ServerHello.
+const handshakeServerHello = 2
+
+// ServerHello carries the fields TLS 1.2 decryption needs from the server's
+// half of the conversation.
+type ServerHello struct {
+	// Random is the 32-byte server random (PRF seed material).
+	Random [32]byte
+	// CipherSuite is the selected suite.
+	CipherSuite uint16
+	// NegotiatedTLS13 reports a supported_versions extension selecting
+	// TLS 1.3.
+	NegotiatedTLS13 bool
+}
+
+// ParseServerHello parses a ServerHello handshake message.
+func ParseServerHello(hs []byte) (*ServerHello, error) {
+	if len(hs) < 4 || hs[0] != handshakeServerHello {
+		return nil, errors.New("tlsx: not a ServerHello")
+	}
+	bodyLen := int(hs[1])<<16 | int(hs[2])<<8 | int(hs[3])
+	if 4+bodyLen > len(hs) {
+		return nil, errors.New("tlsx: truncated ServerHello")
+	}
+	b := hs[4 : 4+bodyLen]
+	if len(b) < 35 {
+		return nil, errors.New("tlsx: ServerHello too short")
+	}
+	sh := &ServerHello{}
+	copy(sh.Random[:], b[2:34])
+	off := 34
+	sidLen := int(b[off])
+	off += 1 + sidLen
+	if off+3 > len(b) {
+		return nil, errors.New("tlsx: bad ServerHello session id")
+	}
+	sh.CipherSuite = binary.BigEndian.Uint16(b[off : off+2])
+	off += 3 // suite + compression method
+	if off+2 > len(b) {
+		return sh, nil // no extensions
+	}
+	extLen := int(binary.BigEndian.Uint16(b[off : off+2]))
+	off += 2
+	if off+extLen > len(b) {
+		return nil, errors.New("tlsx: bad ServerHello extensions")
+	}
+	exts := b[off : off+extLen]
+	for len(exts) >= 4 {
+		typ := binary.BigEndian.Uint16(exts[0:2])
+		n := int(binary.BigEndian.Uint16(exts[2:4]))
+		if 4+n > len(exts) {
+			break
+		}
+		if typ == extSupportedVersions && n == 2 &&
+			binary.BigEndian.Uint16(exts[4:6]) == 0x0304 {
+			sh.NegotiatedTLS13 = true
+		}
+		exts = exts[4+n:]
+	}
+	return sh, nil
+}
+
+// BuildServerHello constructs a minimal TLS 1.2 ServerHello handshake
+// message selecting the given suite.
+func BuildServerHello(random [32]byte, cipherSuite uint16) []byte {
+	var body []byte
+	body = append(body, 0x03, 0x03) // TLS 1.2
+	body = append(body, random[:]...)
+	body = append(body, 0) // empty session id
+	var suite [2]byte
+	binary.BigEndian.PutUint16(suite[:], cipherSuite)
+	body = append(body, suite[:]...)
+	body = append(body, 0)    // null compression
+	body = append(body, 0, 0) // empty extensions
+	msg := make([]byte, 4+len(body))
+	msg[0] = handshakeServerHello
+	msg[1] = byte(len(body) >> 16)
+	msg[2] = byte(len(body) >> 8)
+	msg[3] = byte(len(body))
+	copy(msg[4:], body)
+	return msg
+}

@@ -1,0 +1,219 @@
+package tlsx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Session encrypts or decrypts one direction of a TLS 1.3 connection using
+// TLS_AES_128_GCM_SHA256 record protection (RFC 8446 §5.2-5.3). Record
+// sequence numbers advance on every Seal/Open; callers must process records
+// in stream order.
+type Session struct {
+	aead cipher.AEAD
+	iv   []byte
+	seq  uint64
+}
+
+// NewSession derives record-protection state from a traffic secret.
+func NewSession(trafficSecret []byte) (*Session, error) {
+	if len(trafficSecret) == 0 {
+		return nil, errors.New("tlsx: empty traffic secret")
+	}
+	key, iv := trafficKeys(trafficSecret)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{aead: aead, iv: iv}, nil
+}
+
+// nonce computes the per-record nonce: IV XOR seq (RFC 8446 §5.3).
+func (s *Session) nonce() []byte {
+	n := make([]byte, 12)
+	copy(n, s.iv)
+	var seqBytes [8]byte
+	binary.BigEndian.PutUint64(seqBytes[:], s.seq)
+	for i := 0; i < 8; i++ {
+		n[4+i] ^= seqBytes[i]
+	}
+	return n
+}
+
+// Seal encrypts an inner plaintext of the given content type into a full
+// application-data record (header included).
+func (s *Session) Seal(contentType ContentType, plaintext []byte) []byte {
+	inner := make([]byte, 0, len(plaintext)+1)
+	inner = append(inner, plaintext...)
+	inner = append(inner, byte(contentType))
+	ctLen := len(inner) + s.aead.Overhead()
+	hdr := []byte{byte(TypeApplicationData), 0x03, 0x03, byte(ctLen >> 8), byte(ctLen)}
+	ct := s.aead.Seal(nil, s.nonce(), inner, hdr)
+	s.seq++
+	return append(hdr, ct...)
+}
+
+// Open decrypts one application-data record payload (the bytes after the
+// 5-byte header) and returns the inner content type and plaintext.
+func (s *Session) Open(recordPayload []byte) (ContentType, []byte, error) {
+	ctLen := len(recordPayload)
+	hdr := []byte{byte(TypeApplicationData), 0x03, 0x03, byte(ctLen >> 8), byte(ctLen)}
+	inner, err := s.aead.Open(nil, s.nonce(), recordPayload, hdr)
+	if err != nil {
+		return 0, nil, fmt.Errorf("tlsx: record %d: %w", s.seq, err)
+	}
+	s.seq++
+	// Strip zero padding, then the trailing content type byte.
+	i := len(inner) - 1
+	for i >= 0 && inner[i] == 0 {
+		i--
+	}
+	if i < 0 {
+		return 0, nil, errors.New("tlsx: record is all padding")
+	}
+	return ContentType(inner[i]), inner[:i], nil
+}
+
+// StreamDecryptor decrypts the client→server half of a captured TLS 1.3
+// stream given a key log: it parses records, extracts the ClientHello to
+// learn the client random and SNI, resolves the traffic secret, and
+// decrypts application data.
+type StreamDecryptor struct {
+	keylog *KeyLog
+}
+
+// NewStreamDecryptor wraps a key log.
+func NewStreamDecryptor(kl *KeyLog) *StreamDecryptor {
+	if kl == nil {
+		kl = NewKeyLog()
+	}
+	return &StreamDecryptor{keylog: kl}
+}
+
+// Result is the outcome of decrypting one stream.
+type Result struct {
+	// SNI is the server name from the ClientHello ("" when absent).
+	SNI string
+	// Plaintext is the concatenated decrypted application data; nil when
+	// no key material was available (the stream stays opaque but counted).
+	Plaintext []byte
+	// Records counts TLS records seen in the stream.
+	Records int
+	// Decrypted reports whether key material was found.
+	Decrypted bool
+	// TLS12 reports that the flow negotiated TLS 1.2 (no
+	// supported_versions offer of 1.3).
+	TLS12 bool
+}
+
+// DecryptClientStream processes the client→server byte stream of one flow.
+// Streams that do not look like TLS return an error; TLS streams without
+// key material return a Result with Decrypted=false, matching the paper's
+// treatment ("we include all collected traffic, both encrypted and
+// decrypted"). TLS 1.2 flows need the server half too — use
+// DecryptConversation when it is available.
+func (d *StreamDecryptor) DecryptClientStream(stream []byte) (*Result, error) {
+	return d.DecryptConversation(stream, nil)
+}
+
+// DecryptConversation processes one flow given both directions. The
+// ClientHello decides the protocol path: TLS 1.3 sessions decrypt from
+// CLIENT_TRAFFIC_SECRET_0, TLS 1.2 sessions derive client-write keys from
+// the CLIENT_RANDOM master secret plus the ServerHello random found in the
+// server stream.
+func (d *StreamDecryptor) DecryptConversation(clientStream, serverStream []byte) (*Result, error) {
+	records, err := ParseRecords(clientStream)
+	if err != nil && !errors.Is(err, ErrPartialRecord) {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, errors.New("tlsx: no TLS records")
+	}
+	res := &Result{Records: len(records)}
+	var ch *ClientHello
+	var sess13 *Session
+	var sess12 *Session12
+	for _, rec := range records {
+		switch rec.Type {
+		case TypeHandshake:
+			if ch == nil {
+				parsed, err := ParseClientHello(rec.Payload)
+				if err != nil {
+					continue
+				}
+				ch = parsed
+				res.SNI = ch.SNI
+				res.TLS12 = !ch.SupportsTLS13
+				if ch.SupportsTLS13 {
+					if secret, ok := d.keylog.Lookup(LabelClientTraffic, ch.Random[:]); ok {
+						if s, err := NewSession(secret); err == nil {
+							sess13 = s
+						}
+					}
+					continue
+				}
+				// TLS 1.2: need the master secret and the server random.
+				master, ok := d.keylog.Lookup(LabelClientRandom, ch.Random[:])
+				if !ok {
+					continue
+				}
+				sh := findServerHello(serverStream)
+				if sh == nil {
+					continue
+				}
+				if s, err := NewSession12(master, ch.Random[:], sh.Random[:]); err == nil {
+					sess12 = s
+				}
+			}
+		case TypeApplicationData:
+			switch {
+			case sess13 != nil:
+				ct, pt, err := sess13.Open(rec.Payload)
+				if err != nil {
+					sess13 = nil // key mismatch: stream stays counted
+					continue
+				}
+				if ct == TypeApplicationData {
+					res.Plaintext = append(res.Plaintext, pt...)
+					res.Decrypted = true
+				}
+			case sess12 != nil:
+				pt, err := sess12.Open(TypeApplicationData, rec.Payload)
+				if err != nil {
+					sess12 = nil
+					continue
+				}
+				res.Plaintext = append(res.Plaintext, pt...)
+				res.Decrypted = true
+			}
+		}
+	}
+	return res, nil
+}
+
+// findServerHello scans the server→client stream for a ServerHello.
+func findServerHello(serverStream []byte) *ServerHello {
+	if len(serverStream) == 0 {
+		return nil
+	}
+	records, err := ParseRecords(serverStream)
+	if err != nil && !errors.Is(err, ErrPartialRecord) {
+		return nil
+	}
+	for _, rec := range records {
+		if rec.Type != TypeHandshake {
+			continue
+		}
+		if sh, err := ParseServerHello(rec.Payload); err == nil {
+			return sh
+		}
+	}
+	return nil
+}

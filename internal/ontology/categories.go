@@ -1,0 +1,348 @@
+package ontology
+
+// categories enumerates the 35 level-3 categories of the DiffAudit ontology
+// (Table 2) with the level-4 example terms of Table 5. The eleven
+// personal-characteristic categories split Table 5's "Protected
+// Classifications" row into the individual CCPA classifications so that each
+// of the 35 labels of Table 2 is addressable by the classifier.
+var categories = []Category{
+	// ---- Identifiers / Personal Identifiers -------------------------------
+	{
+		Name:  "Name",
+		Group: PersonalIdentifiers,
+		Examples: []string{
+			"first and last name", "first name", "last name", "user name",
+			"username", "full name", "display name", "real name", "surname",
+		},
+		ObservedInPaper: true,
+	},
+	{
+		Name:  "Linked Personal Identifiers",
+		Group: PersonalIdentifiers,
+		Examples: []string{
+			"social security number", "driver's license number",
+			"state identification card number", "passport number", "ssn",
+		},
+	},
+	{
+		Name:  "Contact Information",
+		Group: PersonalIdentifiers,
+		Examples: []string{
+			"email address", "email", "telephone number", "phone number",
+			"phone", "mailing address", "contact email",
+		},
+		ObservedInPaper: true,
+	},
+	{
+		Name:  "Reasonably Linkable Personal Identifiers",
+		Group: PersonalIdentifiers,
+		Examples: []string{
+			"ip address", "ip", "unique pseudonym", "pseudonym",
+			"client ip", "remote address", "x-forwarded-for",
+		},
+		ObservedInPaper: true,
+	},
+	{
+		Name:  "Aliases",
+		Group: PersonalIdentifiers,
+		Examples: []string{
+			"alias", "online identifier", "unique personal identifier",
+			"unique id", "guid", "globally unique identifier", "uuid",
+			"universally unique identifier", "user id", "uid", "member id",
+			"account id", "player id", "profile id", "visitor id",
+		},
+		ObservedInPaper: true,
+	},
+	{
+		Name:  "Customer Numbers",
+		Group: PersonalIdentifiers,
+		Examples: []string{
+			"customer number", "account name", "insurance policy number",
+			"bank account number", "credit card number", "debit card number",
+			"card number", "billing account",
+		},
+	},
+	{
+		Name:  "Login Information",
+		Group: PersonalIdentifiers,
+		Examples: []string{
+			"password", "login", "authorization", "authentication", "auth",
+			"token", "access token", "refresh token", "session token",
+			"credential", "api key", "bearer", "oauth", "signin", "sign in",
+			"csrf", "xsrf", "nonce", "otp", "passcode",
+		},
+		ObservedInPaper: true,
+	},
+
+	// ---- Identifiers / Device Identifiers ---------------------------------
+	{
+		Name:  "Device Hardware Identifiers",
+		Group: DeviceIdentifiers,
+		Examples: []string{
+			"imei", "international mobile equipment identity", "mac address",
+			"mac", "unique device identifier", "udid",
+			"processor serial number", "device serial number", "serial number",
+			"device id", "hardware id", "android id", "build serial",
+		},
+		ObservedInPaper: true,
+	},
+	{
+		Name:  "Device Software Identifiers",
+		Group: DeviceIdentifiers,
+		Examples: []string{
+			"advertising identifier", "advertising id", "ad id", "adid",
+			"idfa", "gaid", "cookie", "cookie id", "pixel tag", "pixel",
+			"beacon", "tracking identifier", "tracking id", "install id",
+			"instance id", "app set id", "fingerprint", "etag",
+		},
+		ObservedInPaper: true,
+	},
+	{
+		Name:  "Device Information",
+		Group: DeviceIdentifiers,
+		Examples: []string{
+			"display", "height", "width", "fps", "frames per second",
+			"browser", "bitrate", "abr", "adaptive bitrate", "abr bitrate map",
+			"speed", "device", "delay", "os", "operating system", "rate",
+			"screen", "sound", "memory", "history", "cpu",
+			"central processing unit", "buffer", "latency", "download",
+			"load", "frame", "depth", "download speed", "render",
+			"device model", "device type", "platform", "screen resolution",
+			"user agent", "os version", "battery", "orientation",
+		},
+		ObservedInPaper: true,
+	},
+
+	// ---- Personal Information / Personal Characteristics ------------------
+	{
+		Name:     "Race",
+		Group:    PersonalCharacteristics,
+		Examples: []string{"race", "skin color", "national origin", "ancestry", "ethnicity"},
+	},
+	{
+		Name:  "Age",
+		Group: PersonalCharacteristics,
+		Examples: []string{
+			"age", "birthday", "birth date", "date of birth", "dob",
+			"birth year", "age group", "age band", "year of birth",
+		},
+		ObservedInPaper: true,
+	},
+	{
+		Name:  "Language",
+		Group: PersonalCharacteristics,
+		Examples: []string{
+			"language", "locale", "lang", "accept language", "ui language",
+			"preferred language", "learning language",
+		},
+		ObservedInPaper: true,
+	},
+	{
+		Name:     "Religion",
+		Group:    PersonalCharacteristics,
+		Examples: []string{"religion", "religious affiliation", "creed"},
+	},
+	{
+		Name:  "Gender/Sex",
+		Group: PersonalCharacteristics,
+		Examples: []string{
+			"gender", "sex", "sexual orientation", "pronoun", "pronouns",
+		},
+		ObservedInPaper: true,
+	},
+	{
+		Name:     "Marital Status",
+		Group:    PersonalCharacteristics,
+		Examples: []string{"marital status", "married", "spouse", "civil status"},
+	},
+	{
+		Name:     "Military/Veteran Status",
+		Group:    PersonalCharacteristics,
+		Examples: []string{"military status", "veteran status", "military", "veteran"},
+	},
+	{
+		Name:     "Medical Conditions",
+		Group:    PersonalCharacteristics,
+		Examples: []string{"medical condition", "health condition", "diagnosis", "medication"},
+	},
+	{
+		Name:     "Genetic Information",
+		Group:    PersonalCharacteristics,
+		Examples: []string{"genetic information", "dna", "genome", "genotype"},
+	},
+	{
+		Name:     "Disabilities",
+		Group:    PersonalCharacteristics,
+		Examples: []string{"disability", "disabilities", "impairment", "accessibility need"},
+	},
+	{
+		Name:  "Biometric Information",
+		Group: PersonalCharacteristics,
+		Examples: []string{
+			"biometric", "voiceprint", "faceprint", "fingerprint scan",
+			"iris scan", "keystroke patterns", "keystroke rhythms", "gait",
+			"physical characteristics or descriptions",
+		},
+	},
+
+	// ---- Personal Information / Personal History --------------------------
+	{
+		Name:  "Personal History",
+		Group: PersonalHistoryGroup,
+		Examples: []string{
+			"employment", "employment history", "education",
+			"education history", "financial information",
+			"medical information", "salary", "job title", "employer",
+			"school", "degree",
+		},
+	},
+
+	// ---- Personal Information / Geolocation -------------------------------
+	{
+		Name:  "Precise Geolocation",
+		Group: Geolocation,
+		Examples: []string{
+			"gps location", "gps", "coordinates", "postal address",
+			"latitude", "longitude", "lat", "lng", "lon", "geo coordinates",
+			"street address", "altitude",
+		},
+	},
+	{
+		Name:  "Coarse Geolocation",
+		Group: Geolocation,
+		Examples: []string{
+			"city", "town", "country", "region", "state", "province",
+			"postal code", "zip code", "country code", "geo", "locality",
+		},
+		ObservedInPaper: true,
+	},
+	{
+		Name:  "Location Time",
+		Group: Geolocation,
+		Examples: []string{
+			"time", "timestamp", "timezone", "time zone", "time offset",
+			"date", "utc offset", "local time", "client time", "epoch",
+			"created at", "updated at", "ts",
+		},
+		ObservedInPaper: true,
+	},
+
+	// ---- Personal Information / User Communications -----------------------
+	{
+		Name:  "Communications",
+		Group: UserCommunications,
+		Examples: []string{
+			"audio communications", "text communications",
+			"video communications", "message", "chat", "direct message",
+			"comment", "voice message", "mail contents",
+		},
+	},
+	{
+		Name:  "Contacts",
+		Group: UserCommunications,
+		Examples: []string{
+			"contact list", "contacts", "address book", "friends list",
+			"people communicated with", "followers", "following",
+		},
+	},
+	{
+		Name:  "Internet Activity",
+		Group: UserCommunications,
+		Examples: []string{
+			"browsing history", "search history", "search query",
+			"ip addresses communicated with", "visited pages", "clickstream",
+		},
+	},
+	{
+		Name:  "Network Connection Information",
+		Group: UserCommunications,
+		Examples: []string{
+			"request", "response", "dns", "domain name system", "tcp",
+			"transmission control protocol", "tls", "transport layer security",
+			"rtt", "round trip time", "ttfb", "time to first byte",
+			"protocol", "client", "connection", "key", "payload", "host",
+			"referer", "referrer", "telemetry", "cache", "network type",
+			"carrier", "ssid", "wifi", "cellular", "bandwidth", "proxy",
+			"port", "socket", "http version", "content type", "user ip",
+		},
+		ObservedInPaper: true,
+	},
+
+	// ---- Personal Information / Sensors -----------------------------------
+	{
+		Name:  "Sensor Data",
+		Group: Sensors,
+		Examples: []string{
+			"audio recordings", "video recordings", "sensor data",
+			"accelerometer", "gyroscope", "thermal sensor", "olfactory sensor",
+			"microphone", "camera", "proximity sensor", "light sensor",
+		},
+	},
+
+	// ---- Personal Information / User Interests and Behavior ---------------
+	{
+		Name:  "Products and Advertising",
+		Group: UserInterestsAndBehavior,
+		Examples: []string{
+			"records of personal property", "products or services considered",
+			"interaction with an advertisement", "ad engagement",
+			"advertisement engagement", "bid", "analytics", "marketing",
+			"third party", "advertiser", "ad unit", "campaign", "creative",
+			"impression", "ad click", "conversion", "placement", "sponsored",
+			"promo", "ad slot", "auction", "cpm", "personalized ads",
+		},
+		ObservedInPaper: true,
+	},
+	{
+		Name:  "App or Service Usage",
+		Group: UserInterestsAndBehavior,
+		Examples: []string{
+			"user interaction with an application",
+			"user interaction with a website", "session", "usage session",
+			"content", "video", "audio", "video buffer", "audio buffer",
+			"play", "volume", "avatar", "behavior", "action", "event",
+			"data", "status", "duration", "timing", "watch time",
+			"progress", "score", "level", "streak", "lesson", "quiz",
+			"study set", "playlist", "view count", "interaction", "scroll",
+			"click", "tap", "engagement", "playback",
+		},
+		ObservedInPaper: true,
+	},
+	{
+		Name:  "Account Settings",
+		Group: UserInterestsAndBehavior,
+		Examples: []string{
+			"account", "settings", "consent", "permission", "preferences",
+			"opt out", "opt in", "privacy setting", "notification setting",
+			"parental controls", "profile setting", "subscription",
+		},
+		ObservedInPaper: true,
+	},
+	{
+		Name:  "Service Information",
+		Group: UserInterestsAndBehavior,
+		Examples: []string{
+			"server", "sdk", "software development kit", "api",
+			"application programming interface", "site", "url",
+			"uniform resource locator", "domain", "version", "script",
+			"uri", "uniform resource identifier", "application", "page",
+			"app", "cdn", "content delivery network", "dom",
+			"document object model", "build", "release", "environment",
+			"endpoint", "module", "bundle", "library", "app version",
+			"sdk version", "experiment", "feature flag",
+		},
+		ObservedInPaper: true,
+	},
+	{
+		Name:  "Inferences About Users",
+		Group: UserInterestsAndBehavior,
+		Examples: []string{
+			"user preferences", "characteristics", "psychological trends",
+			"predispositions", "attitudes", "intelligence", "abilities",
+			"aptitudes", "personality", "purchase history",
+			"purchase tendency", "interest segment", "audience segment",
+			"affinity", "recommendation profile", "predicted interests",
+		},
+		ObservedInPaper: true,
+	},
+}

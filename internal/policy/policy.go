@@ -1,0 +1,168 @@
+// Package policy models the privacy-policy disclosures of the audited
+// services (as quoted in Section 4.1.2 of the DiffAudit paper, fall-2023
+// policies) and checks observed data flows against them. A disclosure is
+// modeled as a constraint — classes of flows the policy says should not
+// happen — and a finding reports every observed flow that contradicts it.
+package policy
+
+import (
+	"fmt"
+
+	"diffaudit/internal/flows"
+	"diffaudit/internal/ontology"
+)
+
+// Constraint is one falsifiable policy statement: the quoted disclosure
+// plus the flow shapes that would contradict it.
+type Constraint struct {
+	// Quote is the policy text, as cited in the paper.
+	Quote string
+	// Traces are the trace categories the statement covers.
+	Traces []flows.TraceCategory
+	// Classes are the destination classes the statement forbids.
+	Classes []flows.DestClass
+	// Groups optionally narrows the statement to level-2 groups; empty
+	// means any data type.
+	Groups []ontology.Level2
+}
+
+// Model is a service's disclosed-practice model.
+type Model struct {
+	Service string
+	// Constraints are the falsifiable statements; a service whose policy
+	// is consistent with its traffic (the paper found only YouTube's to
+	// be) simply has no violated constraints.
+	Constraints []Constraint
+}
+
+// Violation is one flow contradicting one constraint.
+type Violation struct {
+	Constraint Constraint
+	Trace      flows.TraceCategory
+	Flow       flows.Flow
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s trace: %s → %s (%s) contradicts %q",
+		v.Trace, v.Flow.Category.Name, v.Flow.Dest.FQDN, v.Flow.Dest.Class, clip(v.Constraint.Quote))
+}
+
+func clip(s string) string {
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}
+
+// Audit evaluates a model against per-trace flow sets, returning every
+// contradiction. Consistent policies return nil.
+func Audit(m *Model, byTrace map[flows.TraceCategory]*flows.Set) []Violation {
+	var out []Violation
+	for _, c := range m.Constraints {
+		for _, t := range c.Traces {
+			set := byTrace[t]
+			if set == nil {
+				continue
+			}
+			for _, f := range set.Flows() {
+				if !classIn(f.Dest.Class, c.Classes) {
+					continue
+				}
+				if len(c.Groups) > 0 && !groupIn(f.Category.Group, c.Groups) {
+					continue
+				}
+				out = append(out, Violation{Constraint: c, Trace: t, Flow: f})
+			}
+		}
+	}
+	return out
+}
+
+func classIn(c flows.DestClass, set []flows.DestClass) bool {
+	for _, x := range set {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+func groupIn(g ontology.Level2, set []ontology.Level2) bool {
+	for _, x := range set {
+		if x == g {
+			return true
+		}
+	}
+	return false
+}
+
+// Models returns the fall-2023 policy models for the six audited services,
+// built from the disclosures quoted in the paper.
+func Models() map[string]*Model {
+	minors := []flows.TraceCategory{flows.Child, flows.Adolescent}
+	return map[string]*Model{
+		"Duolingo": {
+			Service: "Duolingo",
+			Constraints: []Constraint{{
+				Quote: "For users under 16, advertisements are set to non-personalised " +
+					"and third-party behavioral tracking is disabled.",
+				Traces:  minors,
+				Classes: []flows.DestClass{flows.ThirdPartyATS},
+			}},
+		},
+		"Minecraft": {
+			Service: "Minecraft",
+			Constraints: []Constraint{{
+				Quote: "We do not deliver personalized advertising to children whose " +
+					"birthdate in their Microsoft account identifies them as under 18 years of age.",
+				Traces:  minors,
+				Classes: []flows.DestClass{flows.ThirdPartyATS},
+			}},
+		},
+		"Quizlet": {
+			Service: "Quizlet",
+			Constraints: []Constraint{{
+				Quote: "We may use aggregated or de-identified information about children " +
+					"for research, analysis, marketing and other commercial purposes. " +
+					"(No disclosure covers identifier sharing before consent.)",
+				Traces:  []flows.TraceCategory{flows.LoggedOut},
+				Classes: []flows.DestClass{flows.ThirdParty, flows.ThirdPartyATS},
+				Groups:  []ontology.Level2{ontology.PersonalIdentifiers, ontology.DeviceIdentifiers},
+			}},
+		},
+		"Roblox": {
+			Service: "Roblox",
+			Constraints: []Constraint{
+				{
+					Quote: "We may share non-identifying data of all users regardless of their age.",
+					Traces: []flows.TraceCategory{
+						flows.Child, flows.Adolescent, flows.Adult, flows.LoggedOut,
+					},
+					Classes: []flows.DestClass{flows.ThirdParty, flows.ThirdPartyATS},
+					Groups:  []ontology.Level2{ontology.PersonalIdentifiers, ontology.DeviceIdentifiers},
+				},
+				{
+					Quote:   "We have no actual knowledge of selling or sharing the Personal Information of minors under 16 years of age.",
+					Traces:  minors,
+					Classes: []flows.DestClass{flows.ThirdPartyATS},
+				},
+			},
+		},
+		"TikTok": {
+			Service: "TikTok",
+			Constraints: []Constraint{{
+				Quote: "TikTok does not sell information from children to third parties and " +
+					"does not share such information with third parties for the purposes of " +
+					"cross-context behavioral advertising.",
+				Traces:  []flows.TraceCategory{flows.Child},
+				Classes: []flows.DestClass{flows.ThirdPartyATS},
+			}},
+		},
+		// YouTube/YouTube Kids disclose the collection the paper observed
+		// ("internal operational purposes", "contextual advertising,
+		// including ad frequency capping"), and no third-party flows were
+		// seen: no falsifiable constraint is violated.
+		"YouTube": {Service: "YouTube"},
+	}
+}

@@ -1,0 +1,113 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"diffaudit/internal/flows"
+	"diffaudit/internal/ontology"
+)
+
+func cat(name string) *ontology.Category {
+	c, ok := ontology.Lookup(name)
+	if !ok {
+		panic("unknown category " + name)
+	}
+	return c
+}
+
+func traceSet(pairs ...flows.Flow) map[flows.TraceCategory]*flows.Set {
+	out := map[flows.TraceCategory]*flows.Set{}
+	for _, t := range flows.TraceCategories() {
+		out[t] = flows.NewSet()
+	}
+	for _, f := range pairs {
+		out[flows.Child].Add(f, flows.Web)
+	}
+	return out
+}
+
+func TestModelsCoverAllSixServices(t *testing.T) {
+	m := Models()
+	for _, svc := range []string{"Duolingo", "Minecraft", "Quizlet", "Roblox", "TikTok", "YouTube"} {
+		if _, ok := m[svc]; !ok {
+			t.Errorf("no policy model for %s", svc)
+		}
+	}
+	if len(m["YouTube"].Constraints) != 0 {
+		t.Error("YouTube's policy was consistent in the paper; its model must have no falsifiable constraints")
+	}
+	for _, svc := range []string{"Duolingo", "Minecraft", "Quizlet", "Roblox", "TikTok"} {
+		if len(m[svc].Constraints) == 0 {
+			t.Errorf("%s must have at least one falsifiable constraint", svc)
+		}
+	}
+}
+
+func TestAuditFindsContradiction(t *testing.T) {
+	m := Models()["Duolingo"]
+	byTrace := traceSet(flows.Flow{
+		Category: cat("Aliases"),
+		Dest:     flows.Destination{FQDN: "t.ats.example", Class: flows.ThirdPartyATS},
+	})
+	violations := Audit(m, byTrace)
+	if len(violations) != 1 {
+		t.Fatalf("violations = %d, want 1", len(violations))
+	}
+	v := violations[0]
+	if v.Trace != flows.Child || v.Flow.Dest.FQDN != "t.ats.example" {
+		t.Errorf("violation = %+v", v)
+	}
+	if !strings.Contains(v.String(), "contradicts") {
+		t.Errorf("violation string = %q", v.String())
+	}
+}
+
+func TestAuditRespectsGroupFilter(t *testing.T) {
+	m := Models()["Quizlet"] // constraint limited to identifier groups, logged-out
+	byTrace := map[flows.TraceCategory]*flows.Set{
+		flows.LoggedOut: flows.NewSet(),
+	}
+	// Personal information only: no identifier groups → no violation.
+	byTrace[flows.LoggedOut].Add(flows.Flow{
+		Category: cat("Language"),
+		Dest:     flows.Destination{FQDN: "x.example", Class: flows.ThirdPartyATS},
+	}, flows.Web)
+	if v := Audit(m, byTrace); len(v) != 0 {
+		t.Errorf("non-identifier flow should not violate: %+v", v)
+	}
+	// Identifier: violation.
+	byTrace[flows.LoggedOut].Add(flows.Flow{
+		Category: cat("Aliases"),
+		Dest:     flows.Destination{FQDN: "x.example", Class: flows.ThirdPartyATS},
+	}, flows.Web)
+	if v := Audit(m, byTrace); len(v) != 1 {
+		t.Errorf("identifier flow should violate: %+v", v)
+	}
+}
+
+func TestAuditIgnoresFirstPartyAndAdult(t *testing.T) {
+	m := Models()["TikTok"] // child-only ATS constraint
+	byTrace := map[flows.TraceCategory]*flows.Set{
+		flows.Child: flows.NewSet(),
+		flows.Adult: flows.NewSet(),
+	}
+	byTrace[flows.Child].Add(flows.Flow{
+		Category: cat("Aliases"),
+		Dest:     flows.Destination{FQDN: "fp.tiktok.com", Class: flows.FirstParty},
+	}, flows.Web)
+	byTrace[flows.Adult].Add(flows.Flow{
+		Category: cat("Aliases"),
+		Dest:     flows.Destination{FQDN: "ats.example", Class: flows.ThirdPartyATS},
+	}, flows.Web)
+	if v := Audit(m, byTrace); len(v) != 0 {
+		t.Errorf("first-party child and third-party adult flows must not violate: %+v", v)
+	}
+}
+
+func TestAuditNilTrace(t *testing.T) {
+	m := Models()["Minecraft"]
+	if v := Audit(m, map[flows.TraceCategory]*flows.Set{}); v != nil {
+		t.Errorf("empty trace map should yield nil, got %+v", v)
+	}
+}

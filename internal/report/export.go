@@ -1,0 +1,121 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"diffaudit/internal/core"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/linkability"
+)
+
+// Export structures: the machine-readable counterpart of the paper's
+// released dataset ("We plan to make DiffAudit's implementation and
+// datasets available").
+
+// ExportedFlow is one data flow in export form.
+type ExportedFlow struct {
+	Service    string `json:"service"`
+	Trace      string `json:"trace"`
+	Category   string `json:"data_type_category"`
+	Group      string `json:"data_type_group"`
+	Identifier bool   `json:"is_identifier"`
+	FQDN       string `json:"destination"`
+	ESLD       string `json:"esld"`
+	Owner      string `json:"owner"`
+	Class      string `json:"destination_class"`
+	Platforms  string `json:"platforms"`
+}
+
+// ExportedService is one service's audit summary in export form.
+type ExportedService struct {
+	Service         string         `json:"service"`
+	Domains         int            `json:"domains"`
+	ESLDs           int            `json:"eslds"`
+	Packets         int            `json:"packets"`
+	TCPFlows        int            `json:"tcp_flows"`
+	UniqueDataTypes int            `json:"unique_data_types"`
+	DroppedKeys     int            `json:"dropped_keys"`
+	Flows           []ExportedFlow `json:"flows"`
+	LinkableParties map[string]int `json:"linkable_parties"`
+	LargestSets     map[string]int `json:"largest_linkable_sets"`
+}
+
+// exportService flattens one result.
+func exportService(r *core.ServiceResult) ExportedService {
+	out := ExportedService{
+		Service:         r.Identity.Name,
+		Domains:         len(r.Domains),
+		ESLDs:           len(r.ESLDs),
+		Packets:         r.Packets,
+		TCPFlows:        r.TCPFlows,
+		UniqueDataTypes: len(r.RawKeys),
+		DroppedKeys:     r.DroppedKeys,
+		LinkableParties: map[string]int{},
+		LargestSets:     map[string]int{},
+	}
+	for _, t := range flows.TraceCategories() {
+		set := r.ByTrace[t]
+		for _, f := range set.Flows() {
+			out.Flows = append(out.Flows, ExportedFlow{
+				Service:    r.Identity.Name,
+				Trace:      t.String(),
+				Category:   f.Category.Name,
+				Group:      f.Category.Group.String(),
+				Identifier: f.Category.IsIdentifier(),
+				FQDN:       f.Dest.FQDN,
+				ESLD:       f.Dest.ESLD,
+				Owner:      f.Dest.Owner,
+				Class:      f.Dest.Class.String(),
+				Platforms:  set.Platforms(f).Symbol(),
+			})
+		}
+		out.LinkableParties[t.String()] = linkability.CountLinkable(set)
+		n, _ := linkability.LargestSet(set)
+		out.LargestSets[t.String()] = n
+	}
+	return out
+}
+
+// ExportJSON renders the audit results as an indented JSON document.
+func ExportJSON(results []*core.ServiceResult) ([]byte, error) {
+	var doc struct {
+		Services []ExportedService `json:"services"`
+		Totals   core.Table1Totals `json:"totals"`
+	}
+	for _, r := range results {
+		doc.Services = append(doc.Services, exportService(r))
+	}
+	doc.Totals = core.Totals(results)
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// ExportFlowsCSV renders every data flow as CSV rows with a header.
+func ExportFlowsCSV(results []*core.ServiceResult) (string, error) {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	header := []string{
+		"service", "trace", "data_type_category", "data_type_group",
+		"is_identifier", "destination", "esld", "owner",
+		"destination_class", "platforms",
+	}
+	if err := w.Write(header); err != nil {
+		return "", err
+	}
+	for _, r := range results {
+		for _, ef := range exportService(r).Flows {
+			row := []string{
+				ef.Service, ef.Trace, ef.Category, ef.Group,
+				fmt.Sprintf("%t", ef.Identifier), ef.FQDN, ef.ESLD,
+				ef.Owner, ef.Class, ef.Platforms,
+			}
+			if err := w.Write(row); err != nil {
+				return "", err
+			}
+		}
+	}
+	w.Flush()
+	return b.String(), w.Error()
+}

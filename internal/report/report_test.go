@@ -1,0 +1,211 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"diffaudit/internal/classifier"
+	"diffaudit/internal/core"
+	"diffaudit/internal/synth"
+)
+
+// results is a shared small-scale analysis for renderer tests.
+func results(t *testing.T) []*core.ServiceResult {
+	t.Helper()
+	ds := synth.Generate(synth.Config{Scale: 0.002})
+	pipe := core.NewPipeline()
+	var out []*core.ServiceResult
+	for _, st := range ds.Services {
+		out = append(out, pipe.AnalyzeRecords(st.Identity(), st.Records()))
+	}
+	return out
+}
+
+func TestTable1Render(t *testing.T) {
+	out := Table1(results(t))
+	for _, want := range []string{"Table 1", "Duolingo", "YouTube", "Total", "TCP Flows"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2RenderDerivesObservations(t *testing.T) {
+	out := Table2(results(t))
+	if !strings.Contains(out, "Observed: 19 of 35") {
+		t.Errorf("Table2 should derive 19/35 observed categories:\n%s", out)
+	}
+	if !strings.Contains(out, "Race") || !strings.Contains(out, "Aliases") {
+		t.Error("Table2 missing categories")
+	}
+	// Unobserved categories must not be starred.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "Sensor Data") && strings.Contains(line, "*") {
+			t.Error("Sensor Data must not be marked observed")
+		}
+	}
+}
+
+func TestTable3Render(t *testing.T) {
+	sample := classifier.GenerateCorpus(classifier.CorpusOptions{N: 60, Seed: 3, EasyFrac: 0.5, MediumFrac: 0.2, JunkFrac: 0.15})
+	out := Table3(classifier.Table3(sample))
+	for _, want := range []string{"Table 3", "Majority-Max", "Majority-Avg", "0.25"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 missing %q", want)
+		}
+	}
+}
+
+func TestTable4Render(t *testing.T) {
+	out := Table4(results(t))
+	for _, want := range []string{"Table 4", "Personal Identifiers", "Geolocation", "●", "—"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table4 missing %q", want)
+		}
+	}
+}
+
+func TestTable5Render(t *testing.T) {
+	out := Table5()
+	for _, want := range []string{"Table 5", "Identifiers", "Personal Information", "imei", "psychological trends"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table5 missing %q", want)
+		}
+	}
+}
+
+func TestFigureRenders(t *testing.T) {
+	rs := results(t)
+	f3 := Figure3(rs)
+	if !strings.Contains(f3, "Figure 3") || !strings.Contains(f3, "█") {
+		t.Error("Figure3 render")
+	}
+	f4 := Figure4(rs)
+	if !strings.Contains(f4, "Figure 4") || !strings.Contains(f4, "set:") {
+		t.Error("Figure4 render")
+	}
+	f5 := Figure5(rs, 10)
+	if !strings.Contains(f5, "Figure 5") || !strings.Contains(f5, "Google LLC") {
+		t.Error("Figure5 render")
+	}
+	if !strings.Contains(f5, "no third-party ATS") {
+		t.Error("Figure5 should note YouTube's empty row")
+	}
+	roles := DestinationRoles(rs)
+	if !strings.Contains(roles, "Share 3rd ATS") {
+		t.Error("DestinationRoles render")
+	}
+}
+
+func TestBar(t *testing.T) {
+	if bar(0, 10, 10) != "" {
+		t.Error("zero bar")
+	}
+	if bar(1, 1000, 10) != "█" {
+		t.Error("nonzero value must render at least one cell")
+	}
+	if bar(10, 10, 10) != strings.Repeat("█", 10) {
+		t.Error("full bar")
+	}
+	if bar(5, 0, 10) != "" {
+		t.Error("zero max")
+	}
+}
+
+func TestExportJSON(t *testing.T) {
+	rs := results(t)
+	data, err := ExportJSON(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Services []ExportedService `json:"services"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Services) != 6 {
+		t.Fatalf("services = %d", len(doc.Services))
+	}
+	quizlet := doc.Services[2]
+	if quizlet.Service != "Quizlet" || len(quizlet.Flows) == 0 {
+		t.Errorf("quizlet export = %+v", quizlet.Service)
+	}
+	if quizlet.LinkableParties["Adult"] != 234 {
+		t.Errorf("quizlet adult linkable = %d", quizlet.LinkableParties["Adult"])
+	}
+}
+
+func TestExportFlowsCSV(t *testing.T) {
+	rs := results(t)
+	out, err := ExportFlowsCSV(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("csv rows = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "service,trace,data_type_category") {
+		t.Errorf("header = %q", lines[0])
+	}
+	reader := csv.NewReader(strings.NewReader(out))
+	records, err := reader.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range records {
+		if len(rec) != 10 {
+			t.Fatalf("row width %d", len(rec))
+		}
+	}
+}
+
+func TestAuditReport(t *testing.T) {
+	rs := results(t)
+	for _, r := range rs {
+		out := AuditReport(r)
+		for _, want := range []string{
+			"# DiffAudit report: " + r.Identity.Name,
+			"## Flows per trace", "## COPPA/CCPA findings",
+			"## Privacy policy consistency", "## Contextual integrity",
+			"## Age differentiation",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s report missing %q", r.Identity.Name, want)
+			}
+		}
+	}
+	// YouTube's policy section must report consistency.
+	yt := AuditReport(rs[5])
+	if !strings.Contains(yt, "consistent with the modeled disclosures") {
+		t.Error("YouTube report should state policy consistency")
+	}
+}
+
+func TestKeyTakeawaysMatchPaper(t *testing.T) {
+	rs := results(t)
+	takeaways := KeyTakeaways(rs)
+	if len(takeaways) != 5 {
+		t.Fatalf("takeaways = %d", len(takeaways))
+	}
+	for _, tk := range takeaways {
+		if !tk.Holds {
+			t.Errorf("takeaway does not hold: %q (exceptions: %v)", tk.Claim, tk.Exceptions)
+		}
+	}
+	// The "all but one" exceptions must all be YouTube.
+	for _, tk := range takeaways {
+		for _, ex := range tk.Exceptions {
+			if ex != "YouTube" {
+				t.Errorf("takeaway %q excepts %s; the paper's exception is always YouTube", tk.Claim, ex)
+			}
+		}
+	}
+	out := RenderTakeaways(rs)
+	if !strings.Contains(out, "✓") || !strings.Contains(out, "YouTube") {
+		t.Errorf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,131 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"diffaudit/internal/core"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/linkability"
+	"diffaudit/internal/policy"
+)
+
+// Takeaway is one of the paper's headline claims, re-derived from results.
+type Takeaway struct {
+	// Claim paraphrases the paper's statement.
+	Claim string
+	// Services lists the services the claim holds for.
+	Services []string
+	// Exceptions lists the services it does not hold for.
+	Exceptions []string
+	// Holds reports whether the claim's quantifier ("all", "all but one")
+	// is satisfied by the derived sets.
+	Holds bool
+}
+
+// KeyTakeaways re-derives the paper's key takeaways (Sections 4.1-4.2) from
+// audit results. Each claim is computed from the flow sets, not asserted.
+func KeyTakeaways(results []*core.ServiceResult) []Takeaway {
+	var out []Takeaway
+
+	classify := func(claim string, holdsFor func(r *core.ServiceResult) bool, wantExceptions int) Takeaway {
+		t := Takeaway{Claim: claim}
+		for _, r := range results {
+			if holdsFor(r) {
+				t.Services = append(t.Services, r.Identity.Name)
+			} else {
+				t.Exceptions = append(t.Exceptions, r.Identity.Name)
+			}
+		}
+		t.Holds = len(t.Exceptions) == wantExceptions
+		return t
+	}
+
+	// "All of the services engaged in data collection and/or sharing prior
+	// to consent and age disclosure."
+	out = append(out, classify(
+		"every service processed data while logged out (before consent and age disclosure)",
+		func(r *core.ServiceResult) bool { return r.ByTrace[flows.LoggedOut].Len() > 0 },
+		0,
+	))
+
+	// "All but one of the services (YouTube) was observed sharing
+	// identifiers and personal information with third party ATS while
+	// logged-out."
+	out = append(out, classify(
+		"all but one service shared data with third-party ATS while logged out",
+		func(r *core.ServiceResult) bool {
+			for _, f := range r.ByTrace[flows.LoggedOut].Flows() {
+				if f.Dest.Class == flows.ThirdPartyATS {
+					return true
+				}
+			}
+			return false
+		},
+		1,
+	))
+
+	// "No service exhibited significantly different data processing
+	// treatment of the child and adolescent users compared to the adult
+	// users."
+	out = append(out, classify(
+		"no service significantly differentiates child/adolescent processing from adult",
+		func(r *core.ServiceResult) bool {
+			for _, sim := range core.AgeDifferential(r) {
+				if sim < 0.75 {
+					return false
+				}
+			}
+			return true
+		},
+		0,
+	))
+
+	// "All services except one sent linkable data types to third party
+	// domains ... for all age groups and while logged out."
+	out = append(out, classify(
+		"all but one service sent linkable data to third parties in every trace",
+		func(r *core.ServiceResult) bool {
+			for _, t := range flows.TraceCategories() {
+				if linkability.CountLinkable(r.ByTrace[t]) == 0 {
+					return false
+				}
+			}
+			return true
+		},
+		1,
+	))
+
+	// "All but one of the services had privacy policies that were
+	// inconsistent with the data flows we observed."
+	out = append(out, classify(
+		"all but one service's privacy policy contradicts its observed flows",
+		func(r *core.ServiceResult) bool {
+			m, ok := policy.Models()[r.Identity.Name]
+			if !ok {
+				return false
+			}
+			return len(policy.Audit(m, r.ByTrace)) > 0
+		},
+		1,
+	))
+
+	return out
+}
+
+// RenderTakeaways renders the derived takeaways.
+func RenderTakeaways(results []*core.ServiceResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Key takeaways (re-derived from the audited traffic):\n")
+	for _, t := range KeyTakeaways(results) {
+		mark := "✗"
+		if t.Holds {
+			mark = "✓"
+		}
+		fmt.Fprintf(&b, "\n%s %s\n", mark, t.Claim)
+		if len(t.Exceptions) > 0 {
+			fmt.Fprintf(&b, "   exception(s): %s\n", strings.Join(t.Exceptions, ", "))
+		}
+	}
+	return b.String()
+}

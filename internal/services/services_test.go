@@ -1,0 +1,204 @@
+package services
+
+import (
+	"testing"
+
+	"diffaudit/internal/entity"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/ontology"
+)
+
+func TestSixServices(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("profiles = %d, want 6", len(all))
+	}
+	names := []string{"Duolingo", "Minecraft", "Quizlet", "Roblox", "TikTok", "YouTube"}
+	for i, want := range names {
+		if all[i].Name != want {
+			t.Errorf("profile %d = %s, want %s", i, all[i].Name, want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if s, ok := ByName("quizlet"); !ok || s.Name != "Quizlet" {
+		t.Error("case-insensitive lookup failed")
+	}
+	if _, ok := ByName("Fortnite"); ok {
+		t.Error("unknown service found")
+	}
+}
+
+func TestTable1RowsMatchPaper(t *testing.T) {
+	want := map[string]Table1Row{
+		"Duolingo":  {122, 69, 60909, 1466},
+		"Minecraft": {136, 56, 134852, 2004},
+		"Quizlet":   {532, 257, 88102, 6158},
+		"Roblox":    {152, 24, 103642, 2302},
+		"TikTok":    {80, 14, 32234, 2412},
+		"YouTube":   {76, 15, 20774, 226},
+	}
+	var packets, tcp int
+	for _, s := range All() {
+		if s.Table1 != want[s.Name] {
+			t.Errorf("%s Table1 = %+v, want %+v", s.Name, s.Table1, want[s.Name])
+		}
+		packets += s.Table1.Packets
+		tcp += s.Table1.TCPFlows
+	}
+	if packets != 440513 {
+		t.Errorf("total packets = %d, want 440513", packets)
+	}
+	if tcp != 14568 {
+		t.Errorf("total TCP flows = %d, want 14568", tcp)
+	}
+}
+
+func TestGridShapes(t *testing.T) {
+	for _, s := range All() {
+		for _, g := range ontology.FlowGroups() {
+			for _, c := range flows.DestClasses() {
+				for _, tc := range flows.TraceCategories() {
+					_ = s.Grid.Mask(g, c, tc) // zero value acceptable; no panic
+				}
+			}
+		}
+	}
+}
+
+func TestGridPaperSpotChecks(t *testing.T) {
+	// Paper: YouTube has no third-party flows at all.
+	yt, _ := ByName("YouTube")
+	for _, g := range ontology.FlowGroups() {
+		for _, c := range []flows.DestClass{flows.ThirdParty, flows.ThirdPartyATS} {
+			for _, tc := range flows.TraceCategories() {
+				if yt.Grid.Mask(g, c, tc) != 0 {
+					t.Errorf("YouTube grid has third-party flow %v/%v/%v", g, c, tc)
+				}
+			}
+		}
+	}
+	// Paper: Minecraft child/adolescent lack personal identifiers → 3rd ATS,
+	// adult has it (mobile only).
+	mc, _ := ByName("Minecraft")
+	if mc.Grid.Mask(ontology.PersonalIdentifiers, flows.ThirdPartyATS, flows.Child) != 0 {
+		t.Error("Minecraft child PI→3rdATS must be absent")
+	}
+	if mc.Grid.Mask(ontology.PersonalIdentifiers, flows.ThirdPartyATS, flows.Adult) != flows.OnMobile {
+		t.Error("Minecraft adult PI→3rdATS must be mobile-only")
+	}
+	// Paper: Duolingo and Quizlet have no first-party ATS flows.
+	for _, name := range []string{"Duolingo", "Quizlet"} {
+		s, _ := ByName(name)
+		for _, g := range ontology.FlowGroups() {
+			for _, tc := range flows.TraceCategories() {
+				if s.Grid.Mask(g, flows.FirstPartyATS, tc) != 0 {
+					t.Errorf("%s has a first-party ATS flow %v/%v", name, g, tc)
+				}
+			}
+		}
+	}
+	// Paper: all services collect first-party in every trace.
+	for _, s := range All() {
+		for _, tc := range flows.TraceCategories() {
+			any := false
+			for _, g := range ontology.FlowGroups() {
+				if s.Grid.Mask(g, flows.FirstParty, tc) != 0 {
+					any = true
+				}
+			}
+			if !any {
+				t.Errorf("%s has no first-party collection in %v", s.Name, tc)
+			}
+		}
+	}
+}
+
+func TestLinkabilityCalibrationMatchesPaper(t *testing.T) {
+	wantParties := map[string][4]int{
+		"Duolingo":  {19, 58, 51, 14},
+		"Minecraft": {31, 31, 18, 17},
+		"Quizlet":   {31, 219, 234, 160},
+		"Roblox":    {15, 20, 20, 4},
+		"TikTok":    {2, 6, 5, 3},
+		"YouTube":   {0, 0, 0, 0},
+	}
+	wantLargest := map[string][4]int{
+		"Duolingo":  {11, 11, 11, 11},
+		"Minecraft": {9, 10, 11, 8},
+		"Quizlet":   {10, 12, 13, 12},
+		"Roblox":    {8, 9, 8, 8},
+		"TikTok":    {5, 7, 10, 5},
+		"YouTube":   {0, 0, 0, 0},
+	}
+	for _, s := range All() {
+		if s.LinkableParties != wantParties[s.Name] {
+			t.Errorf("%s linkable parties = %v, want %v", s.Name, s.LinkableParties, wantParties[s.Name])
+		}
+		if s.LargestSet != wantLargest[s.Name] {
+			t.Errorf("%s largest sets = %v, want %v", s.Name, s.LargestSet, wantLargest[s.Name])
+		}
+	}
+}
+
+func TestOwnersResolveInEntityDataset(t *testing.T) {
+	for _, s := range All() {
+		for _, e := range s.FirstPartyESLDs {
+			if got := entity.OwnerName(e); got != s.Owner {
+				t.Errorf("%s: eSLD %s owned by %q, expected %q", s.Name, e, got, s.Owner)
+			}
+		}
+	}
+}
+
+func TestPreferenceOrder(t *testing.T) {
+	order := PreferenceOrder()
+	if len(order) != 19 {
+		t.Fatalf("preference order covers %d categories, want the 19 observed", len(order))
+	}
+	seen := map[string]bool{}
+	for _, c := range order {
+		if !c.ObservedInPaper {
+			t.Errorf("%q in preference order but not observed in paper", c.Name)
+		}
+		if seen[c.Name] {
+			t.Errorf("%q duplicated in preference order", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	// The first 13 compose the paper's Quizlet-adult largest set; identifiers
+	// must lead so every prefix of length ≥ 2 is linkable.
+	if !order[0].IsIdentifier() {
+		t.Error("preference order must start with an identifier")
+	}
+	hasPI := false
+	for _, c := range order[:5] {
+		if !c.IsIdentifier() {
+			hasPI = true
+		}
+	}
+	_ = hasPI // prefix linkability is asserted end-to-end in core tests
+}
+
+func TestGridEncodingPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad grid symbol must panic")
+		}
+	}()
+	grid(map[ontology.Level2][4]string{
+		ontology.Geolocation: {"XXXX", "----", "----", "----"},
+	})
+}
+
+func TestGridEncodingPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad grid length must panic")
+		}
+	}()
+	grid(map[ontology.Level2][4]string{
+		ontology.Geolocation: {"BB", "----", "----", "----"},
+	})
+}

@@ -1,0 +1,251 @@
+package services
+
+import (
+	"diffaudit/internal/ontology"
+)
+
+// Shared third-party destination pools. The exact FQDN lists implement the
+// cross-service overlap plan that makes the per-service rows of Table 1 sum
+// to the paper's unique totals (964 domains, 326 eSLDs); see DESIGN.md.
+var (
+	// SharedGoogleFQDNs are contacted identically by the five non-Google
+	// services; YouTube reaches the same eSLDs through its own hosts.
+	SharedGoogleFQDNs = []string{
+		"region1.google-analytics.com",
+		"stats.g.doubleclick.net",
+		"www.googletagmanager.com",
+		"pagead2.googlesyndication.com",
+	}
+	// YouTubeGoogleATSFQDNs are YouTube's first-party hosts on those same
+	// ATS eSLDs.
+	YouTubeGoogleATSFQDNs = []string{
+		"google-analytics.com",
+		"ade.doubleclick.net",
+		"googletagmanager.com",
+		"tpc.googlesyndication.com",
+	}
+	// SharedATS5FQDNs are shared by Duolingo, Minecraft, Quizlet, Roblox
+	// and TikTok.
+	SharedATS5FQDNs = []string{
+		"t.appsflyer.com",
+		"app.adjust.com",
+	}
+	// SharedATS4FQDNs are shared by Duolingo, Minecraft, Quizlet and
+	// Roblox (TikTok's third-party surface is too small; Figure 5 shows
+	// its distinct ad stack).
+	SharedATS4FQDNs = []string{
+		"aax.amazon-adsystem.com",
+		"ads.pubmatic.com",
+		"u.openx.net",
+		"ssum.casalemedia.com",
+		"pixel.rubiconproject.com",
+		"pixel.mathtag.com",
+		"track.adform.net",
+		"tlx.3lift.com",
+		"btlr.sharethrough.com",
+		"hbx.media.net",
+	}
+	// SharedATS3FQDNs are shared by Duolingo, Minecraft and Quizlet.
+	SharedATS3FQDNs = []string{
+		"gum.criteo.com",
+		"match.adsrvr.org",
+		"sb.scorecardresearch.com",
+		"secure-dcr.imrworldwide.com",
+		"dpm.demdex.net",
+		"quizlet.tt.omtrdc.net",
+		"cm.everesttech.net",
+		"metrics.2o7.net",
+		"pixel.tapad.com",
+		"idsync.rlcdn.com",
+		"cdn.id5-sync.com",
+		"tags.crwdcntrl.net",
+		"aa.agkn.com",
+		"prg.smartadserver.com",
+		"ap.lijit.com",
+		"sync.33across.com",
+		"rtb.gumgum.com",
+		"com-quizlet.mini.snowplowanalytics.com",
+		"cdnssl.clicktale.net",
+		"o74.ingest.sentry.io",
+		"bam.nr-data.net",
+	}
+
+	// Pair-shared pools (exactly two services each).
+	PairCloudfront = []string{"d1lfxha3ugu3d4.cloudfront.net", "d2tq98cdr84tsw.cloudfront.net", "d3alqb8vzo7fun.cloudfront.net", "d1j8r0kxyu9tj8.cloudfront.net", "d2yyd1h5u9mauk.cloudfront.net"}
+	PairAmazonAWS  = []string{"s3.amazonaws.com", "queue.amazonaws.com", "lambda.us-east-1.amazonaws.com", "sns.us-east-1.amazonaws.com", "kinesis.us-east-1.amazonaws.com"}
+	PairSegment    = []string{"api.segment.com", "cdn.segment.com", "events.segment.com", "t.segment.com"}
+	PairJSDelivr   = []string{"cdn.jsdelivr.net", "fastly.jsdelivr.net", "gcore.jsdelivr.net"}
+	PairOneTrust   = []string{"cdn.onetrust.com", "geolocation.onetrust.com", "app.onetrust.com", "privacyportal.onetrust.com"}
+	PairCookieLaw  = []string{"cdn.cookielaw.org", "geoip.cookielaw.org", "optanon.cookielaw.org", "consent.cookielaw.org"}
+	PairFacebook   = []string{"connect.facebook.net", "graph.facebook.net", "an.facebook.net", "static.facebook.net"}
+	PairAkamaized  = []string{"a1.akamaized.net", "a2.akamaized.net", "b1.akamaized.net", "c1.akamaized.net", "dlc.akamaized.net"}
+	PairFastly     = []string{"f1.shared.global.fastly.net", "f2.shared.global.fastly.net", "f3.shared.global.fastly.net", "f4.shared.global.fastly.net"}
+)
+
+// concat builds a shared-third-party list.
+func concat(lists ...[]string) []string {
+	var out []string
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	return out
+}
+
+var allSpecs = []*Spec{
+	{
+		Name:            "Duolingo",
+		Owner:           "Duolingo, Inc.",
+		FirstPartyESLDs: []string{"duolingo.com"},
+		Table1:          Table1Row{Domains: 122, ESLDs: 69, Packets: 60909, TCPFlows: 1466},
+		Grid: grid(map[ontology.Level2][4]string{
+			ontology.PersonalIdentifiers:      {"BBBB", "----", "WWW-", "BBBM"},
+			ontology.DeviceIdentifiers:        {"BBBB", "----", "BBBB", "BBBB"},
+			ontology.PersonalCharacteristics:  {"BBBB", "----", "WWWW", "BBBB"},
+			ontology.Geolocation:              {"BBBB", "----", "----", "BBBM"},
+			ontology.UserCommunications:       {"BBBB", "----", "BBBB", "BBBB"},
+			ontology.UserInterestsAndBehavior: {"BBBB", "----", "BBBB", "BBBB"},
+		}),
+		LinkableParties:        [4]int{19, 58, 51, 14},
+		LargestSet:             [4]int{11, 11, 11, 11},
+		FirstPartyFQDNCount:    35,
+		SharedThirdParties:     concat(SharedGoogleFQDNs, SharedATS5FQDNs, SharedATS4FQDNs, SharedATS3FQDNs, PairCloudfront, PairAmazonAWS, PairSegment, PairJSDelivr),
+		UniqueThirdESLDs:       27,
+		UniqueThirdFQDNs:       33,
+		UniqueThirdATSFraction: 0.7,
+		NoiseKeys:              500,
+	},
+	{
+		Name:  "Minecraft",
+		Owner: "Microsoft Corporation",
+		FirstPartyESLDs: []string{
+			"minecraft.net", "microsoft.com", "mojang.com", "xboxlive.com",
+			"live.com", "clarity.ms", "msecnd.net", "azureedge.net",
+		},
+		Table1: Table1Row{Domains: 136, ESLDs: 56, Packets: 134852, TCPFlows: 2004},
+		Grid: grid(map[ontology.Level2][4]string{
+			ontology.PersonalIdentifiers:      {"BBBM", "BBBW", "MMM-", "--M-"},
+			ontology.DeviceIdentifiers:        {"BBBB", "BBBB", "BBBW", "BBBB"},
+			ontology.PersonalCharacteristics:  {"BBBB", "BBBW", "BBBW", "BBBB"},
+			ontology.Geolocation:              {"BWBM", "WWWW", "WWW-", "MMMM"},
+			ontology.UserCommunications:       {"BBBB", "BBBB", "BBBW", "BBBB"},
+			ontology.UserInterestsAndBehavior: {"BBBB", "BBBB", "WBWW", "BBBB"},
+		}),
+		LinkableParties:     [4]int{31, 31, 18, 17},
+		LargestSet:          [4]int{9, 10, 11, 8},
+		FirstPartyFQDNCount: 60,
+		FirstPartyATSFQDNs: []string{
+			"browser.events.data.microsoft.com", "vortex.data.microsoft.com",
+			"telemetry.minecraft.net", "mccollect.minecraft.net",
+			"www.clarity.ms",
+		},
+		SharedThirdParties:     concat(SharedGoogleFQDNs, SharedATS5FQDNs, SharedATS4FQDNs, SharedATS3FQDNs, PairOneTrust, PairCookieLaw, PairAkamaized),
+		UniqueThirdESLDs:       8,
+		UniqueThirdFQDNs:       26,
+		UniqueThirdATSFraction: 0.6,
+		NoiseKeys:              520,
+	},
+	{
+		Name:            "Quizlet",
+		Owner:           "Quizlet, Inc.",
+		FirstPartyESLDs: []string{"quizlet.com", "qzlt.io"},
+		Table1:          Table1Row{Domains: 532, ESLDs: 257, Packets: 88102, TCPFlows: 6158},
+		Grid: grid(map[ontology.Level2][4]string{
+			ontology.PersonalIdentifiers:      {"BBBW", "----", "BBBB", "WBBB"},
+			ontology.DeviceIdentifiers:        {"BBBB", "----", "BBBB", "BBBB"},
+			ontology.PersonalCharacteristics:  {"BBBB", "----", "BBBB", "BBBB"},
+			ontology.Geolocation:              {"WWWW", "----", "BBBB", "BBBB"},
+			ontology.UserCommunications:       {"BBBB", "----", "BBBB", "BBBB"},
+			ontology.UserInterestsAndBehavior: {"BBBB", "----", "BBBB", "BBBB"},
+		}),
+		LinkableParties:        [4]int{31, 219, 234, 160},
+		LargestSet:             [4]int{10, 12, 13, 12},
+		FirstPartyFQDNCount:    45,
+		SharedThirdParties:     concat(SharedGoogleFQDNs, SharedATS5FQDNs, SharedATS4FQDNs, SharedATS3FQDNs, PairCloudfront, PairAmazonAWS, PairSegment, PairOneTrust, PairCookieLaw, PairFacebook, PairFastly),
+		UniqueThirdESLDs:       211,
+		UniqueThirdFQDNs:       420,
+		UniqueThirdATSFraction: 0.75,
+		NoiseKeys:              703,
+	},
+	{
+		Name:            "Roblox",
+		Owner:           "Roblox Corporation",
+		FirstPartyESLDs: []string{"roblox.com", "rbxcdn.com"},
+		Table1:          Table1Row{Domains: 152, ESLDs: 24, Packets: 103642, TCPFlows: 2302},
+		Grid: grid(map[ontology.Level2][4]string{
+			ontology.PersonalIdentifiers:      {"BBBW", "BBBW", "MMM-", "WWWW"},
+			ontology.DeviceIdentifiers:        {"BBBB", "BBBB", "BBBW", "BBBW"},
+			ontology.PersonalCharacteristics:  {"BBBB", "BBBB", "BBBW", "BBBW"},
+			ontology.Geolocation:              {"WWW-", "----", "----", "WBWW"},
+			ontology.UserCommunications:       {"BBBB", "BBBB", "BBBW", "BBBW"},
+			ontology.UserInterestsAndBehavior: {"BBBB", "BBBW", "BBBW", "WWWW"},
+		}),
+		LinkableParties:     [4]int{15, 20, 20, 4},
+		LargestSet:          [4]int{8, 9, 8, 8},
+		FirstPartyFQDNCount: 120,
+		FirstPartyATSFQDNs: []string{
+			"metrics.roblox.com", "ephemeralcounters.api.roblox.com",
+		},
+		SharedThirdParties:     concat(SharedGoogleFQDNs, SharedATS5FQDNs, SharedATS4FQDNs, PairAkamaized, PairFastly),
+		UniqueThirdESLDs:       4,
+		UniqueThirdFQDNs:       7,
+		UniqueThirdATSFraction: 0.5,
+		NoiseKeys:              560,
+	},
+	{
+		Name:            "TikTok",
+		Owner:           "TikTok Pte. Ltd.",
+		FirstPartyESLDs: []string{"tiktok.com", "tiktokcdn.com", "tiktokv.com", "byteoversea.com"},
+		Table1:          Table1Row{Domains: 80, ESLDs: 14, Packets: 32234, TCPFlows: 2412},
+		Grid: grid(map[ontology.Level2][4]string{
+			ontology.PersonalIdentifiers:      {"WWWW", "WWWW", "-WW-", "--M-"},
+			ontology.DeviceIdentifiers:        {"BBBB", "BBBW", "WWWW", "MMMM"},
+			ontology.PersonalCharacteristics:  {"WWWW", "WWWW", "WWWW", "--M-"},
+			ontology.Geolocation:              {"WWWW", "WWWW", "----", "--M-"},
+			ontology.UserCommunications:       {"BBBB", "BBBW", "WWWW", "MMMM"},
+			ontology.UserInterestsAndBehavior: {"WWWB", "WWWW", "WWWW", "-MM-"},
+		}),
+		LinkableParties:     [4]int{2, 6, 5, 3},
+		LargestSet:          [4]int{5, 7, 10, 5},
+		FirstPartyFQDNCount: 65,
+		FirstPartyATSFQDNs: []string{
+			"analytics.tiktok.com", "mon.tiktokv.com", "mon.byteoversea.com",
+			"log.byteoversea.com",
+		},
+		SharedThirdParties:     concat(SharedGoogleFQDNs, SharedATS5FQDNs, PairFacebook, PairJSDelivr),
+		UniqueThirdESLDs:       2,
+		UniqueThirdFQDNs:       2,
+		UniqueThirdATSFraction: 1.0,
+		NoiseKeys:              480,
+	},
+	{
+		Name:  "YouTube",
+		Owner: "Google LLC",
+		FirstPartyESLDs: []string{
+			"youtube.com", "youtubekids.com", "google.com", "googlevideo.com",
+			"gstatic.com", "googleapis.com", "ggpht.com", "ytimg.com",
+			"googleusercontent.com", "youtube-nocookie.com",
+			"app-measurement.com",
+			// The four shared ATS eSLDs are Google-owned, so for YouTube
+			// they are first parties.
+			"google-analytics.com", "doubleclick.net", "googletagmanager.com",
+			"googlesyndication.com",
+		},
+		Table1: Table1Row{Domains: 76, ESLDs: 15, Packets: 20774, TCPFlows: 226},
+		Grid: grid(map[ontology.Level2][4]string{
+			ontology.PersonalIdentifiers:      {"WBWW", "-WW-", "----", "----"},
+			ontology.DeviceIdentifiers:        {"WBBW", "WWWW", "----", "----"},
+			ontology.PersonalCharacteristics:  {"WWWW", "WWWW", "----", "----"},
+			ontology.Geolocation:              {"WBWW", "-WWW", "----", "----"},
+			ontology.UserCommunications:       {"WBBW", "WWWW", "----", "----"},
+			ontology.UserInterestsAndBehavior: {"WBBW", "WWWW", "----", "----"},
+		}),
+		LinkableParties:     [4]int{0, 0, 0, 0},
+		LargestSet:          [4]int{0, 0, 0, 0},
+		FirstPartyFQDNCount: 76,
+		FirstPartyATSFQDNs: append([]string{
+			"jnn-pa.googleapis.com", "s.youtube.com", "log.youtube.com",
+			"app-measurement.com",
+		}, YouTubeGoogleATSFQDNs...),
+		NoiseKeys: 500,
+	},
+}

@@ -1,0 +1,402 @@
+package synth
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+	"time"
+
+	"diffaudit/internal/core"
+	"diffaudit/internal/extract"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/har"
+	"diffaudit/internal/httpx"
+	"diffaudit/internal/netcap/dnsx"
+	"diffaudit/internal/netcap/layers"
+	"diffaudit/internal/netcap/pcapio"
+	"diffaudit/internal/netcap/tlsx"
+)
+
+// baseTime anchors all synthetic timestamps (fall 2023, the paper's
+// collection window).
+var baseTime = time.Date(2023, 10, 2, 15, 0, 0, 0, time.UTC)
+
+// Identity converts the profile into the pipeline's service identity.
+func (st *ServiceTraffic) Identity() core.ServiceIdentity {
+	return core.ServiceIdentity{
+		Name:            st.Spec.Name,
+		Owner:           st.Spec.Owner,
+		FirstPartyESLDs: st.Spec.FirstPartyESLDs,
+	}
+}
+
+// bodyJSON renders a request body deterministically.
+func bodyJSON(body map[string]string) []byte {
+	if len(body) == 0 {
+		return nil
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		panic("synth: body marshal: " + err.Error())
+	}
+	return data
+}
+
+// Records expands the traffic into pipeline request records. Each TCP
+// connection becomes one record (so connection counting works), with the
+// request's Repeat budget spread across its connections.
+func (st *ServiceTraffic) Records() []core.RequestRecord {
+	var out []core.RequestRecord
+	connCtr := 0
+	for _, r := range st.Requests {
+		conns := r.Conns
+		if conns < 1 {
+			conns = 1
+		}
+		base, rem := r.Repeat/conns, r.Repeat%conns
+		for c := 0; c < conns; c++ {
+			repeat := base
+			if c < rem {
+				repeat++
+			}
+			if repeat == 0 {
+				continue
+			}
+			connCtr++
+			rec := core.RequestRecord{
+				Trace:    r.Trace,
+				Platform: r.Platform,
+				Method:   r.Method,
+				URL:      r.URL(),
+				FQDN:     r.FQDN,
+				BodyMIME: "application/json",
+				Body:     bodyJSON(r.Body),
+				Repeat:   repeat,
+				ConnID:   fmt.Sprintf("%s/%d/%d/c%d", st.Spec.Name, r.Trace, r.Platform, connCtr),
+			}
+			for _, q := range r.Query {
+				// Query pairs already ride in the URL; nothing extra.
+				_ = q
+			}
+			for _, ck := range r.Cookies {
+				rec.Cookies = append(rec.Cookies, extract.KVPair{Name: ck.Key, Value: ck.Value})
+			}
+			rec.Headers = append(rec.Headers,
+				extract.KVPair{Name: "Host", Value: r.FQDN},
+				extract.KVPair{Name: "User-Agent", Value: userAgent(r.Platform)},
+			)
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+func userAgent(p flows.Platform) string {
+	if p == flows.Mobile {
+		return "ServiceApp/7.44 (Linux; Android 13; Pixel 6)"
+	}
+	return "Mozilla/5.0 (X11; Linux x86_64) Chrome/118.0"
+}
+
+// EmitHAR renders one trace of the web platform as a HAR document, the
+// format Chrome DevTools exports.
+func (st *ServiceTraffic) EmitHAR(trace flows.TraceCategory) *har.HAR {
+	h := har.New()
+	h.Log.Pages = []har.Page{{
+		StartedDateTime: baseTime,
+		ID:              "page_1",
+		Title:           "https://www." + st.Spec.FirstPartyESLDs[0] + "/",
+	}}
+	ts := baseTime
+	connCtr := 0
+	for _, r := range st.Requests {
+		if r.Trace != trace || r.Platform != flows.Web {
+			continue
+		}
+		conns := r.Conns
+		if conns < 1 {
+			conns = 1
+		}
+		for i := 0; i < r.Repeat; i++ {
+			connID := fmt.Sprintf("%d", connCtr+i%conns)
+			body := bodyJSON(r.Body)
+			entry := har.Entry{
+				Pageref:         "page_1",
+				StartedDateTime: ts,
+				Time:            12.5,
+				Connection:      connID,
+				Request: har.Request{
+					Method:      r.Method,
+					URL:         r.URL(),
+					HTTPVersion: "HTTP/1.1",
+					Headers: []har.NV{
+						{Name: "Host", Value: r.FQDN},
+						{Name: "User-Agent", Value: userAgent(flows.Web)},
+						{Name: "Content-Type", Value: "application/json"},
+					},
+					BodySize: len(body),
+				},
+				Response: har.Response{
+					Status: 200, StatusText: "OK", HTTPVersion: "HTTP/1.1",
+					Content: har.Content{Size: 2, MimeType: "application/json", Text: "{}"},
+				},
+			}
+			for _, ck := range r.Cookies {
+				entry.Request.Cookies = append(entry.Request.Cookies, har.Cookie{Name: ck.Key, Value: ck.Value})
+			}
+			if body != nil {
+				entry.Request.PostData = &har.PostData{MimeType: "application/json", Text: string(body)}
+			}
+			h.Append(entry)
+			ts = ts.Add(137 * time.Millisecond)
+		}
+		connCtr += conns
+	}
+	return h
+}
+
+// EmitPCAP renders one trace of the mobile platform as a decryptable pcapng
+// capture: every connection is a TLS 1.3 flow whose application data holds
+// the HTTP requests, with the key log embedded in a Decryption Secrets
+// Block (the editcap --inject-secrets workflow). One additional flow per
+// capture deliberately lacks key material, reproducing the paper's
+// partially-encrypted mobile traces.
+func (st *ServiceTraffic) EmitPCAP(trace flows.TraceCategory) (*pcapio.Capture, error) {
+	capt := &pcapio.Capture{LinkType: pcapio.LinkRaw}
+	clientIP := netip.MustParseAddr("10.215.173.1")
+	var keylog strings.Builder
+	ts := baseTime
+	connCtr := 0
+
+	dnsIP := netip.MustParseAddr("8.8.8.8")
+	writeFlow := func(fqdn string, wire []byte, withKeys bool) error {
+		connCtr++
+		srvIP := serverIP(fqdn)
+		sport := uint16(40000 + connCtr%20000)
+		seq := uint32(1000 * connCtr)
+
+		// The DNS lookup that precedes the connection.
+		if query, err := dnsx.EncodeQuery(uint16(connCtr), fqdn, dnsx.TypeA); err == nil {
+			udp := &layers.UDP{SrcPort: uint16(30000 + connCtr%10000), DstPort: 53, Payload: query}
+			ip := &layers.IPv4{
+				TTL: 64, Protocol: layers.IPProtoUDP,
+				Src: clientIP, Dst: dnsIP,
+				Payload: udp.Encode(clientIP, dnsIP),
+			}
+			capt.Packets = append(capt.Packets, pcapio.Packet{Timestamp: ts, Data: ip.Encode()})
+			ts = ts.Add(2 * time.Millisecond)
+		}
+
+		random := connRandom(st.Spec.Name, trace, connCtr)
+		// Every fourth connection negotiates TLS 1.2, as mixed real-world
+		// captures do; the rest are TLS 1.3.
+		useTLS12 := connCtr%4 == 0
+
+		addPkt := func(flags uint8, payload []byte) {
+			capt.Packets = append(capt.Packets, pcapio.Packet{
+				Timestamp: ts,
+				Data:      layers.BuildTCPv4(clientIP, srvIP, sport, 443, seq, 0, flags, payload),
+				OrigLen:   0,
+			})
+			if flags&layers.FlagSYN != 0 {
+				seq++
+			}
+			seq += uint32(len(payload))
+			ts = ts.Add(3 * time.Millisecond)
+		}
+		addSrvPkt := func(payload []byte) {
+			capt.Packets = append(capt.Packets, pcapio.Packet{
+				Timestamp: ts,
+				Data:      layers.BuildTCPv4(srvIP, clientIP, 443, sport, uint32(5000*connCtr), 0, layers.FlagACK|layers.FlagPSH, payload),
+				OrigLen:   0,
+			})
+			ts = ts.Add(3 * time.Millisecond)
+		}
+
+		addPkt(layers.FlagSYN, nil)
+		var stream []byte
+		if useTLS12 {
+			serverRandom := connServerRandom(st.Spec.Name, trace, connCtr)
+			masterSecret := connMasterSecret(st.Spec.Name, trace, connCtr)
+			if withKeys {
+				keylog.WriteString(tlsx.FormatLine(tlsx.LabelClientRandom, random[:], masterSecret))
+			}
+			stream = append(stream, tlsx.Record{
+				Type:    tlsx.TypeHandshake,
+				Payload: tlsx.BuildClientHello12(random, fqdn),
+			}.Encode()...)
+			// ServerHello travels in the reverse direction.
+			addSrvPkt(tlsx.Record{
+				Type:    tlsx.TypeHandshake,
+				Payload: tlsx.BuildServerHello(serverRandom, 0x009C),
+			}.Encode())
+			sess, err := tlsx.NewSession12(masterSecret, random[:], serverRandom[:])
+			if err != nil {
+				return err
+			}
+			for off := 0; off < len(wire); {
+				n := 4096
+				if off+n > len(wire) {
+					n = len(wire) - off
+				}
+				stream = append(stream, sess.Seal(tlsx.TypeApplicationData, wire[off:off+n])...)
+				off += n
+			}
+		} else {
+			secret := connSecret(st.Spec.Name, trace, connCtr)
+			if withKeys {
+				keylog.WriteString(tlsx.FormatLine(tlsx.LabelClientTraffic, random[:], secret))
+			}
+			stream = append(stream, tlsx.Record{
+				Type:    tlsx.TypeHandshake,
+				Payload: tlsx.BuildClientHello(random, fqdn),
+			}.Encode()...)
+			sess, err := tlsx.NewSession(secret)
+			if err != nil {
+				return err
+			}
+			// Split the wire bytes into records of at most 4KiB.
+			for off := 0; off < len(wire); {
+				n := 4096
+				if off+n > len(wire) {
+					n = len(wire) - off
+				}
+				stream = append(stream, sess.Seal(tlsx.TypeApplicationData, wire[off:off+n])...)
+				off += n
+			}
+		}
+		// Segment the stream into MTU-sized TCP payloads.
+		for off := 0; off < len(stream); {
+			n := 1400
+			if off+n > len(stream) {
+				n = len(stream) - off
+			}
+			addPkt(layers.FlagACK|layers.FlagPSH, stream[off:off+n])
+			off += n
+		}
+		addPkt(layers.FlagFIN|layers.FlagACK, nil)
+		return nil
+	}
+
+	for _, r := range st.Requests {
+		if r.Trace != trace || r.Platform != flows.Mobile {
+			continue
+		}
+		conns := r.Conns
+		if conns < 1 {
+			conns = 1
+		}
+		base, rem := r.Repeat/conns, r.Repeat%conns
+		for c := 0; c < conns; c++ {
+			repeat := base
+			if c < rem {
+				repeat++
+			}
+			if repeat == 0 {
+				continue
+			}
+			var wire []byte
+			for i := 0; i < repeat; i++ {
+				wire = append(wire, httpWire(r)...)
+			}
+			if err := writeFlow(r.FQDN, wire, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// One opaque flow: encrypted traffic without key material, counted but
+	// not decryptable (carries no planned data types).
+	if len(st.Spec.FirstPartyESLDs) > 0 {
+		opaque := &httpx.Request{
+			Method:  "POST",
+			Target:  "/opaque/blob",
+			Headers: []httpx.Header{{Name: "Host", Value: "www." + st.Spec.FirstPartyESLDs[0]}},
+			Body:    []byte(`{"blob":"ffffffff"}`),
+		}
+		if err := writeFlow("www."+st.Spec.FirstPartyESLDs[0], opaque.Encode(), false); err != nil {
+			return nil, err
+		}
+	}
+
+	if keylog.Len() > 0 {
+		capt.Secrets = append(capt.Secrets, []byte(keylog.String()))
+	}
+	return capt, nil
+}
+
+// httpWire renders the request as HTTP/1.1 bytes.
+func httpWire(r *Request) []byte {
+	body := bodyJSON(r.Body)
+	target := r.Path
+	for i, q := range r.Query {
+		sep := "&"
+		if i == 0 {
+			sep = "?"
+		}
+		target += sep + q.Key + "=" + q.Value
+	}
+	req := &httpx.Request{
+		Method: r.Method,
+		Target: target,
+		Headers: []httpx.Header{
+			{Name: "Host", Value: r.FQDN},
+			{Name: "User-Agent", Value: userAgent(flows.Mobile)},
+			{Name: "Content-Type", Value: "application/json"},
+		},
+		Body: body,
+	}
+	if len(r.Cookies) > 0 {
+		var parts []string
+		for _, ck := range r.Cookies {
+			parts = append(parts, ck.Key+"="+ck.Value)
+		}
+		sort.Strings(parts)
+		req.Headers = append(req.Headers, httpx.Header{Name: "Cookie", Value: strings.Join(parts, "; ")})
+	}
+	return req.Encode()
+}
+
+// serverIP derives a stable address in the benchmarking range from an FQDN.
+func serverIP(fqdn string) netip.Addr {
+	h := sha256.Sum256([]byte(fqdn))
+	return netip.AddrFrom4([4]byte{198, 18, h[0], h[1]})
+}
+
+// connRandom derives the deterministic TLS client random for a connection.
+func connRandom(service string, trace flows.TraceCategory, conn int) [32]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "random/%s/%d/%d", service, trace, conn)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// connSecret derives the deterministic TLS 1.3 traffic secret.
+func connSecret(service string, trace flows.TraceCategory, conn int) []byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "secret/%s/%d/%d", service, trace, conn)
+	return h.Sum(nil)
+}
+
+// connServerRandom derives the deterministic TLS 1.2 server random.
+func connServerRandom(service string, trace flows.TraceCategory, conn int) [32]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "server-random/%s/%d/%d", service, trace, conn)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// connMasterSecret derives the deterministic TLS 1.2 master secret.
+func connMasterSecret(service string, trace flows.TraceCategory, conn int) []byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "master/%s/%d/%d/a", service, trace, conn)
+	a := h.Sum(nil)
+	h = sha256.New()
+	fmt.Fprintf(h, "master/%s/%d/%d/b", service, trace, conn)
+	return append(a, h.Sum(nil)[:16]...)
+}

@@ -1,0 +1,148 @@
+package synth
+
+import (
+	"fmt"
+	"sync"
+
+	"diffaudit/internal/ats"
+	"diffaudit/internal/entity"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/services"
+)
+
+// Procedural third-party naming material. Combinations are deterministic
+// per (service, index) so that the dataset is reproducible.
+var (
+	nameA = []string{"ad", "track", "metric", "pixel", "tag", "bid", "sync", "data", "event", "insight", "reach", "spark"}
+	nameB = []string{"hub", "grid", "nest", "flux", "wave", "peak", "core", "lane", "forge", "scope", "mill", "yard"}
+	subA  = []string{"collect", "t", "px", "ingest", "beacon", "rtb", "cdn", "api", "sdk", "match"}
+)
+
+// uniqueESLD names the i-th procedural third-party eSLD of a service.
+func uniqueESLD(service string, i int) string {
+	a := nameA[i%len(nameA)]
+	b := nameB[(i/len(nameA))%len(nameB)]
+	return fmt.Sprintf("%s%s-%c%d.com", a, b, service[0]|0x20, i)
+}
+
+// uniqueOrg names the owning organization for a procedural eSLD pair.
+func uniqueOrg(service string, i int) string {
+	// Two consecutive eSLDs share one owner, approximating the paper's
+	// ~212 distinct companies across the dataset.
+	return fmt.Sprintf("%s AdTech Group %c%d", nameB[(i/2)%len(nameB)], service[0]&^0x20, i/2)
+}
+
+// firstPartySubs are subdomain labels used to fabricate first-party hosts.
+var firstPartySubs = []string{
+	"www", "api", "m", "accounts", "assets", "static", "cdn", "img",
+	"video", "auth", "login", "web", "app", "data", "events", "push",
+	"social", "store", "help", "files", "search", "feed", "live",
+	"upload", "sync", "config", "edge", "media", "games", "users",
+	"friends", "chat", "presence", "avatar", "economy", "catalog",
+	"inventory", "locale", "billing", "notify", "realtime", "thumbs",
+	"gateway", "session", "profile", "leaderboard", "achievements",
+	"quests", "shop", "trade", "clans", "groups", "badges", "develop",
+	"education", "premium", "music", "clips", "stories", "studio",
+}
+
+// Inventory is a service's full destination inventory, classified.
+type Inventory struct {
+	Spec *services.Spec
+	// ByClass maps each destination class to its FQDN pool, in
+	// deterministic order.
+	ByClass map[flows.DestClass][]string
+	// All lists every FQDN.
+	All []string
+}
+
+var registerOnce sync.Once
+
+// RegisterSyntheticDomains registers the procedural third-party eSLDs with
+// the entity dataset and the default ATS block lists. Generator and auditor
+// thereby consult identical datasets, as the paper's pipeline consults one
+// set of block lists. Idempotent.
+func RegisterSyntheticDomains() {
+	registerOnce.Do(func() {
+		engine := ats.Default()
+		for _, spec := range services.All() {
+			atsCut := int(float64(spec.UniqueThirdESLDs) * spec.UniqueThirdATSFraction)
+			for i := 0; i < spec.UniqueThirdESLDs; i++ {
+				esld := uniqueESLD(spec.Name, i)
+				entity.Register(entity.Org{
+					Name:    uniqueOrg(spec.Name, i),
+					Domains: []string{esld},
+					Tracker: i < atsCut,
+				})
+				if i < atsCut {
+					engine.AddEntries("synthetic-ats", esld)
+				}
+			}
+		}
+	})
+}
+
+// BuildInventory constructs and classifies the destination inventory for a
+// service. It panics if the realized counts diverge from the Table 1
+// calibration row — the overlap plan is checked, not assumed.
+func BuildInventory(spec *services.Spec) *Inventory {
+	RegisterSyntheticDomains()
+	inv := &Inventory{
+		Spec:    spec,
+		ByClass: make(map[flows.DestClass][]string),
+	}
+
+	var all []string
+	seen := map[string]bool{}
+	add := func(fqdn string) {
+		if !seen[fqdn] {
+			seen[fqdn] = true
+			all = append(all, fqdn)
+		}
+	}
+
+	// First-party hosts: curated telemetry hosts first, then fabricated
+	// subdomains round-robin over the service's eSLDs.
+	for _, f := range spec.FirstPartyATSFQDNs {
+		add(f)
+	}
+	i := 0
+	for len(all) < spec.FirstPartyFQDNCount {
+		sub := firstPartySubs[i%len(firstPartySubs)]
+		esld := spec.FirstPartyESLDs[i%len(spec.FirstPartyESLDs)]
+		if i >= len(firstPartySubs) {
+			sub = fmt.Sprintf("%s%d", sub, i/len(firstPartySubs))
+		}
+		add(sub + "." + esld)
+		i++
+	}
+
+	// Curated shared third parties.
+	for _, f := range spec.SharedThirdParties {
+		add(f)
+	}
+
+	// Procedural unique third parties: spread FQDNs over the eSLD pool.
+	if spec.UniqueThirdESLDs > 0 {
+		for j := 0; j < spec.UniqueThirdFQDNs; j++ {
+			esld := uniqueESLD(spec.Name, j%spec.UniqueThirdESLDs)
+			sub := subA[(j/spec.UniqueThirdESLDs)%len(subA)]
+			if j < spec.UniqueThirdESLDs {
+				add(sub + "." + esld)
+			} else {
+				add(fmt.Sprintf("%s%d.%s", sub, j/spec.UniqueThirdESLDs, esld))
+			}
+		}
+	}
+
+	inv.All = all
+	engine := ats.Default()
+	for _, fqdn := range all {
+		d := flows.ResolveDestination(spec.Owner, spec.FirstPartyESLDs, fqdn, engine)
+		inv.ByClass[d.Class] = append(inv.ByClass[d.Class], fqdn)
+	}
+	if got := len(inv.All); got != spec.Table1.Domains {
+		panic(fmt.Sprintf("synth: %s inventory has %d FQDNs, Table 1 row says %d",
+			spec.Name, got, spec.Table1.Domains))
+	}
+	return inv
+}

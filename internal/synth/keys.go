@@ -1,0 +1,201 @@
+package synth
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"diffaudit/internal/classifier"
+	"diffaudit/internal/ontology"
+)
+
+// categoryKeys maps each observed level-3 category to the raw wire keys the
+// synthesizer plants in request payloads, with a plausible sample value.
+// Keys are chosen so that the production classifier (majority-avg ensemble
+// at confidence 0.8) labels them into the intended category — the same
+// property the paper engineers by validating its final labels manually.
+var categoryKeys = map[string][]kv{
+	"Name": {
+		{"first_name", "alex"},
+		{"last_name", "smith"},
+		{"username", "player_one"},
+		{"display_name", "Alex S"},
+	},
+	"Contact Information": {
+		{"email", "user@example.com"},
+		{"email_address", "user@example.com"},
+		{"phone_number", "+19495550100"},
+	},
+	"Aliases": {
+		{"user_id", "u_8842107"},
+		{"uuid", "123e4567-e89b-12d3-a456-426614174000"},
+		{"online_id", "oid_5521"},
+		{"unique_id", "uq_99812"},
+	},
+	"Reasonably Linkable Personal Identifiers": {
+		{"ip_address", "203.0.113.7"},
+		{"client_ip", "203.0.113.7"},
+	},
+	"Login Information": {
+		{"access_token", "eyJhbGciOi..."},
+		{"auth_token", "tok_8812abc"},
+		{"password", "hunter2"},
+	},
+	"Device Hardware Identifiers": {
+		{"device_id", "dv-3311-8842"},
+		{"android_id", "a1b2c3d4e5f67890"},
+		{"device_serial_number", "SN-7733-XY"},
+	},
+	"Device Software Identifiers": {
+		{"advertising_id", "cdda802e-fb9c-47ad-9866-0794d394c912"},
+		{"idfa", "cdda802e-fb9c-47ad-9866-0794d394c912"},
+		{"cookie_id", "ck_58812"},
+		{"install_id", "ins_4471"},
+	},
+	"Device Information": {
+		{"device_model", "Pixel 6"},
+		{"os_version", "Android 13"},
+		{"screen_resolution", "1080x2400"},
+		{"user_agent", "Mozilla/5.0 (Linux; Android 13)"},
+	},
+	"Age": {
+		{"birthday", "2011-04-02"},
+		{"age", "12"},
+		{"birth_year", "2011"},
+	},
+	"Language": {
+		{"language", "en-US"},
+		{"ui_language", "en"},
+		{"learning_language", "es"},
+	},
+	"Gender/Sex": {
+		{"gender", "f"},
+	},
+	"Coarse Geolocation": {
+		{"country_code", "US"},
+		{"city", "Irvine"},
+		{"region", "CA"},
+	},
+	"Location Time": {
+		{"timezone", "America/Los_Angeles"},
+		{"timestamp", "1696258845123"},
+		{"time_offset", "-0800"},
+	},
+	"Network Connection Information": {
+		{"network_type", "wifi"},
+		{"carrier", "TestTel"},
+		{"request_protocol", "h2"},
+		{"referer", "https://example.com/home"},
+	},
+	"Products and Advertising": {
+		{"ad_unit", "banner_home_320x50"},
+		{"campaign", "fall_promo_2023"},
+		{"impression", "imp_776142"},
+		{"ad_click", "btn_cta"},
+	},
+	"App or Service Usage": {
+		{"watch_time", "3540"},
+		{"scroll_event", "feed_main"},
+		{"play_duration", "182"},
+		{"usage_session", "sess-main"},
+	},
+	"Account Settings": {
+		{"consent", "granted"},
+		{"parental_controls", "enabled"},
+		{"privacy_setting", "default"},
+	},
+	"Service Information": {
+		{"app_version", "7.44.2"},
+		{"sdk_version", "4.12.0"},
+		{"api_endpoint", "/v2/events"},
+	},
+	"Inferences About Users": {
+		{"interest_segment", "gaming_casual"},
+		{"audience_segment", "seg_1142"},
+		{"user_preferences", "dark_mode"},
+	},
+}
+
+// kv is a raw key with a sample value.
+type kv struct{ Key, Value string }
+
+var (
+	variantOnce sync.Once
+	variantPool map[string][]kv
+)
+
+// variantKeys returns the full key pool for a category: the curated keys
+// plus spelling variants derived from the ontology's level-4 examples
+// (snake_case, camelCase, kebab-case), each admitted only if the production
+// classifier (majority-avg ensemble at confidence 0.8) resolves it to the
+// intended category. The pool is therefore self-validating: every planted
+// key survives the paper's final labeling scheme.
+func variantKeys(cat *ontology.Category) []kv {
+	variantOnce.Do(buildVariantPools)
+	pool := variantPool[cat.Name]
+	if len(pool) == 0 {
+		panic(fmt.Sprintf("synth: category %q has no classifiable keys", cat.Name))
+	}
+	return pool
+}
+
+func buildVariantPools() {
+	variantPool = make(map[string][]kv)
+	labeler := classifier.FinalLabeler()
+	inPool := map[string]bool{}
+	admit := func(cat *ontology.Category, candidate kv) {
+		poolKey := cat.Name + "/" + candidate.Key
+		if inPool[poolKey] {
+			return
+		}
+		got, _, ok := labeler.Label(candidate.Key)
+		if ok && got == cat {
+			inPool[poolKey] = true
+			variantPool[cat.Name] = append(variantPool[cat.Name], candidate)
+		}
+	}
+	for name := range categoryKeys {
+		cat, ok := ontology.Lookup(name)
+		if !ok {
+			panic("synth: key inventory references unknown category " + name)
+		}
+		for _, k := range categoryKeys[name] {
+			admit(cat, k)
+		}
+		for _, ex := range cat.Examples {
+			words := strings.Fields(strings.ToLower(ex))
+			if len(words) == 0 || len(words) > 4 {
+				continue
+			}
+			renders := []string{
+				strings.Join(words, "_"),
+				camelJoin(words),
+				strings.Join(words, "-"),
+				strings.Join(words, "."),
+				strings.Join(words, ""),
+			}
+			seen := map[string]bool{}
+			for _, r := range renders {
+				if r == "" || seen[r] {
+					continue
+				}
+				seen[r] = true
+				admit(cat, kv{Key: r, Value: "sample-" + words[0]})
+			}
+		}
+	}
+}
+
+func camelJoin(words []string) string {
+	var b strings.Builder
+	for i, w := range words {
+		if i == 0 {
+			b.WriteString(w)
+			continue
+		}
+		if len(w) > 0 {
+			b.WriteString(strings.ToUpper(w[:1]) + w[1:])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package synth
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	"diffaudit/internal/classifier"
+)
+
+// The paper's 3,968 unique raw data types include a long tail of opaque
+// strings "that have internal meaning known only to the app developers",
+// which its confidence threshold excludes from the final dataset. The
+// synthesizer reproduces that tail with noise keys that are self-validating
+// in the opposite direction of the variant pools: a candidate is only
+// planted if the production classifier REJECTS it (hallucination or
+// confidence below 0.8), so noise inflates the raw-data-type and
+// dropped-key statistics without ever creating a data flow.
+
+var (
+	noiseMu    sync.Mutex
+	noiseCache = map[string][]string{}
+)
+
+// noiseKeys returns n deterministic sub-threshold keys for a service.
+func noiseKeys(service string, n int) []string {
+	noiseMu.Lock()
+	defer noiseMu.Unlock()
+	key := fmt.Sprintf("%s/%d", service, n)
+	if cached, ok := noiseCache[key]; ok {
+		return cached
+	}
+	labeler := classifier.FinalLabeler()
+	prefix := strings.ToLower(service[:1])
+	var out []string
+	for i := 0; len(out) < n; i++ {
+		cand := prefix + junkString(service, i)
+		if _, _, ok := labeler.Label(cand); !ok {
+			out = append(out, cand)
+		}
+	}
+	noiseCache[key] = out
+	return out
+}
+
+const junkAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+// junkString derives an opaque developer-internal-looking token from a
+// hash stream.
+func junkString(service string, i int) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "noise/%s/%d", service, i)
+	v := h.Sum64()
+	n := 5 + int(v%5)
+	var b strings.Builder
+	for j := 0; j < n; j++ {
+		b.WriteByte(junkAlphabet[v%uint64(len(junkAlphabet))])
+		v = v*6364136223846793005 + 1442695040888963407
+	}
+	return b.String()
+}
+
+// sprinkleNoise distributes the service's noise keys across the planned
+// requests (appended to bodies round-robin). Called before allocation so
+// request ordering stays deterministic.
+func (p *planner) sprinkleNoise(n int) {
+	if n <= 0 || len(p.reqs) == 0 {
+		return
+	}
+	keys := noiseKeys(p.spec.Name, n)
+	for i, k := range keys {
+		r := p.reqs[i%len(p.reqs)]
+		if r.Body == nil {
+			r.Body = make(map[string]string)
+		}
+		r.Body[k] = fmt.Sprintf("0x%08x", i*2654435761)
+	}
+}
