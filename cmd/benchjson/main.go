@@ -1,0 +1,184 @@
+// Command benchjson runs the tier-1 benchmark suite (go test -bench) and
+// emits a machine-readable BENCH_<date>.json trajectory file recording
+// ns/op, B/op, and allocs/op per benchmark, plus any custom metrics
+// (accuracy, coverage). Future perf PRs diff their run against the last
+// committed file to prove a trajectory, not just a point measurement.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                         # full suite, 1s benchtime
+//	go run ./cmd/benchjson -bench 'Table1|Figure2' # subset
+//	go run ./cmd/benchjson -label baseline         # BENCH_<date>_baseline.json
+//	go run ./cmd/benchjson -o results.json         # explicit output path
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchResult is one parsed benchmark line.
+type BenchResult struct {
+	// Name is the benchmark name with the -<procs> suffix stripped.
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric values (accuracy, coverage, MB/s).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Trajectory is the file schema.
+type Trajectory struct {
+	Label     string        `json:"label,omitempty"`
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Commit    string        `json:"commit,omitempty"`
+	Bench     string        `json:"bench_regex"`
+	Benchtime string        `json:"benchtime"`
+	Results   []BenchResult `json:"results"`
+}
+
+// benchLine matches standard testing benchmark output, e.g.
+// "BenchmarkFoo-8   100   12345 ns/op   678 B/op   9 allocs/op   0.95 accuracy".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	bench := flag.String("bench", ".", "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "1s", "benchtime passed to go test")
+	count := flag.Int("count", 1, "count passed to go test")
+	pkg := flag.String("pkg", ".", "package pattern to benchmark")
+	label := flag.String("label", "", "label recorded in the file and appended to the default filename")
+	out := flag.String("o", "", "output path (default BENCH_<date>[_label].json)")
+	flag.Parse()
+
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", *bench,
+		"-benchmem",
+		"-benchtime", *benchtime,
+		"-count", strconv.Itoa(*count),
+		*pkg,
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatal(err)
+	}
+
+	var results []BenchResult
+	sc := bufio.NewScanner(stdout)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // stream through so the run is observable
+		if r, ok := parseLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		fatal(fmt.Errorf("go test -bench failed: %w", err))
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines matched -bench %q", *bench))
+	}
+
+	traj := Trajectory{
+		Label:     *label,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Commit:    gitCommit(),
+		Bench:     *bench,
+		Benchtime: *benchtime,
+		Results:   results,
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("2006-01-02")
+		if *label != "" {
+			path += "_" + *label
+		}
+		path += ".json"
+	}
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", path, len(results))
+}
+
+// parseLine extracts one BenchResult from a benchmark output line.
+func parseLine(line string) (BenchResult, bool) {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return BenchResult{}, false
+	}
+	iters, err := strconv.ParseInt(m[2], 10, 64)
+	if err != nil {
+		return BenchResult{}, false
+	}
+	r := BenchResult{Name: m[1], Iterations: iters}
+	// The tail is value/unit pairs: "12345 ns/op  678 B/op  9 allocs/op".
+	fields := strings.Fields(m[3])
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return BenchResult{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, r.NsPerOp > 0
+}
+
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+package diffaudit_test
+
+import (
+	"testing"
+
+	"diffaudit"
+	"diffaudit/internal/core"
+	"diffaudit/internal/synth"
+)
+
+// auditAllWorkers runs the full pipeline over the synthetic dataset with a
+// fixed worker count.
+func auditAllWorkers(scale float64, workers int) []*core.ServiceResult {
+	ds := synth.Generate(synth.Config{Scale: scale})
+	pipe := core.NewPipeline()
+	pipe.Workers = workers
+	var out []*core.ServiceResult
+	for _, st := range ds.Services {
+		out = append(out, pipe.AnalyzeRecords(st.Identity(), st.Records()))
+	}
+	return out
+}
+
+// TestParallelSequentialEquivalence is the determinism contract of the
+// parallel pipeline: the worker-pool path must produce byte-identical
+// rendered artifacts to the sequential path. Workers is forced above the
+// machine's core count so the parallel path is exercised even on a
+// single-CPU runner.
+func TestParallelSequentialEquivalence(t *testing.T) {
+	const scale = 0.01
+	seq := auditAllWorkers(scale, 1)
+	for _, workers := range []int{2, 8} {
+		par := auditAllWorkers(scale, workers)
+
+		artifacts := []struct {
+			name      string
+			seq, park string
+		}{
+			{"Table1", diffaudit.RenderTable1(seq), diffaudit.RenderTable1(par)},
+			{"Table4", diffaudit.RenderTable4(seq), diffaudit.RenderTable4(par)},
+			{"Figure3", diffaudit.RenderFigure3(seq), diffaudit.RenderFigure3(par)},
+		}
+		for _, a := range artifacts {
+			if a.seq != a.park {
+				t.Errorf("workers=%d: %s differs between sequential and parallel runs\nsequential:\n%s\nparallel:\n%s",
+					workers, a.name, a.seq, a.park)
+			}
+		}
+
+		// Scalar counters must agree too — rendering could mask them.
+		for i := range seq {
+			s, p := seq[i], par[i]
+			if s.Packets != p.Packets || s.TCPFlows != p.TCPFlows ||
+				s.DroppedKeys != p.DroppedKeys ||
+				len(s.Domains) != len(p.Domains) ||
+				len(s.ESLDs) != len(p.ESLDs) ||
+				len(s.RawKeys) != len(p.RawKeys) {
+				t.Errorf("workers=%d: %s scalar counters diverge: seq %+v par %+v",
+					workers, s.Identity.Name,
+					[6]int{s.Packets, s.TCPFlows, s.DroppedKeys, len(s.Domains), len(s.ESLDs), len(s.RawKeys)},
+					[6]int{p.Packets, p.TCPFlows, p.DroppedKeys, len(p.Domains), len(p.ESLDs), len(p.RawKeys)})
+			}
+			for _, tc := range []diffaudit.TraceCategory{diffaudit.Child, diffaudit.Adolescent, diffaudit.Adult, diffaudit.LoggedOut} {
+				if s.ByTrace[tc].Len() != p.ByTrace[tc].Len() {
+					t.Errorf("workers=%d: %s trace %v flow count diverges: %d vs %d",
+						workers, s.Identity.Name, tc, s.ByTrace[tc].Len(), p.ByTrace[tc].Len())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module diffaudit
+
+go 1.22

@@ -1,0 +1,170 @@
+package classifier
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFastRandSelfCheckPassed asserts the init-time verification accepted
+// the fast path on this toolchain — if this fails, math/rand's frozen
+// value stream changed and the fast path silently (and correctly)
+// disabled itself, which a perf PR should notice.
+func TestFastRandSelfCheckPassed(t *testing.T) {
+	if !fastRandOK {
+		t.Fatal("fastRand self-check failed: fast seeding disabled, falling back to math/rand")
+	}
+}
+
+// TestFastRandMatchesMathRand compares the fast stream against
+// rand.New(rand.NewSource(seed)) well past the fast window, proving the
+// fallback replay continues the stream seamlessly.
+func TestFastRandMatchesMathRand(t *testing.T) {
+	seeds := []int64{0, 1, -1, 42, 89482311, -89482311, 1<<40 + 12345,
+		-1 << 62, 1<<63 - 1, -1 << 63, lehmerM, lehmerM + 1, -lehmerM}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		seeds = append(seeds, rng.Int63()-rng.Int63())
+	}
+	for _, seed := range seeds {
+		f := newFastRand(seed)
+		ref := rand.New(rand.NewSource(seed))
+		for j := 0; j < fastRandWindow*3; j++ {
+			got, want := f.Int63(), ref.Int63()
+			if got != want {
+				t.Fatalf("seed %d draw %d: fast %d, math/rand %d", seed, j, got, want)
+			}
+		}
+	}
+}
+
+// TestFastRandDerivedDraws checks the composite draws (Float64, Intn)
+// against the same sequence pulled from a real rand.Rand.
+func TestFastRandDerivedDraws(t *testing.T) {
+	for _, seed := range []int64{3, 1234567, -987654321} {
+		f := newFastRand(seed)
+		ref := rand.New(rand.NewSource(seed))
+		for j := 0; j < 6; j++ {
+			if got, want := f.Float64(), ref.Float64(); got != want {
+				t.Fatalf("seed %d Float64 draw %d: %v != %v", seed, j, got, want)
+			}
+		}
+		if got, want := f.Intn(6), ref.Intn(6); got != want {
+			t.Fatalf("seed %d Intn(6): %d != %d", seed, got, want)
+		}
+		if got, want := f.Intn(2), ref.Intn(2); got != want {
+			t.Fatalf("seed %d Intn(2): %d != %d", seed, got, want)
+		}
+	}
+}
+
+// TestRankOnceEnsembleBitIdentical is the rank-once regression: for every
+// key of the full synthetic corpus and every temperature model, classifying
+// with the shared precomputed ranking must return a bit-identical
+// Prediction to the model ranking the input itself.
+func TestRankOnceEnsembleBitIdentical(t *testing.T) {
+	corpus := GenerateCorpus(DefaultCorpusOptions())
+	ens := NewEnsemble(MajorityAvg)
+	for _, lk := range corpus {
+		ranked := getScorer().rank(lk.Key)
+		for _, m := range ens.Models {
+			perModel := m.Classify(lk.Key)
+			rankOnce := m.classify(lk.Key, ranked)
+			if perModel != rankOnce {
+				t.Fatalf("key %q temp %v: per-model %+v != rank-once %+v",
+					lk.Key, m.Temperature, perModel, rankOnce)
+			}
+		}
+	}
+}
+
+// TestInvertedIndexMatchesLinearScan rebuilds the linear-scan scorer the
+// inverted index replaced and asserts identical rankings (same category
+// order, bit-identical scores) across the corpus plus adversarial inputs.
+func TestInvertedIndexMatchesLinearScan(t *testing.T) {
+	s := getScorer()
+	inputs := []string{"", "qzx81a", "user_id", "gps_lat", "os",
+		"IsOptOutEmailShown", "device.hw.model", "a1b2"}
+	for _, lk := range GenerateCorpus(DefaultCorpusOptions()) {
+		inputs = append(inputs, lk.Key)
+	}
+	for _, in := range inputs {
+		tokens := Tokenize(in)
+		got := s.rankTokens(tokens)
+		want := linearRank(s, tokens)
+		if len(got) != len(want) {
+			t.Fatalf("%q: %d entries vs %d", in, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].cat != want[i].cat || got[i].score != want[i].score {
+				t.Fatalf("%q entry %d: inverted (%s, %v) != linear (%s, %v)",
+					in, i, got[i].cat.Name, got[i].score, want[i].cat.Name, want[i].score)
+			}
+		}
+	}
+}
+
+// linearRank is the pre-index reference implementation: an O(categories ×
+// tokens) scan over per-category vocabularies reconstructed from the
+// inverted index.
+func linearRank(s *scorer, tokens []string) []scoreEntry {
+	tokenSets := make([]map[string]float64, len(s.cats))
+	nameSets := make([]map[string]bool, len(s.cats))
+	for i := range s.cats {
+		tokenSets[i] = make(map[string]float64)
+		nameSets[i] = make(map[string]bool)
+	}
+	for tok, ps := range s.tokenIdx {
+		for _, p := range ps {
+			tokenSets[p.catIdx][tok] = p.w
+		}
+	}
+	for tok, idxs := range s.nameIdx {
+		for _, ci := range idxs {
+			nameSets[ci][tok] = true
+		}
+	}
+	norm := ""
+	for i, t := range tokens {
+		if i > 0 {
+			norm += " "
+		}
+		norm += t
+	}
+	out := make([]scoreEntry, len(s.cats))
+	for i, c := range s.cats {
+		out[i] = scoreEntry{cat: c}
+		if norm == "" {
+			continue
+		}
+		if ei, ok := s.exact[norm]; ok && ei == i {
+			out[i].score = 1.0
+			continue
+		}
+		var hit, nameHit float64
+		for _, t := range tokens {
+			if w, ok := tokenSets[i][t]; ok {
+				hit += 0.5 + 0.5*w
+			}
+			if nameSets[i][t] {
+				nameHit++
+			}
+		}
+		cov := hit / float64(len(tokens))
+		nameCov := nameHit / float64(len(tokens))
+		score := 0.82*cov + 0.1*nameCov
+		if cov >= 0.999 && len(tokens) >= 2 {
+			score += 0.06
+		}
+		if score > 0.99 {
+			score = 0.99
+		}
+		out[i].score = score
+	}
+	// Mirror rankTokens' stable sort.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].score > out[j-1].score; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -2,9 +2,7 @@ package classifier
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
-	"math/rand"
 
 	"diffaudit/internal/ontology"
 )
@@ -50,17 +48,27 @@ func NewModel(temperature float64) *Model {
 // DefaultTemperatures are the sweep the paper evaluates (Table 3).
 func DefaultTemperatures() []float64 { return []float64{0, 0.25, 0.5, 0.75, 1.0} }
 
-// rng derives a per-input deterministic random stream.
-func (m *Model) rng(input string) *rand.Rand {
-	h := fnv.New64a()
-	h.Write([]byte(input))
-	var tb [8]byte
+// rng derives a per-input deterministic random stream: an FNV-1a hash of
+// the input and temperature seeds a stream identical to
+// rand.New(rand.NewSource(seed)), served through the fast partial-seeding
+// path (see fastrng.go). The hash is computed inline to avoid the
+// hash.Hash allocation and string copy of hash/fnv.
+func (m *Model) rng(input string) fastRand {
+	const (
+		fnvOffset64 = 14695981039346656037
+		fnvPrime64  = 1099511628211
+	)
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(input); i++ {
+		h ^= uint64(input[i])
+		h *= fnvPrime64
+	}
 	bits := math.Float64bits(m.Temperature)
 	for i := 0; i < 8; i++ {
-		tb[i] = byte(bits >> (8 * i))
+		h ^= uint64(byte(bits >> (8 * i)))
+		h *= fnvPrime64
 	}
-	h.Write(tb[:])
-	return rand.New(rand.NewSource(int64(h.Sum64()) ^ m.Seed))
+	return newFastRand(int64(h) ^ m.Seed)
 }
 
 // hallucinatedLabels are plausible-sounding but invalid categories emitted
@@ -73,6 +81,16 @@ var hallucinatedLabels = []string{
 
 // Classify assigns a category to one raw data type.
 func (m *Model) Classify(input string) Prediction {
+	return m.classify(input, nil)
+}
+
+// classify implements Classify. When ranked is non-nil it is used as the
+// category ranking for the input instead of recomputing it — the rank-once
+// path the ensemble uses to tokenize and rank each input a single time for
+// all temperature models. The ranking is read-only shared state; the noise
+// stream is derived from (input, temperature) exactly as before, so the
+// prediction is bit-identical either way.
+func (m *Model) classify(input string, ranked []scoreEntry) Prediction {
 	rng := m.rng(input)
 	if m.Temperature > 1.0 {
 		// Hallucination regime.
@@ -85,7 +103,9 @@ func (m *Model) Classify(input string) Prediction {
 			}
 		}
 	}
-	ranked := getScorer().rank(input)
+	if ranked == nil {
+		ranked = getScorer().rank(input)
+	}
 	top := ranked[0]
 	second := ranked[1]
 
@@ -107,7 +127,7 @@ func (m *Model) Classify(input string) Prediction {
 		}
 	}
 
-	conf := selfConfidence(chosen.score, margin, rankedIdx, rng, m.Temperature)
+	conf := selfConfidence(chosen.score, margin, rankedIdx, &rng, m.Temperature)
 	return Prediction{
 		Input:       input,
 		Label:       chosen.cat.Name,
@@ -129,7 +149,7 @@ func (m *Model) ClassifyAll(inputs []string) []Prediction {
 // selfConfidence converts evidence strength into the 0–1 self-reported
 // score. Like real LLM self-reports it correlates with, but does not equal,
 // correctness probability: noise widens with temperature.
-func selfConfidence(score, margin float64, rankedIdx int, rng *rand.Rand, temp float64) float64 {
+func selfConfidence(score, margin float64, rankedIdx int, rng *fastRand, temp float64) float64 {
 	base := 0.70 + 0.25*score + 0.05*margin
 	if score == 0 {
 		// No evidence at all: the model invents a meaning for the opaque

@@ -14,17 +14,31 @@ type scoreEntry struct {
 	score float64
 }
 
+// posting is one inverted-index entry: a category that carries a token,
+// with the token's evidence weight for that category.
+type posting struct {
+	catIdx int
+	w      float64
+}
+
 // scorer ranks ontology categories for a tokenized input. It is the
 // deterministic "semantic core" the simulated LLM perturbs: exact example
 // matches dominate, token-overlap with example phrases and the category
 // name contribute proportionally.
+//
+// Ranking runs over an inverted index (token → categories carrying it), so
+// scoring is O(input tokens × matching categories) rather than a linear
+// scan of all 35 category vocabularies per input.
 type scorer struct {
 	cats []*ontology.Category
-	// exact maps a normalized full example string to its category.
-	exact map[string]*ontology.Category
-	// tokenSets maps category index → example token multiset with weights.
-	tokenSets []map[string]float64
-	nameSets  []map[string]bool
+	// exact maps a normalized full example string to its category index
+	// (decisive match).
+	exact map[string]int
+	// tokenIdx maps an example token to the categories whose vocabulary
+	// contains it, with per-category evidence weights.
+	tokenIdx map[string][]posting
+	// nameIdx maps a category-name token to the categories it names.
+	nameIdx map[string][]int
 }
 
 var (
@@ -45,21 +59,21 @@ func newScorer() *scorer {
 		cats = append(cats, &all[i])
 	}
 	s := &scorer{
-		cats:      cats,
-		exact:     make(map[string]*ontology.Category, 512),
-		tokenSets: make([]map[string]float64, len(cats)),
-		nameSets:  make([]map[string]bool, len(cats)),
+		cats:     cats,
+		exact:    make(map[string]int, 512),
+		tokenIdx: make(map[string][]posting, 1024),
+		nameIdx:  make(map[string][]int, 128),
 	}
 	for i, c := range cats {
 		tokens := make(map[string]float64)
 		for _, ex := range c.Examples {
-			norm := strings.Join(Tokenize(ex), " ")
+			exTokens := Tokenize(ex)
+			norm := strings.Join(exTokens, " ")
 			if norm != "" {
 				if _, taken := s.exact[norm]; !taken {
-					s.exact[norm] = c
+					s.exact[norm] = i
 				}
 			}
-			exTokens := Tokenize(ex)
 			for _, t := range exTokens {
 				// Short example phrases give sharper evidence per token.
 				w := 1.0 / float64(len(exTokens))
@@ -68,45 +82,78 @@ func newScorer() *scorer {
 				}
 			}
 		}
-		s.tokenSets[i] = tokens
-		names := make(map[string]bool)
-		for _, t := range Tokenize(c.Name) {
-			names[t] = true
+		for t, w := range tokens {
+			s.tokenIdx[t] = append(s.tokenIdx[t], posting{catIdx: i, w: w})
 		}
-		s.nameSets[i] = names
+		for _, t := range Tokenize(c.Name) {
+			if !containsInt(s.nameIdx[t], i) {
+				s.nameIdx[t] = append(s.nameIdx[t], i)
+			}
+		}
+	}
+	// Postings built from map iteration arrive unordered; scoring is
+	// order-independent per category, but keep them sorted for
+	// reproducible memory layout.
+	for _, ps := range s.tokenIdx {
+		sort.Slice(ps, func(a, b int) bool { return ps[a].catIdx < ps[b].catIdx })
 	}
 	return s
 }
 
-// rank returns all categories scored for the input, sorted descending. The
-// top entry's score is in [0,1]; 0 means no evidence at all.
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// rank tokenizes the input and ranks all categories for it.
 func (s *scorer) rank(raw string) []scoreEntry {
-	tokens := Tokenize(raw)
-	norm := strings.Join(tokens, " ")
+	return s.rankTokens(Tokenize(raw))
+}
+
+// rankTokens returns all categories scored for a pre-tokenized input,
+// sorted descending. The top entry's score is in [0,1]; 0 means no
+// evidence at all. Callers share the token slice read-only.
+func (s *scorer) rankTokens(tokens []string) []scoreEntry {
 	out := make([]scoreEntry, len(s.cats))
 	for i, c := range s.cats {
 		out[i] = scoreEntry{cat: c}
-		if norm == "" {
-			continue
+	}
+	if len(tokens) == 0 {
+		// No evidence for any category; the all-zero ranking keeps
+		// ontology order, exactly as a stable sort of zeros would.
+		return out
+	}
+
+	// Accumulate token evidence through the inverted index. For any single
+	// category the additions happen in input-token order, keeping float
+	// accumulation identical to the per-category linear scan.
+	hits := make([]float64, len(s.cats))
+	nameHits := make([]float64, len(s.cats))
+	for _, t := range tokens {
+		for _, p := range s.tokenIdx[t] {
+			hits[p.catIdx] += 0.5 + 0.5*p.w
 		}
+		for _, ci := range s.nameIdx[t] {
+			nameHits[ci]++
+		}
+	}
+
+	exactIdx, hasExact := s.exact[strings.Join(tokens, " ")]
+	n := float64(len(tokens))
+	for i := range s.cats {
 		// Exact example match: decisive.
-		if s.exact[norm] == c {
+		if hasExact && i == exactIdx {
 			out[i].score = 1.0
 			continue
 		}
 		// Token coverage: fraction of input tokens that appear in the
 		// category's example vocabulary, weighted by evidence sharpness.
-		var hit, nameHit float64
-		for _, t := range tokens {
-			if w, ok := s.tokenSets[i][t]; ok {
-				hit += 0.5 + 0.5*w
-			}
-			if s.nameSets[i][t] {
-				nameHit++
-			}
-		}
-		cov := hit / float64(len(tokens))
-		nameCov := nameHit / float64(len(tokens))
+		cov := hits[i] / n
+		nameCov := nameHits[i] / n
 		score := 0.82*cov + 0.1*nameCov
 		// A multi-token phrase fully covered by one category is nearly as
 		// decisive as an exact match.

@@ -179,10 +179,11 @@ func init() {
 }
 
 // fillers are neutral developer context words: recognizable inside glued
-// compounds, then discarded as signal-free.
+// compounds, then discarded as signal-free. ("usr" is absent: it resolves
+// through the acronym table instead.)
 var fillers = map[string]bool{
 	"cur": true, "my": true, "raw": true, "tmp": true, "val": true,
-	"obj": true, "str": true, "usr": false, // usr expands via acronyms
+	"obj": true, "str": true,
 }
 
 // stopTokens carry no categorical signal and are dropped after expansion.
@@ -201,35 +202,11 @@ var stopTokens = map[string]bool{
 // stop-filtered.
 func Tokenize(raw string) []string {
 	var words []string
-	var cur strings.Builder
-	flush := func() {
-		if cur.Len() > 0 {
-			words = append(words, cur.String())
-			cur.Reset()
-		}
+	if isASCIIString(raw) {
+		words = splitWordsASCII(raw)
+	} else {
+		words = splitWordsUnicode(raw)
 	}
-	runes := []rune(raw)
-	for i, r := range runes {
-		switch {
-		case unicode.IsUpper(r):
-			// Split camelCase ("OptOut" → opt, out) but keep acronym runs
-			// ("URL" stays one token; "URLPath" splits before "Path").
-			if i > 0 && (unicode.IsLower(runes[i-1]) ||
-				(i+1 < len(runes) && unicode.IsLower(runes[i+1]) && unicode.IsUpper(runes[i-1]))) {
-				flush()
-			}
-			cur.WriteRune(unicode.ToLower(r))
-		case unicode.IsLower(r) || unicode.IsDigit(r):
-			if i > 0 && unicode.IsDigit(r) != unicode.IsDigit(runes[i-1]) &&
-				!unicode.IsUpper(runes[i-1]) && cur.Len() > 0 && unicode.IsDigit(r) {
-				flush()
-			}
-			cur.WriteRune(r)
-		default:
-			flush()
-		}
-	}
-	flush()
 
 	out := make([]string, 0, len(words))
 	var emit func(w string, canSegment bool)
@@ -269,6 +246,110 @@ func Tokenize(raw string) []string {
 		emit(w, true)
 	}
 	return out
+}
+
+func isASCIIString(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+func isUpperB(c byte) bool { return c >= 'A' && c <= 'Z' }
+func isLowerB(c byte) bool { return c >= 'a' && c <= 'z' }
+func isDigitB(c byte) bool { return c >= '0' && c <= '9' }
+
+// splitWordsASCII is the raw-word splitter for ASCII-only inputs — the
+// overwhelming case in wire traffic. It slices the input instead of
+// copying runes into builders: a word with no uppercase letters costs no
+// allocation beyond the slice header, and lowercasing copies only the
+// words that need it.
+func splitWordsASCII(raw string) []string {
+	var words []string
+	n := len(raw)
+	start := -1 // current word start; -1 when no word is open
+	hasUpper := false
+	flush := func(end int) {
+		if start >= 0 && end > start {
+			w := raw[start:end]
+			if hasUpper {
+				b := []byte(w)
+				for i := range b {
+					if isUpperB(b[i]) {
+						b[i] += 'a' - 'A'
+					}
+				}
+				w = string(b)
+			}
+			words = append(words, w)
+		}
+		start = -1
+		hasUpper = false
+	}
+	for i := 0; i < n; i++ {
+		c := raw[i]
+		switch {
+		case isUpperB(c):
+			// Split camelCase ("OptOut" → opt, out) but keep acronym runs
+			// ("URL" stays one token; "URLPath" splits before "Path").
+			if i > 0 && (isLowerB(raw[i-1]) ||
+				(i+1 < n && isLowerB(raw[i+1]) && isUpperB(raw[i-1]))) {
+				flush(i)
+			}
+			if start < 0 {
+				start = i
+			}
+			hasUpper = true
+		case isLowerB(c) || isDigitB(c):
+			if i > 0 && isDigitB(c) != isDigitB(raw[i-1]) &&
+				!isUpperB(raw[i-1]) && start >= 0 && isDigitB(c) {
+				flush(i)
+			}
+			if start < 0 {
+				start = i
+			}
+		default:
+			flush(i)
+		}
+	}
+	flush(n)
+	return words
+}
+
+// splitWordsUnicode is the rune-level splitter for inputs with non-ASCII
+// characters, preserving full Unicode case semantics.
+func splitWordsUnicode(raw string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, cur.String())
+			cur.Reset()
+		}
+	}
+	runes := []rune(raw)
+	for i, r := range runes {
+		switch {
+		case unicode.IsUpper(r):
+			if i > 0 && (unicode.IsLower(runes[i-1]) ||
+				(i+1 < len(runes) && unicode.IsLower(runes[i+1]) && unicode.IsUpper(runes[i-1]))) {
+				flush()
+			}
+			cur.WriteRune(unicode.ToLower(r))
+		case unicode.IsLower(r) || unicode.IsDigit(r):
+			if i > 0 && unicode.IsDigit(r) != unicode.IsDigit(runes[i-1]) &&
+				!unicode.IsUpper(runes[i-1]) && cur.Len() > 0 && unicode.IsDigit(r) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return words
 }
 
 // segment greedily splits a glued compound into known vocabulary words,

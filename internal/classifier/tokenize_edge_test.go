@@ -1,0 +1,76 @@
+package classifier
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTokenizeEdgeCases pins the splitter's behavior on boundary inputs:
+// digits after uppercase runs, digit/letter transitions, empty input, and
+// non-ASCII keys (which take the rune-level path).
+func TestTokenizeEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		// A digit after an uppercase acronym run glues on: the camelCase
+		// splitter only breaks before a digit following a lowercase
+		// letter, so "URL2Path" survives as one unsegmentable word.
+		{"URL2Path", []string{"url2path"}},
+		// Lowercase with an interior digit splits at the letter→digit
+		// boundary; "url" then expands through the acronym table while
+		// "2path" stays opaque.
+		{"url2path", []string{"uniform", "resource", "locator", "2path"}},
+		// Digit→letter transitions do not split, letter→digit ones do.
+		{"a1b2", []string{"1b"}},
+		// Empty and signal-free inputs produce no tokens.
+		{"", []string{}},
+		{"x9", []string{}},
+		{"42", []string{}},
+		// Non-ASCII letters ride the Unicode path un-mangled.
+		{"épinglé", []string{"épinglé"}},
+		{"UserÜberID", []string{"user", "über", "identifier"}},
+		// Non-ASCII non-letters separate words like punctuation does.
+		{"用户id", []string{"identifier"}},
+		// Uppercase runs keep acronyms whole but split before a
+		// capitalized word ("ABCDef" → "abc" + "def").
+		{"ABCDef", []string{"abc", "def"}},
+		// Underscores separate; trailing digits inside a word survive
+		// only via acronym/vocab hits.
+		{"gps_lat42", []string{"gps", "location", "latitude"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestSplitWordsASCIIMatchesUnicode proves the ASCII fast path is a pure
+// optimization: for every ASCII input the byte-level splitter must produce
+// exactly what the rune-level splitter does.
+func TestSplitWordsASCIIMatchesUnicode(t *testing.T) {
+	inputs := []string{
+		"", "a", "A", "9", "_", "user_id", "IsOptOutEmailShown",
+		"URL2Path", "url2path", "URLPath", "OptOut", "a1b2", "x9",
+		"pers_ad_show_third_part_measurement", "device.hw.model",
+		"gps_lat42", "ABCDef", "ABC", "AbC", "aBC", "A1", "1A", "a1A",
+		"qzx81a", "watch_time", "advertising_id", "HTTPRequest2XX",
+		"snake_case_key", "kebab-case-key", "Mixed_Case-Key.path",
+		"trailing_", "_leading", "__", "aA", "Aa", "aAa", "AaA",
+	}
+	for _, in := range inputs {
+		if !isASCIIString(in) {
+			t.Fatalf("test input %q is not ASCII", in)
+		}
+		got := splitWordsASCII(in)
+		want := splitWordsUnicode(in)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("splitWordsASCII(%q) = %#v, unicode path = %#v", in, got, want)
+		}
+	}
+}

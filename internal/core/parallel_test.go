@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"diffaudit/internal/flows"
+)
+
+func parallelTestRecords(n int) []RequestRecord {
+	recs := make([]RequestRecord, 0, n)
+	traces := flows.TraceCategories()
+	for i := 0; i < n; i++ {
+		recs = append(recs, RequestRecord{
+			Trace:    traces[i%len(traces)],
+			Platform: flows.Platform(i % 2),
+			Method:   "GET",
+			URL:      fmt.Sprintf("https://api.quizlet.com/v1/x?user_id=u%d&gps_lat=1.5&os=android", i),
+			FQDN:     "api.quizlet.com",
+			ConnID:   fmt.Sprintf("c%d", i%7),
+		})
+	}
+	return recs
+}
+
+// TestAnalyzeRecordsParallelMatchesSequential forces the worker pool on
+// (well past GOMAXPROCS on small machines) and checks every result field
+// against the sequential path.
+func TestAnalyzeRecordsParallelMatchesSequential(t *testing.T) {
+	id := ServiceIdentity{Name: "Quizlet", Owner: "Quizlet Inc", FirstPartyESLDs: []string{"quizlet.com"}}
+	recs := parallelTestRecords(1200)
+
+	seqPipe := NewPipeline()
+	seqPipe.Workers = 1
+	seq := seqPipe.AnalyzeRecords(id, recs)
+
+	parPipe := NewPipeline()
+	parPipe.Workers = 6
+	par := parPipe.AnalyzeRecords(id, recs)
+
+	if seq.Packets != par.Packets || seq.TCPFlows != par.TCPFlows || seq.DroppedKeys != par.DroppedKeys {
+		t.Fatalf("counters diverge: seq %d/%d/%d par %d/%d/%d",
+			seq.Packets, seq.TCPFlows, seq.DroppedKeys, par.Packets, par.TCPFlows, par.DroppedKeys)
+	}
+	for _, m := range []struct {
+		name     string
+		seq, par map[string]bool
+	}{
+		{"Domains", seq.Domains, par.Domains},
+		{"ESLDs", seq.ESLDs, par.ESLDs},
+		{"RawKeys", seq.RawKeys, par.RawKeys},
+	} {
+		if len(m.seq) != len(m.par) {
+			t.Fatalf("%s size diverges: %d vs %d", m.name, len(m.seq), len(m.par))
+		}
+		for k := range m.seq {
+			if !m.par[k] {
+				t.Fatalf("%s: %q missing from parallel result", m.name, k)
+			}
+		}
+	}
+	for _, tc := range flows.TraceCategories() {
+		sf, pf := seq.ByTrace[tc].Flows(), par.ByTrace[tc].Flows()
+		if len(sf) != len(pf) {
+			t.Fatalf("trace %v: %d flows vs %d", tc, len(sf), len(pf))
+		}
+		for i := range sf {
+			if sf[i].Key() != pf[i].Key() {
+				t.Fatalf("trace %v flow %d: %q vs %q", tc, i, sf[i].Key(), pf[i].Key())
+			}
+			if seq.ByTrace[tc].Platforms(sf[i]) != par.ByTrace[tc].Platforms(pf[i]) {
+				t.Fatalf("trace %v flow %q: platform masks diverge", tc, sf[i].Key())
+			}
+		}
+	}
+}
+
+// TestLabelCacheSingleflight hammers one pipeline's label cache from many
+// goroutines and checks agreement with fresh classifications — exercising
+// shard locking and the singleflight path under the race detector.
+func TestLabelCacheSingleflight(t *testing.T) {
+	p := NewPipeline()
+	keys := []string{"user_id", "gps_lat", "os", "advertising_id", "watch_time", "qzx81a"}
+	var wg sync.WaitGroup
+	results := make([][]bool, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = make([]bool, len(keys))
+			for i, k := range keys {
+				_, ok := p.label(k)
+				results[g][i] = ok
+			}
+		}(g)
+	}
+	wg.Wait()
+	fresh := NewPipeline()
+	for i, k := range keys {
+		_, want := fresh.label(k)
+		for g := range results {
+			if results[g][i] != want {
+				t.Fatalf("goroutine %d key %q: cached ok=%v, fresh ok=%v", g, k, results[g][i], want)
+			}
+		}
+	}
+}
+
+// TestDestMemoConsistency checks the per-call destination memo returns the
+// same resolution a direct call does, including the first-party split.
+func TestDestMemoConsistency(t *testing.T) {
+	p := NewPipeline()
+	memo := &destMemo{owner: "Quizlet Inc", eslds: []string{"quizlet.com"}, ats: p.ATS}
+	for _, fqdn := range []string{"api.quizlet.com", "stats.g.doubleclick.net", "api.quizlet.com", ""} {
+		got := memo.resolve(fqdn)
+		want := flows.ResolveDestination("Quizlet Inc", []string{"quizlet.com"}, fqdn, p.ATS)
+		if got != want {
+			t.Fatalf("memo.resolve(%q) = %+v, direct = %+v", fqdn, got, want)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 
@@ -74,7 +75,13 @@ func (r *ServiceResult) Merged(categories ...flows.TraceCategory) *flows.Set {
 	if len(categories) == 0 {
 		categories = flows.TraceCategories()
 	}
-	out := flows.NewSet()
+	n := 0
+	for _, t := range categories {
+		if s := r.ByTrace[t]; s != nil {
+			n += s.Len()
+		}
+	}
+	out := flows.NewSetSized(n)
 	for _, t := range categories {
 		out.Merge(r.ByTrace[t])
 	}
@@ -90,14 +97,56 @@ type Pipeline struct {
 	ATS *ats.Engine
 	// Extract tunes key harvesting.
 	Extract extract.Options
+	// Workers bounds AnalyzeRecords concurrency: 0 (the default) sizes the
+	// worker pool to runtime.GOMAXPROCS, 1 forces the sequential path, any
+	// other value is used as given. The parallel path produces results
+	// identical to the sequential one — flow sets, counters, and caches
+	// merge deterministically.
+	Workers int
 
-	mu    sync.Mutex
-	cache map[string]cachedLabel
+	// shards is the label cache: FNV-sharded so concurrent workers hit
+	// disjoint locks, with per-key singleflight so no key is ever
+	// classified twice (the dataset repeats keys heavily, as real traffic
+	// does). Entries are append-only per key: once stored, a label never
+	// changes.
+	shards [labelShardCount]labelShard
+}
+
+// labelShardCount is the number of label-cache shards. 64 comfortably
+// exceeds any plausible worker count, making lock collisions rare, while
+// keeping the array small enough to embed in the Pipeline by value.
+const labelShardCount = 64
+
+type labelShard struct {
+	mu       sync.Mutex
+	entries  map[string]cachedLabel
+	inflight map[string]*labelCall
 }
 
 type cachedLabel struct {
 	cat *ontology.Category
 	ok  bool
+}
+
+// labelCall is one in-flight classification other workers can wait on.
+type labelCall struct {
+	done chan struct{}
+	cachedLabel
+}
+
+// labelShardIndex is FNV-1a over the key, inlined to keep the cache-hit
+// path allocation-free.
+func labelShardIndex(key string) int {
+	const (
+		fnvOffset32 = 2166136261
+		fnvPrime32  = 16777619
+	)
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= fnvPrime32
+	}
+	return int(h % labelShardCount)
 }
 
 // NewPipeline returns a pipeline with the paper's production configuration.
@@ -106,59 +155,121 @@ func NewPipeline() *Pipeline {
 		Labeler: classifier.FinalLabeler(),
 		ATS:     ats.Default(),
 		Extract: extract.DefaultOptions(),
-		cache:   make(map[string]cachedLabel),
 	}
 }
 
-// label classifies one raw key with caching (the dataset repeats keys
-// heavily, as real traffic does).
+// label classifies one raw key with sharded caching and singleflight:
+// concurrent workers asking for the same key block on one classification
+// instead of redundantly computing it.
 func (p *Pipeline) label(key string) (*ontology.Category, bool) {
-	p.mu.Lock()
-	if c, hit := p.cache[key]; hit {
-		p.mu.Unlock()
+	sh := &p.shards[labelShardIndex(key)]
+	sh.mu.Lock()
+	if c, hit := sh.entries[key]; hit {
+		sh.mu.Unlock()
 		return c.cat, c.ok
 	}
-	p.mu.Unlock()
-	cat, _, ok := p.Labeler.Label(key)
-	p.mu.Lock()
-	if p.cache == nil {
-		p.cache = make(map[string]cachedLabel)
+	if call, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
+		<-call.done
+		return call.cat, call.ok
 	}
-	p.cache[key] = cachedLabel{cat, ok}
-	p.mu.Unlock()
+	if sh.entries == nil {
+		sh.entries = make(map[string]cachedLabel)
+		sh.inflight = make(map[string]*labelCall)
+	}
+	call := &labelCall{done: make(chan struct{})}
+	sh.inflight[key] = call
+	sh.mu.Unlock()
+
+	cat, _, ok := p.Labeler.Label(key)
+	call.cat, call.ok = cat, ok
+	close(call.done)
+
+	sh.mu.Lock()
+	sh.entries[key] = cachedLabel{cat, ok}
+	delete(sh.inflight, key)
+	sh.mu.Unlock()
 	return cat, ok
 }
 
-// AnalyzeRecords runs the full pipeline over a service's request records.
-func (p *Pipeline) AnalyzeRecords(id ServiceIdentity, recs []RequestRecord) *ServiceResult {
-	res := &ServiceResult{
-		Identity: id,
-		ByTrace:  make(map[flows.TraceCategory]*flows.Set),
-		Domains:  make(map[string]bool),
-		ESLDs:    make(map[string]bool),
-		RawKeys:  make(map[string]bool),
+// destMemo memoizes flows.ResolveDestination for one AnalyzeRecords call.
+// The service identity is fixed for the call, so the memo key is the raw
+// FQDN; traces repeat a few hundred FQDNs across tens of thousands of
+// records, making resolution (eSLD extraction, entity lookup, block-list
+// walk) almost always a cache hit. The read-mostly access pattern is what
+// sync.Map is built for.
+type destMemo struct {
+	owner string
+	eslds []string
+	ats   *ats.Engine
+	m     sync.Map // raw FQDN → flows.Destination
+}
+
+func (d *destMemo) resolve(fqdn string) flows.Destination {
+	if v, ok := d.m.Load(fqdn); ok {
+		return v.(flows.Destination)
+	}
+	dest := flows.ResolveDestination(d.owner, d.eslds, fqdn, d.ats)
+	d.m.Store(fqdn, dest)
+	return dest
+}
+
+// partialResult accumulates one worker's share of an analysis. Every field
+// merges commutatively (set unions, sums, platform-mask ORs), so combining
+// partials in any order yields the same ServiceResult the sequential loop
+// builds.
+type partialResult struct {
+	byTrace     map[flows.TraceCategory]*flows.Set
+	domains     map[string]bool
+	eslds       map[string]bool
+	rawKeys     map[string]bool
+	conns       map[string]bool
+	packets     int
+	droppedKeys int
+}
+
+// newPartialResult pre-sizes the accumulation maps from the number of
+// records the partial will see. Distinct destinations are far fewer than
+// records (traces repeat a few hundred FQDNs), so those maps get a capped
+// hint; raw keys and connections scale closer to record count.
+func newPartialResult(recHint int) *partialResult {
+	destHint := recHint / 8
+	if destHint > 256 {
+		destHint = 256
+	}
+	pr := &partialResult{
+		byTrace: make(map[flows.TraceCategory]*flows.Set),
+		domains: make(map[string]bool, destHint),
+		eslds:   make(map[string]bool, destHint),
+		rawKeys: make(map[string]bool, recHint),
+		conns:   make(map[string]bool, recHint/4),
 	}
 	for _, t := range flows.TraceCategories() {
-		res.ByTrace[t] = flows.NewSet()
+		pr.byTrace[t] = flows.NewSetSized(destHint)
 	}
-	conns := make(map[string]bool)
+	return pr
+}
+
+// analyzeChunk runs the sequential pipeline body over a slice of records,
+// accumulating into pr.
+func (p *Pipeline) analyzeChunk(recs []RequestRecord, memo *destMemo, pr *partialResult) {
 	for i := range recs {
 		rec := &recs[i]
 		repeat := rec.Repeat
 		if repeat <= 0 {
 			repeat = 1
 		}
-		res.Packets += repeat
+		pr.packets += repeat
 		if rec.ConnID != "" {
-			conns[rec.ConnID] = true
+			pr.conns[rec.ConnID] = true
 		}
-		dest := flows.ResolveDestination(id.Owner, id.FirstPartyESLDs, rec.FQDN, p.ATS)
+		dest := memo.resolve(rec.FQDN)
 		if dest.FQDN == "" {
 			continue
 		}
-		res.Domains[dest.FQDN] = true
+		pr.domains[dest.FQDN] = true
 		if dest.ESLD != "" {
-			res.ESLDs[dest.ESLD] = true
+			pr.eslds[dest.ESLD] = true
 		}
 
 		view := extract.RequestView{
@@ -176,17 +287,124 @@ func (p *Pipeline) AnalyzeRecords(id ServiceIdentity, recs []RequestRecord) *Ser
 			if pair.Source == extract.SourceHeader {
 				continue
 			}
-			res.RawKeys[pair.Key] = true
+			pr.rawKeys[pair.Key] = true
 			cat, ok := p.label(pair.Key)
 			if !ok {
-				res.DroppedKeys++
+				pr.droppedKeys++
 				continue
 			}
-			res.ByTrace[rec.Trace].Add(flows.Flow{Category: cat, Dest: dest}, rec.Platform)
+			pr.byTrace[rec.Trace].Add(flows.Flow{Category: cat, Dest: dest}, rec.Platform)
 		}
 	}
-	res.TCPFlows = len(conns)
-	return res
+}
+
+// merge folds another partial into this one.
+func (pr *partialResult) merge(o *partialResult) {
+	for t, set := range o.byTrace {
+		pr.byTrace[t].Merge(set)
+	}
+	for d := range o.domains {
+		pr.domains[d] = true
+	}
+	for e := range o.eslds {
+		pr.eslds[e] = true
+	}
+	for k := range o.rawKeys {
+		pr.rawKeys[k] = true
+	}
+	for c := range o.conns {
+		pr.conns[c] = true
+	}
+	pr.packets += o.packets
+	pr.droppedKeys += o.droppedKeys
+}
+
+// result converts the accumulated partial into the public ServiceResult.
+func (pr *partialResult) result(id ServiceIdentity) *ServiceResult {
+	return &ServiceResult{
+		Identity:    id,
+		ByTrace:     pr.byTrace,
+		Packets:     pr.packets,
+		TCPFlows:    len(pr.conns),
+		Domains:     pr.domains,
+		ESLDs:       pr.eslds,
+		RawKeys:     pr.rawKeys,
+		DroppedKeys: pr.droppedKeys,
+	}
+}
+
+// analyzeChunkSize is the unit of work the parallel path hands out. Small
+// enough to balance load across workers on skewed record mixes, large
+// enough that the atomic-counter handoff never shows up in a profile.
+const analyzeChunkSize = 256
+
+// AnalyzeRecords runs the full pipeline over a service's request records.
+//
+// Records are processed on a bounded worker pool (see Pipeline.Workers).
+// Each worker accumulates a private partial result over contiguous record
+// chunks claimed from a shared cursor; partials merge in worker order at
+// the end. Classification is deterministic and every merge operation is
+// commutative, so the output is identical to the sequential path — a
+// property the equivalence tests assert byte-for-byte on rendered
+// artifacts.
+func (p *Pipeline) AnalyzeRecords(id ServiceIdentity, recs []RequestRecord) *ServiceResult {
+	memo := &destMemo{owner: id.Owner, eslds: id.FirstPartyESLDs, ats: p.ATS}
+
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (len(recs) + analyzeChunkSize - 1) / analyzeChunkSize; workers > max {
+		workers = max
+	}
+
+	if workers <= 1 {
+		pr := newPartialResult(len(recs))
+		p.analyzeChunk(recs, memo, pr)
+		return pr.result(id)
+	}
+
+	partials := make([]*partialResult, workers)
+	var cursor sync.Mutex
+	next := 0
+	claim := func() (lo, hi int, ok bool) {
+		cursor.Lock()
+		defer cursor.Unlock()
+		if next >= len(recs) {
+			return 0, 0, false
+		}
+		lo = next
+		hi = lo + analyzeChunkSize
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		next = hi
+		return lo, hi, true
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pr := newPartialResult(len(recs) / workers)
+			partials[w] = pr
+			for {
+				lo, hi, ok := claim()
+				if !ok {
+					return
+				}
+				p.analyzeChunk(recs[lo:hi], memo, pr)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := partials[0]
+	for _, pr := range partials[1:] {
+		total.merge(pr)
+	}
+	return total.result(id)
 }
 
 // Table1Totals aggregates results into the unique-total row of Table 1.

@@ -193,12 +193,22 @@ func NewSet() *Set {
 	return &Set{flows: make(map[string]*entry)}
 }
 
+// NewSetSized returns an empty flow set pre-sized for about n flows,
+// avoiding map growth rehashes when the caller knows the workload.
+func NewSetSized(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{flows: make(map[string]*entry, n)}
+}
+
 // Add records a flow observed on a platform.
 func (s *Set) Add(f Flow, p Platform) {
-	e, ok := s.flows[f.Key()]
+	k := f.Key()
+	e, ok := s.flows[k]
 	if !ok {
 		e = &entry{flow: f}
-		s.flows[f.Key()] = e
+		s.flows[k] = e
 	}
 	if p == Web {
 		e.platforms |= OnWeb
