@@ -10,6 +10,17 @@
 //	go run ./cmd/benchjson -bench 'Table1|Figure2' # subset
 //	go run ./cmd/benchjson -label baseline         # BENCH_<date>_baseline.json
 //	go run ./cmd/benchjson -o results.json         # explicit output path
+//
+// Regression gating (the CI bench step):
+//
+//	go run ./cmd/benchjson -compare BENCH_2026-07-29_baseline.json \
+//	    -threshold 0.25 -compare-filter 'Table1|Figure2'
+//
+// -compare diffs the fresh run against a committed trajectory file and
+// prints a per-benchmark delta table. Regressions beyond -threshold on
+// benchmarks matching -compare-filter are reported as warnings; the exit
+// code stays 0 (soft gate) unless -gate is set. CI machines are noisy, so
+// the default posture is visibility, not flake-prone hard failure.
 package main
 
 import (
@@ -63,6 +74,10 @@ func main() {
 	pkg := flag.String("pkg", ".", "package pattern to benchmark")
 	label := flag.String("label", "", "label recorded in the file and appended to the default filename")
 	out := flag.String("o", "", "output path (default BENCH_<date>[_label].json)")
+	compare := flag.String("compare", "", "baseline trajectory file to diff the run against")
+	threshold := flag.Float64("threshold", 0.25, "ns/op regression ratio that triggers a warning (with -compare)")
+	compareFilter := flag.String("compare-filter", ".", "regex of benchmark names the threshold applies to")
+	gate := flag.Bool("gate", false, "exit nonzero when a filtered benchmark regresses past the threshold")
 	flag.Parse()
 
 	args := []string{
@@ -133,6 +148,63 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", path, len(results))
+
+	if *compare != "" {
+		regressions, err := compareBaseline(*compare, results, *threshold, *compareFilter)
+		if err != nil {
+			fatal(err)
+		}
+		if regressions > 0 && *gate {
+			fatal(fmt.Errorf("%d benchmark(s) regressed past %.0f%%", regressions, *threshold*100))
+		}
+	}
+}
+
+// compareBaseline diffs fresh results against a committed trajectory and
+// prints a delta table. It returns how many benchmarks matching the filter
+// regressed past the threshold.
+func compareBaseline(path string, fresh []BenchResult, threshold float64, filter string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("baseline: %w", err)
+	}
+	var base Trajectory
+	if err := json.Unmarshal(data, &base); err != nil {
+		return 0, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	filterRe, err := regexp.Compile(filter)
+	if err != nil {
+		return 0, fmt.Errorf("-compare-filter: %w", err)
+	}
+	baseline := make(map[string]BenchResult, len(base.Results))
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+
+	fmt.Printf("\n== comparison against %s (%s, %s) ==\n", path, base.Date, base.GoVersion)
+	fmt.Printf("%-60s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	regressions := 0
+	for _, r := range fresh {
+		b, seen := baseline[r.Name]
+		if !seen || b.NsPerOp <= 0 {
+			fmt.Printf("%-60s %14s %14.0f %8s\n", r.Name, "-", r.NsPerOp, "new")
+			continue
+		}
+		delta := r.NsPerOp/b.NsPerOp - 1
+		mark := ""
+		if filterRe.MatchString(r.Name) && delta > threshold {
+			mark = "  <-- REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-60s %14.0f %14.0f %+7.1f%%%s\n", r.Name, b.NsPerOp, r.NsPerOp, delta*100, mark)
+	}
+	if regressions > 0 {
+		fmt.Printf("\nWARNING: %d benchmark(s) regressed more than %.0f%% vs %s\n",
+			regressions, threshold*100, path)
+	} else {
+		fmt.Printf("\nno regressions past %.0f%% (filter %q)\n", threshold*100, filter)
+	}
+	return regressions, nil
 }
 
 // parseLine extracts one BenchResult from a benchmark output line.

@@ -1,17 +1,25 @@
 // Command diffaudit runs the full DiffAudit pipeline. In dataset mode
 // (default) it synthesizes the six-service dataset and audits every
-// service; in file mode it audits capture files you point it at.
+// service; in file mode it audits capture files you point it at; in serve
+// mode it runs the long-lived audit server.
 //
 // Usage:
 //
 //	diffaudit [-scale 0.01] [-service Quizlet] [-findings] [-policy]
 //	diffaudit -har child=child.har -har loggedout=out.har -name MyApp
+//	diffaudit serve [-addr :8080] [-workers 2] [-queue 16]
+//
+// File mode streams captures from disk: HAR entries decode one at a time
+// and PCAP frames iterate without materializing the file, so capture size
+// does not bound memory.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"os"
 	"strings"
 
 	"diffaudit"
@@ -34,17 +42,8 @@ func (f *traceFlag) Set(v string) error {
 	if !ok {
 		return fmt.Errorf("want trace=path, got %q", v)
 	}
-	var tc diffaudit.TraceCategory
-	switch strings.ToLower(name) {
-	case "child":
-		tc = diffaudit.Child
-	case "adolescent", "teen":
-		tc = diffaudit.Adolescent
-	case "adult":
-		tc = diffaudit.Adult
-	case "loggedout", "logged-out", "out":
-		tc = diffaudit.LoggedOut
-	default:
+	tc, ok := diffaudit.ParseTrace(name)
+	if !ok {
 		return fmt.Errorf("unknown trace %q (child|adolescent|adult|loggedout)", name)
 	}
 	f.entries = append(f.entries, traceFile{tc, path})
@@ -52,6 +51,12 @@ func (f *traceFlag) Set(v string) error {
 }
 
 func main() {
+	log.SetFlags(0)
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serve(os.Args[2:])
+		return
+	}
+
 	var hars, pcaps traceFlag
 	scale := flag.Float64("scale", 0.01, "synthetic dataset scale (dataset mode)")
 	service := flag.String("service", "", "audit a single service (dataset mode)")
@@ -62,7 +67,6 @@ func main() {
 	flag.Var(&hars, "har", "trace=path of a website HAR capture (repeatable)")
 	flag.Var(&pcaps, "pcap", "trace=path of a mobile pcap/pcapng capture (repeatable)")
 	flag.Parse()
-	log.SetFlags(0)
 
 	auditor := diffaudit.New()
 	if len(hars.entries) > 0 || len(pcaps.entries) > 0 {
@@ -95,29 +99,114 @@ func main() {
 	}
 }
 
-func auditFiles(auditor *diffaudit.Auditor, name, keylog string, hars, pcaps traceFlag, findings bool) {
-	var recs []diffaudit.RequestRecord
-	for _, e := range hars.entries {
-		r, err := auditor.LoadHARFile(e.path, e.trace)
-		if err != nil {
-			log.Fatalf("%s: %v", e.path, err)
+// serve runs the audit server until the process is killed.
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 2, "concurrent audit jobs")
+	queue := fs.Int("queue", 16, "bounded job queue depth")
+	maxUpload := fs.Int64("max-upload", 1<<30, "max upload size in bytes")
+	tempDir := fs.String("tempdir", "", "staging dir for uploads (default: system temp)")
+	fs.Parse(args)
+
+	srv := diffaudit.NewServer(diffaudit.ServerConfig{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxUploadBytes: *maxUpload,
+		TempDir:        *tempDir,
+	})
+	defer srv.Close()
+	log.Printf("diffaudit serve: listening on %s (%d workers, queue depth %d)", *addr, *workers, *queue)
+	log.Printf("submit captures:  curl -F child=@child.har -F name=MyApp http://localhost%s/audit", *addr)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// openSources opens every capture as a streaming source. The caller owns
+// the returned sources; pcap-backed ones report ingestion stats after the
+// audit drains them.
+func openSources(keylog string, hars, pcaps traceFlag) ([]*diffaudit.FileSource, []string, error) {
+	var srcs []*diffaudit.FileSource
+	var paths []string
+	fail := func(err error) ([]*diffaudit.FileSource, []string, error) {
+		for _, s := range srcs {
+			s.Close()
 		}
-		recs = append(recs, r...)
+		return nil, nil, err
+	}
+	for _, e := range hars.entries {
+		s, err := diffaudit.OpenHARSource(e.path, e.trace)
+		if err != nil {
+			return fail(fmt.Errorf("%s: %w", e.path, err))
+		}
+		srcs, paths = append(srcs, s), append(paths, e.path)
 	}
 	for _, e := range pcaps.entries {
-		r, stats, err := auditor.LoadPCAPFile(e.path, keylog, e.trace)
+		s, err := diffaudit.OpenPCAPSource(e.path, keylog, e.trace)
 		if err != nil {
-			log.Fatalf("%s: %v", e.path, err)
+			return fail(fmt.Errorf("%s: %w", e.path, err))
 		}
-		fmt.Printf("%s: %d packets, %d TCP flows, %d/%d TLS streams decrypted\n",
-			e.path, stats.Packets, stats.TCPFlows, stats.DecryptedStreams, stats.TLSStreams)
-		recs = append(recs, r...)
+		srcs, paths = append(srcs, s), append(paths, e.path)
 	}
-	if len(recs) == 0 {
+	return srcs, paths, nil
+}
+
+// countingSource counts records passing through, so file mode can still
+// report an empty capture set distinctly from an unresolvable identity.
+type countingSource struct {
+	src diffaudit.RecordSource
+	n   int
+}
+
+func (c *countingSource) Next() (diffaudit.RequestRecord, error) {
+	rec, err := c.src.Next()
+	if err == nil {
+		c.n++
+	}
+	return rec, err
+}
+
+// auditFiles streams the given captures through the pipeline twice: one
+// pass to guess the service identity, one to audit — so whole captures are
+// never resident no matter their size.
+func auditFiles(auditor *diffaudit.Auditor, name, keylog string, hars, pcaps traceFlag, findings bool) {
+	srcs, _, err := openSources(keylog, hars, pcaps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	multi := make([]diffaudit.RecordSource, len(srcs))
+	for i, s := range srcs {
+		multi[i] = s
+	}
+	counter := &countingSource{src: diffaudit.MultiSource(multi...)}
+	id, err := diffaudit.GuessIdentityStream(name, counter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if counter.n == 0 {
 		log.Fatal("no requests parsed from the given captures")
 	}
-	id := diffaudit.GuessIdentity(name, recs)
-	res := auditor.AuditRecords(id, recs)
+
+	// Second pass: reopen and audit.
+	srcs, paths, err := openSources(keylog, hars, pcaps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	multi = multi[:0]
+	for _, s := range srcs {
+		multi = append(multi, s)
+	}
+	res, err := auditor.AuditStream(id, diffaudit.MultiSource(multi...))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range srcs {
+		if stats, ok := s.PCAPStats(); ok {
+			fmt.Printf("%s: %d packets, %d TCP flows, %d/%d TLS streams decrypted\n",
+				paths[i], stats.Packets, stats.TCPFlows, stats.DecryptedStreams, stats.TLSStreams)
+		}
+	}
 	fmt.Printf("=== %s (first party: %s) ===\n", id.Name, strings.Join(id.FirstPartyESLDs, ", "))
 	fmt.Printf("domains=%d eSLDs=%d unique-data-types=%d dropped-keys=%d\n",
 		len(res.Domains), len(res.ESLDs), len(res.RawKeys), res.DroppedKeys)

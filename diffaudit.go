@@ -24,6 +24,7 @@
 package diffaudit
 
 import (
+	"io"
 	"os"
 
 	"diffaudit/internal/classifier"
@@ -36,6 +37,7 @@ import (
 	"diffaudit/internal/netcap/tlsx"
 	"diffaudit/internal/policy"
 	"diffaudit/internal/report"
+	"diffaudit/internal/server"
 	"diffaudit/internal/services"
 	"diffaudit/internal/synth"
 )
@@ -77,6 +79,19 @@ type (
 	ServiceSpec = services.Spec
 	// ValidationRow is one row of the classifier validation table.
 	ValidationRow = classifier.ValidationRow
+	// RecordSource is a pull-based record iterator feeding the streaming
+	// pipeline: peak memory stays constant no matter how large the capture.
+	RecordSource = core.RecordSource
+	// FileSource streams records out of a capture file on disk.
+	FileSource = core.FileSource
+	// PCAPSource streams records out of a packet iterator.
+	PCAPSource = core.PCAPSource
+	// AuditServer is the HTTP audit service behind `diffaudit serve`.
+	AuditServer = server.Server
+	// ServerConfig tunes the audit server.
+	ServerConfig = server.Config
+	// ServerJob is one queued or completed server-side audit.
+	ServerJob = server.Job
 )
 
 // Trace categories.
@@ -119,6 +134,53 @@ func New() *Auditor {
 func (a *Auditor) AuditRecords(id ServiceIdentity, recs []RequestRecord) *ServiceResult {
 	return a.Pipeline.AnalyzeRecords(id, recs)
 }
+
+// AuditStream runs the pipeline over a record stream in bounded batches:
+// the result is identical to AuditRecords over the same records, but peak
+// memory is independent of capture size.
+func (a *Auditor) AuditStream(id ServiceIdentity, src RecordSource) (*ServiceResult, error) {
+	return a.Pipeline.AnalyzeStream(id, src)
+}
+
+// SliceSource adapts in-memory records to a RecordSource.
+func SliceSource(recs []RequestRecord) RecordSource { return core.SliceSource(recs) }
+
+// MultiSource concatenates record sources (e.g. one capture per trace
+// category feeding a single audit).
+func MultiSource(srcs ...RecordSource) RecordSource { return core.MultiSource(srcs...) }
+
+// OpenHARSource opens a website capture for streaming audit: entries
+// decode incrementally off disk, one at a time.
+func OpenHARSource(path string, trace TraceCategory) (*FileSource, error) {
+	return core.OpenHARFileSource(path, trace, Web)
+}
+
+// OpenPCAPSource opens a mobile capture (pcap or pcapng) for streaming
+// audit; packet frames are never all resident. TLS keys come from
+// embedded Decryption Secrets Blocks plus the optional SSLKEYLOGFILE.
+func OpenPCAPSource(path, keylogPath string, trace TraceCategory) (*FileSource, error) {
+	return core.OpenPCAPFileSource(path, keylogPath, trace)
+}
+
+// NewHARSource wraps a streaming HAR decoder (har.NewStreamDecoder over
+// any reader) as a RecordSource.
+func NewHARSource(r io.Reader, trace TraceCategory, platform Platform) RecordSource {
+	return core.NewHARSource(har.NewStreamDecoder(r), trace, platform)
+}
+
+// GuessIdentityStream is GuessIdentity over a record stream (constant
+// memory; drains the source).
+func GuessIdentityStream(name string, src RecordSource) (ServiceIdentity, error) {
+	return core.GuessIdentitySource(name, src)
+}
+
+// ParseTrace maps a user-facing trace name (child, adolescent/teen,
+// adult, loggedout) to its category.
+func ParseTrace(name string) (TraceCategory, bool) { return flows.ParseTrace(name) }
+
+// NewServer starts an audit server: POST /audit uploads captures onto a
+// bounded job queue, GET /jobs/{id}/report.{json,csv} fetches results.
+func NewServer(cfg ServerConfig) *AuditServer { return server.New(cfg) }
 
 // LoadHARFile parses a website capture exported from the browser's network
 // panel into request records.

@@ -3,7 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"io"
 	"strings"
 
 	"diffaudit/internal/domains"
@@ -11,8 +11,6 @@ import (
 	"diffaudit/internal/flows"
 	"diffaudit/internal/har"
 	"diffaudit/internal/httpx"
-	"diffaudit/internal/netcap/dnsx"
-	"diffaudit/internal/netcap/layers"
 	"diffaudit/internal/netcap/pcapio"
 	"diffaudit/internal/netcap/reassembly"
 	"diffaudit/internal/netcap/tlsx"
@@ -23,30 +21,35 @@ import (
 func FromHAR(h *har.HAR, trace flows.TraceCategory, platform flows.Platform) []RequestRecord {
 	var out []RequestRecord
 	for i := range h.Log.Entries {
-		e := &h.Log.Entries[i]
-		req := &e.Request
-		rec := RequestRecord{
-			Trace:    trace,
-			Platform: platform,
-			Method:   req.Method,
-			URL:      req.URL,
-			FQDN:     req.Host(),
-			Repeat:   1,
-			ConnID:   e.Connection,
-		}
-		for _, hd := range req.Headers {
-			rec.Headers = append(rec.Headers, extract.KVPair{Name: hd.Name, Value: hd.Value})
-		}
-		for _, c := range req.Cookies {
-			rec.Cookies = append(rec.Cookies, extract.KVPair{Name: c.Name, Value: c.Value})
-		}
-		if req.PostData != nil {
-			rec.BodyMIME = req.PostData.MimeType
-			rec.Body = []byte(req.PostData.Text)
-		}
-		out = append(out, rec)
+		out = append(out, recordFromHAREntry(&h.Log.Entries[i], trace, platform))
 	}
 	return out
+}
+
+// recordFromHAREntry converts one HAR entry into a request record — the
+// shared conversion behind FromHAR and the streaming HAR source.
+func recordFromHAREntry(e *har.Entry, trace flows.TraceCategory, platform flows.Platform) RequestRecord {
+	req := &e.Request
+	rec := RequestRecord{
+		Trace:    trace,
+		Platform: platform,
+		Method:   req.Method,
+		URL:      req.URL,
+		FQDN:     req.Host(),
+		Repeat:   1,
+		ConnID:   e.Connection,
+	}
+	for _, hd := range req.Headers {
+		rec.Headers = append(rec.Headers, extract.KVPair{Name: hd.Name, Value: hd.Value})
+	}
+	for _, c := range req.Cookies {
+		rec.Cookies = append(rec.Cookies, extract.KVPair{Name: c.Name, Value: c.Value})
+	}
+	if req.PostData != nil {
+		rec.BodyMIME = req.PostData.MimeType
+		rec.Body = []byte(req.PostData.Text)
+	}
+	return rec
 }
 
 // PCAPStats reports what the PCAP ingestion saw, including traffic that
@@ -74,108 +77,92 @@ type PCAPStats struct {
 // log (from pcapng Decryption Secrets Blocks and/or an external
 // SSLKEYLOGFILE), parses the HTTP requests, and emits request records.
 // Undecryptable or non-HTTP flows are counted but yield no records.
+//
+// It is a convenience wrapper draining a PCAPSource over the in-memory
+// capture; ingestion paths that care about memory should feed a streaming
+// pcapio.Reader to NewPCAPSource instead.
 func FromPCAP(capt *pcapio.Capture, extraKeylog *tlsx.KeyLog, trace flows.TraceCategory) ([]RequestRecord, PCAPStats, error) {
 	if capt == nil {
 		return nil, PCAPStats{}, errors.New("core: nil capture")
 	}
-	keylog := tlsx.NewKeyLog()
-	for _, s := range capt.Secrets {
-		kl, err := tlsx.ParseKeyLog(s)
-		if err != nil {
-			return nil, PCAPStats{}, fmt.Errorf("core: embedded keylog: %w", err)
-		}
-		keylog.Merge(kl)
-	}
-	keylog.Merge(extraKeylog)
-
-	asm := reassembly.New()
-	stats := PCAPStats{}
-	queried := map[string]bool{}
-	for _, pkt := range capt.Packets {
-		stats.Packets++
-		d, err := layers.Decode(capt.LinkType, pkt.Data)
-		if err != nil {
-			continue // non-IP or malformed: counted, not parsed
-		}
-		if d.UDP != nil && d.DstPort == 53 {
-			if msg, err := dnsx.Parse(d.Payload); err == nil && !msg.Response {
-				for _, q := range msg.Questions {
-					stats.DNSQueries++
-					queried[q.Name] = true
-				}
-			}
-			continue
-		}
-		asm.Add(d)
-	}
-	stats.TCPFlows = asm.FlowCount()
-	for name := range queried {
-		stats.QueriedNames = append(stats.QueriedNames, name)
-	}
-	sort.Strings(stats.QueriedNames)
-
-	dec := tlsx.NewStreamDecryptor(keylog)
+	src := NewPCAPSource(capt.Source(), extraKeylog, trace)
 	var out []RequestRecord
-	for _, stream := range asm.Streams() {
-		// The client half is whichever direction targets port 443/80.
-		clientData, serverData := stream.ClientData, stream.ServerData
-		if stream.Key.PortLo == 443 || stream.Key.PortLo == 80 {
-			clientData, serverData = serverData, clientData
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
 		}
-		if len(clientData) == 0 {
-			continue
+		if err != nil {
+			return nil, PCAPStats{}, err
 		}
-		connID := fmt.Sprintf("%s:%d-%s:%d",
-			stream.Key.AddrLo, stream.Key.PortLo, stream.Key.AddrHi, stream.Key.PortHi)
+		out = append(out, rec)
+	}
+	return out, src.Stats(), nil
+}
 
-		var plaintext []byte
-		if res, err := dec.DecryptConversation(clientData, serverData); err == nil {
-			stats.TLSStreams++
-			if res.TLS12 {
-				stats.TLS12Streams++
+// emitStreamRecords converts one reassembled TCP stream into request
+// records, decrypting TLS with dec and updating stats. Undecryptable or
+// non-HTTP streams are counted and yield nil.
+func emitStreamRecords(dec *tlsx.StreamDecryptor, stream *reassembly.Stream, trace flows.TraceCategory, stats *PCAPStats) []RequestRecord {
+	// The client half is whichever direction targets port 443/80.
+	clientData, serverData := stream.ClientData, stream.ServerData
+	if stream.Key.PortLo == 443 || stream.Key.PortLo == 80 {
+		clientData, serverData = serverData, clientData
+	}
+	if len(clientData) == 0 {
+		return nil
+	}
+	connID := fmt.Sprintf("%s:%d-%s:%d",
+		stream.Key.AddrLo, stream.Key.PortLo, stream.Key.AddrHi, stream.Key.PortHi)
+
+	var plaintext []byte
+	if res, err := dec.DecryptConversation(clientData, serverData); err == nil {
+		stats.TLSStreams++
+		if res.TLS12 {
+			stats.TLS12Streams++
+		}
+		if !res.Decrypted {
+			stats.OpaqueStreams++
+			if res.SNI != "" {
+				stats.OpaqueSNIs = append(stats.OpaqueSNIs, res.SNI)
 			}
-			if !res.Decrypted {
-				stats.OpaqueStreams++
-				if res.SNI != "" {
-					stats.OpaqueSNIs = append(stats.OpaqueSNIs, res.SNI)
-				}
+			return nil
+		}
+		stats.DecryptedStreams++
+		plaintext = res.Plaintext
+	} else {
+		// Not TLS: try plain HTTP.
+		plaintext = clientData
+	}
+	reqs, err := httpx.ParseStream(plaintext)
+	if err != nil && !errors.Is(err, httpx.ErrIncomplete) {
+		return nil
+	}
+	var out []RequestRecord
+	for _, r := range reqs {
+		rec := RequestRecord{
+			Trace:    trace,
+			Platform: flows.Mobile,
+			Method:   r.Method,
+			URL:      r.URL(),
+			FQDN:     r.Host(),
+			BodyMIME: r.Get("Content-Type"),
+			Body:     r.Body,
+			Repeat:   1,
+			ConnID:   connID,
+		}
+		for _, h := range r.Headers {
+			if strings.EqualFold(h.Name, "Cookie") {
 				continue
 			}
-			stats.DecryptedStreams++
-			plaintext = res.Plaintext
-		} else {
-			// Not TLS: try plain HTTP.
-			plaintext = clientData
+			rec.Headers = append(rec.Headers, extract.KVPair{Name: h.Name, Value: h.Value})
 		}
-		reqs, err := httpx.ParseStream(plaintext)
-		if err != nil && !errors.Is(err, httpx.ErrIncomplete) {
-			continue
+		for _, c := range r.Cookies() {
+			rec.Cookies = append(rec.Cookies, extract.KVPair{Name: c.Name, Value: c.Value})
 		}
-		for _, r := range reqs {
-			rec := RequestRecord{
-				Trace:    trace,
-				Platform: flows.Mobile,
-				Method:   r.Method,
-				URL:      r.URL(),
-				FQDN:     r.Host(),
-				BodyMIME: r.Get("Content-Type"),
-				Body:     r.Body,
-				Repeat:   1,
-				ConnID:   connID,
-			}
-			for _, h := range r.Headers {
-				if strings.EqualFold(h.Name, "Cookie") {
-					continue
-				}
-				rec.Headers = append(rec.Headers, extract.KVPair{Name: h.Name, Value: h.Value})
-			}
-			for _, c := range r.Cookies() {
-				rec.Cookies = append(rec.Cookies, extract.KVPair{Name: c.Name, Value: c.Value})
-			}
-			out = append(out, rec)
-		}
+		out = append(out, rec)
 	}
-	return out, stats, nil
+	return out
 }
 
 // GuessIdentity derives a service identity from a set of records by taking
@@ -188,6 +175,33 @@ func GuessIdentity(name string, recs []RequestRecord) ServiceIdentity {
 			counts[e]++
 		}
 	}
+	return identityFromESLDCounts(name, counts)
+}
+
+// GuessIdentitySource is GuessIdentity over a record stream: it drains the
+// source counting eSLDs (constant memory — only the count map is held).
+// Callers auditing the same capture afterwards must reopen their sources;
+// file-backed sources make that cheap.
+func GuessIdentitySource(name string, src RecordSource) (ServiceIdentity, error) {
+	counts := map[string]int{}
+	for {
+		rec, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return ServiceIdentity{}, err
+		}
+		if e := domains.ESLD(rec.FQDN); e != "" {
+			counts[e]++
+		}
+	}
+	return identityFromESLDCounts(name, counts), nil
+}
+
+// identityFromESLDCounts picks the most-contacted eSLD as first party,
+// breaking ties lexicographically for determinism.
+func identityFromESLDCounts(name string, counts map[string]int) ServiceIdentity {
 	best, bestN := "", 0
 	for e, n := range counts {
 		if n > bestN || (n == bestN && e < best) {

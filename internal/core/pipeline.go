@@ -9,7 +9,6 @@
 package core
 
 import (
-	"runtime"
 	"sort"
 	"sync"
 
@@ -352,7 +351,7 @@ func (p *Pipeline) AnalyzeRecords(id ServiceIdentity, recs []RequestRecord) *Ser
 
 	workers := p.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = defaultWorkers()
 	}
 	if max := (len(recs) + analyzeChunkSize - 1) / analyzeChunkSize; workers > max {
 		workers = max

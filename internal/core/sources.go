@@ -1,0 +1,231 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"diffaudit/internal/flows"
+	"diffaudit/internal/har"
+	"diffaudit/internal/netcap/dnsx"
+	"diffaudit/internal/netcap/layers"
+	"diffaudit/internal/netcap/pcapio"
+	"diffaudit/internal/netcap/reassembly"
+	"diffaudit/internal/netcap/tlsx"
+)
+
+// harSource adapts a streaming HAR decoder to RecordSource: one entry is
+// resident at a time, so arbitrarily large website captures feed
+// AnalyzeStream in constant memory.
+type harSource struct {
+	dec      *har.StreamDecoder
+	trace    flows.TraceCategory
+	platform flows.Platform
+}
+
+// NewHARSource returns a RecordSource yielding one record per entry of a
+// streamed HAR document.
+func NewHARSource(dec *har.StreamDecoder, trace flows.TraceCategory, platform flows.Platform) RecordSource {
+	return &harSource{dec: dec, trace: trace, platform: platform}
+}
+
+func (s *harSource) Next() (RequestRecord, error) {
+	e, err := s.dec.Next()
+	if err != nil {
+		return RequestRecord{}, err
+	}
+	return recordFromHAREntry(e, s.trace, s.platform), nil
+}
+
+// PCAPSource converts a packet stream into request records. Packet frames
+// are consumed incrementally and never retained — only the reassembled TCP
+// payload of each flow is buffered (TLS decryption needs whole streams),
+// so frame-level memory is constant regardless of capture size.
+//
+// The source works in two phases behind a single Next API: the first call
+// drains the packet iterator into the reassembler (collecting DNS and
+// packet counts on the way), then streams are decrypted and parsed lazily,
+// one flow at a time.
+type PCAPSource struct {
+	pkts  pcapio.PacketSource
+	extra *tlsx.KeyLog
+	trace flows.TraceCategory
+
+	started bool
+	stats   PCAPStats
+	dec     *tlsx.StreamDecryptor
+	streams []*reassembly.Stream
+	si      int
+	pending []RequestRecord
+	err     error
+}
+
+// NewPCAPSource returns a RecordSource over a packet stream. TLS key
+// material is taken from the stream's Decryption Secrets Blocks plus the
+// optional extra key log. Stats are valid once Next has returned io.EOF.
+func NewPCAPSource(pkts pcapio.PacketSource, extra *tlsx.KeyLog, trace flows.TraceCategory) *PCAPSource {
+	return &PCAPSource{pkts: pkts, extra: extra, trace: trace}
+}
+
+// Stats reports ingestion counters. Packet-level fields are complete after
+// the first Next call; stream-level fields (TLS, decryption) are complete
+// once Next has returned io.EOF.
+func (s *PCAPSource) Stats() PCAPStats { return s.stats }
+
+func (s *PCAPSource) Next() (RequestRecord, error) {
+	if s.err != nil {
+		return RequestRecord{}, s.err
+	}
+	if !s.started {
+		if err := s.start(); err != nil {
+			s.err = err
+			return RequestRecord{}, err
+		}
+	}
+	for len(s.pending) == 0 {
+		if s.si >= len(s.streams) {
+			s.err = io.EOF
+			return RequestRecord{}, io.EOF
+		}
+		stream := s.streams[s.si]
+		s.si++
+		s.streams[s.si-1] = nil // release the stream's payload eagerly
+		s.pending = emitStreamRecords(s.dec, stream, s.trace, &s.stats)
+	}
+	rec := s.pending[0]
+	s.pending = s.pending[1:]
+	return rec, nil
+}
+
+// start drains the packet phase: every frame is decoded and fed to the
+// reassembler (or the DNS collector), then the key log is assembled from
+// the secrets the stream carried.
+func (s *PCAPSource) start() error {
+	asm := reassembly.New()
+	queried := map[string]bool{}
+	for {
+		pkt, err := s.pkts.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		s.stats.Packets++
+		d, err := layers.Decode(s.pkts.LinkType(), pkt.Data)
+		if err != nil {
+			continue // non-IP or malformed: counted, not parsed
+		}
+		if d.UDP != nil && d.DstPort == 53 {
+			if msg, err := dnsx.Parse(d.Payload); err == nil && !msg.Response {
+				for _, q := range msg.Questions {
+					s.stats.DNSQueries++
+					queried[q.Name] = true
+				}
+			}
+			continue
+		}
+		asm.Add(d)
+	}
+	s.stats.TCPFlows = asm.FlowCount()
+	for name := range queried {
+		s.stats.QueriedNames = append(s.stats.QueriedNames, name)
+	}
+	sort.Strings(s.stats.QueriedNames)
+
+	// Secrets are complete only after the packet drain: pcapng allows
+	// Decryption Secrets Blocks anywhere in the file.
+	keylog := tlsx.NewKeyLog()
+	for _, sec := range s.pkts.Secrets() {
+		kl, err := tlsx.ParseKeyLog(sec)
+		if err != nil {
+			return fmt.Errorf("core: embedded keylog: %w", err)
+		}
+		keylog.Merge(kl)
+	}
+	keylog.Merge(s.extra)
+	s.dec = tlsx.NewStreamDecryptor(keylog)
+	s.streams = asm.Streams()
+	s.started = true
+	return nil
+}
+
+// FileSource is a record source streaming from a capture file on disk.
+// The file closes itself when the stream ends (EOF or error); Close is
+// for early abort. Reopen by calling the Open function again — file-backed
+// sources are how two-pass flows (identity guess, then audit) stay
+// constant-memory.
+type FileSource struct {
+	inner  RecordSource
+	f      *os.File
+	pcap   *PCAPSource // non-nil for capture files with ingestion stats
+	closed bool
+}
+
+func (s *FileSource) Next() (RequestRecord, error) {
+	rec, err := s.inner.Next()
+	if err != nil {
+		s.Close()
+	}
+	return rec, err
+}
+
+// Close releases the underlying file. Safe to call repeatedly.
+func (s *FileSource) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
+}
+
+// PCAPStats reports ingestion stats for PCAP-backed sources (zero value,
+// false for HAR sources). Complete once the source has been drained.
+func (s *FileSource) PCAPStats() (PCAPStats, bool) {
+	if s.pcap == nil {
+		return PCAPStats{}, false
+	}
+	return s.pcap.Stats(), true
+}
+
+// OpenHARFileSource opens a website capture for streaming audit: entries
+// decode incrementally, so the file never loads whole.
+func OpenHARFileSource(path string, trace flows.TraceCategory, platform flows.Platform) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSource{
+		inner: NewHARSource(har.NewStreamDecoder(bufio.NewReaderSize(f, 1<<16)), trace, platform),
+		f:     f,
+	}, nil
+}
+
+// OpenPCAPFileSource opens a mobile capture (pcap or pcapng) for streaming
+// audit. TLS key material comes from embedded Decryption Secrets Blocks
+// plus, optionally, an external SSLKEYLOGFILE.
+func OpenPCAPFileSource(path, keylogPath string, trace flows.TraceCategory) (*FileSource, error) {
+	var extra *tlsx.KeyLog
+	if keylogPath != "" {
+		klData, err := os.ReadFile(keylogPath)
+		if err != nil {
+			return nil, err
+		}
+		if extra, err = tlsx.ParseKeyLog(klData); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := pcapio.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	src := NewPCAPSource(rd, extra, trace)
+	return &FileSource{inner: src, f: f, pcap: src}, nil
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers is the pool size when Pipeline.Workers is 0.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// RecordSource is a pull-based iterator over request records — the
+// streaming counterpart of a []RequestRecord. Next returns io.EOF when the
+// source is exhausted; any other error aborts the stream. Sources are not
+// required to be safe for concurrent use: the pipeline pulls from a single
+// goroutine and fans batches out to workers.
+type RecordSource interface {
+	Next() (RequestRecord, error)
+}
+
+// sliceSource adapts an in-memory record slice to RecordSource.
+type sliceSource struct {
+	recs []RequestRecord
+	i    int
+}
+
+// SliceSource returns a RecordSource over an in-memory slice.
+func SliceSource(recs []RequestRecord) RecordSource {
+	return &sliceSource{recs: recs}
+}
+
+func (s *sliceSource) Next() (RequestRecord, error) {
+	if s.i >= len(s.recs) {
+		return RequestRecord{}, io.EOF
+	}
+	r := s.recs[s.i]
+	s.i++
+	return r, nil
+}
+
+// multiSource concatenates sources, draining each in order.
+type multiSource struct {
+	srcs []RecordSource
+}
+
+// MultiSource returns a RecordSource that yields every record of each
+// source in order — the streaming equivalent of appending record slices
+// (e.g. one capture file per trace category feeding a single audit).
+func MultiSource(srcs ...RecordSource) RecordSource {
+	return &multiSource{srcs: srcs}
+}
+
+func (m *multiSource) Next() (RequestRecord, error) {
+	for len(m.srcs) > 0 {
+		rec, err := m.srcs[0].Next()
+		if err == io.EOF {
+			m.srcs = m.srcs[1:]
+			continue
+		}
+		return rec, err
+	}
+	return RequestRecord{}, io.EOF
+}
+
+// streamBatchSize is the number of records pulled from a source per batch.
+// It matches analyzeChunkSize so the parallel stream path hands workers the
+// same unit of work the in-memory path does.
+const streamBatchSize = analyzeChunkSize
+
+// streamQueueDepth bounds how many filled batches may sit between the
+// producer (pulling from the source) and the workers. Together with the
+// batches workers are actively processing, this caps peak record residency
+// at (workers + streamQueueDepth + 1) × streamBatchSize records regardless
+// of how many records the source yields — the constant-memory guarantee
+// the streaming ingestion exists for.
+const streamQueueDepth = 4
+
+// streamStats reports the instrumentation the memory-bound tests assert
+// on: the peak number of record batches simultaneously resident during an
+// AnalyzeStream call.
+type streamStats struct {
+	peakBatches int32
+}
+
+// AnalyzeStream runs the full pipeline over a record stream, producing a
+// result identical to AnalyzeRecords over the same records (the streaming
+// equivalence test asserts this byte-for-byte on rendered artifacts).
+//
+// Records are pulled from the source in batches of streamBatchSize and fed
+// to the same bounded worker pool AnalyzeRecords uses; at most
+// workers + streamQueueDepth + 1 batches are in flight at any moment, so
+// peak memory is independent of stream length. The source is drained on
+// the calling goroutine; workers only see completed batches.
+func (p *Pipeline) AnalyzeStream(id ServiceIdentity, src RecordSource) (*ServiceResult, error) {
+	res, _, err := p.analyzeStream(id, src)
+	return res, err
+}
+
+// analyzeStream is AnalyzeStream plus residency instrumentation.
+func (p *Pipeline) analyzeStream(id ServiceIdentity, src RecordSource) (*ServiceResult, *streamStats, error) {
+	memo := &destMemo{owner: id.Owner, eslds: id.FirstPartyESLDs, ats: p.ATS}
+	stats := &streamStats{}
+
+	workers := p.Workers
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+
+	if workers <= 1 {
+		return p.analyzeStreamSequential(id, src, memo, stats)
+	}
+
+	// live counts batches currently resident (filled but not yet fully
+	// processed); peak is its high-water mark.
+	var live, peak int32
+	acquire := func() {
+		n := atomic.AddInt32(&live, 1)
+		for {
+			old := atomic.LoadInt32(&peak)
+			if n <= old || atomic.CompareAndSwapInt32(&peak, old, n) {
+				break
+			}
+		}
+	}
+
+	batches := make(chan []RequestRecord, streamQueueDepth)
+	partials := make([]*partialResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pr := newPartialResult(streamBatchSize * streamQueueDepth)
+			partials[w] = pr
+			for batch := range batches {
+				p.analyzeChunk(batch, memo, pr)
+				atomic.AddInt32(&live, -1)
+			}
+		}(w)
+	}
+
+	var srcErr error
+	for {
+		batch := make([]RequestRecord, 0, streamBatchSize)
+		for len(batch) < streamBatchSize {
+			rec, err := src.Next()
+			if err == io.EOF {
+				srcErr = io.EOF
+				break
+			}
+			if err != nil {
+				srcErr = err
+				break
+			}
+			batch = append(batch, rec)
+		}
+		if len(batch) > 0 {
+			acquire()
+			batches <- batch
+		}
+		if srcErr != nil {
+			break
+		}
+	}
+	close(batches)
+	wg.Wait()
+	stats.peakBatches = atomic.LoadInt32(&peak)
+
+	if srcErr != nil && !errors.Is(srcErr, io.EOF) {
+		return nil, stats, srcErr
+	}
+
+	total := partials[0]
+	for _, pr := range partials[1:] {
+		total.merge(pr)
+	}
+	return total.result(id), stats, nil
+}
+
+// analyzeStreamSequential is the workers<=1 path: one reused batch buffer,
+// so exactly one batch is ever resident.
+func (p *Pipeline) analyzeStreamSequential(id ServiceIdentity, src RecordSource, memo *destMemo, stats *streamStats) (*ServiceResult, *streamStats, error) {
+	pr := newPartialResult(streamBatchSize)
+	batch := make([]RequestRecord, 0, streamBatchSize)
+	stats.peakBatches = 1
+	for {
+		batch = batch[:0]
+		var srcErr error
+		for len(batch) < streamBatchSize {
+			rec, err := src.Next()
+			if err != nil {
+				srcErr = err
+				break
+			}
+			batch = append(batch, rec)
+		}
+		p.analyzeChunk(batch, memo, pr)
+		if srcErr == io.EOF {
+			return pr.result(id), stats, nil
+		}
+		if srcErr != nil {
+			return nil, stats, srcErr
+		}
+	}
+}

@@ -43,6 +43,23 @@ func TraceCategories() []TraceCategory {
 	return []TraceCategory{Child, Adolescent, Adult, LoggedOut}
 }
 
+// ParseTrace maps a user-facing trace name (CLI flags, upload form
+// fields) to its category. Accepted spellings: child, adolescent, teen,
+// adult, loggedout, logged-out, logged_out, out — case-insensitive.
+func ParseTrace(name string) (TraceCategory, bool) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "child":
+		return Child, true
+	case "adolescent", "teen":
+		return Adolescent, true
+	case "adult":
+		return Adult, true
+	case "loggedout", "logged-out", "logged_out", "out":
+		return LoggedOut, true
+	}
+	return 0, false
+}
+
 // Platform is the capture platform.
 type Platform int
 

@@ -183,3 +183,24 @@ func TestStringers(t *testing.T) {
 		t.Error("dest class stringers")
 	}
 }
+
+func TestParseTrace(t *testing.T) {
+	cases := map[string]TraceCategory{
+		"child": Child, "Child": Child,
+		"adolescent": Adolescent, "teen": Adolescent,
+		"ADULT":     Adult,
+		"loggedout": LoggedOut, "logged-out": LoggedOut, "logged_out": LoggedOut, "out": LoggedOut,
+		" child ": Child,
+	}
+	for in, want := range cases {
+		got, ok := ParseTrace(in)
+		if !ok || got != want {
+			t.Errorf("ParseTrace(%q) = %v, %v; want %v", in, got, ok, want)
+		}
+	}
+	for _, in := range []string{"", "grownup", "children"} {
+		if _, ok := ParseTrace(in); ok {
+			t.Errorf("ParseTrace(%q) accepted", in)
+		}
+	}
+}

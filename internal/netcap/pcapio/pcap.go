@@ -7,9 +7,10 @@
 package pcapio
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"io"
 	"time"
 )
@@ -58,57 +59,14 @@ var (
 )
 
 // ReadPcap parses a classic libpcap file, auto-detecting endianness and
-// time resolution from the magic.
+// time resolution from the magic. It delegates to the streaming Reader —
+// the slice API is a convenience wrapper over one parsing implementation.
 func ReadPcap(data []byte) (*Capture, error) {
-	if len(data) < 24 {
-		return nil, ErrShortFile
+	rd := &Reader{br: bufio.NewReader(bytes.NewReader(data))}
+	if err := rd.readPcapHeader(); err != nil {
+		return nil, err
 	}
-	var bo binary.ByteOrder
-	var nano bool
-	magicBE := binary.BigEndian.Uint32(data[0:4])
-	magicLE := binary.LittleEndian.Uint32(data[0:4])
-	switch {
-	case magicLE == magicMicro:
-		bo = binary.LittleEndian
-	case magicLE == magicNano:
-		bo, nano = binary.LittleEndian, true
-	case magicBE == magicMicro:
-		bo = binary.BigEndian
-	case magicBE == magicNano:
-		bo, nano = binary.BigEndian, true
-	default:
-		return nil, fmt.Errorf("%w: %08x", ErrBadMagic, magicBE)
-	}
-	cap := &Capture{
-		LinkType: LinkType(bo.Uint32(data[20:24])),
-		NanoRes:  nano,
-	}
-	off := 24
-	for off < len(data) {
-		if off+16 > len(data) {
-			return nil, ErrShortFile
-		}
-		sec := bo.Uint32(data[off : off+4])
-		frac := bo.Uint32(data[off+4 : off+8])
-		incl := int(bo.Uint32(data[off+8 : off+12]))
-		orig := int(bo.Uint32(data[off+12 : off+16]))
-		off += 16
-		if incl < 0 || off+incl > len(data) {
-			return nil, ErrShortFile
-		}
-		ns := int64(frac)
-		if !nano {
-			ns *= 1000
-		}
-		pkt := Packet{
-			Timestamp: time.Unix(int64(sec), ns).UTC(),
-			Data:      append([]byte(nil), data[off:off+incl]...),
-			OrigLen:   orig,
-		}
-		cap.Packets = append(cap.Packets, pkt)
-		off += incl
-	}
-	return cap, nil
+	return rd.drain()
 }
 
 // WritePcap serializes the capture as a little-endian classic pcap file,

@@ -1,10 +1,10 @@
 package pcapio
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/binary"
-	"fmt"
 	"io"
-	"time"
 )
 
 // pcapng block types.
@@ -22,124 +22,14 @@ const (
 // ReadPcapng parses a pcapng file, collecting packets from Enhanced Packet
 // Blocks and TLS key logs from Decryption Secrets Blocks. Multiple sections
 // and interfaces are supported; unknown block types are skipped, as the
-// format requires.
+// format requires. It delegates to the streaming Reader — the slice API is
+// a convenience wrapper over one parsing implementation.
 func ReadPcapng(data []byte) (*Capture, error) {
 	if len(data) < 12 {
 		return nil, ErrShortFile
 	}
-	cap := &Capture{}
-	var bo binary.ByteOrder = binary.LittleEndian
-	type iface struct {
-		link    LinkType
-		tsScale int64 // nanoseconds per tick
-	}
-	var ifaces []iface
-	off := 0
-	for off+12 <= len(data) {
-		// Block type is endianness-independent for SHB detection.
-		btype := binary.LittleEndian.Uint32(data[off : off+4])
-		btypeBE := binary.BigEndian.Uint32(data[off : off+4])
-		if btype == blockSHB || btypeBE == blockSHB {
-			// Determine section endianness from the byte-order magic.
-			if off+12 > len(data) {
-				return nil, ErrShortFile
-			}
-			if binary.LittleEndian.Uint32(data[off+8:off+12]) == byteOrderMagic {
-				bo = binary.LittleEndian
-			} else if binary.BigEndian.Uint32(data[off+8:off+12]) == byteOrderMagic {
-				bo = binary.BigEndian
-			} else {
-				return nil, fmt.Errorf("%w: bad byte-order magic", ErrBadMagic)
-			}
-			ifaces = ifaces[:0] // interfaces are per-section
-		}
-		totalLen := int(bo.Uint32(data[off+4 : off+8]))
-		if totalLen < 12 || totalLen%4 != 0 || off+totalLen > len(data) {
-			return nil, ErrShortFile
-		}
-		body := data[off+8 : off+totalLen-4]
-		switch bo.Uint32(data[off : off+4]) {
-		case blockSHB:
-			// Already handled above.
-		case blockIDB:
-			if len(body) < 8 {
-				return nil, ErrShortFile
-			}
-			ifc := iface{
-				link:    LinkType(bo.Uint16(body[0:2])),
-				tsScale: 1000, // default: microseconds
-			}
-			// Scan options for if_tsresol (code 9).
-			for opts := body[8:]; len(opts) >= 4; {
-				code := bo.Uint16(opts[0:2])
-				olen := int(bo.Uint16(opts[2:4]))
-				if 4+olen > len(opts) {
-					break
-				}
-				if code == 9 && olen >= 1 {
-					r := opts[4]
-					if r&0x80 == 0 {
-						scale := int64(1_000_000_000)
-						for i := 0; i < int(r); i++ {
-							scale /= 10
-						}
-						if scale < 1 {
-							scale = 1
-						}
-						ifc.tsScale = scale
-					}
-				}
-				opts = opts[4+((olen+3)&^3):]
-				if code == 0 { // opt_endofopt
-					break
-				}
-			}
-			ifaces = append(ifaces, ifc)
-		case blockEPB:
-			if len(body) < 20 {
-				return nil, ErrShortFile
-			}
-			ifID := int(bo.Uint32(body[0:4]))
-			tsHigh := uint64(bo.Uint32(body[4:8]))
-			tsLow := uint64(bo.Uint32(body[8:12]))
-			capLen := int(bo.Uint32(body[12:16]))
-			origLen := int(bo.Uint32(body[16:20]))
-			if capLen < 0 || 20+capLen > len(body) {
-				return nil, ErrShortFile
-			}
-			scale := int64(1000)
-			if ifID < len(ifaces) {
-				scale = ifaces[ifID].tsScale
-				if cap.LinkType == 0 {
-					cap.LinkType = ifaces[ifID].link
-				}
-			}
-			ticks := tsHigh<<32 | tsLow
-			ns := int64(ticks) * scale
-			cap.NanoRes = cap.NanoRes || scale == 1
-			cap.Packets = append(cap.Packets, Packet{
-				Timestamp: time.Unix(0, ns).UTC(),
-				Data:      append([]byte(nil), body[20:20+capLen]...),
-				OrigLen:   origLen,
-			})
-		case blockDSB:
-			if len(body) < 8 {
-				return nil, ErrShortFile
-			}
-			stype := bo.Uint32(body[0:4])
-			slen := int(bo.Uint32(body[4:8]))
-			if slen < 0 || 8+slen > len(body) {
-				return nil, ErrShortFile
-			}
-			if stype == secretsTLSKeys {
-				cap.Secrets = append(cap.Secrets, append([]byte(nil), body[8:8+slen]...))
-			}
-		default:
-			// Unknown block: skip.
-		}
-		off += totalLen
-	}
-	return cap, nil
+	rd := &Reader{br: bufio.NewReader(bytes.NewReader(data)), ng: true}
+	return rd.drain()
 }
 
 // WritePcapng serializes the capture as a single-section little-endian

@@ -1,0 +1,147 @@
+package pcapio
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"testing/iotest"
+)
+
+// drainReader pulls every packet out of a streaming reader.
+func drainReader(t *testing.T, rd *Reader) []Packet {
+	t.Helper()
+	var out []Packet
+	for {
+		pkt, err := rd.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, pkt)
+	}
+}
+
+// TestReaderMatchesSliceParsers proves the streaming reader yields exactly
+// what the slice parsers produce, for both formats.
+func TestReaderMatchesSliceParsers(t *testing.T) {
+	c := &Capture{
+		LinkType: LinkRaw,
+		Packets:  samplePackets(),
+		Secrets:  [][]byte{[]byte("CLIENT_TRAFFIC_SECRET_0 aa bb\n")},
+	}
+	var p, ng bytes.Buffer
+	if err := WritePcap(&p, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePcapng(&ng, c); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{"pcap": p.Bytes(), "pcapng": ng.Bytes()} {
+		want, err := Read(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: NewReader: %v", name, err)
+		}
+		got := drainReader(t, rd)
+		if !reflect.DeepEqual(normalize(got), normalize(want.Packets)) {
+			t.Errorf("%s: streamed packets differ from slice parse", name)
+		}
+		if rd.LinkType() != want.LinkType {
+			t.Errorf("%s: link = %d, want %d", name, rd.LinkType(), want.LinkType)
+		}
+		if !reflect.DeepEqual(rd.Secrets(), want.Secrets) {
+			t.Errorf("%s: secrets differ", name)
+		}
+	}
+}
+
+// TestReaderSmallReads streams a capture through a one-byte-at-a-time
+// reader, exercising every ReadFull boundary.
+func TestReaderSmallReads(t *testing.T) {
+	c := &Capture{LinkType: LinkRaw, Packets: samplePackets()}
+	var buf bytes.Buffer
+	if err := WritePcapng(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(iotest.OneByteReader(bytes.NewReader(buf.Bytes())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainReader(t, rd)
+	if len(got) != len(c.Packets) {
+		t.Errorf("packets = %d, want %d", len(got), len(c.Packets))
+	}
+}
+
+// TestReaderTruncation verifies truncated streams error instead of
+// silently ending, at several cut points.
+func TestReaderTruncation(t *testing.T) {
+	c := &Capture{LinkType: LinkRaw, Packets: samplePackets()}
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{len(data) - 1, len(data) - 17, 30} {
+		rd, err := NewReader(bytes.NewReader(data[:cut]))
+		if err != nil {
+			continue // header-level truncation is an immediate error
+		}
+		var last error
+		for last == nil {
+			_, last = rd.Next()
+		}
+		if last == io.EOF {
+			t.Errorf("cut %d: truncation not detected", cut)
+		}
+		// Errors stick.
+		if _, again := rd.Next(); again != last {
+			t.Errorf("cut %d: error did not stick", cut)
+		}
+	}
+}
+
+// TestCaptureSource checks the in-memory adapter satisfies PacketSource.
+func TestCaptureSource(t *testing.T) {
+	c := &Capture{LinkType: LinkEthernet, Packets: samplePackets(), Secrets: [][]byte{[]byte("x")}}
+	var src PacketSource = c.Source()
+	n := 0
+	for {
+		_, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != len(c.Packets) {
+		t.Errorf("packets = %d", n)
+	}
+	if src.LinkType() != LinkEthernet || len(src.Secrets()) != 1 {
+		t.Error("metadata not forwarded")
+	}
+}
+
+// TestReadStream checks the stream→Capture bridge round-trips.
+func TestReadStream(t *testing.T) {
+	c := &Capture{LinkType: LinkRaw, NanoRes: true, Packets: samplePackets()}
+	var buf bytes.Buffer
+	if err := WritePcapng(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStream(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.NanoRes || got.LinkType != LinkRaw || len(got.Packets) != len(c.Packets) {
+		t.Errorf("round trip lost metadata: %+v", got)
+	}
+}

@@ -1,0 +1,575 @@
+// Package server runs DiffAudit as a long-lived audit service: capture
+// files are uploaded over HTTP, queued onto a bounded job queue, audited
+// concurrently on the streaming pipeline, and the resulting reports are
+// fetched back as JSON or CSV. This is the serving layer the ROADMAP's
+// production-scale north star needs — uploads stream to disk, audits
+// stream from disk, and no request ever materializes a whole capture in
+// memory.
+//
+// API:
+//
+//	POST /audit            multipart upload; field name = trace category
+//	                       (child|adolescent|teen|adult|loggedout), file
+//	                       extension selects the decoder (.har vs
+//	                       .pcap/.pcapng); optional fields: name (service
+//	                       name), keylog (SSLKEYLOGFILE part)
+//	GET  /jobs             job summaries
+//	GET  /jobs/{id}        one job's status
+//	GET  /jobs/{id}/report.json   full audit export (ready jobs only)
+//	GET  /jobs/{id}/report.csv    per-flow CSV export
+//	GET  /healthz          liveness + queue depth
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"diffaudit/internal/core"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/report"
+	"diffaudit/internal/services"
+)
+
+// Config tunes the audit server.
+type Config struct {
+	// Workers is the number of concurrent audit jobs (default 2). Each
+	// job internally uses the pipeline's own worker pool, so total
+	// parallelism is Workers × Pipeline.Workers.
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (default 16). A full queue rejects uploads with 503.
+	QueueDepth int
+	// MaxUploadBytes caps one POST /audit body (default 1 GiB). Uploads
+	// stream to TempDir, so the cap protects disk, not memory.
+	MaxUploadBytes int64
+	// TempDir holds uploaded captures while their job is live (default
+	// os.TempDir()).
+	TempDir string
+	// MaxJobs bounds how many finished jobs (and their results) are
+	// retained for report fetching (default 256). When the cap is hit,
+	// the oldest finished jobs are evicted — queued and running jobs are
+	// never evicted, so a long-lived server's memory stays bounded.
+	MaxJobs int
+	// NewPipeline constructs the analysis pipeline for each job (default
+	// core.NewPipeline). Jobs never share a pipeline, so label caches are
+	// per-job and results stay deterministic.
+	NewPipeline func() *core.Pipeline
+}
+
+// JobState is the lifecycle of an audit job.
+type JobState string
+
+// Job states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is one queued or completed audit.
+type Job struct {
+	ID          string    `json:"id"`
+	State       JobState  `json:"state"`
+	Service     string    `json:"service"`
+	Error       string    `json:"error,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at"`
+	FinishedAt  time.Time `json:"finished_at"`
+	// Files is the number of capture files in the job.
+	Files int `json:"files"`
+
+	uploads []upload
+	keylog  string // temp path of the uploaded SSLKEYLOGFILE ("" if none)
+	result  *core.ServiceResult
+}
+
+// upload is one capture file staged on disk.
+type upload struct {
+	path  string
+	har   bool
+	trace flows.TraceCategory
+}
+
+// Server is the audit server. Create with New, mount via Handler, stop
+// with Close.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan *Job
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a server's worker pool and returns it.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.MaxUploadBytes <= 0 {
+		cfg.MaxUploadBytes = 1 << 30
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 256
+	}
+	if cfg.TempDir == "" {
+		cfg.TempDir = os.TempDir()
+	}
+	if cfg.NewPipeline == nil {
+		cfg.NewPipeline = core.NewPipeline
+	}
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		queue: make(chan *Job, cfg.QueueDepth),
+		jobs:  make(map[string]*Job),
+	}
+	s.mux.HandleFunc("POST /audit", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /jobs/{id}/report.json", s.handleReportJSON)
+	s.mux.HandleFunc("GET /jobs/{id}/report.csv", s.handleReportCSV)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler to mount.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP makes the server itself mountable.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops accepting jobs and waits for running audits to finish.
+// Queued-but-unstarted jobs are drained and run before workers exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// worker drains the job queue.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.run(job)
+	}
+}
+
+// run executes one audit job end to end.
+func (s *Server) run(job *Job) {
+	s.mu.Lock()
+	job.State = JobRunning
+	job.StartedAt = time.Now().UTC()
+	s.mu.Unlock()
+
+	result, err := s.audit(job)
+
+	s.mu.Lock()
+	job.FinishedAt = time.Now().UTC()
+	if err != nil {
+		job.State = JobFailed
+		job.Error = err.Error()
+	} else {
+		job.State = JobDone
+		job.result = result
+	}
+	s.mu.Unlock()
+	job.cleanup()
+}
+
+// audit runs the streaming pipeline over a job's staged captures.
+func (s *Server) audit(job *Job) (*core.ServiceResult, error) {
+	open := func() (core.RecordSource, []*core.FileSource, error) {
+		srcs := make([]core.RecordSource, 0, len(job.uploads))
+		files := make([]*core.FileSource, 0, len(job.uploads))
+		for _, up := range job.uploads {
+			var fs *core.FileSource
+			var err error
+			if up.har {
+				fs, err = core.OpenHARFileSource(up.path, up.trace, flows.Web)
+			} else {
+				fs, err = core.OpenPCAPFileSource(up.path, job.keylog, up.trace)
+			}
+			if err != nil {
+				for _, f := range files {
+					f.Close()
+				}
+				return nil, nil, err
+			}
+			srcs = append(srcs, fs)
+			files = append(files, fs)
+		}
+		return core.MultiSource(srcs...), files, nil
+	}
+
+	// Identity: a known service profile wins; otherwise a first streaming
+	// pass guesses the most-contacted eSLD (the files are on disk, so the
+	// second pass just reopens them — memory stays constant).
+	var id core.ServiceIdentity
+	if spec, ok := services.ByName(job.Service); ok {
+		id = core.ServiceIdentity{Name: spec.Name, Owner: spec.Owner, FirstPartyESLDs: spec.FirstPartyESLDs}
+	} else {
+		src, files, err := open()
+		if err != nil {
+			return nil, err
+		}
+		id, err = core.GuessIdentitySource(job.Service, src)
+		for _, f := range files {
+			f.Close()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	src, files, err := open()
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	return s.cfg.NewPipeline().AnalyzeStream(id, src)
+}
+
+// evictLocked drops the oldest finished jobs once the retention cap is
+// exceeded, so results do not accumulate forever. Callers hold s.mu.
+func (s *Server) evictLocked() {
+	excess := len(s.jobs) - s.cfg.MaxJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		job := s.jobs[id]
+		if excess > 0 && (job.State == JobDone || job.State == JobFailed) {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// cleanup removes a job's staged files.
+func (j *Job) cleanup() {
+	for _, up := range j.uploads {
+		os.Remove(up.path)
+	}
+	if j.keylog != "" {
+		os.Remove(j.keylog)
+	}
+}
+
+// handleSubmit stages a multipart upload and enqueues the job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	mr, err := r.MultipartReader()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "multipart body required: %v", err)
+		return
+	}
+
+	job := &Job{Service: "custom-service", SubmittedAt: time.Now().UTC()}
+	ok := false
+	defer func() {
+		if !ok {
+			job.cleanup()
+		}
+	}()
+
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			httpError(w, uploadErrStatus(err), "multipart: %v", err)
+			return
+		}
+		if err := s.consumePart(job, part); err != nil {
+			httpError(w, uploadErrStatus(err), "%v", err)
+			return
+		}
+	}
+	if len(job.uploads) == 0 {
+		httpError(w, http.StatusBadRequest, "no capture files in upload (want parts named child|adolescent|adult|loggedout with .har/.pcap/.pcapng filenames)")
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	}
+	s.nextID++
+	job.ID = fmt.Sprintf("job-%d", s.nextID)
+	job.State = JobQueued
+	job.Files = len(job.uploads)
+	select {
+	case s.queue <- job:
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+		s.evictLocked()
+	default:
+		s.nextID--
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "job queue full (depth %d); retry later", s.cfg.QueueDepth)
+		return
+	}
+	snap := job.snapshot()
+	s.mu.Unlock()
+
+	ok = true
+	w.Header().Set("Location", "/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, snap)
+}
+
+// consumePart stages one multipart part: a capture file, the keylog, or a
+// metadata value.
+func (s *Server) consumePart(job *Job, part *multipart.Part) error {
+	defer part.Close()
+	field := part.FormName()
+	switch {
+	case field == "name":
+		name, err := readSmallValue(part)
+		if err != nil {
+			return err
+		}
+		if name != "" {
+			job.Service = name
+		}
+		return nil
+	case field == "keylog":
+		path, err := s.stageFile(part, "keylog")
+		if err != nil {
+			return err
+		}
+		job.keylog = path
+		return nil
+	}
+	trace, okTrace := flows.ParseTrace(field)
+	if !okTrace {
+		return fmt.Errorf("unknown field %q (want child|adolescent|teen|adult|loggedout, name, or keylog)", field)
+	}
+	fname := strings.ToLower(part.FileName())
+	var isHAR bool
+	switch filepath.Ext(fname) {
+	case ".har", ".json":
+		isHAR = true
+	case ".pcap", ".pcapng", ".cap":
+		isHAR = false
+	default:
+		return fmt.Errorf("field %q: cannot tell capture format from filename %q (want .har or .pcap/.pcapng)", field, part.FileName())
+	}
+	path, err := s.stageFile(part, field)
+	if err != nil {
+		return err
+	}
+	job.uploads = append(job.uploads, upload{path: path, har: isHAR, trace: trace})
+	return nil
+}
+
+// stageFile streams one part to a temp file and returns its path.
+func (s *Server) stageFile(part *multipart.Part, label string) (string, error) {
+	f, err := os.CreateTemp(s.cfg.TempDir, "diffaudit-"+label+"-*")
+	if err != nil {
+		return "", err
+	}
+	_, err = io.Copy(f, part)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return "", fmt.Errorf("staging %s: %w", label, err)
+	}
+	return f.Name(), nil
+}
+
+// readSmallValue reads a non-file form value with a sanity cap.
+func readSmallValue(part *multipart.Part) (string, error) {
+	data, err := io.ReadAll(io.LimitReader(part, 4096))
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(data)), nil
+}
+
+// handleJobs lists job summaries in submission order.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].snapshot())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// handleJob reports one job's status.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, okJob := s.lookup(r.PathValue("id"))
+	if !okJob {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	s.mu.Lock()
+	snap := job.snapshot()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// reportResult fetches a finished job's result, writing the right error
+// status when it is not available.
+func (s *Server) reportResult(w http.ResponseWriter, id string) (*core.ServiceResult, bool) {
+	job, okJob := s.lookup(id)
+	if !okJob {
+		httpError(w, http.StatusNotFound, "no such job")
+		return nil, false
+	}
+	s.mu.Lock()
+	state, res, errMsg := job.State, job.result, job.Error
+	s.mu.Unlock()
+	switch state {
+	case JobDone:
+		return res, true
+	case JobFailed:
+		httpError(w, http.StatusConflict, "job failed: %s", errMsg)
+	default:
+		httpError(w, http.StatusConflict, "job is %s; report not ready", state)
+	}
+	return nil, false
+}
+
+func (s *Server) handleReportJSON(w http.ResponseWriter, r *http.Request) {
+	res, okRes := s.reportResult(w, r.PathValue("id"))
+	if !okRes {
+		return
+	}
+	data, err := report.ExportJSON([]*core.ServiceResult{res})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "render: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleReportCSV(w http.ResponseWriter, r *http.Request) {
+	res, okRes := s.reportResult(w, r.PathValue("id"))
+	if !okRes {
+		return
+	}
+	csv, err := report.ExportFlowsCSV([]*core.ServiceResult{res})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "render: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	io.WriteString(w, csv)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"jobs":        jobs,
+		"queue_depth": s.cfg.QueueDepth,
+		"queued":      len(s.queue),
+		"workers":     s.cfg.Workers,
+	})
+}
+
+// lookup finds a job by ID.
+func (s *Server) lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, okJob := s.jobs[id]
+	return job, okJob
+}
+
+// snapshot copies the public fields of a job (callers hold s.mu or own
+// the job exclusively).
+func (j *Job) snapshot() Job {
+	return Job{
+		ID:          j.ID,
+		State:       j.State,
+		Service:     j.Service,
+		Error:       j.Error,
+		SubmittedAt: j.SubmittedAt,
+		StartedAt:   j.StartedAt,
+		FinishedAt:  j.FinishedAt,
+		Files:       j.Files,
+	}
+}
+
+// Result returns a finished job's audit result (nil until JobDone) — the
+// programmatic counterpart of the report endpoints.
+func (s *Server) Result(id string) (*core.ServiceResult, error) {
+	job, okJob := s.lookup(id)
+	if !okJob {
+		return nil, errors.New("server: no such job")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if job.State != JobDone {
+		return nil, fmt.Errorf("server: job is %s", job.State)
+	}
+	return job.result, nil
+}
+
+// uploadErrStatus distinguishes an upload that tripped MaxUploadBytes
+// (413, the connection is already doomed by MaxBytesReader) from a
+// malformed one (400).
+func uploadErrStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

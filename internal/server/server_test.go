@@ -1,0 +1,408 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"diffaudit/internal/core"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/har"
+	"diffaudit/internal/report"
+	"diffaudit/internal/services"
+	"diffaudit/internal/synth"
+)
+
+// childHAR renders Quizlet's child web trace as HAR bytes.
+func childHAR(t *testing.T) []byte {
+	t.Helper()
+	ds := synth.Generate(synth.Config{Scale: 0.01})
+	data, err := ds.Service("Quizlet").EmitHAR(flows.Child).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// submit posts a multipart audit request built from field→(filename,
+// content) parts and returns the response.
+func submit(t *testing.T, ts *httptest.Server, parts map[string][2]string) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	for field, fc := range parts {
+		if fc[0] == "" { // value part
+			if err := mw.WriteField(field, fc[1]); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		fw, err := mw.CreateFormFile(field, fc[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.WriteString(fw, fc[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mw.Close()
+	resp, err := http.Post(ts.URL+"/audit", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// wait polls a job until it leaves the queued/running states.
+func wait(t *testing.T, ts *httptest.Server, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job Job
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if job.State == JobDone || job.State == JobFailed {
+			return job
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("job did not finish")
+	return Job{}
+}
+
+func decodeJob(t *testing.T, resp *http.Response) Job {
+	t.Helper()
+	defer resp.Body.Close()
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	return job
+}
+
+// TestAuditEndToEnd uploads a HAR capture for a known service and checks
+// the served report is byte-identical to a direct pipeline run over the
+// same capture.
+func TestAuditEndToEnd(t *testing.T) {
+	srv := New(Config{TempDir: t.TempDir()})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	harData := childHAR(t)
+	resp := submit(t, ts, map[string][2]string{
+		"child": {"child.har", string(harData)},
+		"name":  {"", "Quizlet"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: %d: %s", resp.StatusCode, body)
+	}
+	job := decodeJob(t, resp)
+	if job.State != JobQueued || job.Files != 1 {
+		t.Fatalf("job = %+v", job)
+	}
+
+	done := wait(t, ts, job.ID)
+	if done.State != JobDone {
+		t.Fatalf("job failed: %s", done.Error)
+	}
+
+	// Served report vs direct pipeline run.
+	gotResp, err := http.Get(ts.URL + "/jobs/" + job.ID + "/report.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(gotResp.Body)
+	gotResp.Body.Close()
+
+	h, err := har.Parse(harData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := services.ByName("Quizlet")
+	id := core.ServiceIdentity{Name: spec.Name, Owner: spec.Owner, FirstPartyESLDs: spec.FirstPartyESLDs}
+	res := core.NewPipeline().AnalyzeRecords(id, core.FromHAR(h, flows.Child, flows.Web))
+	want, err := report.ExportJSON([]*core.ServiceResult{res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(got), bytes.TrimSpace(want)) {
+		t.Error("served report.json differs from direct pipeline export")
+	}
+
+	// CSV renders with the header and at least one flow.
+	csvResp, err := http.Get(ts.URL + "/jobs/" + job.ID + "/report.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvBody, _ := io.ReadAll(csvResp.Body)
+	csvResp.Body.Close()
+	if !strings.HasPrefix(string(csvBody), "service,trace,") || strings.Count(string(csvBody), "\n") < 2 {
+		t.Errorf("csv export looks wrong: %.120s", csvBody)
+	}
+}
+
+// TestGuessedIdentity audits under an unknown name: the most-contacted
+// eSLD must become the first party via the streaming identity guess.
+func TestGuessedIdentity(t *testing.T) {
+	srv := New(Config{TempDir: t.TempDir()})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := submit(t, ts, map[string][2]string{
+		"child": {"c.har", string(childHAR(t))},
+		"name":  {"", "mystery-service"},
+	})
+	job := decodeJob(t, resp)
+	done := wait(t, ts, job.ID)
+	if done.State != JobDone {
+		t.Fatalf("job failed: %s", done.Error)
+	}
+	res, err := srv.Result(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Identity.Name != "mystery-service" || len(res.Identity.FirstPartyESLDs) != 1 {
+		t.Fatalf("identity = %+v", res.Identity)
+	}
+}
+
+// TestSubmitValidation covers the rejection paths.
+func TestSubmitValidation(t *testing.T) {
+	srv := New(Config{TempDir: t.TempDir()})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cases := []struct {
+		name  string
+		parts map[string][2]string
+		want  int
+	}{
+		{"no files", map[string][2]string{"name": {"", "x"}}, http.StatusBadRequest},
+		{"bad field", map[string][2]string{"grownup": {"a.har", "{}"}}, http.StatusBadRequest},
+		{"bad extension", map[string][2]string{"child": {"a.txt", "{}"}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp := submit(t, ts, tc.parts)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	// Unknown job and unready report.
+	for path, want := range map[string]int{
+		"/jobs/nope":             http.StatusNotFound,
+		"/jobs/nope/report.json": http.StatusNotFound,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestFailedJob uploads a corrupt capture and expects a failed state whose
+// report returns 409.
+func TestFailedJob(t *testing.T) {
+	srv := New(Config{TempDir: t.TempDir()})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := submit(t, ts, map[string][2]string{"child": {"bad.har", "not json at all"}})
+	job := decodeJob(t, resp)
+	done := wait(t, ts, job.ID)
+	if done.State != JobFailed || done.Error == "" {
+		t.Fatalf("job = %+v", done)
+	}
+	rresp, err := http.Get(ts.URL + "/jobs/" + job.ID + "/report.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusConflict {
+		t.Errorf("report of failed job: %d, want 409", rresp.StatusCode)
+	}
+}
+
+// TestQueueBackpressure fills the bounded queue behind a gated pipeline
+// and expects 503 for the overflow submission.
+func TestQueueBackpressure(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(gate) })
+	srv := New(Config{
+		Workers:    1,
+		QueueDepth: 1,
+		TempDir:    t.TempDir(),
+		NewPipeline: func() *core.Pipeline {
+			<-gate
+			return core.NewPipeline()
+		},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	harData := string(childHAR(t))
+	ids := make([]string, 0, 2)
+	// First job occupies the worker (blocked on the gate); second sits in
+	// the queue. The worker may not have claimed the first job yet, so
+	// allow one extra submission before asserting overflow.
+	overflowed := false
+	for i := 0; i < 4; i++ {
+		resp := submit(t, ts, map[string][2]string{"child": {"c.har", harData}, "name": {"", "Quizlet"}})
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			ids = append(ids, decodeJob(t, resp).ID)
+		case http.StatusServiceUnavailable:
+			resp.Body.Close()
+			overflowed = true
+		default:
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+		if overflowed {
+			break
+		}
+	}
+	if !overflowed {
+		t.Error("queue never overflowed at depth 1")
+	}
+	once.Do(func() { close(gate) })
+	for _, id := range ids {
+		if done := wait(t, ts, id); done.State != JobDone {
+			t.Errorf("job %s: %s (%s)", id, done.State, done.Error)
+		}
+	}
+}
+
+// TestConcurrentSubmissions hammers the server from many goroutines — the
+// CI -race step runs this to prove the job queue is data-race free.
+func TestConcurrentSubmissions(t *testing.T) {
+	srv := New(Config{Workers: 4, QueueDepth: 64, TempDir: t.TempDir()})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	harData := string(childHAR(t))
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			resp := submit(t, ts, map[string][2]string{
+				"child": {"c.har", harData},
+				"name":  {"", fmt.Sprintf("svc-%d", g)},
+			})
+			if resp.StatusCode != http.StatusAccepted {
+				resp.Body.Close()
+				errs <- fmt.Errorf("goroutine %d: submit %d", g, resp.StatusCode)
+				return
+			}
+			job := decodeJob(t, resp)
+			// Interleave list reads with the polling.
+			lresp, err := http.Get(ts.URL + "/jobs")
+			if err == nil {
+				io.Copy(io.Discard, lresp.Body)
+				lresp.Body.Close()
+			}
+			done := wait(t, ts, job.ID)
+			if done.State != JobDone {
+				errs <- fmt.Errorf("goroutine %d: %s (%s)", g, done.State, done.Error)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Jobs int `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Jobs != n {
+		t.Errorf("healthz jobs = %d, want %d", health.Jobs, n)
+	}
+}
+
+// TestJobEviction checks finished jobs are evicted past MaxJobs while the
+// newest stay fetchable — the long-lived server's memory bound.
+func TestJobEviction(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 8, MaxJobs: 3, TempDir: t.TempDir()})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	harData := string(childHAR(t))
+	var ids []string
+	for i := 0; i < 5; i++ {
+		resp := submit(t, ts, map[string][2]string{"child": {"c.har", harData}, "name": {"", "Quizlet"}})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+		job := decodeJob(t, resp)
+		ids = append(ids, job.ID)
+		wait(t, ts, job.ID) // serialize so earlier jobs are evictable
+	}
+
+	resp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []Job `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Jobs) > 3 {
+		t.Errorf("retained %d jobs, cap is 3", len(list.Jobs))
+	}
+	// The newest job always survives.
+	if _, err := srv.Result(ids[len(ids)-1]); err != nil {
+		t.Errorf("newest job evicted: %v", err)
+	}
+	// The oldest is gone.
+	r, err := http.Get(ts.URL + "/jobs/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("oldest job still present: %d", r.StatusCode)
+	}
+}
