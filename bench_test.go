@@ -23,6 +23,7 @@ import (
 	"diffaudit/internal/netcap/layers"
 	"diffaudit/internal/netcap/pcapio"
 	"diffaudit/internal/netcap/reassembly"
+	"diffaudit/internal/ontology"
 	"diffaudit/internal/synth"
 )
 
@@ -239,6 +240,70 @@ func BenchmarkBaselineClassifiers(b *testing.B) {
 			}
 			b.ReportMetric(classifier.Validate(c.name, c.l, sample).Accuracy, "accuracy")
 		})
+	}
+}
+
+// ---- Hot-path micro-benchmarks (interned flow core) -----------------------
+
+// BenchmarkFlowSetAdd measures flow accumulation — the pipeline's inner
+// loop. Symbols are interned once up front, as they are by the label cache
+// and destination memo, so steady-state Add is a single packed-key map
+// operation.
+func BenchmarkFlowSetAdd(b *testing.B) {
+	catNames := []string{"Aliases", "Age", "Language", "Contact Information", "Location Time"}
+	var fl []diffaudit.Flow
+	for _, n := range catNames {
+		c, ok := ontology.Lookup(n)
+		if !ok {
+			b.Fatalf("unknown category %q", n)
+		}
+		for i, cls := range flows.DestClasses() {
+			fl = append(fl, diffaudit.Flow{
+				Category: c,
+				Dest:     diffaudit.Destination{FQDN: fmt.Sprintf("host-%d.example", i), Class: cls},
+			})
+		}
+	}
+	set := flows.NewSetSized(len(fl))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set.Add(fl[i%len(fl)], flows.Platform(i%2))
+	}
+	if set.Len() == 0 {
+		b.Fatal("empty set")
+	}
+}
+
+// BenchmarkLinkabilityIndex measures the single-pass index build that
+// serves all Figure 3-5 statistics, over a realistic audited trace.
+func BenchmarkLinkabilityIndex(b *testing.B) {
+	results := audited(b)
+	set := results[0].ByTrace[flows.Adult]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := linkability.NewIndex(set)
+		if ix.CountLinkable() == 0 {
+			b.Fatal("no linkable parties")
+		}
+	}
+}
+
+// BenchmarkResolveDestination measures raw destination classification
+// (eSLD extraction, entity lookup, block-list walk) — the cold path the
+// pipeline's memo amortizes away.
+func BenchmarkResolveDestination(b *testing.B) {
+	engine := ats.Default()
+	eslds := []string{"quizlet.com"}
+	hosts := []string{
+		"api.quizlet.com", "stats.g.doubleclick.net", "pixel.mathtag.com",
+		"cdn.example.org", "deep.sub.domain.google-analytics.com",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := flows.ResolveDestination("Quizlet Inc", eslds, hosts[i%len(hosts)], engine)
+		if d.FQDN == "" {
+			b.Fatal("empty resolution")
+		}
 	}
 }
 

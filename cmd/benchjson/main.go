@@ -14,13 +14,16 @@
 // Regression gating (the CI bench step):
 //
 //	go run ./cmd/benchjson -compare BENCH_2026-07-29_baseline.json \
-//	    -threshold 0.25 -compare-filter 'Table1|Figure2'
+//	    -threshold 0.25 -alloc-threshold 0.10 -compare-filter 'Table1|Figure2'
 //
 // -compare diffs the fresh run against a committed trajectory file and
-// prints a per-benchmark delta table. Regressions beyond -threshold on
-// benchmarks matching -compare-filter are reported as warnings; the exit
-// code stays 0 (soft gate) unless -gate is set. CI machines are noisy, so
-// the default posture is visibility, not flake-prone hard failure.
+// prints a per-benchmark delta table covering ns/op, B/op, and allocs/op.
+// Regressions beyond -threshold (ns/op) or -alloc-threshold (B/op and
+// allocs/op — allocation counts are deterministic, so this can be tighter
+// than the wall-clock threshold) on benchmarks matching -compare-filter
+// are reported as warnings; the exit code stays 0 (soft gate) unless
+// -gate is set. CI machines are noisy, so the default posture is
+// visibility, not flake-prone hard failure.
 package main
 
 import (
@@ -76,8 +79,9 @@ func main() {
 	out := flag.String("o", "", "output path (default BENCH_<date>[_label].json)")
 	compare := flag.String("compare", "", "baseline trajectory file to diff the run against")
 	threshold := flag.Float64("threshold", 0.25, "ns/op regression ratio that triggers a warning (with -compare)")
-	compareFilter := flag.String("compare-filter", ".", "regex of benchmark names the threshold applies to")
-	gate := flag.Bool("gate", false, "exit nonzero when a filtered benchmark regresses past the threshold")
+	allocThreshold := flag.Float64("alloc-threshold", 0.25, "allocs/op and B/op regression ratio that triggers a warning (with -compare); negative disables")
+	compareFilter := flag.String("compare-filter", ".", "regex of benchmark names the thresholds apply to")
+	gate := flag.Bool("gate", false, "exit nonzero when a filtered benchmark regresses past a threshold")
 	flag.Parse()
 
 	args := []string{
@@ -150,20 +154,44 @@ func main() {
 	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", path, len(results))
 
 	if *compare != "" {
-		regressions, err := compareBaseline(*compare, results, *threshold, *compareFilter)
+		regressions, err := compareBaseline(*compare, results, *threshold, *allocThreshold, *compareFilter)
 		if err != nil {
 			fatal(err)
 		}
 		if regressions > 0 && *gate {
-			fatal(fmt.Errorf("%d benchmark(s) regressed past %.0f%%", regressions, *threshold*100))
+			fatal(fmt.Errorf("%d benchmark metric(s) regressed past the thresholds", regressions))
 		}
 	}
 }
 
+// metricDelta formats one base→new metric transition, flagging it when it
+// regressed past the threshold (negative threshold disables flagging).
+// A zero baseline is a real value for B/op and allocs/op (the callers
+// guard ns/op): any growth from 0 exceeds every finite threshold — an
+// allocation-free benchmark gaining allocations must flag, since that is
+// exactly the property the alloc gate protects.
+func metricDelta(base, fresh, threshold float64, regressed *bool) string {
+	if base <= 0 {
+		if fresh > 0 && threshold >= 0 {
+			*regressed = true
+			return fmt.Sprintf("%.0f→%.0f <-- REGRESSION", base, fresh)
+		}
+		return fmt.Sprintf("%.0f→%.0f", base, fresh)
+	}
+	delta := fresh/base - 1
+	if threshold >= 0 && delta > threshold {
+		*regressed = true
+		return fmt.Sprintf("%.0f→%.0f %+.1f%% <-- REGRESSION", base, fresh, delta*100)
+	}
+	return fmt.Sprintf("%.0f→%.0f %+.1f%%", base, fresh, delta*100)
+}
+
 // compareBaseline diffs fresh results against a committed trajectory and
-// prints a delta table. It returns how many benchmarks matching the filter
-// regressed past the threshold.
-func compareBaseline(path string, fresh []BenchResult, threshold float64, filter string) (int, error) {
+// prints a delta table covering ns/op, B/op, and allocs/op. It returns how
+// many benchmark metrics, on benchmarks matching the filter, regressed
+// past their threshold (nsThreshold for ns/op, allocThreshold for both
+// B/op and allocs/op).
+func compareBaseline(path string, fresh []BenchResult, nsThreshold, allocThreshold float64, filter string) (int, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, fmt.Errorf("baseline: %w", err)
@@ -182,27 +210,39 @@ func compareBaseline(path string, fresh []BenchResult, threshold float64, filter
 	}
 
 	fmt.Printf("\n== comparison against %s (%s, %s) ==\n", path, base.Date, base.GoVersion)
-	fmt.Printf("%-60s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	fmt.Printf("%-52s %-30s %-28s %s\n", "benchmark", "ns/op", "B/op", "allocs/op")
 	regressions := 0
 	for _, r := range fresh {
 		b, seen := baseline[r.Name]
 		if !seen || b.NsPerOp <= 0 {
-			fmt.Printf("%-60s %14s %14.0f %8s\n", r.Name, "-", r.NsPerOp, "new")
+			fmt.Printf("%-52s %-30s %-28s %s\n", r.Name,
+				fmt.Sprintf("%.0f (new)", r.NsPerOp),
+				fmt.Sprintf("%.0f", r.BytesPerOp),
+				fmt.Sprintf("%.0f", r.AllocsPerOp))
 			continue
 		}
-		delta := r.NsPerOp/b.NsPerOp - 1
-		mark := ""
-		if filterRe.MatchString(r.Name) && delta > threshold {
-			mark = "  <-- REGRESSION"
-			regressions++
+		filtered := filterRe.MatchString(r.Name)
+		nsTh, allocTh := -1.0, -1.0
+		if filtered {
+			nsTh, allocTh = nsThreshold, allocThreshold
 		}
-		fmt.Printf("%-60s %14.0f %14.0f %+7.1f%%%s\n", r.Name, b.NsPerOp, r.NsPerOp, delta*100, mark)
+		var nsReg, bytesReg, allocsReg bool
+		nsCol := metricDelta(b.NsPerOp, r.NsPerOp, nsTh, &nsReg)
+		bytesCol := metricDelta(b.BytesPerOp, r.BytesPerOp, allocTh, &bytesReg)
+		allocsCol := metricDelta(b.AllocsPerOp, r.AllocsPerOp, allocTh, &allocsReg)
+		for _, reg := range []bool{nsReg, bytesReg, allocsReg} {
+			if reg {
+				regressions++
+			}
+		}
+		fmt.Printf("%-52s %-30s %-28s %s\n", r.Name, nsCol, bytesCol, allocsCol)
 	}
 	if regressions > 0 {
-		fmt.Printf("\nWARNING: %d benchmark(s) regressed more than %.0f%% vs %s\n",
-			regressions, threshold*100, path)
+		fmt.Printf("\nWARNING: %d benchmark metric(s) regressed past the thresholds (ns %.0f%%, alloc %.0f%%) vs %s\n",
+			regressions, nsThreshold*100, allocThreshold*100, path)
 	} else {
-		fmt.Printf("\nno regressions past %.0f%% (filter %q)\n", threshold*100, filter)
+		fmt.Printf("\nno regressions past the thresholds (ns %.0f%%, alloc %.0f%%; filter %q)\n",
+			nsThreshold*100, allocThreshold*100, filter)
 	}
 	return regressions, nil
 }

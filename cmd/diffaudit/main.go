@@ -7,7 +7,7 @@
 //
 //	diffaudit [-scale 0.01] [-service Quizlet] [-findings] [-policy]
 //	diffaudit -har child=child.har -har loggedout=out.har -name MyApp
-//	diffaudit serve [-addr :8080] [-workers 2] [-queue 16]
+//	diffaudit serve [-addr :8080] [-workers 2] [-queue 16] [-pprof 127.0.0.1:6060]
 //
 // File mode streams captures from disk: HAR entries decode one at a time
 // and PCAP frames iterate without materializing the file, so capture size
@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling handlers for `serve -pprof` (separate listener)
 	"os"
 	"strings"
 
@@ -107,7 +108,22 @@ func serve(args []string) {
 	queue := fs.Int("queue", 16, "bounded job queue depth")
 	maxUpload := fs.Int64("max-upload", 1<<30, "max upload size in bytes")
 	tempDir := fs.String("tempdir", "", "staging dir for uploads (default: system temp)")
+	pprofAddr := fs.String("pprof", "", "localhost address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables profiling")
 	fs.Parse(args)
+
+	if *pprofAddr != "" {
+		// The profiler listens on its own (typically loopback-only)
+		// address, never on the audit port: profiles expose internals and
+		// must not be reachable wherever /audit is exposed. The blank
+		// net/http/pprof import registers its handlers on the default
+		// mux, which only this listener serves.
+		go func() {
+			log.Printf("diffaudit serve: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	srv := diffaudit.NewServer(diffaudit.ServerConfig{
 		Workers:        *workers,

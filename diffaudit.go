@@ -71,6 +71,15 @@ type (
 	PolicyViolation = policy.Violation
 	// LinkableParty is a third party with the data type set it received.
 	LinkableParty = linkability.Party
+	// LinkabilityIndex is the single-pass linkability view of a flow set:
+	// build it once per trace and read every linkability statistic
+	// (CountLinkable, LargestSet, CommonSet, TopATSOrgs) without
+	// re-analysis.
+	LinkabilityIndex = linkability.Index
+	// FlowCatID is an interned data type category symbol.
+	FlowCatID = flows.CatID
+	// FlowDestID is an interned resolved-destination symbol.
+	FlowDestID = flows.DestID
 	// Dataset is a synthetic six-service dataset.
 	Dataset = synth.Dataset
 	// ServiceTraffic is one service's synthetic traffic.
@@ -241,6 +250,12 @@ func PolicyViolations(r *ServiceResult) []PolicyViolation {
 // LinkableParties returns the third parties sent linkable data in a trace.
 func LinkableParties(set *FlowSet) []LinkableParty {
 	return linkability.Linkable(linkability.Analyze(set))
+}
+
+// NewLinkabilityIndex builds the single-pass linkability index of a trace's
+// flow set.
+func NewLinkabilityIndex(set *FlowSet) *LinkabilityIndex {
+	return linkability.NewIndex(set)
 }
 
 // Diff compares two flow sets (e.g., child vs adult, logged-out vs

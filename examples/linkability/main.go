@@ -26,21 +26,25 @@ func main() {
 
 	// Beyond the paper's figures: the single riskiest destination per
 	// service — the third party that can link the most data types about a
-	// child.
+	// child. One LinkabilityIndex per trace serves every statistic here
+	// without re-analysis.
 	fmt.Println("Riskiest third party per service (child trace):")
 	for _, r := range results {
-		parties := diffaudit.LinkableParties(r.ByTrace[diffaudit.Child])
-		var worst *diffaudit.LinkableParty
-		for i := range parties {
-			if worst == nil || len(parties[i].Types) > len(worst.Types) {
-				worst = &parties[i]
-			}
-		}
-		if worst == nil {
+		ix := diffaudit.NewLinkabilityIndex(r.ByTrace[diffaudit.Child])
+		n, types := ix.LargestSet()
+		if n == 0 {
 			fmt.Printf("  %-10s (none)\n", r.Identity.Name)
 			continue
 		}
-		fmt.Printf("  %-10s %s (%s) — %d linkable data types\n",
-			r.Identity.Name, worst.Dest.FQDN, worst.Dest.Owner, len(worst.Types))
+		var worst *diffaudit.LinkableParty
+		parties := ix.Parties()
+		for i := range parties {
+			if parties[i].Linkable && len(parties[i].Types) == n {
+				worst = &parties[i]
+				break
+			}
+		}
+		fmt.Printf("  %-10s %s (%s) — %d linkable data types (of %d linkable parties)\n",
+			r.Identity.Name, worst.Dest.FQDN, worst.Dest.Owner, len(types), ix.CountLinkable())
 	}
 }

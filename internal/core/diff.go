@@ -28,27 +28,47 @@ func (d FlowDiff) Jaccard() float64 {
 	return float64(len(d.Both)) / float64(union)
 }
 
-// Diff compares two flow sets by flow key.
+// pairKey reduces a packed flow key to the (category, FQDN) identity
+// Flow.Key encodes: destination role differences (possible when sets span
+// services) do not make two flows distinct for diffing, exactly as with
+// string keys.
+func pairKey(key uint64) uint64 {
+	c, d := flows.SplitFlowKey(key)
+	return uint64(c)<<32 | uint64(flows.DestinationSymbols(d).FQDNID)
+}
+
+// Diff compares two flow sets by flow key. Membership tests run on packed
+// symbol pairs; flows materialize only for the output slices.
 func Diff(a, b *flows.Set) FlowDiff {
 	var d FlowDiff
-	inB := map[string]bool{}
-	for _, f := range b.Flows() {
-		inB[f.Key()] = true
-	}
-	seenBoth := map[string]bool{}
-	for _, f := range a.Flows() {
-		if inB[f.Key()] {
-			d.Both = append(d.Both, f)
-			seenBoth[f.Key()] = true
+	inB := make(map[uint64]bool, b.Len())
+	b.Range(func(key uint64, _ flows.PlatformMask) {
+		inB[pairKey(key)] = true
+	})
+	seenA := make(map[uint64]bool, a.Len())
+	a.RangeSorted(func(key uint64, _ flows.PlatformMask) {
+		pk := pairKey(key)
+		if seenA[pk] {
+			return
+		}
+		seenA[pk] = true
+		if inB[pk] {
+			d.Both = append(d.Both, flows.FlowOfKey(key))
 		} else {
-			d.OnlyA = append(d.OnlyA, f)
+			d.OnlyA = append(d.OnlyA, flows.FlowOfKey(key))
 		}
-	}
-	for _, f := range b.Flows() {
-		if !seenBoth[f.Key()] {
-			d.OnlyB = append(d.OnlyB, f)
+	})
+	seenB := make(map[uint64]bool, b.Len())
+	b.RangeSorted(func(key uint64, _ flows.PlatformMask) {
+		pk := pairKey(key)
+		if seenB[pk] {
+			return
 		}
-	}
+		seenB[pk] = true
+		if !seenA[pk] {
+			d.OnlyB = append(d.OnlyB, flows.FlowOfKey(key))
+		}
+	})
 	return d
 }
 

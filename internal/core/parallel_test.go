@@ -2,10 +2,13 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
 	"diffaudit/internal/flows"
+	"diffaudit/internal/linkability"
+	"diffaudit/internal/ontology"
 )
 
 func parallelTestRecords(n int) []RequestRecord {
@@ -76,6 +79,71 @@ func TestAnalyzeRecordsParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// renderResultArtifacts serializes every ordering-sensitive aggregate of a
+// result — the Table 4 grid, the sorted flow keys, and all four
+// linkability-index statistics — into one string, so byte-equality of two
+// renders proves deterministic ordering end to end.
+func renderResultArtifacts(r *ServiceResult) string {
+	var b strings.Builder
+	grid := Grid(r)
+	for _, g := range ontology.Level2Groups() {
+		for _, c := range flows.DestClasses() {
+			fmt.Fprintf(&b, "%v/%v:", g, c)
+			for _, t := range flows.TraceCategories() {
+				b.WriteString(grid[g][c][t].Symbol())
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, t := range flows.TraceCategories() {
+		set := r.ByTrace[t]
+		for _, f := range set.Flows() {
+			fmt.Fprintf(&b, "%v %s %s\n", t, f.Key(), set.Platforms(f).Symbol())
+		}
+		ix := linkability.NewIndex(set)
+		fmt.Fprintf(&b, "%v linkable=%d\n", t, ix.CountLinkable())
+		n, types := ix.LargestSet()
+		fmt.Fprintf(&b, "%v largest=%d:", t, n)
+		for _, c := range types {
+			fmt.Fprintf(&b, " %s", c.Name)
+		}
+		b.WriteByte('\n')
+		names, freq := ix.CommonSet()
+		fmt.Fprintf(&b, "%v common=%d %s\n", t, freq, strings.Join(names, "|"))
+		for _, o := range ix.TopATSOrgs(0) {
+			fmt.Fprintf(&b, "%v org %s %d %s\n", t, o.Organization, o.Flows,
+				strings.Join(o.Domains, ","))
+		}
+	}
+	return b.String()
+}
+
+// TestArtifactsDeterministicAcrossWorkers renders every ordering-sensitive
+// aggregate under several Workers settings and repeated runs; all renders
+// must be byte-identical. This is the determinism contract the interned
+// core inherits from the string-keyed one.
+func TestArtifactsDeterministicAcrossWorkers(t *testing.T) {
+	id := ServiceIdentity{Name: "Quizlet", Owner: "Quizlet Inc", FirstPartyESLDs: []string{"quizlet.com"}}
+	recs := parallelTestRecords(1500)
+
+	var want string
+	for run, workers := range []int{1, 1, 4, 4, 7} {
+		pipe := NewPipeline()
+		pipe.Workers = workers
+		got := renderResultArtifacts(pipe.AnalyzeRecords(id, recs))
+		if run == 0 {
+			want = got
+			if want == "" {
+				t.Fatal("empty artifact render")
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("run %d (workers=%d): artifacts diverge from workers=1 baseline", run, workers)
+		}
+	}
+}
+
 // TestLabelCacheSingleflight hammers one pipeline's label cache from many
 // goroutines and checks agreement with fresh classifications — exercising
 // shard locking and the singleflight path under the race detector.
@@ -90,7 +158,7 @@ func TestLabelCacheSingleflight(t *testing.T) {
 			defer wg.Done()
 			results[g] = make([]bool, len(keys))
 			for i, k := range keys {
-				_, ok := p.label(k)
+				_, _, ok := p.label(k)
 				results[g][i] = ok
 			}
 		}(g)
@@ -98,7 +166,7 @@ func TestLabelCacheSingleflight(t *testing.T) {
 	wg.Wait()
 	fresh := NewPipeline()
 	for i, k := range keys {
-		_, want := fresh.label(k)
+		_, _, want := fresh.label(k)
 		for g := range results {
 			if results[g][i] != want {
 				t.Fatalf("goroutine %d key %q: cached ok=%v, fresh ok=%v", g, k, results[g][i], want)
@@ -115,8 +183,14 @@ func TestDestMemoConsistency(t *testing.T) {
 	for _, fqdn := range []string{"api.quizlet.com", "stats.g.doubleclick.net", "api.quizlet.com", ""} {
 		got := memo.resolve(fqdn)
 		want := flows.ResolveDestination("Quizlet Inc", []string{"quizlet.com"}, fqdn, p.ATS)
-		if got != want {
-			t.Fatalf("memo.resolve(%q) = %+v, direct = %+v", fqdn, got, want)
+		if got.dest != want {
+			t.Fatalf("memo.resolve(%q) = %+v, direct = %+v", fqdn, got.dest, want)
+		}
+		if wantOK := want.FQDN != ""; got.ok != wantOK {
+			t.Fatalf("memo.resolve(%q).ok = %v, want %v", fqdn, got.ok, wantOK)
+		}
+		if got.ok && flows.DestinationByID(got.id) != want {
+			t.Fatalf("memo.resolve(%q) interned %+v", fqdn, flows.DestinationByID(got.id))
 		}
 	}
 }

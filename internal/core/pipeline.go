@@ -124,7 +124,10 @@ type labelShard struct {
 
 type cachedLabel struct {
 	cat *ontology.Category
-	ok  bool
+	// id is the interned category symbol, resolved once at classification
+	// time so the flow-accumulation inner loop never touches strings.
+	id flows.CatID
+	ok bool
 }
 
 // labelCall is one in-flight classification other workers can wait on.
@@ -159,18 +162,19 @@ func NewPipeline() *Pipeline {
 
 // label classifies one raw key with sharded caching and singleflight:
 // concurrent workers asking for the same key block on one classification
-// instead of redundantly computing it.
-func (p *Pipeline) label(key string) (*ontology.Category, bool) {
+// instead of redundantly computing it. The returned CatID is the interned
+// category symbol (meaningful only when ok is true).
+func (p *Pipeline) label(key string) (*ontology.Category, flows.CatID, bool) {
 	sh := &p.shards[labelShardIndex(key)]
 	sh.mu.Lock()
 	if c, hit := sh.entries[key]; hit {
 		sh.mu.Unlock()
-		return c.cat, c.ok
+		return c.cat, c.id, c.ok
 	}
 	if call, ok := sh.inflight[key]; ok {
 		sh.mu.Unlock()
 		<-call.done
-		return call.cat, call.ok
+		return call.cat, call.id, call.ok
 	}
 	if sh.entries == nil {
 		sh.entries = make(map[string]cachedLabel)
@@ -182,13 +186,26 @@ func (p *Pipeline) label(key string) (*ontology.Category, bool) {
 
 	cat, _, ok := p.Labeler.Label(key)
 	call.cat, call.ok = cat, ok
+	if ok {
+		call.id = flows.InternCategory(cat)
+	}
 	close(call.done)
 
 	sh.mu.Lock()
-	sh.entries[key] = cachedLabel{cat, ok}
+	sh.entries[key] = call.cachedLabel
 	delete(sh.inflight, key)
 	sh.mu.Unlock()
-	return cat, ok
+	return call.cat, call.id, call.ok
+}
+
+// destRef is a memoized destination resolution: the resolved value plus
+// its interned symbol, so the flow-accumulation inner loop adds flows by
+// ID. ok is false for unresolvable (empty-FQDN) destinations, which are
+// never interned.
+type destRef struct {
+	dest flows.Destination
+	id   flows.DestID
+	ok   bool
 }
 
 // destMemo memoizes flows.ResolveDestination for one AnalyzeRecords call.
@@ -201,16 +218,20 @@ type destMemo struct {
 	owner string
 	eslds []string
 	ats   *ats.Engine
-	m     sync.Map // raw FQDN → flows.Destination
+	m     sync.Map // raw FQDN → destRef
 }
 
-func (d *destMemo) resolve(fqdn string) flows.Destination {
+func (d *destMemo) resolve(fqdn string) destRef {
 	if v, ok := d.m.Load(fqdn); ok {
-		return v.(flows.Destination)
+		return v.(destRef)
 	}
-	dest := flows.ResolveDestination(d.owner, d.eslds, fqdn, d.ats)
-	d.m.Store(fqdn, dest)
-	return dest
+	ref := destRef{dest: flows.ResolveDestination(d.owner, d.eslds, fqdn, d.ats)}
+	if ref.dest.FQDN != "" {
+		ref.id = flows.InternDestination(ref.dest)
+		ref.ok = true
+	}
+	d.m.Store(fqdn, ref)
+	return ref
 }
 
 // partialResult accumulates one worker's share of an analysis. Every field
@@ -262,13 +283,13 @@ func (p *Pipeline) analyzeChunk(recs []RequestRecord, memo *destMemo, pr *partia
 		if rec.ConnID != "" {
 			pr.conns[rec.ConnID] = true
 		}
-		dest := memo.resolve(rec.FQDN)
-		if dest.FQDN == "" {
+		ref := memo.resolve(rec.FQDN)
+		if !ref.ok {
 			continue
 		}
-		pr.domains[dest.FQDN] = true
-		if dest.ESLD != "" {
-			pr.eslds[dest.ESLD] = true
+		pr.domains[ref.dest.FQDN] = true
+		if ref.dest.ESLD != "" {
+			pr.eslds[ref.dest.ESLD] = true
 		}
 
 		view := extract.RequestView{
@@ -287,12 +308,12 @@ func (p *Pipeline) analyzeChunk(recs []RequestRecord, memo *destMemo, pr *partia
 				continue
 			}
 			pr.rawKeys[pair.Key] = true
-			cat, ok := p.label(pair.Key)
+			_, catID, ok := p.label(pair.Key)
 			if !ok {
 				pr.droppedKeys++
 				continue
 			}
-			pr.byTrace[rec.Trace].Add(flows.Flow{Category: cat, Dest: dest}, rec.Platform)
+			pr.byTrace[rec.Trace].AddIDs(catID, ref.id, rec.Platform)
 		}
 	}
 }
@@ -415,11 +436,15 @@ type Table1Totals struct {
 
 // Totals computes dataset-wide unique counts across service results
 // (domains and eSLDs are deduplicated across services, as in Table 1).
+// Flow uniqueness dedupes on the packed (category, FQDN) symbol pair —
+// the same identity Flow.Key encodes (one domain holding different roles
+// for different services still counts once), but with no string
+// materialization.
 func Totals(results []*ServiceResult) Table1Totals {
 	domains := map[string]bool{}
 	eslds := map[string]bool{}
 	keys := map[string]bool{}
-	fl := map[string]bool{}
+	fl := map[uint64]bool{}
 	var t Table1Totals
 	for _, r := range results {
 		for d := range r.Domains {
@@ -434,9 +459,9 @@ func Totals(results []*ServiceResult) Table1Totals {
 		t.Packets += r.Packets
 		t.TCPFlows += r.TCPFlows
 		for _, set := range r.ByTrace {
-			for _, f := range set.Flows() {
-				fl[f.Key()] = true
-			}
+			set.Range(func(key uint64, _ flows.PlatformMask) {
+				fl[pairKey(key)] = true
+			})
 		}
 	}
 	t.Domains = len(domains)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"diffaudit/internal/ats"
 	"diffaudit/internal/domains"
@@ -193,21 +194,27 @@ type Flow struct {
 }
 
 // Key identifies the flow for deduplication: <category, FQDN>.
-func (f Flow) Key() string { return f.Category.Name + "→" + f.Dest.FQDN }
+func (f Flow) Key() string { return f.Category.Name + flowKeySep + f.Dest.FQDN }
 
-// Set accumulates deduplicated flows with platform provenance.
+// Set accumulates deduplicated flows with platform provenance. Flows are
+// stored as packed (category ID, destination ID) keys against the shared
+// symbol tables (see symbols.go), so accumulation is allocation-free.
+//
+// A Set is not safe for concurrent mutation; concurrent readers are fine
+// once mutation stops (the pipeline gives each worker a private Set and
+// merges single-threaded).
 type Set struct {
-	flows map[string]*entry
-}
-
-type entry struct {
-	flow      Flow
-	platforms PlatformMask
+	flows map[uint64]PlatformMask
+	// sorted caches the packed keys in FlowKeyLess order; it is
+	// invalidated whenever a new key is inserted and rebuilt lazily by
+	// the first sorted read. The atomic pointer lets concurrent
+	// post-construction readers share one materialization.
+	sorted atomic.Pointer[[]uint64]
 }
 
 // NewSet returns an empty flow set.
 func NewSet() *Set {
-	return &Set{flows: make(map[string]*entry)}
+	return &Set{flows: make(map[uint64]PlatformMask)}
 }
 
 // NewSetSized returns an empty flow set pre-sized for about n flows,
@@ -216,74 +223,115 @@ func NewSetSized(n int) *Set {
 	if n < 0 {
 		n = 0
 	}
-	return &Set{flows: make(map[string]*entry, n)}
+	return &Set{flows: make(map[uint64]PlatformMask, n)}
 }
 
-// Add records a flow observed on a platform.
+// Add records a flow observed on a platform, interning its symbols on
+// first sight. Hot paths that already hold IDs should call AddIDs.
 func (s *Set) Add(f Flow, p Platform) {
-	k := f.Key()
-	e, ok := s.flows[k]
-	if !ok {
-		e = &entry{flow: f}
-		s.flows[k] = e
+	s.AddIDs(InternCategory(f.Category), InternDestination(f.Dest), p)
+}
+
+// AddIDs records a flow by its interned IDs — the pipeline's inner loop.
+// One map operation, no allocation.
+func (s *Set) AddIDs(c CatID, d DestID, p Platform) {
+	bit := OnWeb
+	if p != Web {
+		bit = OnMobile
 	}
-	if p == Web {
-		e.platforms |= OnWeb
-	} else {
-		e.platforms |= OnMobile
+	k := PackFlowKey(c, d)
+	n := len(s.flows)
+	s.flows[k] |= bit
+	if len(s.flows) != n {
+		s.sorted.Store(nil)
 	}
 }
 
-// Merge folds another set into this one.
+// Merge folds another set into this one. Packed keys are global, so this
+// is a direct key-wise mask union.
 func (s *Set) Merge(other *Set) {
 	if other == nil {
 		return
 	}
-	for k, e := range other.flows {
-		mine, ok := s.flows[k]
-		if !ok {
-			s.flows[k] = &entry{flow: e.flow, platforms: e.platforms}
-			continue
-		}
-		mine.platforms |= e.platforms
+	n := len(s.flows)
+	for k, m := range other.flows {
+		s.flows[k] |= m
+	}
+	if len(s.flows) != n {
+		s.sorted.Store(nil)
 	}
 }
 
 // Len returns the number of distinct flows.
 func (s *Set) Len() int { return len(s.flows) }
 
-// Flows returns the flows sorted by key for deterministic iteration.
-func (s *Set) Flows() []Flow {
-	keys := make([]string, 0, len(s.flows))
+// sortedKeys returns (building and caching on first use) the packed keys
+// in FlowKeyLess order — the same order the string-keyed core produced.
+func (s *Set) sortedKeys() []uint64 {
+	if p := s.sorted.Load(); p != nil {
+		return *p
+	}
+	keys := make([]uint64, 0, len(s.flows))
 	for k := range s.flows {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	sort.Slice(keys, func(i, j int) bool { return FlowKeyLess(keys[i], keys[j]) })
+	s.sorted.Store(&keys)
+	return keys
+}
+
+// Flows returns the flows sorted by key for deterministic iteration.
+func (s *Set) Flows() []Flow {
+	keys := s.sortedKeys()
 	out := make([]Flow, len(keys))
 	for i, k := range keys {
-		out[i] = s.flows[k].flow
+		out[i] = FlowOfKey(k)
 	}
 	return out
 }
 
-// Platforms returns the platform mask for a flow key (zero when absent).
-func (s *Set) Platforms(f Flow) PlatformMask {
-	if e, ok := s.flows[f.Key()]; ok {
-		return e.platforms
+// Range calls fn for every flow in unspecified order — the allocation-free
+// iteration single-pass aggregates build on.
+func (s *Set) Range(fn func(key uint64, m PlatformMask)) {
+	for k, m := range s.flows {
+		fn(k, m)
 	}
-	return 0
+}
+
+// RangeSorted calls fn for every flow in deterministic key order without
+// materializing Flow values.
+func (s *Set) RangeSorted(fn func(key uint64, m PlatformMask)) {
+	for _, k := range s.sortedKeys() {
+		fn(k, s.flows[k])
+	}
+}
+
+// Platforms returns the platform mask for a flow key (zero when absent).
+// Lookups resolve through the symbol tables without interning, so probing
+// for an absent flow stays allocation-free and side-effect-free.
+func (s *Set) Platforms(f Flow) PlatformMask {
+	c, ok := LookupCategory(f.Category)
+	if !ok {
+		return 0
+	}
+	d, ok := LookupDestination(f.Dest)
+	if !ok {
+		return 0
+	}
+	return s.flows[PackFlowKey(c, d)]
 }
 
 // GroupGrid reduces the set to Table 4 granularity: level-2 data type group
 // × destination class → platform mask.
 func (s *Set) GroupGrid() map[ontology.Level2]map[DestClass]PlatformMask {
 	grid := make(map[ontology.Level2]map[DestClass]PlatformMask)
-	for _, e := range s.flows {
-		g := e.flow.Category.Group
+	for k, m := range s.flows {
+		c, d := SplitFlowKey(k)
+		g := CategoryByID(c).Group
 		if grid[g] == nil {
 			grid[g] = make(map[DestClass]PlatformMask)
 		}
-		grid[g][e.flow.Dest.Class] |= e.platforms
+		grid[g][DestinationSymbols(d).Class] |= m
 	}
 	return grid
 }
@@ -291,39 +339,40 @@ func (s *Set) GroupGrid() map[ontology.Level2]map[DestClass]PlatformMask {
 // CategoriesToward returns the distinct level-3 categories sent to a
 // specific destination FQDN.
 func (s *Set) CategoriesToward(fqdn string) []*ontology.Category {
-	seen := map[string]*ontology.Category{}
-	for _, e := range s.flows {
-		if e.flow.Dest.FQDN == fqdn {
-			seen[e.flow.Category.Name] = e.flow.Category
+	fid, known := LookupFQDN(fqdn)
+	seen := map[CatID]bool{}
+	if known {
+		for k := range s.flows {
+			c, d := SplitFlowKey(k)
+			if DestinationSymbols(d).FQDNID == fid {
+				seen[c] = true
+			}
 		}
 	}
-	names := make([]string, 0, len(seen))
-	for n := range seen {
-		names = append(names, n)
+	out := make([]*ontology.Category, 0, len(seen))
+	for c := range seen {
+		out = append(out, CategoryByID(c))
 	}
-	sort.Strings(names)
-	out := make([]*ontology.Category, len(names))
-	for i, n := range names {
-		out[i] = seen[n]
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // Destinations returns every distinct destination in the set, sorted by
-// FQDN.
+// FQDN. When a merged set holds several roles for one FQDN (possible
+// across services), the first in flow-key order wins, deterministically.
 func (s *Set) Destinations() []Destination {
-	seen := map[string]Destination{}
-	for _, e := range s.flows {
-		seen[e.flow.Dest.FQDN] = e.flow.Dest
+	seen := map[uint32]Destination{}
+	for _, k := range s.sortedKeys() {
+		_, d := SplitFlowKey(k)
+		in := DestinationSymbols(d)
+		if _, ok := seen[in.FQDNID]; !ok {
+			seen[in.FQDNID] = DestinationByID(d)
+		}
 	}
-	keys := make([]string, 0, len(seen))
-	for k := range seen {
-		keys = append(keys, k)
+	out := make([]Destination, 0, len(seen))
+	for _, d := range seen {
+		out = append(out, d)
 	}
-	sort.Strings(keys)
-	out := make([]Destination, len(keys))
-	for i, k := range keys {
-		out[i] = seen[k]
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FQDN < out[j].FQDN })
 	return out
 }

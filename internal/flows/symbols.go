@@ -1,0 +1,351 @@
+package flows
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"diffaudit/internal/entity"
+	"diffaudit/internal/intern"
+	"diffaudit/internal/ontology"
+)
+
+// Symbol layer: every string the flow core keys on — category names,
+// destination FQDNs, eSLDs, owner organizations, and whole resolved
+// destinations — is interned once into process-wide append-only tables, and
+// the hot paths operate on the resulting uint32 IDs. A flow is then a
+// single packed uint64 (category ID in the high half, destination ID in
+// the low half), so Set.Add and every aggregate over a Set are pure
+// integer/map operations with no per-flow allocation.
+//
+// Tables are global rather than per-Set so that IDs are comparable across
+// sets: the pipeline's worker pool shares them (reads are lock-free, see
+// package intern), partial-result merges union packed keys directly, and
+// dataset-wide uniqueness counts (Table 1) dedupe on the packed key.
+
+// CatID identifies an interned category name. The 35 canonical ontology
+// categories occupy IDs 0..34 in ontology order; custom categories get
+// subsequent IDs on first sight.
+type CatID uint32
+
+// DestID identifies an interned resolved destination (the full FQDN,
+// eSLD, owner, class tuple — not just the FQDN, since one domain may hold
+// different roles for different audited services).
+type DestID uint32
+
+// Shared symbol tables. fqdnSyms/esldSyms/ownerSyms give the destination
+// components compact IDs the linkability index groups by.
+var (
+	fqdnSyms  = intern.NewTable()
+	esldSyms  = intern.NewTable()
+	ownerSyms = intern.NewTable()
+	catSyms   = intern.NewTable()
+)
+
+// canonCats maps the canonical ontology category pointers to their IDs —
+// immutable after init, so the pipeline's hottest lookup is one lock-free
+// map read.
+var canonCats map[*ontology.Category]CatID
+
+// catPtrs is the published ID → category mapping (covers canonical and
+// custom categories); catMu guards growth.
+var (
+	catMu   sync.Mutex
+	catPtrs atomic.Pointer[[]*ontology.Category]
+)
+
+func init() {
+	cats := ontology.Categories()
+	byID := make([]*ontology.Category, len(cats))
+	canonCats = make(map[*ontology.Category]CatID, len(cats))
+	for i := range cats {
+		c := &cats[i]
+		id := CatID(catSyms.Intern(c.Name))
+		byID[id] = c
+		canonCats[c] = id
+	}
+	catPtrs.Store(&byID)
+}
+
+// InternCategory returns the ID for a category, interning it by name on
+// first sight. Two distinct Category values sharing a name share an ID,
+// matching the string-keyed core's dedup-by-name semantics.
+func InternCategory(c *ontology.Category) CatID {
+	if id, ok := canonCats[c]; ok {
+		return id
+	}
+	id := CatID(catSyms.Intern(c.Name))
+	if ptrs := *catPtrs.Load(); int(id) < len(ptrs) && ptrs[id] != nil {
+		return id
+	}
+	catMu.Lock()
+	defer catMu.Unlock()
+	ptrs := *catPtrs.Load()
+	if int(id) < len(ptrs) && ptrs[id] != nil {
+		return id
+	}
+	grown := make([]*ontology.Category, catSyms.Len())
+	copy(grown, ptrs)
+	if grown[id] == nil {
+		grown[id] = c
+	}
+	catPtrs.Store(&grown)
+	return id
+}
+
+// LookupCategory returns the ID for a category without interning it.
+func LookupCategory(c *ontology.Category) (CatID, bool) {
+	if id, ok := canonCats[c]; ok {
+		return id, true
+	}
+	id, ok := catSyms.Lookup(c.Name)
+	return CatID(id), ok
+}
+
+// CategoryByID resolves an ID back to its category (the first-registered
+// pointer for that name; nil when the ID was never assigned).
+func CategoryByID(id CatID) *ontology.Category {
+	if ptrs := *catPtrs.Load(); int(id) < len(ptrs) {
+		return ptrs[id]
+	}
+	catMu.Lock()
+	defer catMu.Unlock()
+	if ptrs := *catPtrs.Load(); int(id) < len(ptrs) {
+		return ptrs[id]
+	}
+	return nil
+}
+
+// DestSymbols are the interned component symbols of one destination,
+// precomputed at intern time so aggregates over destinations (linkability
+// grouping, Figure 5 org ranking) touch no strings.
+type DestSymbols struct {
+	FQDNID  uint32
+	ESLDID  uint32
+	OwnerID uint32
+	// ATSOrgID is the interned entity.OwnerName(FQDN) — the organization
+	// Figure 5 groups by. It usually equals OwnerID but is resolved from
+	// the live entity registry, mirroring how TopATSOrgs always resolved
+	// owners itself rather than trusting Destination.Owner.
+	ATSOrgID uint32
+	Class    DestClass
+}
+
+// destInfo is one destination-table entry.
+type destInfo struct {
+	dest Destination
+	syms DestSymbols
+}
+
+// destSnapshot is the immutable published view of the destination table.
+type destSnapshot struct {
+	ids   map[Destination]DestID
+	infos []destInfo
+}
+
+var emptyDestSnapshot = &destSnapshot{ids: map[Destination]DestID{}}
+
+// destTable interns full Destination values with the same copy-on-write
+// read-mostly design as intern.Table.
+type destTable struct {
+	snap atomic.Pointer[destSnapshot]
+
+	mu          sync.Mutex
+	dirty       map[Destination]DestID
+	infos       []destInfo
+	nextPublish int
+}
+
+var dests = func() *destTable {
+	t := &destTable{dirty: make(map[Destination]DestID), nextPublish: 1}
+	t.snap.Store(emptyDestSnapshot)
+	return t
+}()
+
+func (t *destTable) intern(d Destination) DestID {
+	if id, ok := t.snap.Load().ids[d]; ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.dirty[d]; ok {
+		return id
+	}
+	id := DestID(len(t.infos))
+	t.infos = append(t.infos, destInfo{
+		dest: d,
+		syms: DestSymbols{
+			FQDNID:   fqdnSyms.Intern(d.FQDN),
+			ESLDID:   esldSyms.Intern(d.ESLD),
+			OwnerID:  ownerSyms.Intern(d.Owner),
+			ATSOrgID: ownerSyms.Intern(entity.OwnerName(d.FQDN)),
+			Class:    d.Class,
+		},
+	})
+	t.dirty[d] = id
+	if len(t.infos) >= t.nextPublish {
+		ids := make(map[Destination]DestID, 2*len(t.dirty))
+		for k, v := range t.dirty {
+			ids[k] = v
+		}
+		t.snap.Store(&destSnapshot{ids: ids, infos: t.infos[:len(t.infos):len(t.infos)]})
+		t.nextPublish = 2 * len(t.infos)
+	}
+	return id
+}
+
+func (t *destTable) lookup(d Destination) (DestID, bool) {
+	sn := t.snap.Load()
+	if id, ok := sn.ids[d]; ok {
+		return id, true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.infos) == len(sn.infos) {
+		return 0, false
+	}
+	id, ok := t.dirty[d]
+	return id, ok
+}
+
+// info returns a pointer into the append-only entry slice; entries are
+// never mutated after insertion, so the pointer stays valid across growth.
+func (t *destTable) info(id DestID) *destInfo {
+	sn := t.snap.Load()
+	if int(id) < len(sn.infos) {
+		return &sn.infos[id]
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) < len(t.infos) {
+		return &t.infos[id]
+	}
+	return nil
+}
+
+// InternDestination returns the ID for a resolved destination, interning
+// it (and its component symbols) on first sight.
+func InternDestination(d Destination) DestID { return dests.intern(d) }
+
+// LookupDestination returns the ID for a destination without interning it.
+func LookupDestination(d Destination) (DestID, bool) { return dests.lookup(d) }
+
+// DestinationByID resolves an ID back to the full destination.
+func DestinationByID(id DestID) Destination {
+	if in := dests.info(id); in != nil {
+		return in.dest
+	}
+	return Destination{}
+}
+
+// DestinationSymbols returns the precomputed component symbols of a
+// destination ID.
+func DestinationSymbols(id DestID) DestSymbols {
+	if in := dests.info(id); in != nil {
+		return in.syms
+	}
+	return DestSymbols{}
+}
+
+// LookupFQDN returns the symbol ID of an FQDN without interning it.
+func LookupFQDN(fqdn string) (uint32, bool) { return fqdnSyms.Lookup(fqdn) }
+
+// FQDNByID resolves an FQDN symbol ID.
+func FQDNByID(id uint32) string { return fqdnSyms.String(id) }
+
+// OwnerNameByID resolves an owner/organization symbol ID.
+func OwnerNameByID(id uint32) string { return ownerSyms.String(id) }
+
+// PackFlowKey packs a flow identity into one uint64: category ID in the
+// high 32 bits, destination ID in the low 32. Because the symbol tables
+// are process-global, packed keys are comparable across Sets — merges and
+// dataset-wide dedup operate on them directly.
+func PackFlowKey(c CatID, d DestID) uint64 {
+	return uint64(c)<<32 | uint64(d)
+}
+
+// SplitFlowKey unpacks a flow key.
+func SplitFlowKey(k uint64) (CatID, DestID) {
+	return CatID(k >> 32), DestID(k & 0xffffffff)
+}
+
+// FlowOfKey materializes the Flow a packed key denotes.
+func FlowOfKey(k uint64) Flow {
+	c, d := SplitFlowKey(k)
+	return Flow{Category: CategoryByID(c), Dest: DestinationByID(d)}
+}
+
+// FlowKeyLess orders packed keys exactly as the string-keyed core ordered
+// flows: by the virtual concatenation Category.Name + "→" + Dest.FQDN.
+// Every sorted iteration (Flows, RangeSorted) uses it, which is what keeps
+// rendered artifacts byte-identical to the pre-interning implementation.
+//
+// Distinct keys whose names and FQDNs coincide (one FQDN holding several
+// destination roles in a cross-service merged set) tie-break on the
+// remaining destination content — never on the numeric IDs, whose
+// assignment order depends on worker interleaving. The order is therefore
+// total and run-to-run deterministic.
+func FlowKeyLess(a, b uint64) bool {
+	if a == b {
+		return false
+	}
+	ca, da := SplitFlowKey(a)
+	cb, db := SplitFlowKey(b)
+	var an, bn string
+	if c := CategoryByID(ca); c != nil {
+		an = c.Name
+	}
+	if c := CategoryByID(cb); c != nil {
+		bn = c.Name
+	}
+	ia, ib := dests.info(da), dests.info(db)
+	if cmp := compareConcat(an, ia.dest.FQDN, bn, ib.dest.FQDN); cmp != 0 {
+		return cmp < 0
+	}
+	// Equal names imply equal category IDs (interning is by name), so a
+	// tie means one FQDN with two destination roles; content decides.
+	if ia.dest.ESLD != ib.dest.ESLD {
+		return ia.dest.ESLD < ib.dest.ESLD
+	}
+	if ia.dest.Owner != ib.dest.Owner {
+		return ia.dest.Owner < ib.dest.Owner
+	}
+	return ia.dest.Class < ib.dest.Class
+}
+
+// flowKeySep is the separator Flow.Key places between category and FQDN.
+const flowKeySep = "→"
+
+// compareConcat compares xa+flowKeySep+xb against ya+flowKeySep+yb
+// lexicographically without materializing either concatenation.
+func compareConcat(xa, xb, ya, yb string) int {
+	xs := [3]string{xa, flowKeySep, xb}
+	ys := [3]string{ya, flowKeySep, yb}
+	xi, xo := 0, 0 // segment index, offset within segment
+	yi, yo := 0, 0
+	for {
+		for xi < len(xs) && xo == len(xs[xi]) {
+			xi, xo = xi+1, 0
+		}
+		for yi < len(ys) && yo == len(ys[yi]) {
+			yi, yo = yi+1, 0
+		}
+		xDone, yDone := xi == len(xs), yi == len(ys)
+		switch {
+		case xDone && yDone:
+			return 0
+		case xDone:
+			return -1
+		case yDone:
+			return 1
+		}
+		cx, cy := xs[xi][xo], ys[yi][yo]
+		if cx != cy {
+			if cx < cy {
+				return -1
+			}
+			return 1
+		}
+		xo++
+		yo++
+	}
+}

@@ -1,0 +1,231 @@
+package flows
+
+import (
+	"sort"
+	"testing"
+
+	"diffaudit/internal/ontology"
+)
+
+func TestPackSplitRoundTrip(t *testing.T) {
+	cases := []struct {
+		c CatID
+		d DestID
+	}{{0, 0}, {1, 2}, {34, 0xffffffff}, {0xffffffff, 7}}
+	for _, tc := range cases {
+		c, d := SplitFlowKey(PackFlowKey(tc.c, tc.d))
+		if c != tc.c || d != tc.d {
+			t.Errorf("round trip (%d,%d) = (%d,%d)", tc.c, tc.d, c, d)
+		}
+	}
+}
+
+func TestInternCategoryCanonical(t *testing.T) {
+	cats := ontology.Categories()
+	for i := range cats {
+		c := &cats[i]
+		id := InternCategory(c)
+		if got := CategoryByID(id); got != c {
+			t.Fatalf("category %q: id %d resolves to %v", c.Name, id, got)
+		}
+		if lid, ok := LookupCategory(c); !ok || lid != id {
+			t.Fatalf("LookupCategory(%q) = %d,%v want %d", c.Name, lid, ok, id)
+		}
+	}
+}
+
+func TestInternCategoryCustomByName(t *testing.T) {
+	// Two distinct values with one name share an ID (dedup-by-name, the
+	// string-keyed core's semantics); the first registration resolves.
+	a := &ontology.Category{Name: "Custom Symbol Test A", Group: ontology.Geolocation}
+	b := &ontology.Category{Name: "Custom Symbol Test A", Group: ontology.Geolocation}
+	ida, idb := InternCategory(a), InternCategory(b)
+	if ida != idb {
+		t.Fatalf("same-name categories got ids %d and %d", ida, idb)
+	}
+	if got := CategoryByID(ida); got == nil || got.Name != a.Name {
+		t.Fatalf("CategoryByID(%d) = %v", ida, got)
+	}
+}
+
+func TestInternDestinationSymbols(t *testing.T) {
+	d := Destination{FQDN: "stats.g.doubleclick.net", ESLD: "doubleclick.net",
+		Owner: "Google LLC", Class: ThirdPartyATS}
+	id := InternDestination(d)
+	if got := DestinationByID(id); got != d {
+		t.Fatalf("DestinationByID = %+v", got)
+	}
+	if lid, ok := LookupDestination(d); !ok || lid != id {
+		t.Fatalf("LookupDestination = %d,%v want %d", lid, ok, id)
+	}
+	syms := DestinationSymbols(id)
+	if FQDNByID(syms.FQDNID) != d.FQDN {
+		t.Errorf("FQDN symbol resolves to %q", FQDNByID(syms.FQDNID))
+	}
+	if syms.Class != ThirdPartyATS {
+		t.Errorf("class symbol = %v", syms.Class)
+	}
+	// doubleclick.net is owned by Google LLC in the entity dataset, so the
+	// Figure 5 grouping symbol matches the owner.
+	if OwnerNameByID(syms.ATSOrgID) != "Google LLC" {
+		t.Errorf("ATS org symbol = %q", OwnerNameByID(syms.ATSOrgID))
+	}
+	if _, ok := LookupDestination(Destination{FQDN: "never-seen.example"}); ok {
+		t.Error("lookup of never-interned destination succeeded")
+	}
+}
+
+// TestFlowKeyLessMatchesStringOrder: packed-key order must agree with the
+// lexicographic order of the legacy concatenated string keys — that
+// equivalence is what keeps every sorted artifact byte-identical.
+func TestFlowKeyLessMatchesStringOrder(t *testing.T) {
+	cats := ontology.Categories()
+	hosts := []string{"a.example", "zz.example", "stats.g.doubleclick.net",
+		"m.example", "↑before-arrow.example"}
+	var keys []uint64
+	var fls []Flow
+	for i := range cats {
+		if i%3 != 0 {
+			continue
+		}
+		for _, h := range hosts {
+			f := Flow{Category: &cats[i], Dest: Destination{FQDN: h, Class: ThirdParty}}
+			keys = append(keys, PackFlowKey(InternCategory(f.Category), InternDestination(f.Dest)))
+			fls = append(fls, f)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return FlowKeyLess(keys[i], keys[j]) })
+	sort.Slice(fls, func(i, j int) bool { return fls[i].Key() < fls[j].Key() })
+	for i := range keys {
+		if got, want := FlowOfKey(keys[i]).Key(), fls[i].Key(); got != want {
+			t.Fatalf("position %d: packed order %q, string order %q", i, got, want)
+		}
+	}
+}
+
+func TestRangeAndRangeSorted(t *testing.T) {
+	s := NewSet()
+	cats := ontology.Categories()
+	for i := 0; i < 6; i++ {
+		s.Add(Flow{Category: &cats[i*2], Dest: Destination{FQDN: "h.example", Class: ThirdParty}}, Web)
+	}
+	n := 0
+	s.Range(func(key uint64, m PlatformMask) {
+		if m != OnWeb {
+			t.Errorf("mask = %v", m)
+		}
+		n++
+	})
+	if n != s.Len() {
+		t.Fatalf("Range visited %d of %d", n, s.Len())
+	}
+	var sortedKeys []uint64
+	s.RangeSorted(func(key uint64, _ PlatformMask) { sortedKeys = append(sortedKeys, key) })
+	if len(sortedKeys) != s.Len() {
+		t.Fatalf("RangeSorted visited %d", len(sortedKeys))
+	}
+	for i := 1; i < len(sortedKeys); i++ {
+		if !FlowKeyLess(sortedKeys[i-1], sortedKeys[i]) {
+			t.Fatalf("RangeSorted out of order at %d", i)
+		}
+	}
+	// The cached sort must survive (and stay correct across) mask-only
+	// updates and be invalidated by new keys.
+	s.Add(Flow{Category: &cats[0], Dest: Destination{FQDN: "h.example", Class: ThirdParty}}, Mobile)
+	s.Add(Flow{Category: &cats[20], Dest: Destination{FQDN: "zz.example", Class: ThirdParty}}, Web)
+	var again []uint64
+	s.RangeSorted(func(key uint64, _ PlatformMask) { again = append(again, key) })
+	if len(again) != s.Len() {
+		t.Fatalf("after invalidation: visited %d of %d", len(again), s.Len())
+	}
+	for i := 1; i < len(again); i++ {
+		if !FlowKeyLess(again[i-1], again[i]) {
+			t.Fatalf("after invalidation: out of order at %d", i)
+		}
+	}
+}
+
+// TestPlatformsNoIntern: probing for an absent flow must not grow the
+// symbol tables (Platforms is called once per exported flow row).
+func TestPlatformsNoIntern(t *testing.T) {
+	s := NewSet()
+	cats := ontology.Categories()
+	probe := Flow{Category: &cats[0], Dest: Destination{FQDN: "platforms-no-intern.example"}}
+	if got := s.Platforms(probe); got != 0 {
+		t.Fatalf("absent probe = %v", got)
+	}
+	if _, ok := LookupDestination(probe.Dest); ok {
+		t.Error("Platforms interned the probed destination")
+	}
+}
+
+func TestCompareConcat(t *testing.T) {
+	cases := []struct {
+		xa, xb, ya, yb string
+		want           int
+	}{
+		{"A", "h", "A", "h", 0},
+		{"A", "h", "B", "h", -1},
+		{"B", "h", "A", "h", 1},
+		{"A", "a", "A", "b", -1},
+		{"Name", "x", "Name Extended", "a", 1}, // '→' (0xE2...) > ' ' (0x20)
+		{"", "", "", "a", -1},
+		{"AB", "", "A", "", -1}, // "AB→" vs "A→": 'B' sorts before '→' (0xE2)
+	}
+	for _, c := range cases {
+		if got := compareConcat(c.xa, c.xb, c.ya, c.yb); got != c.want {
+			t.Errorf("compareConcat(%q,%q | %q,%q) = %d, want %d",
+				c.xa, c.xb, c.ya, c.yb, got, c.want)
+		}
+	}
+	// Cross-check against the materialized strings.
+	pairs := [][2]string{{"A", "h"}, {"Name", "x"}, {"Name Extended", "a"}, {"", ""}, {"Z", ""}}
+	for _, x := range pairs {
+		for _, y := range pairs {
+			sx, sy := x[0]+flowKeySep+x[1], y[0]+flowKeySep+y[1]
+			want := 0
+			if sx < sy {
+				want = -1
+			} else if sx > sy {
+				want = 1
+			}
+			if got := compareConcat(x[0], x[1], y[0], y[1]); got != want {
+				t.Errorf("compareConcat(%q,%q | %q,%q) = %d, want %d", x[0], x[1], y[0], y[1], got, want)
+			}
+		}
+	}
+}
+
+// TestFlowKeyLessTotalOrderOnRoleTies: two packed keys sharing category
+// name and FQDN (one FQDN, two destination roles) must still order
+// totally and deterministically — by destination content, never by the
+// interleaving-dependent numeric IDs.
+func TestFlowKeyLessTotalOrderOnRoleTies(t *testing.T) {
+	c, ok := ontology.Lookup("Aliases")
+	if !ok {
+		t.Fatal("missing category")
+	}
+	fqdn := "tie-order.example"
+	d1 := Destination{FQDN: fqdn, ESLD: fqdn, Owner: "Org A", Class: ThirdParty}
+	d2 := Destination{FQDN: fqdn, ESLD: fqdn, Owner: "Org B", Class: ThirdPartyATS}
+	k1 := PackFlowKey(InternCategory(c), InternDestination(d1))
+	k2 := PackFlowKey(InternCategory(c), InternDestination(d2))
+	if FlowKeyLess(k1, k2) == FlowKeyLess(k2, k1) {
+		t.Fatalf("tie not totally ordered: less(k1,k2)=%v less(k2,k1)=%v",
+			FlowKeyLess(k1, k2), FlowKeyLess(k2, k1))
+	}
+	if !FlowKeyLess(k1, k2) {
+		t.Error("content tie-break: Org A should order before Org B")
+	}
+	if FlowKeyLess(k1, k1) || FlowKeyLess(k2, k2) {
+		t.Error("irreflexivity violated")
+	}
+	// A merged-set sort over the tied keys is stable across rebuilds.
+	s := NewSet()
+	s.Add(Flow{Category: c, Dest: d2}, Web)
+	s.Add(Flow{Category: c, Dest: d1}, Mobile)
+	first := s.Flows()
+	if len(first) != 2 || first[0].Dest != d1 {
+		t.Fatalf("sorted flows = %+v", first)
+	}
+}

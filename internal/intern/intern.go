@@ -1,0 +1,120 @@
+// Package intern provides append-only string symbol tables: each distinct
+// string is assigned a dense uint32 ID on first sight and keeps it for the
+// life of the process. The aggregation layer (flows, linkability, core)
+// keys its hot-path maps by these IDs instead of by freshly concatenated
+// strings, which removes per-lookup allocations wholesale.
+//
+// Tables are safe for concurrent use with a read-mostly design: lookups of
+// already-published symbols are lock-free (one atomic load plus a map read
+// of an immutable snapshot), so the pipeline's worker pool can share one
+// table without contention. Only the insert of a never-seen string takes
+// the table lock, and traces repeat a few hundred symbols across tens of
+// thousands of records, so inserts are vanishingly rare at steady state.
+package intern
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// snapshot is an immutable published view of a table. Readers resolve
+// against it without locking; it is replaced wholesale (copy-on-write)
+// as the table grows.
+type snapshot struct {
+	ids  map[string]uint32
+	strs []string
+}
+
+var emptySnapshot = &snapshot{ids: map[string]uint32{}}
+
+// Table is an append-only string interner. IDs are assigned densely in
+// first-seen order starting at 0 and never change. The zero value is not
+// usable; call NewTable.
+type Table struct {
+	snap atomic.Pointer[snapshot]
+
+	mu    sync.Mutex
+	dirty map[string]uint32 // authoritative string → ID, superset of snap.ids
+	strs  []string          // authoritative ID → string
+	// nextPublish is the table size that triggers the next snapshot
+	// publication. Doubling it each time makes the total copying work
+	// linear in the final table size while keeping the unpublished
+	// (lock-requiring) fraction bounded.
+	nextPublish int
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	t := &Table{dirty: make(map[string]uint32), nextPublish: 1}
+	t.snap.Store(emptySnapshot)
+	return t
+}
+
+// Intern returns the ID for s, assigning the next free one on first sight.
+func (t *Table) Intern(s string) uint32 {
+	if id, ok := t.snap.Load().ids[s]; ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.dirty[s]; ok {
+		return id
+	}
+	id := uint32(len(t.strs))
+	t.strs = append(t.strs, s)
+	t.dirty[s] = id
+	if len(t.strs) >= t.nextPublish {
+		t.publishLocked()
+		t.nextPublish = 2 * len(t.strs)
+	}
+	return id
+}
+
+// publishLocked freezes the current state into a new read-only snapshot.
+// The ID map must be copied (readers race with future dirty-map inserts);
+// the string slice is append-only, so a capacity-capped reslice is enough.
+func (t *Table) publishLocked() {
+	ids := make(map[string]uint32, 2*len(t.dirty))
+	for s, id := range t.dirty {
+		ids[s] = id
+	}
+	t.snap.Store(&snapshot{ids: ids, strs: t.strs[:len(t.strs):len(t.strs)]})
+}
+
+// Lookup returns the ID for s without interning it. The boolean is false
+// when s has never been interned.
+func (t *Table) Lookup(s string) (uint32, bool) {
+	sn := t.snap.Load()
+	if id, ok := sn.ids[s]; ok {
+		return id, true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.strs) == len(sn.strs) {
+		// Snapshot was current; nothing unpublished to consult.
+		return 0, false
+	}
+	id, ok := t.dirty[s]
+	return id, ok
+}
+
+// String returns the string for an ID ("" when the ID was never assigned).
+func (t *Table) String(id uint32) string {
+	sn := t.snap.Load()
+	if int(id) < len(sn.strs) {
+		return sn.strs[id]
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) < len(t.strs) {
+		return t.strs[id]
+	}
+	return ""
+}
+
+// Len returns the number of interned symbols.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.strs)
+}

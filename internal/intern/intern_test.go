@@ -1,0 +1,101 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternAssignsDenseIDs(t *testing.T) {
+	tab := NewTable()
+	if id := tab.Intern("a"); id != 0 {
+		t.Fatalf("first id = %d, want 0", id)
+	}
+	if id := tab.Intern("b"); id != 1 {
+		t.Fatalf("second id = %d, want 1", id)
+	}
+	if id := tab.Intern("a"); id != 0 {
+		t.Fatalf("re-intern changed id: %d", id)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+}
+
+func TestLookupAndString(t *testing.T) {
+	tab := NewTable()
+	if _, ok := tab.Lookup("missing"); ok {
+		t.Fatal("lookup of never-interned string succeeded")
+	}
+	id := tab.Intern("fqdn.example")
+	got, ok := tab.Lookup("fqdn.example")
+	if !ok || got != id {
+		t.Fatalf("lookup = %d,%v want %d,true", got, ok, id)
+	}
+	if s := tab.String(id); s != "fqdn.example" {
+		t.Fatalf("String(%d) = %q", id, s)
+	}
+	if s := tab.String(99); s != "" {
+		t.Fatalf("String(unassigned) = %q", s)
+	}
+}
+
+// TestInternManyPublishes pushes the table through several snapshot
+// publications and checks every symbol stays resolvable both ways.
+func TestInternManyPublishes(t *testing.T) {
+	tab := NewTable()
+	const n = 1000
+	ids := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		ids[i] = tab.Intern(fmt.Sprintf("sym-%d", i))
+	}
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("sym-%d", i)
+		if ids[i] != uint32(i) {
+			t.Fatalf("id[%d] = %d", i, ids[i])
+		}
+		if got, ok := tab.Lookup(want); !ok || got != uint32(i) {
+			t.Fatalf("Lookup(%q) = %d,%v", want, got, ok)
+		}
+		if got := tab.String(uint32(i)); got != want {
+			t.Fatalf("String(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+// TestInternConcurrent hammers one table from many goroutines (run under
+// -race in CI): every goroutine must observe one consistent ID per string.
+func TestInternConcurrent(t *testing.T) {
+	tab := NewTable()
+	const goroutines, symbols = 8, 200
+	results := make([][]uint32, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = make([]uint32, symbols)
+			for i := 0; i < symbols; i++ {
+				results[g][i] = tab.Intern(fmt.Sprintf("host-%d.example", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < symbols; i++ {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d symbol %d: id %d vs %d",
+					g, i, results[g][i], results[0][i])
+			}
+		}
+	}
+	if tab.Len() != symbols {
+		t.Fatalf("len = %d, want %d", tab.Len(), symbols)
+	}
+	for i := 0; i < symbols; i++ {
+		want := fmt.Sprintf("host-%d.example", i)
+		if got := tab.String(results[0][i]); got != want {
+			t.Fatalf("String(%d) = %q, want %q", results[0][i], got, want)
+		}
+	}
+}

@@ -3,12 +3,19 @@
 // least one data type from the identifiers bucket and at least one from the
 // personal-information bucket of the ontology, enabling the tracking and
 // profiling risks the paper discusses via Powar et al.'s linkage-attack SoK.
+//
+// All statistics are served from an Index built in a single pass over the
+// flow set's packed keys: the Figure 3/4/5 entry points and CommonSet share
+// one grouping of third-party destinations instead of each re-running a
+// full analysis (re-sorting, re-mapping, and re-resolving owners) from
+// scratch.
 package linkability
 
 import (
+	"math/bits"
 	"sort"
+	"strings"
 
-	"diffaudit/internal/entity"
 	"diffaudit/internal/flows"
 	"diffaudit/internal/ontology"
 )
@@ -31,88 +38,253 @@ func (p Party) TypeNames() []string {
 	return out
 }
 
-// Analyze computes the third-party linkability view of one trace's flows.
-func Analyze(set *flows.Set) []Party {
-	byFQDN := map[string]*Party{}
-	typeSeen := map[string]map[string]bool{}
-	for _, f := range set.Flows() {
-		if !f.Dest.Class.IsThirdParty() {
-			continue
+// indexParty is one third-party destination in compact symbol form.
+type indexParty struct {
+	fqdn string
+	// destID is the representative destination: the one carried by the
+	// first flow toward this FQDN in deterministic flow-key order, which
+	// is the destination the string-keyed Analyze exposed.
+	destID flows.DestID
+	class  flows.DestClass
+	// atsOrgID groups Figure 5 by owner organization.
+	atsOrgID uint32
+	// cats are the distinct received categories, sorted by name.
+	cats     []flows.CatID
+	linkable bool
+}
+
+// Index is the single-pass linkability view of one trace's flow set. It
+// groups every third-party destination with its received data type set
+// once; CountLinkable, LargestSet, CommonSet, and TopATSOrgs all read from
+// that one grouping.
+type Index struct {
+	// parties is sorted by FQDN, the order Analyze always presented.
+	parties []indexParty
+}
+
+// indexAcc accumulates one third-party destination during the single
+// pass. Category sets are uint64 bitsets — the 35 canonical categories
+// always fit; custom IDs ≥ 64 spill into the (normally nil) overflow map.
+type indexAcc struct {
+	repDest  flows.DestID
+	bits     uint64
+	overflow map[flows.CatID]bool
+	// multi marks an FQDN carrying several destination roles (possible
+	// only in sets merged across services); the representative then needs
+	// the exact first-in-key-order selection the string-keyed core made.
+	multi bool
+}
+
+func (a *indexAcc) has(c flows.CatID) bool {
+	if c < 64 {
+		return a.bits&(1<<c) != 0
+	}
+	return a.overflow[c]
+}
+
+func (a *indexAcc) count() int {
+	return bits.OnesCount64(a.bits) + len(a.overflow)
+}
+
+// NewIndex builds the index in a single pass over the set's packed keys
+// (plus one extra pass over the rare multi-role FQDNs of merged sets).
+func NewIndex(set *flows.Set) *Index {
+	byFQDN := make(map[uint32]indexAcc)
+	anyMulti := false
+	var allCats indexAcc // union of every party's category set
+	set.Range(func(key uint64, _ flows.PlatformMask) {
+		c, d := flows.SplitFlowKey(key)
+		syms := flows.DestinationSymbols(d)
+		if !syms.Class.IsThirdParty() {
+			return
 		}
-		p, ok := byFQDN[f.Dest.FQDN]
+		a, ok := byFQDN[syms.FQDNID]
 		if !ok {
-			p = &Party{Dest: f.Dest}
-			byFQDN[f.Dest.FQDN] = p
-			typeSeen[f.Dest.FQDN] = map[string]bool{}
+			a.repDest = d
+		} else if d != a.repDest {
+			a.multi = true
+			anyMulti = true
 		}
-		if !typeSeen[f.Dest.FQDN][f.Category.Name] {
-			typeSeen[f.Dest.FQDN][f.Category.Name] = true
-			p.Types = append(p.Types, f.Category)
+		if c < 64 {
+			a.bits |= 1 << c
+			allCats.bits |= 1 << c
+		} else {
+			if a.overflow == nil {
+				a.overflow = map[flows.CatID]bool{}
+			}
+			a.overflow[c] = true
+			if allCats.overflow == nil {
+				allCats.overflow = map[flows.CatID]bool{}
+			}
+			allCats.overflow[c] = true
+		}
+		byFQDN[syms.FQDNID] = a
+	})
+
+	// Representative destination for multi-role FQDNs: the one carried by
+	// the first flow in key order, exactly as the string-keyed Analyze
+	// exposed. Needs a key-comparing pass, but only over merged sets.
+	if anyMulti {
+		minKey := map[uint32]uint64{}
+		set.Range(func(key uint64, _ flows.PlatformMask) {
+			_, d := flows.SplitFlowKey(key)
+			syms := flows.DestinationSymbols(d)
+			// Same third-party filter as the accumulation pass: a
+			// first-party role of the same FQDN must not become the
+			// representative (Analyze never saw those flows at all).
+			if !syms.Class.IsThirdParty() {
+				return
+			}
+			if a, ok := byFQDN[syms.FQDNID]; !ok || !a.multi {
+				return
+			}
+			if cur, ok := minKey[syms.FQDNID]; !ok || flows.FlowKeyLess(key, cur) {
+				minKey[syms.FQDNID] = key
+			}
+		})
+		for fid, k := range minKey {
+			a := byFQDN[fid]
+			_, a.repDest = flows.SplitFlowKey(k)
+			byFQDN[fid] = a
 		}
 	}
-	fqdns := make([]string, 0, len(byFQDN))
-	for f := range byFQDN {
-		fqdns = append(fqdns, f)
+
+	// ordered lists every category ID present anywhere in the set, sorted
+	// by name once; per-party category slices then assemble in order by
+	// bitset probes instead of per-party sorts.
+	ordered := make([]flows.CatID, 0, allCats.count())
+	for c := flows.CatID(0); c < 64; c++ {
+		if allCats.bits&(1<<c) != 0 {
+			ordered = append(ordered, c)
+		}
 	}
-	sort.Strings(fqdns)
-	out := make([]Party, 0, len(fqdns))
-	for _, f := range fqdns {
-		p := byFQDN[f]
-		sort.Slice(p.Types, func(i, j int) bool { return p.Types[i].Name < p.Types[j].Name })
+	for c := range allCats.overflow {
+		ordered = append(ordered, c)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		return flows.CategoryByID(ordered[i]).Name < flows.CategoryByID(ordered[j]).Name
+	})
+	identifier := make([]bool, len(ordered))
+	for i, c := range ordered {
+		identifier[i] = flows.CategoryByID(c).IsIdentifier()
+	}
+
+	// One backing array serves every party's category slice.
+	totalCats := 0
+	for _, a := range byFQDN {
+		totalCats += a.count()
+	}
+	backing := make([]flows.CatID, 0, totalCats)
+
+	ix := &Index{parties: make([]indexParty, 0, len(byFQDN))}
+	for fid, a := range byFQDN {
+		syms := flows.DestinationSymbols(a.repDest)
+		start := len(backing)
 		var hasID, hasPI bool
-		for _, c := range p.Types {
-			if c.IsIdentifier() {
+		for i, c := range ordered {
+			if !a.has(c) {
+				continue
+			}
+			backing = append(backing, c)
+			if identifier[i] {
 				hasID = true
 			} else {
 				hasPI = true
 			}
 		}
-		p.Linkable = hasID && hasPI
-		out = append(out, *p)
+		ix.parties = append(ix.parties, indexParty{
+			fqdn:     flows.FQDNByID(fid),
+			destID:   a.repDest,
+			class:    syms.Class,
+			atsOrgID: syms.ATSOrgID,
+			cats:     backing[start:len(backing):len(backing)],
+			linkable: hasID && hasPI,
+		})
+	}
+	sort.Slice(ix.parties, func(i, j int) bool { return ix.parties[i].fqdn < ix.parties[j].fqdn })
+	return ix
+}
+
+// types materializes a party's category set.
+func (p *indexParty) types() []*ontology.Category {
+	out := make([]*ontology.Category, len(p.cats))
+	for i, c := range p.cats {
+		out[i] = flows.CategoryByID(c)
 	}
 	return out
 }
 
-// Linkable filters the linkable parties.
-func Linkable(parties []Party) []Party {
-	var out []Party
-	for _, p := range parties {
-		if p.Linkable {
-			out = append(out, p)
+// Parties materializes the full third-party view, sorted by FQDN — the
+// Analyze-compatible representation.
+func (ix *Index) Parties() []Party {
+	out := make([]Party, len(ix.parties))
+	for i := range ix.parties {
+		p := &ix.parties[i]
+		out[i] = Party{
+			Dest:     flows.DestinationByID(p.destID),
+			Types:    p.types(),
+			Linkable: p.linkable,
 		}
 	}
 	return out
 }
 
 // CountLinkable returns the Figure 3 statistic: the number of third-party
-// domains sent linkable data in one trace.
-func CountLinkable(set *flows.Set) int {
-	return len(Linkable(Analyze(set)))
+// domains sent linkable data.
+func (ix *Index) CountLinkable() int {
+	n := 0
+	for i := range ix.parties {
+		if ix.parties[i].linkable {
+			n++
+		}
+	}
+	return n
 }
 
 // LargestSet returns the Figure 4 statistic: the size of the largest
-// linkable data type set, along with the types of one maximal set.
-func LargestSet(set *flows.Set) (int, []*ontology.Category) {
-	var best []*ontology.Category
-	for _, p := range Linkable(Analyze(set)) {
-		if len(p.Types) > len(best) {
-			best = p.Types
+// linkable data type set, along with the types of one maximal set (the
+// first maximal party in FQDN order, as before).
+func (ix *Index) LargestSet() (int, []*ontology.Category) {
+	var best *indexParty
+	for i := range ix.parties {
+		p := &ix.parties[i]
+		if !p.linkable {
+			continue
+		}
+		if best == nil || len(p.cats) > len(best.cats) {
+			best = p
 		}
 	}
-	return len(best), best
+	if best == nil {
+		return 0, nil
+	}
+	return len(best.cats), best.types()
 }
 
 // CommonSet returns the most frequent linkable data type set across
-// parties, with its frequency.
-func CommonSet(set *flows.Set) ([]string, int) {
+// parties, with its frequency. Set keys are built with one pre-sized
+// write per party instead of repeated concatenation.
+func (ix *Index) CommonSet() ([]string, int) {
 	counts := map[string]int{}
 	rep := map[string][]string{}
-	for _, p := range Linkable(Analyze(set)) {
-		names := p.TypeNames()
-		key := ""
-		for _, n := range names {
-			key += n + "|"
+	for i := range ix.parties {
+		p := &ix.parties[i]
+		if !p.linkable {
+			continue
 		}
+		names := make([]string, len(p.cats))
+		size := 0
+		for j, c := range p.cats {
+			names[j] = flows.CategoryByID(c).Name
+			size += len(names[j]) + 1
+		}
+		var b strings.Builder
+		b.Grow(size)
+		for _, n := range names {
+			b.WriteString(n)
+			b.WriteByte('|')
+		}
+		key := b.String()
 		counts[key]++
 		rep[key] = names
 	}
@@ -137,24 +309,25 @@ type OrgCount struct {
 
 // TopATSOrgs returns the Figure 5 statistic: the organizations owning the
 // third-party ATS domains that received linkable data, ranked by flow
-// count, at most n entries.
-func TopATSOrgs(set *flows.Set, n int) []OrgCount {
-	flowCount := map[string]int{}
-	domSet := map[string]map[string]bool{}
-	for _, p := range Linkable(Analyze(set)) {
-		if p.Dest.Class != flows.ThirdPartyATS {
+// count, at most n entries (0 = unlimited). Owners resolve through the
+// interned entity symbols instead of per-call registry lookups.
+func (ix *Index) TopATSOrgs(n int) []OrgCount {
+	flowCount := map[uint32]int{}
+	domSet := map[uint32]map[string]bool{}
+	for i := range ix.parties {
+		p := &ix.parties[i]
+		if !p.linkable || p.class != flows.ThirdPartyATS {
 			continue
 		}
-		org := entity.OwnerName(p.Dest.FQDN)
-		flowCount[org] += len(p.Types)
-		if domSet[org] == nil {
-			domSet[org] = map[string]bool{}
+		flowCount[p.atsOrgID] += len(p.cats)
+		if domSet[p.atsOrgID] == nil {
+			domSet[p.atsOrgID] = map[string]bool{}
 		}
-		domSet[org][p.Dest.FQDN] = true
+		domSet[p.atsOrgID][p.fqdn] = true
 	}
-	var out []OrgCount
-	for org, n := range flowCount {
-		oc := OrgCount{Organization: org, Flows: n}
+	out := make([]OrgCount, 0, len(flowCount))
+	for org, c := range flowCount {
+		oc := OrgCount{Organization: flows.OwnerNameByID(org), Flows: c}
 		for d := range domSet[org] {
 			oc.Domains = append(oc.Domains, d)
 		}
@@ -171,4 +344,45 @@ func TopATSOrgs(set *flows.Set, n int) []OrgCount {
 		out = out[:n]
 	}
 	return out
+}
+
+// Analyze computes the third-party linkability view of one trace's flows.
+func Analyze(set *flows.Set) []Party {
+	return NewIndex(set).Parties()
+}
+
+// Linkable filters the linkable parties.
+func Linkable(parties []Party) []Party {
+	var out []Party
+	for _, p := range parties {
+		if p.Linkable {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CountLinkable returns the Figure 3 statistic: the number of third-party
+// domains sent linkable data in one trace.
+func CountLinkable(set *flows.Set) int {
+	return NewIndex(set).CountLinkable()
+}
+
+// LargestSet returns the Figure 4 statistic: the size of the largest
+// linkable data type set, along with the types of one maximal set.
+func LargestSet(set *flows.Set) (int, []*ontology.Category) {
+	return NewIndex(set).LargestSet()
+}
+
+// CommonSet returns the most frequent linkable data type set across
+// parties, with its frequency.
+func CommonSet(set *flows.Set) ([]string, int) {
+	return NewIndex(set).CommonSet()
+}
+
+// TopATSOrgs returns the Figure 5 statistic: the organizations owning the
+// third-party ATS domains that received linkable data, ranked by flow
+// count, at most n entries.
+func TopATSOrgs(set *flows.Set, n int) []OrgCount {
+	return NewIndex(set).TopATSOrgs(n)
 }

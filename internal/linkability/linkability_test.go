@@ -154,3 +154,104 @@ func TestLargestSetDominates(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestTopATSOrgsTieBreaking pins the deterministic rank order: equal flow
+// counts break ties alphabetically by organization, byte-identically
+// across repeated index builds.
+func TestTopATSOrgsTieBreaking(t *testing.T) {
+	s := flows.NewSet()
+	// Two ATS orgs with identical linkable flow counts (2 each).
+	// doubleclick.net → Google LLC; facebook.com → Meta Platforms, Inc.
+	// (falls back to the eSLD if unregistered — either way deterministic).
+	for _, fq := range []string{"ads.doubleclick.net", "pixel.facebook.com"} {
+		s.Add(flows.Flow{Category: cat("Aliases"), Dest: dest(fq, flows.ThirdPartyATS)}, flows.Web)
+		s.Add(flows.Flow{Category: cat("Age"), Dest: dest(fq, flows.ThirdPartyATS)}, flows.Web)
+	}
+	var want []OrgCount
+	for i := 0; i < 10; i++ {
+		got := NewIndex(s).TopATSOrgs(0)
+		if len(got) != 2 {
+			t.Fatalf("orgs = %+v", got)
+		}
+		if got[0].Flows != got[1].Flows {
+			t.Fatalf("tie expected, flows = %d vs %d", got[0].Flows, got[1].Flows)
+		}
+		if got[0].Organization >= got[1].Organization {
+			t.Fatalf("tie not broken alphabetically: %q then %q",
+				got[0].Organization, got[1].Organization)
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		for j := range want {
+			if got[j].Organization != want[j].Organization || got[j].Flows != want[j].Flows {
+				t.Fatalf("run %d rank %d: %+v, want %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestIndexMatchesLegacyEntryPoints checks the Index-backed statistics
+// agree with the Analyze-based composition on a mixed set.
+func TestIndexMatchesLegacyEntryPoints(t *testing.T) {
+	s := flows.NewSet()
+	for _, fq := range []string{"x.example", "y.example"} {
+		s.Add(flows.Flow{Category: cat("Aliases"), Dest: dest(fq, flows.ThirdPartyATS)}, flows.Web)
+		s.Add(flows.Flow{Category: cat("Language"), Dest: dest(fq, flows.ThirdPartyATS)}, flows.Mobile)
+	}
+	s.Add(flows.Flow{Category: cat("Age"), Dest: dest("z.example", flows.ThirdParty)}, flows.Web)
+	ix := NewIndex(s)
+	if got, want := ix.CountLinkable(), len(Linkable(Analyze(s))); got != want {
+		t.Errorf("CountLinkable = %d, want %d", got, want)
+	}
+	parties := ix.Parties()
+	analyzed := Analyze(s)
+	if len(parties) != len(analyzed) {
+		t.Fatalf("parties = %d, analyzed = %d", len(parties), len(analyzed))
+	}
+	for i := range parties {
+		if parties[i].Dest != analyzed[i].Dest || parties[i].Linkable != analyzed[i].Linkable {
+			t.Errorf("party %d: %+v vs %+v", i, parties[i], analyzed[i])
+		}
+	}
+}
+
+// TestMultiRoleFQDNRepresentative: when a cross-service merged set holds
+// several destination roles for one FQDN, the representative must be the
+// first *third-party* flow in key order — a first-party role of the same
+// FQDN (invisible to the analysis) must never be selected, and the result
+// must be stable across index rebuilds.
+func TestMultiRoleFQDNRepresentative(t *testing.T) {
+	s := flows.NewSet()
+	fqdn := "multi-role.example"
+	// First-party role whose flow key sorts earliest (category "Age").
+	s.Add(flows.Flow{Category: cat("Age"),
+		Dest: flows.Destination{FQDN: fqdn, ESLD: fqdn, Owner: "Svc A", Class: flows.FirstParty}}, flows.Web)
+	// Two third-party roles for the same FQDN (merged across services).
+	third := flows.Destination{FQDN: fqdn, ESLD: fqdn, Owner: "Svc B", Class: flows.ThirdParty}
+	thirdATS := flows.Destination{FQDN: fqdn, ESLD: fqdn, Owner: "Svc C", Class: flows.ThirdPartyATS}
+	s.Add(flows.Flow{Category: cat("Aliases"), Dest: third}, flows.Web)
+	s.Add(flows.Flow{Category: cat("Language"), Dest: thirdATS}, flows.Mobile)
+
+	for i := 0; i < 5; i++ {
+		parties := NewIndex(s).Parties()
+		if len(parties) != 1 {
+			t.Fatalf("parties = %+v", parties)
+		}
+		p := parties[0]
+		if !p.Dest.Class.IsThirdParty() {
+			t.Fatalf("representative took the first-party role: %+v", p.Dest)
+		}
+		// "Aliases" < "Language", so the ThirdParty role's flow is first
+		// in key order among the third-party flows.
+		if p.Dest != third {
+			t.Fatalf("representative = %+v, want %+v", p.Dest, third)
+		}
+		// Both third-party categories collected; the first-party flow's
+		// category ("Age") excluded, as with the legacy Analyze.
+		if len(p.Types) != 2 || p.Types[0].Name != "Aliases" || p.Types[1].Name != "Language" {
+			t.Fatalf("types = %v", p.TypeNames())
+		}
+	}
+}

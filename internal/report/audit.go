@@ -35,9 +35,10 @@ func AuditReport(r *core.ServiceResult) string {
 				third++
 			}
 		}
-		n, _ := linkability.LargestSet(set)
+		ix := linkability.NewIndex(set)
+		n, _ := ix.LargestSet()
 		fmt.Fprintf(&b, "| %s | %d | %d | %d | %d |\n",
-			t, set.Len(), third, linkability.CountLinkable(set), n)
+			t, set.Len(), third, ix.CountLinkable(), n)
 	}
 
 	fmt.Fprintf(&b, "\n## Age differentiation\n\n")

@@ -72,8 +72,9 @@ func exportService(r *core.ServiceResult) ExportedService {
 				Platforms:  set.Platforms(f).Symbol(),
 			})
 		}
-		out.LinkableParties[t.String()] = linkability.CountLinkable(set)
-		n, _ := linkability.LargestSet(set)
+		ix := linkability.NewIndex(set)
+		out.LinkableParties[t.String()] = ix.CountLinkable()
+		n, _ := ix.LargestSet()
 		out.LargestSets[t.String()] = n
 	}
 	return out
