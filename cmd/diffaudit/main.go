@@ -6,22 +6,36 @@
 // Usage:
 //
 //	diffaudit [-scale 0.01] [-service Quizlet] [-findings] [-policy]
+//	          [-persona eu-teen:13-15] [-rulepack gdpr=15]
 //	diffaudit -har child=child.har -har loggedout=out.har -name MyApp
 //	diffaudit serve [-addr :8080] [-workers 2] [-queue 16] [-pprof 127.0.0.1:6060]
+//	          [-persona eu-teen:13-15]
+//
+// -persona registers additional personas beyond the paper's four built-in
+// trace categories; capture flags and upload form fields then accept
+// their names. -rulepack selects the regulation rule packs findings are
+// evaluated under (default: the paper's COPPA+CCPA scenario); "gdpr=15"
+// instantiates the GDPR pack with age-of-consent 15.
 //
 // File mode streams captures from disk: HAR entries decode one at a time
 // and PCAP frames iterate without materializing the file, so capture size
-// does not bound memory.
+// does not bound memory. Serve mode shuts down gracefully on SIGINT or
+// SIGTERM: the listener closes, in-flight requests get a deadline, and
+// queued audit jobs drain before the process exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // profiling handlers for `serve -pprof` (separate listener)
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"diffaudit"
 )
@@ -43,11 +57,40 @@ func (f *traceFlag) Set(v string) error {
 	if !ok {
 		return fmt.Errorf("want trace=path, got %q", v)
 	}
-	tc, ok := diffaudit.ParseTrace(name)
+	tc, ok := diffaudit.ParsePersona(name)
 	if !ok {
-		return fmt.Errorf("unknown trace %q (child|adolescent|adult|loggedout)", name)
+		return fmt.Errorf("unknown persona %q (built-ins: child|adolescent|adult|loggedout; register more with -persona)", name)
 	}
 	f.entries = append(f.entries, traceFile{tc, path})
+	return nil
+}
+
+// personaFlag registers personas as the flag is parsed, so later -har/-pcap
+// flags can reference them by name.
+type personaFlag struct {
+	names []string
+}
+
+func (f *personaFlag) String() string { return strings.Join(f.names, ",") }
+
+func (f *personaFlag) Set(v string) error {
+	p, err := diffaudit.RegisterPersonaSpec(v)
+	if err != nil {
+		return err
+	}
+	f.names = append(f.names, p.String())
+	return nil
+}
+
+// packFlag collects repeated -rulepack specs.
+type packFlag struct {
+	specs []string
+}
+
+func (f *packFlag) String() string { return strings.Join(f.specs, ",") }
+
+func (f *packFlag) Set(v string) error {
+	f.specs = append(f.specs, v)
 	return nil
 }
 
@@ -59,19 +102,28 @@ func main() {
 	}
 
 	var hars, pcaps traceFlag
+	var personas personaFlag
+	var packs packFlag
 	scale := flag.Float64("scale", 0.01, "synthetic dataset scale (dataset mode)")
 	service := flag.String("service", "", "audit a single service (dataset mode)")
 	name := flag.String("name", "custom-service", "service name (file mode)")
 	keylog := flag.String("keylog", "", "SSLKEYLOGFILE for pcap decryption (file mode)")
-	findings := flag.Bool("findings", true, "print COPPA/CCPA findings")
+	findings := flag.Bool("findings", true, "print regulation findings")
 	policyCheck := flag.Bool("policy", true, "print privacy-policy contradictions")
-	flag.Var(&hars, "har", "trace=path of a website HAR capture (repeatable)")
-	flag.Var(&pcaps, "pcap", "trace=path of a mobile pcap/pcapng capture (repeatable)")
+	flag.Var(&personas, "persona", "register a persona, e.g. eu-teen:13-15 or visitor:loggedout (repeatable; place before -har/-pcap flags that use it)")
+	flag.Var(&packs, "rulepack", "regulation rule pack to audit under: coppa, ccpa, gdpr, gdpr=15 (repeatable; default coppa+ccpa)")
+	flag.Var(&hars, "har", "persona=path of a website HAR capture (repeatable)")
+	flag.Var(&pcaps, "pcap", "persona=path of a mobile pcap/pcapng capture (repeatable)")
 	flag.Parse()
+
+	scenario, err := diffaudit.NewScenario(packs.specs...)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	auditor := diffaudit.New()
 	if len(hars.entries) > 0 || len(pcaps.entries) > 0 {
-		auditFiles(auditor, *name, *keylog, hars, pcaps, *findings)
+		auditFiles(auditor, *name, *keylog, hars, pcaps, *findings, scenario)
 		return
 	}
 
@@ -84,7 +136,7 @@ func main() {
 		fmt.Printf("domains=%d eSLDs=%d packets=%d tcp-flows=%d unique-data-types=%d\n",
 			len(r.Domains), len(r.ESLDs), r.Packets, r.TCPFlows, len(r.RawKeys))
 		if *findings {
-			for _, f := range diffaudit.Findings(r) {
+			for _, f := range diffaudit.FindingsScenario(r, scenario) {
 				fmt.Println(" ", f)
 			}
 		}
@@ -100,15 +152,46 @@ func main() {
 	}
 }
 
-// serve runs the audit server until the process is killed.
+// shutdownGrace bounds how long in-flight HTTP requests may take once a
+// stop signal arrives; queued audit jobs drain separately (and fully)
+// through Server.Close.
+const shutdownGrace = 30 * time.Second
+
+// shutdownOnSignal shuts the HTTP listener down with a deadline when a
+// signal arrives (or the channel closes). The returned channel closes once
+// Shutdown has returned, i.e. when in-flight requests have finished or the
+// grace period expired.
+func shutdownOnSignal(httpSrv *http.Server, stop <-chan os.Signal) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, ok := <-stop; !ok {
+			return
+		}
+		log.Printf("diffaudit serve: shutdown signal; draining (grace %s)", shutdownGrace)
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("diffaudit serve: shutdown: %v", err)
+		}
+	}()
+	return done
+}
+
+// serve runs the audit server until SIGINT/SIGTERM, then drains: the
+// listener stops accepting, in-flight uploads finish under a deadline, and
+// every queued job runs to completion before the process exits — no
+// accepted audit is ever dropped.
 func serve(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var personas personaFlag
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 2, "concurrent audit jobs")
 	queue := fs.Int("queue", 16, "bounded job queue depth")
 	maxUpload := fs.Int64("max-upload", 1<<30, "max upload size in bytes")
 	tempDir := fs.String("tempdir", "", "staging dir for uploads (default: system temp)")
 	pprofAddr := fs.String("pprof", "", "localhost address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables profiling")
+	fs.Var(&personas, "persona", "register a persona accepted as an upload field, e.g. eu-teen:13-15 (repeatable)")
 	fs.Parse(args)
 
 	if *pprofAddr != "" {
@@ -131,12 +214,23 @@ func serve(args []string) {
 		MaxUploadBytes: *maxUpload,
 		TempDir:        *tempDir,
 	})
-	defer srv.Close()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	drained := shutdownOnSignal(httpSrv, stop)
+
+	display := *addr
+	if strings.HasPrefix(display, ":") {
+		display = "localhost" + display
+	}
 	log.Printf("diffaudit serve: listening on %s (%d workers, queue depth %d)", *addr, *workers, *queue)
-	log.Printf("submit captures:  curl -F child=@child.har -F name=MyApp http://localhost%s/audit", *addr)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	log.Printf("submit captures:  curl -F child=@child.har -F name=MyApp http://%s/audit", display)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+	<-drained
+	srv.Close() // run every queued job to completion before exiting
+	log.Printf("diffaudit serve: all jobs drained; exiting")
 }
 
 // openSources opens every capture as a streaming source. The caller owns
@@ -186,7 +280,7 @@ func (c *countingSource) Next() (diffaudit.RequestRecord, error) {
 // auditFiles streams the given captures through the pipeline twice: one
 // pass to guess the service identity, one to audit — so whole captures are
 // never resident no matter their size.
-func auditFiles(auditor *diffaudit.Auditor, name, keylog string, hars, pcaps traceFlag, findings bool) {
+func auditFiles(auditor *diffaudit.Auditor, name, keylog string, hars, pcaps traceFlag, findings bool, scenario *diffaudit.Scenario) {
 	srcs, _, err := openSources(keylog, hars, pcaps)
 	if err != nil {
 		log.Fatal(err)
@@ -227,7 +321,7 @@ func auditFiles(auditor *diffaudit.Auditor, name, keylog string, hars, pcaps tra
 	fmt.Printf("domains=%d eSLDs=%d unique-data-types=%d dropped-keys=%d\n",
 		len(res.Domains), len(res.ESLDs), len(res.RawKeys), res.DroppedKeys)
 	if findings {
-		for _, f := range diffaudit.Findings(res) {
+		for _, f := range diffaudit.FindingsScenario(res, scenario) {
 			fmt.Println(" ", f)
 		}
 	}

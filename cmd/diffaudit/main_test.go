@@ -1,7 +1,12 @@
 package main
 
 import (
+	"net"
+	"net/http"
+	"os"
+	"syscall"
 	"testing"
+	"time"
 
 	"diffaudit"
 )
@@ -37,5 +42,93 @@ func TestTraceFlagSetErrors(t *testing.T) {
 		if err := f.Set(in); err == nil {
 			t.Errorf("Set(%q) accepted", in)
 		}
+	}
+}
+
+func TestPersonaFlagRegisters(t *testing.T) {
+	var f personaFlag
+	if err := f.Set("flagged-teen:13-15"); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := diffaudit.ParsePersona("flagged-teen")
+	if !ok {
+		t.Fatal("persona not registered by flag")
+	}
+	if !p.AgeBelow(16) || p.AgeBelow(15) || !p.LoggedIn() {
+		t.Error("flag-registered persona attributes")
+	}
+	if err := f.Set("flagged-visitor:loggedout"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := diffaudit.ParsePersona("flagged-visitor"); !ok || v.LoggedIn() || v.AgeKnown() {
+		t.Error("logged-out persona spec")
+	}
+	for _, bad := range []string{"noage", "x:13", "x:a-b", ":13-15"} {
+		if err := f.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+	if f.String() == "" {
+		t.Error("String()")
+	}
+}
+
+func TestPackFlagAndScenario(t *testing.T) {
+	var f packFlag
+	for _, spec := range []string{"coppa", "gdpr=15"} {
+		if err := f.Set(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc, err := diffaudit.NewScenario(f.specs...)
+	if err != nil || len(sc.Packs) != 2 {
+		t.Fatalf("scenario = %+v, %v", sc, err)
+	}
+	if f.String() != "coppa,gdpr=15" {
+		t.Errorf("String() = %q", f.String())
+	}
+}
+
+// TestShutdownOnSignal checks the serve-mode drain path: a termination
+// signal closes the listener via http.Server.Shutdown and the drain
+// channel closes once in-flight requests are done.
+func TestShutdownOnSignal(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})}
+	stop := make(chan os.Signal, 1)
+	drained := shutdownOnSignal(httpSrv, stop)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	// The server answers before the signal.
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-serveErr:
+		if err != http.ErrServerClosed {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after signal")
+	}
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain channel never closed")
+	}
+	// After shutdown the listener refuses connections.
+	if _, err := http.Get("http://" + ln.Addr().String() + "/healthz"); err == nil {
+		t.Error("listener still accepting after shutdown")
 	}
 }

@@ -1,11 +1,16 @@
 // Command gentraffic fabricates the DiffAudit synthetic dataset as on-disk
-// capture files: one HAR per (service, trace) for the web platform and one
-// pcapng (with embedded TLS key log) per (service, trace) for the mobile
-// platform, mirroring the paper's collection layout.
+// capture files: one HAR per (service, persona) for the web platform and
+// one pcapng (with embedded TLS key log) per (service, persona) for the
+// mobile platform, mirroring the paper's collection layout.
 //
 // Usage:
 //
 //	gentraffic -out ./captures -scale 0.01 [-service Quizlet]
+//	           [-persona eu-teen:13-15=adolescent]
+//
+// -persona registers an additional persona and generates traffic for it
+// alongside the four built-in traces; the part after "=" names the
+// built-in persona whose calibrated behavior profile drives generation.
 package main
 
 import (
@@ -17,19 +22,50 @@ import (
 	"strings"
 
 	"diffaudit"
-	"diffaudit/internal/flows"
 	"diffaudit/internal/netcap/pcapio"
 )
 
+// personaPlanFlag collects repeated "-persona spec=template" arguments,
+// registering each persona as it is parsed.
+type personaPlanFlag struct {
+	plans []diffaudit.PersonaPlan
+}
+
+func (f *personaPlanFlag) String() string { return fmt.Sprintf("%d personas", len(f.plans)) }
+
+func (f *personaPlanFlag) Set(v string) error {
+	spec, tmpl, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want persona-spec=template (e.g. eu-teen:13-15=adolescent), got %q", v)
+	}
+	p, err := diffaudit.RegisterPersonaSpec(spec)
+	if err != nil {
+		return err
+	}
+	like, okLike := diffaudit.ParsePersona(tmpl)
+	if !okLike {
+		return fmt.Errorf("unknown template persona %q (want child|adolescent|adult|loggedout)", tmpl)
+	}
+	f.plans = append(f.plans, diffaudit.PersonaPlan{Persona: p, Like: like})
+	return nil
+}
+
 func main() {
+	var extras personaPlanFlag
 	out := flag.String("out", "captures", "output directory")
 	scale := flag.Float64("scale", 0.01, "packet-count scale in (0,1]; 1 reproduces the paper's 440K packets")
 	service := flag.String("service", "", "generate a single service (default: all six)")
 	classic := flag.Bool("classic-pcap", false, "write classic .pcap files with a side-channel .keylog instead of pcapng with embedded secrets")
+	flag.Var(&extras, "persona", "register and generate an extra persona: spec=template, e.g. eu-teen:13-15=adolescent (repeatable)")
 	flag.Parse()
 	log.SetFlags(0)
 
-	ds := diffaudit.GenerateDataset(*scale)
+	plans := make([]diffaudit.PersonaPlan, 0, 4+len(extras.plans))
+	for _, t := range diffaudit.BuiltinPersonas() {
+		plans = append(plans, diffaudit.PersonaPlan{Persona: t, Like: t})
+	}
+	plans = append(plans, extras.plans...)
+	ds := diffaudit.GenerateDatasetWith(diffaudit.DatasetConfig{Scale: *scale, Personas: plans})
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +77,8 @@ func main() {
 		if err := os.MkdirAll(svcDir, 0o755); err != nil {
 			log.Fatal(err)
 		}
-		for _, tc := range flows.TraceCategories() {
+		for _, plan := range plans {
+			tc := plan.Persona
 			slug := strings.ReplaceAll(strings.ToLower(tc.String()), " ", "-")
 			harPath := filepath.Join(svcDir, slug+"-web.har")
 			if err := st.EmitHAR(tc).WriteFile(harPath); err != nil {

@@ -24,8 +24,11 @@
 package diffaudit
 
 import (
+	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"diffaudit/internal/classifier"
 	"diffaudit/internal/core"
@@ -45,7 +48,14 @@ import (
 // Re-exported core types. Aliases keep the implementation in internal
 // packages while making every type usable through the public API.
 type (
-	// TraceCategory is a child/adolescent/adult/logged-out trace.
+	// Persona is a registered trace persona. The paper's four trace
+	// categories are built-ins; RegisterPersona opens the axis (finer age
+	// brackets, regions, subscription tiers).
+	Persona = flows.Persona
+	// PersonaInfo describes a persona: age bracket, consent state, and
+	// free-form attributes rule packs predicate on.
+	PersonaInfo = flows.PersonaInfo
+	// TraceCategory is the paper's name for a persona.
 	TraceCategory = flows.TraceCategory
 	// Platform is the capture platform (web or mobile).
 	Platform = flows.Platform
@@ -65,8 +75,19 @@ type (
 	ServiceResult = core.ServiceResult
 	// PCAPStats summarizes PCAP ingestion (including undecrypted flows).
 	PCAPStats = core.PCAPStats
-	// Finding is a COPPA/CCPA audit finding.
+	// Finding is a regulation audit finding.
 	Finding = lawaudit.Finding
+	// RulePack is one regulation's audit rules, CI norms, and consent
+	// norms, declared as data (built-ins: coppa, ccpa, gdpr).
+	RulePack = lawaudit.Pack
+	// RulePackRule is one declarative audit rule inside a pack.
+	RulePackRule = lawaudit.Rule
+	// Scenario is an ordered set of rule packs evaluated together.
+	Scenario = lawaudit.Scenario
+	// CIAssessment is one flow's contextual-integrity tuple and verdict.
+	CIAssessment = lawaudit.CIAssessment
+	// CIVerdict grades a flow's contextual appropriateness.
+	CIVerdict = lawaudit.Verdict
 	// PolicyViolation is a privacy-policy consistency contradiction.
 	PolicyViolation = policy.Violation
 	// LinkableParty is a third party with the data type set it received.
@@ -82,6 +103,11 @@ type (
 	FlowDestID = flows.DestID
 	// Dataset is a synthetic six-service dataset.
 	Dataset = synth.Dataset
+	// DatasetConfig tunes synthetic dataset generation (scale, personas).
+	DatasetConfig = synth.Config
+	// PersonaPlan schedules synthetic traffic for one persona, borrowing
+	// a built-in persona's behavior profile.
+	PersonaPlan = synth.PersonaPlan
 	// ServiceTraffic is one service's synthetic traffic.
 	ServiceTraffic = synth.ServiceTraffic
 	// ServiceSpec is a calibrated service behavior profile.
@@ -123,6 +149,32 @@ const (
 	FirstPartyATS = flows.FirstPartyATS
 	ThirdParty    = flows.ThirdParty
 	ThirdPartyATS = flows.ThirdPartyATS
+)
+
+// Contextual-integrity verdicts.
+const (
+	CIAppropriate   = lawaudit.Appropriate
+	CIQuestionable  = lawaudit.Questionable
+	CIInappropriate = lawaudit.Inappropriate
+)
+
+// Rule-pack declaration vocabulary: evaluation stages, evaluator kinds,
+// and finding severities for authoring custom packs.
+const (
+	StagePreConsent      = lawaudit.StagePreConsent
+	StageMinorSharing    = lawaudit.StageMinorSharing
+	StageDifferentiation = lawaudit.StageDifferentiation
+	StageLinkability     = lawaudit.StageLinkability
+	StagePolicy          = lawaudit.StagePolicy
+
+	FlowRule           = lawaudit.FlowRule
+	GridDivergenceRule = lawaudit.GridDivergenceRule
+	LinkabilityRule    = lawaudit.LinkabilityRule
+	PolicyRule         = lawaudit.PolicyRule
+
+	SeverityInfo    = lawaudit.Info
+	SeverityConcern = lawaudit.Concern
+	SeveritySerious = lawaudit.Serious
 )
 
 // Auditor runs the DiffAudit pipeline.
@@ -187,6 +239,53 @@ func GuessIdentityStream(name string, src RecordSource) (ServiceIdentity, error)
 // adult, loggedout) to its category.
 func ParseTrace(name string) (TraceCategory, bool) { return flows.ParseTrace(name) }
 
+// ParsePersona maps any registered persona name or alias to its ID.
+func ParsePersona(name string) (Persona, bool) { return flows.ParsePersona(name) }
+
+// RegisterPersona adds a persona to the process-wide registry (idempotent
+// for identical infos). Captures uploaded or audited under the new
+// persona's name group into their own trace, report column, and rule-pack
+// evaluation scope.
+func RegisterPersona(info PersonaInfo) (Persona, error) { return flows.RegisterPersona(info) }
+
+// RegisterPersonaSpec registers a persona from a compact CLI-style spec:
+// "name:min-max" declares a logged-in persona disclosing the inclusive
+// age bracket (e.g. "eu-teen:13-15"), and "name:loggedout" a pre-consent
+// persona with no disclosed age.
+func RegisterPersonaSpec(spec string) (Persona, error) {
+	name, rest, ok := strings.Cut(spec, ":")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" {
+		return 0, fmt.Errorf("persona spec %q: want name:min-max or name:loggedout", spec)
+	}
+	info := PersonaInfo{Name: name}
+	switch rest = strings.ToLower(strings.TrimSpace(rest)); rest {
+	case "loggedout", "logged-out", "out":
+		// Pre-consent persona: age unknown, not authenticated.
+	default:
+		lo, hi, ok := strings.Cut(rest, "-")
+		if !ok {
+			return 0, fmt.Errorf("persona spec %q: age bracket %q is not min-max", spec, rest)
+		}
+		min, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil {
+			return 0, fmt.Errorf("persona spec %q: bad min age: %v", spec, err)
+		}
+		max, err := strconv.Atoi(strings.TrimSpace(hi))
+		if err != nil {
+			return 0, fmt.Errorf("persona spec %q: bad max age: %v", spec, err)
+		}
+		info.AgeKnown, info.AgeMin, info.AgeMax, info.LoggedIn = true, min, max, true
+	}
+	return flows.RegisterPersona(info)
+}
+
+// Personas returns every registered persona in registry order.
+func Personas() []Persona { return flows.Personas() }
+
+// BuiltinPersonas returns the paper's four personas in table order.
+func BuiltinPersonas() []Persona { return flows.BuiltinPersonas() }
+
 // NewServer starts an audit server: POST /audit uploads captures onto a
 // bounded job queue, GET /jobs/{id}/report.{json,csv} fetches results.
 func NewServer(cfg ServerConfig) *AuditServer { return server.New(cfg) }
@@ -232,10 +331,33 @@ func GuessIdentity(name string, recs []RequestRecord) ServiceIdentity {
 	return core.GuessIdentity(name, recs)
 }
 
-// Findings runs the COPPA/CCPA rule engine over a result.
+// Findings runs the default COPPA+CCPA scenario over a result.
 func Findings(r *ServiceResult) []Finding {
 	return lawaudit.Audit(r.Identity.Name, r.ByTrace)
 }
+
+// NewScenario builds a scenario from rule-pack specs ("coppa", "ccpa",
+// "gdpr", "gdpr=15", ...), evaluated in order. With no specs it returns
+// the default COPPA+CCPA scenario.
+func NewScenario(packSpecs ...string) (*Scenario, error) {
+	return lawaudit.ScenarioFor(packSpecs...)
+}
+
+// FindingsScenario runs a specific scenario's rule packs over a result.
+func FindingsScenario(r *ServiceResult, sc *Scenario) []Finding {
+	return sc.Audit(r.Identity.Name, r.ByTrace)
+}
+
+// RegisterRulePack adds a regulation rule pack to the registry, making it
+// addressable by name in NewScenario and the CLI's -rulepack flag.
+func RegisterRulePack(p *RulePack) error { return lawaudit.RegisterPack(p) }
+
+// RulePackNames lists the registered rule packs.
+func RulePackNames() []string { return lawaudit.PackNames() }
+
+// GDPRPack builds a GDPR rule pack with the given age of digital consent
+// (13-16; Art. 8(1) member-state derogations).
+func GDPRPack(ageOfConsent int) *RulePack { return lawaudit.GDPRPack(ageOfConsent) }
 
 // PolicyViolations checks a result against the service's modeled privacy
 // policy disclosures (nil when no model exists or the policy is consistent).
@@ -276,9 +398,16 @@ func PlatformDiff(r *ServiceResult) core.PlatformDifference {
 }
 
 // ContextualIntegrity maps every observed flow to a contextual-integrity
-// tuple with an appropriateness verdict under COPPA/CCPA norms.
-func ContextualIntegrity(r *ServiceResult) []lawaudit.CIAssessment {
+// tuple with an appropriateness verdict under the default COPPA/CCPA
+// norms.
+func ContextualIntegrity(r *ServiceResult) []CIAssessment {
 	return lawaudit.CIAnalysis(r.Identity.Name, r.ByTrace)
+}
+
+// ContextualIntegrityScenario grades every observed flow against a
+// specific scenario's CI norms.
+func ContextualIntegrityScenario(r *ServiceResult, sc *Scenario) []CIAssessment {
+	return sc.CIAnalysis(r.Identity.Name, r.ByTrace)
 }
 
 // ExportJSON renders audit results as machine-readable JSON.
@@ -301,6 +430,13 @@ func RenderAuditReport(r *ServiceResult) string {
 // experimentation). See DESIGN.md for the substitution rationale.
 func GenerateDataset(scale float64) *Dataset {
 	return synth.Generate(synth.Config{Scale: scale})
+}
+
+// GenerateDatasetWith fabricates the dataset under an explicit config —
+// in particular, with synthetic traffic for custom registered personas
+// (each borrowing a built-in persona's behavior profile via PersonaPlan).
+func GenerateDatasetWith(cfg DatasetConfig) *Dataset {
+	return synth.Generate(cfg)
 }
 
 // Services returns the six calibrated service profiles.

@@ -72,34 +72,59 @@ func Diff(a, b *flows.Set) FlowDiff {
 	return d
 }
 
-// AgeDifferential compares each minor trace against the adult trace at the
-// paper's Table 4 granularity (level-2 group × destination class presence),
-// returning the fraction of identical cells — the headline "no
-// differentiation" metric. Flow-level identity would under-count: services
-// contact different individual trackers per session while exhibiting the
-// same processing behavior.
-func AgeDifferential(r *ServiceResult) map[flows.TraceCategory]float64 {
-	out := map[flows.TraceCategory]float64{}
-	adultGrid := r.ByTrace[flows.Adult].GroupGrid()
-	for _, t := range []flows.TraceCategory{flows.Child, flows.Adolescent} {
-		grid := r.ByTrace[t].GroupGrid()
-		same, total := 0, 0
-		for _, g := range ontology.FlowGroups() {
-			for _, c := range flows.DestClasses() {
-				total++
-				if (adultGrid[g][c] != 0) == (grid[g][c] != 0) {
-					same++
-				}
+// GridSimilarity compares two flow sets at the paper's Table 4
+// granularity (level-2 group × destination class presence), returning the
+// fraction of identical cells.
+func GridSimilarity(a, b *flows.Set) float64 {
+	ga, gb := a.GroupGrid(), b.GroupGrid()
+	same, total := 0, 0
+	for _, g := range ontology.FlowGroups() {
+		for _, c := range flows.DestClasses() {
+			total++
+			if (ga[g][c] != 0) == (gb[g][c] != 0) {
+				same++
 			}
 		}
-		out[t] = float64(same) / float64(total)
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(same) / float64(total)
+}
+
+// Differential compares every persona matched by the given predicate
+// against a baseline persona's trace, returning per-persona grid
+// similarity (1 = identical processing).
+func Differential(r *ServiceResult, baseline flows.Persona, cover func(flows.Persona) bool) map[flows.Persona]float64 {
+	out := map[flows.Persona]float64{}
+	base := r.ByTrace[baseline]
+	if base == nil {
+		return out
+	}
+	for _, t := range r.Personas() {
+		if t == baseline || (cover != nil && !cover(t)) {
+			continue
+		}
+		if r.ByTrace[t] == nil {
+			continue
+		}
+		out[t] = GridSimilarity(base, r.ByTrace[t])
 	}
 	return out
 }
 
+// AgeDifferential compares each minor persona (disclosed age bracket
+// under 16) against the adult trace — the headline "no differentiation"
+// metric. Flow-level identity would under-count: services contact
+// different individual trackers per session while exhibiting the same
+// processing behavior.
+func AgeDifferential(r *ServiceResult) map[flows.Persona]float64 {
+	return Differential(r, flows.Adult, func(p flows.Persona) bool { return p.AgeBelow(16) })
+}
+
 // PlatformCell is a Table 4 grid cell observed on exactly one platform.
 type PlatformCell struct {
-	Trace flows.TraceCategory
+	Trace flows.Persona
 	Group ontology.Level2
 	Class flows.DestClass
 }
@@ -127,7 +152,7 @@ func (p PlatformDifference) MobileOnlyAllThirdParty() bool {
 // PlatformDiff extracts the platform-unique grid cells of a service result.
 func PlatformDiff(r *ServiceResult) PlatformDifference {
 	var out PlatformDifference
-	for _, t := range flows.TraceCategories() {
+	for _, t := range r.Personas() {
 		grid := r.ByTrace[t].GroupGrid()
 		for _, g := range ontology.Level2Groups() {
 			for _, c := range flows.DestClasses() {

@@ -51,8 +51,10 @@ type RequestRecord struct {
 // ServiceResult is the pipeline output for one service.
 type ServiceResult struct {
 	Identity ServiceIdentity
-	// ByTrace holds the deduplicated flow set per trace category.
-	ByTrace map[flows.TraceCategory]*flows.Set
+	// ByTrace holds the deduplicated flow set per persona. The four
+	// built-in personas are always present; custom personas appear when
+	// their records do.
+	ByTrace map[flows.Persona]*flows.Set
 	// Packets counts outgoing requests (Table 1).
 	Packets int
 	// TCPFlows counts distinct connections (Table 1).
@@ -68,11 +70,21 @@ type ServiceResult struct {
 	DroppedKeys int
 }
 
-// Merged returns the union of the age-specific flow sets (child,
-// adolescent, adult) — the "logged-in" view.
-func (r *ServiceResult) Merged(categories ...flows.TraceCategory) *flows.Set {
+// Personas returns the personas present in the result, in registry order
+// (built-ins first, in table order) — the column order reports render.
+func (r *ServiceResult) Personas() []flows.Persona {
+	out := make([]flows.Persona, 0, len(r.ByTrace))
+	for p := range r.ByTrace {
+		out = append(out, p)
+	}
+	return flows.SortPersonas(out)
+}
+
+// Merged returns the union of flow sets across personas (all of the
+// result's personas when none are given).
+func (r *ServiceResult) Merged(categories ...flows.Persona) *flows.Set {
 	if len(categories) == 0 {
-		categories = flows.TraceCategories()
+		categories = r.Personas()
 	}
 	n := 0
 	for _, t := range categories {
@@ -239,35 +251,55 @@ func (d *destMemo) resolve(fqdn string) destRef {
 // partials in any order yields the same ServiceResult the sequential loop
 // builds.
 type partialResult struct {
-	byTrace     map[flows.TraceCategory]*flows.Set
+	byTrace     map[flows.Persona]*flows.Set
 	domains     map[string]bool
 	eslds       map[string]bool
 	rawKeys     map[string]bool
 	conns       map[string]bool
 	packets     int
 	droppedKeys int
+	// destHint sizes flow sets created lazily for custom personas.
+	destHint int
 }
 
 // newPartialResult pre-sizes the accumulation maps from the number of
 // records the partial will see. Distinct destinations are far fewer than
 // records (traces repeat a few hundred FQDNs), so those maps get a capped
 // hint; raw keys and connections scale closer to record count.
+//
+// Flow sets for the four built-in personas are created eagerly, so every
+// result exposes the paper's trace columns even when a capture covers
+// only some of them; sets for custom personas are created on first sight
+// of their records.
 func newPartialResult(recHint int) *partialResult {
 	destHint := recHint / 8
 	if destHint > 256 {
 		destHint = 256
 	}
 	pr := &partialResult{
-		byTrace: make(map[flows.TraceCategory]*flows.Set),
-		domains: make(map[string]bool, destHint),
-		eslds:   make(map[string]bool, destHint),
-		rawKeys: make(map[string]bool, recHint),
-		conns:   make(map[string]bool, recHint/4),
+		byTrace:  make(map[flows.Persona]*flows.Set),
+		domains:  make(map[string]bool, destHint),
+		eslds:    make(map[string]bool, destHint),
+		rawKeys:  make(map[string]bool, recHint),
+		conns:    make(map[string]bool, recHint/4),
+		destHint: destHint,
 	}
-	for _, t := range flows.TraceCategories() {
+	for _, t := range flows.BuiltinPersonas() {
 		pr.byTrace[t] = flows.NewSetSized(destHint)
 	}
 	return pr
+}
+
+// set returns the persona's flow set, creating it on first use — the
+// grouping step that lets the pipeline accumulate over arbitrary persona
+// sets without reconfiguration.
+func (pr *partialResult) set(p flows.Persona) *flows.Set {
+	s := pr.byTrace[p]
+	if s == nil {
+		s = flows.NewSetSized(pr.destHint)
+		pr.byTrace[p] = s
+	}
+	return s
 }
 
 // analyzeChunk runs the sequential pipeline body over a slice of records,
@@ -313,7 +345,7 @@ func (p *Pipeline) analyzeChunk(recs []RequestRecord, memo *destMemo, pr *partia
 				pr.droppedKeys++
 				continue
 			}
-			pr.byTrace[rec.Trace].AddIDs(catID, ref.id, rec.Platform)
+			pr.set(rec.Trace).AddIDs(catID, ref.id, rec.Platform)
 		}
 	}
 }
@@ -321,7 +353,7 @@ func (p *Pipeline) analyzeChunk(recs []RequestRecord, memo *destMemo, pr *partia
 // merge folds another partial into this one.
 func (pr *partialResult) merge(o *partialResult) {
 	for t, set := range o.byTrace {
-		pr.byTrace[t].Merge(set)
+		pr.set(t).Merge(set)
 	}
 	for d := range o.domains {
 		pr.domains[d] = true
@@ -472,19 +504,22 @@ func Totals(results []*ServiceResult) Table1Totals {
 }
 
 // Grid renders a service result at Table 4 granularity: for each level-2
-// flow group and destination class, the platform mask per trace category.
-func Grid(r *ServiceResult) map[ontology.Level2]map[flows.DestClass][4]flows.PlatformMask {
-	out := make(map[ontology.Level2]map[flows.DestClass][4]flows.PlatformMask)
+// flow group and destination class, the platform mask per persona.
+func Grid(r *ServiceResult) map[ontology.Level2]map[flows.DestClass]map[flows.Persona]flows.PlatformMask {
+	out := make(map[ontology.Level2]map[flows.DestClass]map[flows.Persona]flows.PlatformMask)
 	for _, g := range ontology.Level2Groups() {
-		out[g] = make(map[flows.DestClass][4]flows.PlatformMask)
+		out[g] = make(map[flows.DestClass]map[flows.Persona]flows.PlatformMask)
 	}
-	for _, t := range flows.TraceCategories() {
+	for _, t := range r.Personas() {
 		gg := r.ByTrace[t].GroupGrid()
 		for g, classes := range gg {
 			for c, mask := range classes {
-				arr := out[g][c]
-				arr[t] |= mask
-				out[g][c] = arr
+				cell := out[g][c]
+				if cell == nil {
+					cell = make(map[flows.Persona]flows.PlatformMask)
+					out[g][c] = cell
+				}
+				cell[t] |= mask
 			}
 		}
 	}
@@ -501,7 +536,7 @@ func DestinationRoles(results []*ServiceResult) map[flows.DestClass]int {
 		seen[c] = map[string]bool{}
 	}
 	for _, r := range results {
-		for _, t := range flows.TraceCategories() {
+		for _, t := range r.Personas() {
 			for _, d := range r.ByTrace[t].Destinations() {
 				seen[d.Class][d.FQDN] = true
 			}

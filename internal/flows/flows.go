@@ -17,48 +17,25 @@ import (
 	"diffaudit/internal/ontology"
 )
 
-// TraceCategory is the trace a request belongs to: one of the three
-// logged-in age groups, or the logged-out (pre-consent) state.
-type TraceCategory int
+// The trace model lives in persona.go: TraceCategory is an alias of the
+// open Persona type, and the paper's four trace categories (the three
+// logged-in age groups plus the logged-out pre-consent state) are the four
+// built-in personas occupying IDs 0-3 in table order.
 
-// Trace categories, ordered as in the paper's tables.
-const (
-	Child      TraceCategory = iota // younger than 13 (COPPA)
-	Adolescent                      // 13-15 (CCPA minors)
-	Adult                           // 16 and older
-	LoggedOut                       // no consent, no age disclosed
-)
-
-var traceNames = [...]string{"Child", "Adolescent", "Adult", "Logged Out"}
-
-// String names the category as printed in Table 4.
-func (t TraceCategory) String() string {
-	if int(t) < len(traceNames) {
-		return traceNames[t]
-	}
-	return fmt.Sprintf("TraceCategory(%d)", int(t))
-}
-
-// TraceCategories returns all four trace categories in table order.
+// TraceCategories returns the paper's four built-in trace categories in
+// table order — the order of Tables 1 and 4 and Figures 3-5. Registered
+// custom personas are NOT included; use Personas() for the full registry,
+// or ServiceResult.Personas for the personas a concrete audit observed.
 func TraceCategories() []TraceCategory {
-	return []TraceCategory{Child, Adolescent, Adult, LoggedOut}
+	return BuiltinPersonas()
 }
 
 // ParseTrace maps a user-facing trace name (CLI flags, upload form
-// fields) to its category. Accepted spellings: child, adolescent, teen,
-// adult, loggedout, logged-out, logged_out, out — case-insensitive.
+// fields) to its persona. It accepts every registered persona name and
+// alias; for the built-ins that means child, adolescent, teen, adult,
+// loggedout, logged-out, logged_out, out — case-insensitive.
 func ParseTrace(name string) (TraceCategory, bool) {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "child":
-		return Child, true
-	case "adolescent", "teen":
-		return Adolescent, true
-	case "adult":
-		return Adult, true
-	case "loggedout", "logged-out", "logged_out", "out":
-		return LoggedOut, true
-	}
-	return 0, false
+	return ParsePersona(name)
 }
 
 // Platform is the capture platform.

@@ -1,0 +1,150 @@
+package flows
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRegisterPersonaRoundTrip(t *testing.T) {
+	info := PersonaInfo{
+		Name:     "Registry Teen",
+		Aliases:  []string{"registry-teen"},
+		AgeKnown: true, AgeMin: 13, AgeMax: 14,
+		LoggedIn: true,
+		Attrs:    map[string]string{"region": "EU"},
+	}
+	p, err := RegisterPersona(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(p) < len(BuiltinPersonas()) {
+		t.Fatalf("custom persona got built-in ID %d", p)
+	}
+	if p.String() != "Registry Teen" {
+		t.Errorf("String() = %q", p.String())
+	}
+	for _, name := range []string{"Registry Teen", "registry teen", "registry-teen", " REGISTRY-TEEN "} {
+		got, ok := ParsePersona(name)
+		if !ok || got != p {
+			t.Errorf("ParsePersona(%q) = %v, %v; want %v", name, got, ok, p)
+		}
+	}
+	if !p.AgeKnown() || !p.LoggedIn() {
+		t.Error("attributes lost")
+	}
+	if !p.AgeBelow(15) || p.AgeBelow(14) || p.AgeAtLeast(14) || !p.AgeAtLeast(13) {
+		t.Error("age bracket predicates")
+	}
+	if p.Attr("region") != "EU" || p.Attr("missing") != "" {
+		t.Error("attrs")
+	}
+	if p.Subject() != "registry teen user" {
+		t.Errorf("default subject = %q", p.Subject())
+	}
+
+	// Idempotent re-registration returns the same ID.
+	again, err := RegisterPersona(info)
+	if err != nil || again != p {
+		t.Errorf("re-register = %v, %v", again, err)
+	}
+	// Conflicting attributes for the same name are rejected.
+	bad := info
+	bad.AgeMax = 15
+	if _, err := RegisterPersona(bad); err == nil {
+		t.Error("conflicting re-registration accepted")
+	}
+}
+
+func TestRegisterPersonaValidation(t *testing.T) {
+	if _, err := RegisterPersona(PersonaInfo{}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := RegisterPersona(PersonaInfo{Name: "Backwards", AgeKnown: true, AgeMin: 10, AgeMax: 5}); err == nil {
+		t.Error("inverted age bracket accepted")
+	}
+	// An alias colliding with a built-in spelling is rejected.
+	if _, err := RegisterPersona(PersonaInfo{Name: "Teen Clone", Aliases: []string{"teen"}}); err == nil {
+		t.Error("alias collision with built-in accepted")
+	}
+	// A name colliding with a built-in (different attributes) is rejected.
+	if _, err := RegisterPersona(PersonaInfo{Name: "child"}); err == nil {
+		t.Error("built-in name collision accepted")
+	}
+}
+
+func TestBuiltinPersonaAttributes(t *testing.T) {
+	if got := TraceCategories(); len(got) != 4 ||
+		got[0] != Child || got[1] != Adolescent || got[2] != Adult || got[3] != LoggedOut {
+		t.Fatalf("TraceCategories() = %v", got)
+	}
+	if !Child.AgeBelow(13) || Child.AgeBelow(12) {
+		t.Error("child bracket")
+	}
+	if !Adolescent.AgeBelow(16) || Adolescent.AgeBelow(15) || Adolescent.AgeAtLeast(14) {
+		t.Error("adolescent bracket")
+	}
+	if !Adult.AgeAtLeast(16) || Adult.AgeBelow(1000) {
+		t.Error("adult bracket is unbounded above")
+	}
+	if LoggedOut.AgeKnown() || LoggedOut.LoggedIn() {
+		t.Error("logged-out persona must be pre-consent")
+	}
+	if !Child.LoggedIn() || !Adult.LoggedIn() {
+		t.Error("logged-in built-ins")
+	}
+	if Child.Subject() != "child user (under 13)" || LoggedOut.Subject() != "unidentified user (age undisclosed)" {
+		t.Error("built-in subjects")
+	}
+	// Personas() lists built-ins first, in table order.
+	all := Personas()
+	if len(all) < 4 {
+		t.Fatalf("Personas() = %v", all)
+	}
+	for i, want := range BuiltinPersonas() {
+		if all[i] != want {
+			t.Errorf("Personas()[%d] = %v, want %v", i, all[i], want)
+		}
+	}
+	if PersonaCount() != len(all) {
+		t.Error("PersonaCount mismatch")
+	}
+}
+
+func TestSortPersonas(t *testing.T) {
+	got := SortPersonas([]Persona{LoggedOut, Child, Adult, Adolescent})
+	for i, want := range BuiltinPersonas() {
+		if got[i] != want {
+			t.Fatalf("SortPersonas = %v", got)
+		}
+	}
+}
+
+// TestRegisterPersonaConcurrent exercises the copy-on-write registry under
+// the race detector.
+func TestRegisterPersonaConcurrent(t *testing.T) {
+	info := PersonaInfo{Name: "Concurrent Persona", AgeKnown: true, AgeMin: 20, AgeMax: 29, LoggedIn: true}
+	var wg sync.WaitGroup
+	ids := make([]Persona, 8)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := RegisterPersona(info)
+			if err != nil {
+				t.Error(err)
+			}
+			ids[i] = p
+			// Concurrent readers must always see a consistent snapshot.
+			if _, ok := ParsePersona("concurrent persona"); !ok {
+				t.Error("registered persona not parseable")
+			}
+			_ = Personas()
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			t.Fatalf("concurrent registration returned distinct IDs: %v", ids)
+		}
+	}
+}

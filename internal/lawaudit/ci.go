@@ -10,7 +10,9 @@ import (
 // information flows in the contextual integrity framework" (Nissenbaum).
 // This file makes that framing executable: every data flow maps to a CI
 // tuple — sender, recipient, subject, information type, transmission
-// principle — and an appropriateness verdict under the COPPA/CCPA norms.
+// principle — and an appropriateness verdict under the norms the active
+// scenario's rule packs declare (CINorm/ConsentNorm in rulepack.go). The
+// default COPPA+CCPA scenario reproduces the paper's verdicts exactly.
 
 // CITuple is a contextual-integrity information flow description.
 type CITuple struct {
@@ -27,8 +29,8 @@ type CITuple struct {
 	TransmissionPrinciple string
 }
 
-// Verdict grades a flow's appropriateness under the contextual norms COPPA
-// and CCPA encode.
+// Verdict grades a flow's appropriateness under the contextual norms the
+// active rule packs encode.
 type Verdict int
 
 // Verdicts.
@@ -54,87 +56,42 @@ func (v Verdict) String() string {
 type CIAssessment struct {
 	Tuple   CITuple
 	Flow    flows.Flow
-	Trace   flows.TraceCategory
+	Trace   flows.Persona
 	Verdict Verdict
 	Reason  string
 }
 
-// subjectFor names the data subject per trace.
-func subjectFor(t flows.TraceCategory) string {
-	switch t {
-	case flows.Child:
-		return "child user (under 13)"
-	case flows.Adolescent:
-		return "adolescent user (13-15)"
-	case flows.Adult:
-		return "adult user (16+)"
-	default:
-		return "unidentified user (age undisclosed)"
-	}
-}
-
-// principleFor names the transmission principle per trace.
-func principleFor(t flows.TraceCategory) string {
-	switch t {
-	case flows.Child:
-		return "verifiable parental opt-in consent (COPPA)"
-	case flows.Adolescent:
-		return "affirmative opt-in consent (CCPA §1798.120(c))"
-	case flows.Adult:
-		return "notice with opt-out (CCPA)"
-	default:
-		return "no consent given, age undisclosed"
-	}
-}
-
-// TupleFor renders the CI tuple for a flow.
-func TupleFor(service string, t flows.TraceCategory, f flows.Flow) CITuple {
+// TupleFor renders the CI tuple for a flow under the scenario's consent
+// norms: the subject comes from the persona registry, the transmission
+// principle from the packs.
+func (sc *Scenario) TupleFor(service string, p flows.Persona, f flows.Flow) CITuple {
 	return CITuple{
 		Sender:                service,
 		Recipient:             fmt.Sprintf("%s (%s)", f.Dest.Owner, f.Dest.Class),
-		Subject:               subjectFor(t),
+		Subject:               p.Subject(),
 		InformationType:       f.Category.Name,
-		TransmissionPrinciple: principleFor(t),
+		TransmissionPrinciple: sc.Principle(p),
 	}
 }
 
-// judge applies the contextual norms.
-func judge(t flows.TraceCategory, f flows.Flow) (Verdict, string) {
-	class := f.Dest.Class
-	switch t {
-	case flows.LoggedOut:
-		if class.IsThirdParty() {
-			return Inappropriate, "disclosure to a third party before age is known or consent given"
-		}
-		return Questionable, "collection before age is known; the audience includes children"
-	case flows.Child, flows.Adolescent:
-		switch {
-		case class == flows.ThirdPartyATS:
-			return Inappropriate, "advertising/tracking disclosure about a minor exceeds support for internal operations"
-		case class == flows.ThirdParty:
-			return Questionable, "third-party disclosure about a minor requires opt-in consent and a functional purpose"
-		case class == flows.FirstPartyATS:
-			return Questionable, "first-party telemetry about a minor; appropriate only for internal operations"
-		default:
-			return Appropriate, "first-party collection within the service context"
-		}
-	default: // Adult
-		return Appropriate, "adult flows are not audited (CCPA notice-and-opt-out applies)"
-	}
+// TupleFor renders the CI tuple for a flow under the default scenario.
+func TupleFor(service string, t flows.Persona, f flows.Flow) CITuple {
+	return DefaultScenario().TupleFor(service, t, f)
 }
 
-// CIAnalysis assesses every flow of every trace.
-func CIAnalysis(service string, byTrace map[flows.TraceCategory]*flows.Set) []CIAssessment {
+// CIAnalysis assesses every flow of every persona against the scenario's
+// CI norms.
+func (sc *Scenario) CIAnalysis(service string, byTrace map[flows.Persona]*flows.Set) []CIAssessment {
 	var out []CIAssessment
-	for _, t := range flows.TraceCategories() {
+	for _, t := range personaOrder(byTrace) {
 		set := byTrace[t]
 		if set == nil {
 			continue
 		}
 		for _, f := range set.Flows() {
-			v, reason := judge(t, f)
+			v, reason := sc.judge(t, f)
 			out = append(out, CIAssessment{
-				Tuple:   TupleFor(service, t, f),
+				Tuple:   sc.TupleFor(service, t, f),
 				Flow:    f,
 				Trace:   t,
 				Verdict: v,
@@ -143,6 +100,12 @@ func CIAnalysis(service string, byTrace map[flows.TraceCategory]*flows.Set) []CI
 		}
 	}
 	return out
+}
+
+// CIAnalysis assesses every flow of every persona under the default
+// COPPA+CCPA scenario.
+func CIAnalysis(service string, byTrace map[flows.Persona]*flows.Set) []CIAssessment {
+	return DefaultScenario().CIAnalysis(service, byTrace)
 }
 
 // CISummary counts assessments per verdict.

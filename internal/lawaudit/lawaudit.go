@@ -1,24 +1,26 @@
-// Package lawaudit implements the COPPA/CCPA rule engine of the DiffAudit
-// differential audit (steps 4-5 of the paper's Figure 1): given per-trace
+// Package lawaudit implements the regulation rule engine of the DiffAudit
+// differential audit (steps 4-5 of the paper's Figure 1): given per-persona
 // data flows, it flags the practices the paper identifies as problematic —
-// pre-consent data processing, third-party/ATS sharing for users under 16,
-// lack of differentiation between age groups, and undisclosed flows.
+// pre-consent data processing, third-party/ATS sharing for minors, lack of
+// differentiation between age groups, and undisclosed flows.
+//
+// Regulations are pluggable rule packs (see rulepack.go): COPPA and CCPA —
+// the statutes hard-wired into the original engine — are built-in packs
+// whose combined output is byte-identical to the pre-refactor code, and a
+// GDPR pack with a configurable age of digital consent demonstrates that
+// new jurisdictions plug in without engine changes.
 package lawaudit
 
 import (
 	"fmt"
-	"sort"
 
 	"diffaudit/internal/flows"
-	"diffaudit/internal/linkability"
-	"diffaudit/internal/ontology"
-	"diffaudit/internal/policy"
 )
 
 // Law identifies the statute a finding cites.
 type Law string
 
-// Statutes referenced by the audit.
+// Statutes referenced by the built-in packs.
 const (
 	COPPA Law = "COPPA (16 C.F.R. § 312)"
 	CCPA  Law = "CCPA (CAL. CIV. Code § 1798.120)"
@@ -51,7 +53,7 @@ type Finding struct {
 	Service  string
 	Law      Law
 	Severity Severity
-	Trace    flows.TraceCategory
+	Trace    flows.Persona
 	// Rule names the audit rule that fired.
 	Rule string
 	// Detail is the human-readable explanation.
@@ -68,16 +70,10 @@ func (f Finding) String() string {
 
 const evidenceCap = 5
 
-// Audit runs every rule over a service's per-trace flow sets.
-func Audit(service string, byTrace map[flows.TraceCategory]*flows.Set) []Finding {
-	var out []Finding
-	out = append(out, preConsentProcessing(service, byTrace)...)
-	out = append(out, minorATSSharing(service, byTrace)...)
-	out = append(out, noAgeDifferentiation(service, byTrace)...)
-	out = append(out, linkableSharing(service, byTrace)...)
-	out = append(out, policyInconsistency(service, byTrace)...)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Severity > out[j].Severity })
-	return out
+// Audit runs the default COPPA+CCPA scenario over a service's per-persona
+// flow sets.
+func Audit(service string, byTrace map[flows.Persona]*flows.Set) []Finding {
+	return DefaultScenario().Audit(service, byTrace)
 }
 
 func cap5(fl []flows.Flow) []flows.Flow {
@@ -85,185 +81,4 @@ func cap5(fl []flows.Flow) []flows.Flow {
 		return fl[:evidenceCap]
 	}
 	return fl
-}
-
-// preConsentProcessing flags identifier and personal-information flows in
-// the logged-out trace — before age disclosure and consent, when COPPA and
-// CCPA forbid collection/sharing for the child and adolescent audience.
-func preConsentProcessing(service string, byTrace map[flows.TraceCategory]*flows.Set) []Finding {
-	set := byTrace[flows.LoggedOut]
-	if set == nil || set.Len() == 0 {
-		return nil
-	}
-	var collected, shared []flows.Flow
-	for _, f := range set.Flows() {
-		if f.Dest.Class.IsThirdParty() {
-			shared = append(shared, f)
-		} else {
-			collected = append(collected, f)
-		}
-	}
-	var out []Finding
-	if len(collected) > 0 {
-		out = append(out, Finding{
-			Service: service, Law: COPPA, Severity: Concern, Trace: flows.LoggedOut,
-			Rule: "pre-consent-collection",
-			Detail: "identifiers/personal information collected while logged out, " +
-				"before user age is known and consent is given",
-			Evidence: cap5(collected),
-		})
-	}
-	if len(shared) > 0 {
-		sev := Serious
-		out = append(out, Finding{
-			Service: service, Law: CCPA, Severity: sev, Trace: flows.LoggedOut,
-			Rule: "pre-consent-sharing",
-			Detail: "data shared with third parties while logged out; CCPA deems " +
-				"willful disregard of age equivalent to actual knowledge",
-			Evidence: cap5(shared),
-		})
-	}
-	return out
-}
-
-// minorATSSharing flags third-party ATS flows in the child and adolescent
-// traces, which require opt-in (parental) consent under both statutes.
-func minorATSSharing(service string, byTrace map[flows.TraceCategory]*flows.Set) []Finding {
-	var out []Finding
-	for _, t := range []flows.TraceCategory{flows.Child, flows.Adolescent} {
-		set := byTrace[t]
-		if set == nil {
-			continue
-		}
-		var ats []flows.Flow
-		for _, f := range set.Flows() {
-			if f.Dest.Class == flows.ThirdPartyATS {
-				ats = append(ats, f)
-			}
-		}
-		if len(ats) == 0 {
-			continue
-		}
-		law := COPPA
-		if t == flows.Adolescent {
-			law = CCPA
-		}
-		out = append(out, Finding{
-			Service: service, Law: law, Severity: Serious, Trace: t,
-			Rule: "minor-ats-sharing",
-			Detail: "data sent to advertising/tracking services for a user under 16; " +
-				"ATS destinations indicate non-functional data flows",
-			Evidence: cap5(ats),
-		})
-	}
-	return out
-}
-
-// noAgeDifferentiation compares the child and adolescent grids against the
-// adult grid; near-identical treatment is the paper's headline differential
-// finding ("no service exhibited significantly different data processing").
-func noAgeDifferentiation(service string, byTrace map[flows.TraceCategory]*flows.Set) []Finding {
-	adult := byTrace[flows.Adult]
-	if adult == nil || adult.Len() == 0 {
-		return nil
-	}
-	adultGrid := adult.GroupGrid()
-	var out []Finding
-	for _, t := range []flows.TraceCategory{flows.Child, flows.Adolescent} {
-		set := byTrace[t]
-		if set == nil || set.Len() == 0 {
-			continue
-		}
-		grid := set.GroupGrid()
-		same, total := 0, 0
-		for _, g := range ontology.FlowGroups() {
-			for _, c := range flows.DestClasses() {
-				aPresent := adultGrid[g][c] != 0
-				mPresent := grid[g][c] != 0
-				total++
-				if aPresent == mPresent {
-					same++
-				}
-			}
-		}
-		if total == 0 {
-			continue
-		}
-		ratio := float64(same) / float64(total)
-		if ratio >= 0.75 {
-			out = append(out, Finding{
-				Service: service, Law: CCPA, Severity: Concern, Trace: t,
-				Rule: "no-age-differentiation",
-				Detail: fmt.Sprintf("data processing matches the adult trace in %d%% of "+
-					"flow-grid cells; age-specific treatment expected for users under 16",
-					int(ratio*100)),
-			})
-		}
-	}
-	return out
-}
-
-// linkableSharing flags linkable data (identifier + personal information to
-// one third party) in the minor and logged-out traces.
-func linkableSharing(service string, byTrace map[flows.TraceCategory]*flows.Set) []Finding {
-	var out []Finding
-	for _, t := range []flows.TraceCategory{flows.Child, flows.Adolescent, flows.LoggedOut} {
-		set := byTrace[t]
-		if set == nil {
-			continue
-		}
-		parties := linkability.Linkable(linkability.Analyze(set))
-		if len(parties) == 0 {
-			continue
-		}
-		law := COPPA
-		if t != flows.Child {
-			law = CCPA
-		}
-		out = append(out, Finding{
-			Service: service, Law: law, Severity: Serious, Trace: t,
-			Rule: "linkable-data-sharing",
-			Detail: fmt.Sprintf("%d third parties received linkable data "+
-				"(identifiers plus personal information), enabling tracking and profiling",
-				len(parties)),
-		})
-	}
-	return out
-}
-
-// policyInconsistency folds the privacy-policy consistency check into the
-// findings.
-func policyInconsistency(service string, byTrace map[flows.TraceCategory]*flows.Set) []Finding {
-	m, ok := policy.Models()[service]
-	if !ok {
-		return nil
-	}
-	violations := policy.Audit(m, byTrace)
-	if len(violations) == 0 {
-		return nil
-	}
-	byConstraint := map[string][]policy.Violation{}
-	var order []string
-	for _, v := range violations {
-		k := v.Constraint.Quote
-		if len(byConstraint[k]) == 0 {
-			order = append(order, k)
-		}
-		byConstraint[k] = append(byConstraint[k], v)
-	}
-	var out []Finding
-	for _, quote := range order {
-		vs := byConstraint[quote]
-		var ev []flows.Flow
-		for _, v := range vs {
-			ev = append(ev, v.Flow)
-		}
-		out = append(out, Finding{
-			Service: service, Law: CCPA, Severity: Concern, Trace: vs[0].Trace,
-			Rule:     "policy-inconsistency",
-			Detail:   fmt.Sprintf("%d observed flows contradict the disclosure %q", len(vs), quote),
-			Evidence: cap5(ev),
-		})
-	}
-	return out
 }

@@ -17,13 +17,34 @@ import (
 type Constraint struct {
 	// Quote is the policy text, as cited in the paper.
 	Quote string
-	// Traces are the trace categories the statement covers.
+	// Personas selects the personas the statement covers by attribute
+	// (age bracket, consent state), so disclosures about "users under 16"
+	// cover custom personas too. When nil, Traces is used instead.
+	Personas func(flows.Persona) bool
+	// Traces is the explicit persona list the statement covers; ignored
+	// when Personas is set.
 	Traces []flows.TraceCategory
 	// Classes are the destination classes the statement forbids.
 	Classes []flows.DestClass
 	// Groups optionally narrows the statement to level-2 groups; empty
 	// means any data type.
 	Groups []ontology.Level2
+}
+
+// covered returns the personas a constraint audits, in evaluation order:
+// the explicit Traces list, or — for predicate constraints — the audit's
+// personas in registry order.
+func (c *Constraint) covered(byTrace map[flows.TraceCategory]*flows.Set) []flows.TraceCategory {
+	if c.Personas == nil {
+		return c.Traces
+	}
+	out := make([]flows.Persona, 0, len(byTrace))
+	for p := range byTrace {
+		if c.Personas(p) {
+			out = append(out, p)
+		}
+	}
+	return flows.SortPersonas(out)
 }
 
 // Model is a service's disclosed-practice model.
@@ -60,7 +81,7 @@ func clip(s string) string {
 func Audit(m *Model, byTrace map[flows.TraceCategory]*flows.Set) []Violation {
 	var out []Violation
 	for _, c := range m.Constraints {
-		for _, t := range c.Traces {
+		for _, t := range c.covered(byTrace) {
 			set := byTrace[t]
 			if set == nil {
 				continue
@@ -98,17 +119,25 @@ func groupIn(g ontology.Level2, set []ontology.Level2) bool {
 }
 
 // Models returns the fall-2023 policy models for the six audited services,
-// built from the disclosures quoted in the paper.
+// built from the disclosures quoted in the paper. Constraints predicate on
+// persona attributes matching the disclosure's own audience language
+// ("under 16", "children", "all users"), so custom registered personas are
+// covered by the same quoted statements; for the four built-in personas
+// the coverage is identical to the original per-trace lists.
 func Models() map[string]*Model {
-	minors := []flows.TraceCategory{flows.Child, flows.Adolescent}
+	under13 := func(p flows.Persona) bool { return p.AgeBelow(13) }
+	under16 := func(p flows.Persona) bool { return p.AgeBelow(16) }
+	under18 := func(p flows.Persona) bool { return p.AgeBelow(18) }
+	preConsent := func(p flows.Persona) bool { return !p.LoggedIn() }
+	everyone := func(flows.Persona) bool { return true }
 	return map[string]*Model{
 		"Duolingo": {
 			Service: "Duolingo",
 			Constraints: []Constraint{{
 				Quote: "For users under 16, advertisements are set to non-personalised " +
 					"and third-party behavioral tracking is disabled.",
-				Traces:  minors,
-				Classes: []flows.DestClass{flows.ThirdPartyATS},
+				Personas: under16,
+				Classes:  []flows.DestClass{flows.ThirdPartyATS},
 			}},
 		},
 		"Minecraft": {
@@ -116,8 +145,8 @@ func Models() map[string]*Model {
 			Constraints: []Constraint{{
 				Quote: "We do not deliver personalized advertising to children whose " +
 					"birthdate in their Microsoft account identifies them as under 18 years of age.",
-				Traces:  minors,
-				Classes: []flows.DestClass{flows.ThirdPartyATS},
+				Personas: under18,
+				Classes:  []flows.DestClass{flows.ThirdPartyATS},
 			}},
 		},
 		"Quizlet": {
@@ -126,26 +155,24 @@ func Models() map[string]*Model {
 				Quote: "We may use aggregated or de-identified information about children " +
 					"for research, analysis, marketing and other commercial purposes. " +
 					"(No disclosure covers identifier sharing before consent.)",
-				Traces:  []flows.TraceCategory{flows.LoggedOut},
-				Classes: []flows.DestClass{flows.ThirdParty, flows.ThirdPartyATS},
-				Groups:  []ontology.Level2{ontology.PersonalIdentifiers, ontology.DeviceIdentifiers},
+				Personas: preConsent,
+				Classes:  []flows.DestClass{flows.ThirdParty, flows.ThirdPartyATS},
+				Groups:   []ontology.Level2{ontology.PersonalIdentifiers, ontology.DeviceIdentifiers},
 			}},
 		},
 		"Roblox": {
 			Service: "Roblox",
 			Constraints: []Constraint{
 				{
-					Quote: "We may share non-identifying data of all users regardless of their age.",
-					Traces: []flows.TraceCategory{
-						flows.Child, flows.Adolescent, flows.Adult, flows.LoggedOut,
-					},
-					Classes: []flows.DestClass{flows.ThirdParty, flows.ThirdPartyATS},
-					Groups:  []ontology.Level2{ontology.PersonalIdentifiers, ontology.DeviceIdentifiers},
+					Quote:    "We may share non-identifying data of all users regardless of their age.",
+					Personas: everyone,
+					Classes:  []flows.DestClass{flows.ThirdParty, flows.ThirdPartyATS},
+					Groups:   []ontology.Level2{ontology.PersonalIdentifiers, ontology.DeviceIdentifiers},
 				},
 				{
-					Quote:   "We have no actual knowledge of selling or sharing the Personal Information of minors under 16 years of age.",
-					Traces:  minors,
-					Classes: []flows.DestClass{flows.ThirdPartyATS},
+					Quote:    "We have no actual knowledge of selling or sharing the Personal Information of minors under 16 years of age.",
+					Personas: under16,
+					Classes:  []flows.DestClass{flows.ThirdPartyATS},
 				},
 			},
 		},
@@ -155,8 +182,8 @@ func Models() map[string]*Model {
 				Quote: "TikTok does not sell information from children to third parties and " +
 					"does not share such information with third parties for the purposes of " +
 					"cross-context behavioral advertising.",
-				Traces:  []flows.TraceCategory{flows.Child},
-				Classes: []flows.DestClass{flows.ThirdPartyATS},
+				Personas: under13,
+				Classes:  []flows.DestClass{flows.ThirdPartyATS},
 			}},
 		},
 		// YouTube/YouTube Kids disclose the collection the paper observed

@@ -111,3 +111,31 @@ func TestAuditNilTrace(t *testing.T) {
 		t.Errorf("empty trace map should yield nil, got %+v", v)
 	}
 }
+
+// TestConstraintsCoverCustomPersonas pins the open-registry contract for
+// the policy layer: disclosures predicated on audience attributes cover
+// personas registered after the model was written.
+func TestConstraintsCoverCustomPersonas(t *testing.T) {
+	p, err := flows.RegisterPersona(flows.PersonaInfo{
+		Name: "Policy Kid", AgeKnown: true, AgeMin: 7, AgeMax: 10, LoggedIn: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTrace := map[flows.Persona]*flows.Set{p: flows.NewSet()}
+	byTrace[p].Add(flows.Flow{
+		Category: cat("Aliases"),
+		Dest:     flows.Destination{FQDN: "trk.example", Class: flows.ThirdPartyATS},
+	}, flows.Web)
+
+	// Duolingo's "users under 16" disclosure covers a 7-10 persona.
+	violations := Audit(Models()["Duolingo"], byTrace)
+	if len(violations) != 1 || violations[0].Trace != p {
+		t.Fatalf("violations = %v", violations)
+	}
+	// TikTok's "children" disclosure (under 13) covers it too; an
+	// of-age-only statement would not.
+	if got := Audit(Models()["TikTok"], byTrace); len(got) != 1 {
+		t.Errorf("TikTok violations = %v", got)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"diffaudit/internal/core"
-	"diffaudit/internal/flows"
 	"diffaudit/internal/lawaudit"
 	"diffaudit/internal/linkability"
 	"diffaudit/internal/policy"
@@ -27,7 +26,7 @@ func AuditReport(r *core.ServiceResult) string {
 	fmt.Fprintf(&b, "## Flows per trace\n\n")
 	fmt.Fprintf(&b, "| Trace | Flows | Third-party dests | Linkable parties | Largest linkable set |\n")
 	fmt.Fprintf(&b, "|---|---|---|---|---|\n")
-	for _, t := range flows.TraceCategories() {
+	for _, t := range r.Personas() {
 		set := r.ByTrace[t]
 		third := 0
 		for _, d := range set.Destinations() {
@@ -42,8 +41,11 @@ func AuditReport(r *core.ServiceResult) string {
 	}
 
 	fmt.Fprintf(&b, "\n## Age differentiation\n\n")
-	for t, sim := range core.AgeDifferential(r) {
-		fmt.Fprintf(&b, "- %s vs adult: %.0f%% of flow-grid cells identical\n", t, sim*100)
+	sims := core.AgeDifferential(r)
+	for _, t := range r.Personas() {
+		if sim, ok := sims[t]; ok {
+			fmt.Fprintf(&b, "- %s vs adult: %.0f%% of flow-grid cells identical\n", t, sim*100)
+		}
 	}
 
 	fmt.Fprintf(&b, "\n## COPPA/CCPA findings\n\n")

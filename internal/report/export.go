@@ -7,7 +7,6 @@ import (
 	"strings"
 
 	"diffaudit/internal/core"
-	"diffaudit/internal/flows"
 	"diffaudit/internal/linkability"
 )
 
@@ -56,7 +55,7 @@ func exportService(r *core.ServiceResult) ExportedService {
 		LinkableParties: map[string]int{},
 		LargestSets:     map[string]int{},
 	}
-	for _, t := range flows.TraceCategories() {
+	for _, t := range r.Personas() {
 		set := r.ByTrace[t]
 		for _, f := range set.Flows() {
 			out.Flows = append(out.Flows, ExportedFlow{

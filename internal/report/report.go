@@ -39,7 +39,7 @@ func Table1(results []*core.ServiceResult) string {
 func observedCategories(results []*core.ServiceResult) map[string]bool {
 	seen := map[string]bool{}
 	for _, r := range results {
-		for _, t := range flows.TraceCategories() {
+		for _, t := range r.Personas() {
 			for _, f := range r.ByTrace[t].Flows() {
 				seen[f.Category.Name] = true
 			}
@@ -98,27 +98,30 @@ func Table3(rows []classifier.ValidationRow) string {
 }
 
 // Table4 renders the per-service flow grid with the paper's cell symbols
-// (● both platforms, ◐ website only, ◑ mobile only, — neither).
+// (● both platforms, ◐ website only, ◑ mobile only, — neither). Columns
+// are the personas each result observed, in registry order — for built-in
+// traffic that is exactly the paper's four trace columns.
 func Table4(results []*core.ServiceResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 4: Data Flows Observed by Age Category for Website and Mobile Platforms\n")
 	fmt.Fprintf(&b, "(● both, ◐ website only, ◑ mobile only, — not observed)\n\n")
 	for _, r := range results {
 		grid := core.Grid(r)
+		personas := r.Personas()
 		fmt.Fprintf(&b, "%s\n", r.Identity.Name)
 		fmt.Fprintf(&b, "  %-28s", "Data Type")
-		for _, t := range flows.TraceCategories() {
+		for _, t := range personas {
 			fmt.Fprintf(&b, "%-14s", t)
 		}
 		fmt.Fprintln(&b)
 		fmt.Fprintf(&b, "  %-28s", "")
-		for range flows.TraceCategories() {
+		for range personas {
 			fmt.Fprintf(&b, "%-14s", "C1 CA S3 SA")
 		}
 		fmt.Fprintln(&b)
 		for _, g := range ontology.FlowGroups() {
 			fmt.Fprintf(&b, "  %-28s", g)
-			for _, t := range flows.TraceCategories() {
+			for _, t := range personas {
 				var cells []string
 				for _, c := range flows.DestClasses() {
 					cells = append(cells, grid[g][c][t].Symbol())
@@ -168,13 +171,14 @@ func Figure3(results []*core.ServiceResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 3: Counts of Third Parties Sent Linkable Data Types\n")
 	max := 1
-	counts := map[string][4]int{}
+	counts := map[string][]int{}
 	for _, r := range results {
-		var row [4]int
-		for i, t := range flows.TraceCategories() {
-			row[i] = linkability.CountLinkable(r.ByTrace[t])
-			if row[i] > max {
-				max = row[i]
+		row := make([]int, 0, len(r.ByTrace))
+		for _, t := range r.Personas() {
+			n := linkability.CountLinkable(r.ByTrace[t])
+			row = append(row, n)
+			if n > max {
+				max = n
 			}
 		}
 		counts[r.Identity.Name] = row
@@ -182,7 +186,7 @@ func Figure3(results []*core.ServiceResult) string {
 	for _, r := range results {
 		row := counts[r.Identity.Name]
 		fmt.Fprintf(&b, "\n%s\n", r.Identity.Name)
-		for i, t := range flows.TraceCategories() {
+		for i, t := range r.Personas() {
 			fmt.Fprintf(&b, "  %-11s %4d %s\n", t, row[i], bar(row[i], max, 40))
 		}
 	}
@@ -195,7 +199,7 @@ func Figure4(results []*core.ServiceResult) string {
 	fmt.Fprintf(&b, "Figure 4: Sizes of Largest Sets of Linkable Data Types\n")
 	for _, r := range results {
 		fmt.Fprintf(&b, "\n%s\n", r.Identity.Name)
-		for _, t := range flows.TraceCategories() {
+		for _, t := range r.Personas() {
 			n, types := linkability.LargestSet(r.ByTrace[t])
 			fmt.Fprintf(&b, "  %-11s %3d %s\n", t, n, bar(n, 15, 30))
 			if n > 0 && t == flows.Adult {
@@ -219,7 +223,7 @@ func Figure5(results []*core.ServiceResult, topN int) string {
 	for _, r := range results {
 		fmt.Fprintf(&b, "\n%s\n", r.Identity.Name)
 		any := false
-		for _, t := range flows.TraceCategories() {
+		for _, t := range r.Personas() {
 			orgs := linkability.TopATSOrgs(r.ByTrace[t], topN)
 			if len(orgs) == 0 {
 				continue

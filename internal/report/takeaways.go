@@ -86,7 +86,7 @@ func KeyTakeaways(results []*core.ServiceResult) []Takeaway {
 	out = append(out, classify(
 		"all but one service sent linkable data to third parties in every trace",
 		func(r *core.ServiceResult) bool {
-			for _, t := range flows.TraceCategories() {
+			for _, t := range r.Personas() {
 				if linkability.CountLinkable(r.ByTrace[t]) == 0 {
 					return false
 				}

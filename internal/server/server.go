@@ -8,11 +8,13 @@
 //
 // API:
 //
-//	POST /audit            multipart upload; field name = trace category
-//	                       (child|adolescent|teen|adult|loggedout), file
+//	POST /audit            multipart upload; field name = persona (any
+//	                       registered persona name or alias — built-ins:
+//	                       child|adolescent|teen|adult|loggedout), file
 //	                       extension selects the decoder (.har vs
 //	                       .pcap/.pcapng); optional fields: name (service
 //	                       name), keylog (SSLKEYLOGFILE part)
+//	GET  /personas         registered personas and available rule packs
 //	GET  /jobs             job summaries
 //	GET  /jobs/{id}        one job's status
 //	GET  /jobs/{id}/report.json   full audit export (ready jobs only)
@@ -35,6 +37,7 @@ import (
 
 	"diffaudit/internal/core"
 	"diffaudit/internal/flows"
+	"diffaudit/internal/lawaudit"
 	"diffaudit/internal/report"
 	"diffaudit/internal/services"
 )
@@ -143,6 +146,7 @@ func New(cfg Config) *Server {
 		jobs:  make(map[string]*Job),
 	}
 	s.mux.HandleFunc("POST /audit", s.handleSubmit)
+	s.mux.HandleFunc("GET /personas", s.handlePersonas)
 	s.mux.HandleFunc("GET /jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /jobs/{id}/report.json", s.handleReportJSON)
@@ -324,7 +328,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if len(job.uploads) == 0 {
-		httpError(w, http.StatusBadRequest, "no capture files in upload (want parts named child|adolescent|adult|loggedout with .har/.pcap/.pcapng filenames)")
+		httpError(w, http.StatusBadRequest, "no capture files in upload (want parts named after registered personas — built-ins child|adolescent|adult|loggedout — with .har/.pcap/.pcapng filenames)")
 		return
 	}
 
@@ -380,9 +384,9 @@ func (s *Server) consumePart(job *Job, part *multipart.Part) error {
 		job.keylog = path
 		return nil
 	}
-	trace, okTrace := flows.ParseTrace(field)
+	trace, okTrace := flows.ParsePersona(field)
 	if !okTrace {
-		return fmt.Errorf("unknown field %q (want child|adolescent|teen|adult|loggedout, name, or keylog)", field)
+		return fmt.Errorf("unknown field %q (want a registered persona name — see GET /personas; built-ins: child|adolescent|teen|adult|loggedout — or name, or keylog)", field)
 	}
 	fname := strings.ToLower(part.FileName())
 	var isHAR bool
@@ -500,6 +504,49 @@ func (s *Server) handleReportCSV(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/csv")
 	io.WriteString(w, csv)
+}
+
+// personaView is one registered persona in the /personas listing.
+type personaView struct {
+	ID       int               `json:"id"`
+	Name     string            `json:"name"`
+	Aliases  []string          `json:"aliases,omitempty"`
+	AgeKnown bool              `json:"age_known"`
+	AgeMin   int               `json:"age_min,omitempty"`
+	AgeMax   int               `json:"age_max,omitempty"`
+	LoggedIn bool              `json:"logged_in"`
+	Subject  string            `json:"subject"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Builtin  bool              `json:"builtin"`
+}
+
+// handlePersonas lists the registered personas (the accepted upload field
+// names) and the available regulation rule packs.
+func (s *Server) handlePersonas(w http.ResponseWriter, r *http.Request) {
+	builtin := len(flows.BuiltinPersonas())
+	var personas []personaView
+	for _, p := range flows.Personas() {
+		info := p.Info()
+		v := personaView{
+			ID: int(p), Name: info.Name, Aliases: info.Aliases,
+			AgeKnown: info.AgeKnown, LoggedIn: info.LoggedIn,
+			Subject: info.Subject, Attrs: info.Attrs,
+			Builtin: int(p) < builtin,
+		}
+		if info.AgeKnown {
+			v.AgeMin = info.AgeMin
+			// An unbounded bracket omits age_max rather than leaking the
+			// AgeNoLimit sentinel.
+			if info.AgeMax != flows.AgeNoLimit {
+				v.AgeMax = info.AgeMax
+			}
+		}
+		personas = append(personas, v)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"personas":   personas,
+		"rule_packs": lawaudit.PackNames(),
+	})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -406,3 +406,144 @@ func TestJobEviction(t *testing.T) {
 		t.Errorf("oldest job still present: %d", r.StatusCode)
 	}
 }
+
+// TestJobEvictionOldestFirstAnd404Reports pins the retention policy: when
+// the cap is exceeded, finished jobs are evicted strictly oldest-first,
+// and every endpoint for an evicted ID answers 404 — never a stale report.
+func TestJobEvictionOldestFirstAnd404Reports(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 8, MaxJobs: 2, TempDir: t.TempDir()})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	harData := string(childHAR(t))
+	var ids []string
+	for i := 0; i < 4; i++ {
+		resp := submit(t, ts, map[string][2]string{"child": {"c.har", harData}, "name": {"", "Quizlet"}})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+		job := decodeJob(t, resp)
+		ids = append(ids, job.ID)
+		if done := wait(t, ts, job.ID); done.State != JobDone {
+			t.Fatalf("job %d: %+v", i, done)
+		}
+	}
+
+	status := func(path string) int {
+		t.Helper()
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		return r.StatusCode
+	}
+
+	// The two oldest are gone from every endpoint; the two newest serve.
+	for _, id := range ids[:2] {
+		for _, path := range []string{"/jobs/" + id, "/jobs/" + id + "/report.json", "/jobs/" + id + "/report.csv"} {
+			if code := status(path); code != http.StatusNotFound {
+				t.Errorf("evicted %s: %d, want 404", path, code)
+			}
+		}
+	}
+	for _, id := range ids[2:] {
+		if code := status("/jobs/" + id); code != http.StatusOK {
+			t.Errorf("retained /jobs/%s: %d, want 200", id, code)
+		}
+		if code := status("/jobs/" + id + "/report.json"); code != http.StatusOK {
+			t.Errorf("retained report %s: %d, want 200", id, code)
+		}
+	}
+
+	// The listing reflects the same order: exactly the newest two, oldest
+	// first among the survivors.
+	r, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []Job `json:"jobs"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(list.Jobs) != 2 || list.Jobs[0].ID != ids[2] || list.Jobs[1].ID != ids[3] {
+		t.Errorf("retained jobs = %+v, want [%s %s]", list.Jobs, ids[2], ids[3])
+	}
+}
+
+// TestPersonasEndpointAndCustomUpload checks GET /personas lists the
+// registry and rule packs, and that uploads grouped under a registered
+// custom persona's name audit end to end into that persona's trace.
+func TestPersonasEndpointAndCustomUpload(t *testing.T) {
+	if _, err := flows.RegisterPersona(flows.PersonaInfo{
+		Name: "Server Kid", Aliases: []string{"server-kid"},
+		AgeKnown: true, AgeMin: 6, AgeMax: 9, LoggedIn: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := New(Config{TempDir: t.TempDir()})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/personas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Personas []struct {
+			Name    string `json:"name"`
+			Builtin bool   `json:"builtin"`
+		} `json:"personas"`
+		RulePacks []string `json:"rule_packs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	names := map[string]bool{}
+	for _, p := range listing.Personas {
+		names[p.Name] = p.Builtin
+	}
+	if b, ok := names["Child"]; !ok || !b {
+		t.Errorf("personas listing = %+v, missing built-in Child", listing.Personas)
+	}
+	if b, ok := names["Server Kid"]; !ok || b {
+		t.Errorf("personas listing = %+v, missing custom Server Kid", listing.Personas)
+	}
+	packs := strings.Join(listing.RulePacks, ",")
+	for _, want := range []string{"coppa", "ccpa", "gdpr"} {
+		if !strings.Contains(packs, want) {
+			t.Errorf("rule_packs = %v, missing %q", listing.RulePacks, want)
+		}
+	}
+
+	// Upload a capture under the custom persona's alias.
+	resp = submit(t, ts, map[string][2]string{
+		"server-kid": {"kid.har", string(childHAR(t))},
+		"name":       {"", "Quizlet"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit under custom persona: %d: %s", resp.StatusCode, body)
+	}
+	job := decodeJob(t, resp)
+	if done := wait(t, ts, job.ID); done.State != JobDone {
+		t.Fatalf("job = %+v", done)
+	}
+	rep, err := http.Get(ts.URL + "/jobs/" + job.ID + "/report.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(rep.Body)
+	rep.Body.Close()
+	if !strings.Contains(string(body), `"trace": "Server Kid"`) {
+		t.Error("served report does not group flows under the custom persona")
+	}
+}

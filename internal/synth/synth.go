@@ -58,18 +58,58 @@ type Dataset struct {
 	Services []*ServiceTraffic
 }
 
+// PersonaPlan schedules traffic generation for one persona. The service
+// profiles are calibrated for the paper's four built-in personas only, so
+// a custom persona borrows the behavior profile (grid, linkable-party and
+// largest-set targets) of a built-in template via Like — e.g. an EU teen
+// persona generating "like" the adolescent trace.
+type PersonaPlan struct {
+	// Persona is the trace to generate.
+	Persona flows.Persona
+	// Like is the built-in persona whose profile column drives generation.
+	// The zero value means the Child column; a built-in Persona with Like
+	// unset defaults to its own column. Non-built-in Like values are
+	// rejected.
+	Like flows.Persona
+}
+
 // Config tunes generation.
 type Config struct {
 	// Scale in (0,1] multiplies packet (Repeat) and connection budgets
 	// while preserving the request structure, so that wire-format tests
 	// stay fast. Scale 1 reproduces the Table 1 packet counts exactly.
 	Scale float64
+	// Personas lists the traces to generate, in order. Empty means the
+	// four built-in personas — the paper's dataset, byte-identical to the
+	// closed-enum generator.
+	Personas []PersonaPlan
 }
 
 // Generate fabricates the six-service dataset.
 func Generate(cfg Config) *Dataset {
 	if cfg.Scale <= 0 || cfg.Scale > 1 {
 		cfg.Scale = 1
+	}
+	builtin := len(flows.BuiltinPersonas())
+	if len(cfg.Personas) == 0 {
+		for _, t := range flows.BuiltinPersonas() {
+			cfg.Personas = append(cfg.Personas, PersonaPlan{Persona: t, Like: t})
+		}
+	} else {
+		plans := make([]PersonaPlan, len(cfg.Personas))
+		copy(plans, cfg.Personas)
+		for i := range plans {
+			// A zero Like on a built-in persona means "itself"; custom
+			// personas with an unset Like default to the Child column.
+			if plans[i].Like == 0 && int(plans[i].Persona) > 0 && int(plans[i].Persona) < builtin {
+				plans[i].Like = plans[i].Persona
+			}
+			if int(plans[i].Like) >= builtin || plans[i].Like < 0 {
+				panic(fmt.Sprintf("synth: persona plan %d (%s): template %s is not a built-in persona",
+					i, plans[i].Persona, plans[i].Like))
+			}
+		}
+		cfg.Personas = plans
 	}
 	RegisterSyntheticDomains()
 	ds := &Dataset{}
@@ -105,6 +145,10 @@ type planner struct {
 	spec *services.Spec
 	inv  *Inventory
 	reqs []*Request
+	// personas lists the generated traces in plan order; like maps each to
+	// the built-in persona whose profile column drives it.
+	personas []flows.Persona
+	like     map[flows.Persona]flows.Persona
 	// covered tracks which (group, class, trace, platform) cells have been
 	// realized.
 	covered map[coverKey]bool
@@ -114,10 +158,10 @@ type planner struct {
 	prefOrder []*ontology.Category
 	// classOf caches destination classes per FQDN.
 	classOf map[string]flows.DestClass
-	// usedInTrace marks FQDNs already contacted per trace.
-	used [4]map[string]bool
+	// used marks FQDNs already contacted per trace.
+	used map[flows.Persona]map[string]bool
 	// designated marks the linkable parties per trace.
-	designated [4]map[string]bool
+	designated map[flows.Persona]map[string]bool
 	// typesSent tracks the distinct categories sent per (trace, FQDN).
 	typesSent map[string]map[string]bool
 }
@@ -144,28 +188,35 @@ type coverKey struct {
 
 func generateService(spec *services.Spec, cfg Config) *ServiceTraffic {
 	p := &planner{
-		spec:      spec,
-		inv:       BuildInventory(spec),
-		covered:   make(map[coverKey]bool),
-		keyCursor: make(map[string]int),
-		prefOrder: services.PreferenceOrder(),
-		classOf:   make(map[string]flows.DestClass),
+		spec:       spec,
+		inv:        BuildInventory(spec),
+		like:       make(map[flows.Persona]flows.Persona, len(cfg.Personas)),
+		covered:    make(map[coverKey]bool),
+		keyCursor:  make(map[string]int),
+		prefOrder:  services.PreferenceOrder(),
+		classOf:    make(map[string]flows.DestClass),
+		used:       make(map[flows.Persona]map[string]bool, len(cfg.Personas)),
+		designated: make(map[flows.Persona]map[string]bool, len(cfg.Personas)),
+	}
+	for _, plan := range cfg.Personas {
+		p.personas = append(p.personas, plan.Persona)
+		p.like[plan.Persona] = plan.Like
 	}
 	for class, pool := range p.inv.ByClass {
 		for _, f := range pool {
 			p.classOf[f] = class
 		}
 	}
-	for t := range p.used {
+	for _, t := range p.personas {
 		p.used[t] = make(map[string]bool)
 		p.designated[t] = make(map[string]bool)
 	}
 	p.typesSent = make(map[string]map[string]bool)
 
-	for _, t := range flows.TraceCategories() {
+	for _, t := range p.personas {
 		p.planLinkable(t)
 	}
-	for _, t := range flows.TraceCategories() {
+	for _, t := range p.personas {
 		p.planCoverage(t)
 	}
 	p.planLeftoverThirdParties()
@@ -176,9 +227,20 @@ func generateService(spec *services.Spec, cfg Config) *ServiceTraffic {
 	return &ServiceTraffic{Spec: spec, Requests: p.reqs}
 }
 
-// mask returns the grid mask for (group, class, trace).
+// mask returns the grid mask for (group, class, trace), reading the
+// persona's template column of the profile grid.
 func (p *planner) mask(g ontology.Level2, c flows.DestClass, t flows.TraceCategory) flows.PlatformMask {
-	return p.spec.Grid.Mask(g, c, t)
+	return p.spec.Grid.Mask(g, c, p.like[t])
+}
+
+// linkableParties returns the Figure 3 target for a persona's template.
+func (p *planner) linkableParties(t flows.Persona) int {
+	return p.spec.LinkableParties[p.like[t]]
+}
+
+// largestSet returns the Figure 4 target for a persona's template.
+func (p *planner) largestSet(t flows.Persona) int {
+	return p.spec.LargestSet[p.like[t]]
 }
 
 // allowedCats lists, in preference order, the observed categories whose
@@ -264,18 +326,16 @@ func (p *planner) emit(t flows.TraceCategory, plat flows.Platform, fqdn string, 
 }
 
 func pathFor(t flows.TraceCategory) string {
-	switch t {
-	case flows.LoggedOut:
+	if !t.LoggedIn() {
 		return "collect"
-	default:
-		return "events"
 	}
+	return "events"
 }
 
 // planLinkable designates the trace's linkable third parties (Figure 3) and
 // assigns them data type sets (Figure 4).
 func (p *planner) planLinkable(t flows.TraceCategory) {
-	n := p.spec.LinkableParties[t]
+	n := p.linkableParties(t)
 	if n == 0 {
 		return
 	}
@@ -347,7 +407,7 @@ func (p *planner) planLinkable(t flows.TraceCategory) {
 		parties = append(parties, party{fqdn, ci})
 	}
 
-	k := p.spec.LargestSet[t]
+	k := p.largestSet(t)
 	types := head.info.all
 	if len(types) > k {
 		types = types[:k]
@@ -480,7 +540,7 @@ func (p *planner) planLeftoverThirdParties() {
 	for _, c := range []flows.DestClass{flows.ThirdParty, flows.ThirdPartyATS} {
 		for _, fqdn := range p.inv.ByClass[c] {
 			usedAnywhere := false
-			for _, t := range flows.TraceCategories() {
+			for _, t := range p.personas {
 				if p.used[t][fqdn] {
 					usedAnywhere = true
 					break
@@ -492,8 +552,8 @@ func (p *planner) planLeftoverThirdParties() {
 			// Find a home trace whose grid allows a personal-information
 			// flow to this class.
 			placed := false
-			for i := 0; i < 4 && !placed; i++ {
-				t := flows.TraceCategory((home + i) % 4)
+			for i := 0; i < len(p.personas) && !placed; i++ {
+				t := p.personas[(home+i)%len(p.personas)]
 				_, pis := splitIDPI(p.allowedCats(c, t))
 				if len(pis) == 0 {
 					continue
@@ -525,8 +585,8 @@ func (p *planner) planFirstParties() {
 			// Home trace: rotate; the grid has first-party flows in every
 			// trace for every service, but guard anyway.
 			placed := false
-			for i := 0; i < 4 && !placed; i++ {
-				t := flows.TraceCategory((rot + i) % 4)
+			for i := 0; i < len(p.personas) && !placed; i++ {
+				t := p.personas[(rot+i)%len(p.personas)]
 				cats := p.allowedCats(c, t)
 				if len(cats) == 0 {
 					continue
