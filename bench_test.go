@@ -24,6 +24,7 @@ import (
 	"diffaudit/internal/netcap/pcapio"
 	"diffaudit/internal/netcap/reassembly"
 	"diffaudit/internal/ontology"
+	"diffaudit/internal/store"
 	"diffaudit/internal/synth"
 )
 
@@ -303,6 +304,55 @@ func BenchmarkResolveDestination(b *testing.B) {
 		d := flows.ResolveDestination("Quizlet Inc", eslds, hosts[i%len(hosts)], engine)
 		if d.FQDN == "" {
 			b.Fatal("empty resolution")
+		}
+	}
+}
+
+// BenchmarkSnapshotEncode measures serializing one audited service result
+// with the versioned snapshot codec — the write path of every Store.Put.
+func BenchmarkSnapshotEncode(b *testing.B) {
+	res := audited(b)[0]
+	b.ResetTimer()
+	var size int
+	for i := 0; i < b.N; i++ {
+		enc := store.EncodeResult(res)
+		size = len(enc)
+		if size == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+	b.ReportMetric(float64(size), "snap-bytes")
+}
+
+// BenchmarkSnapshotDecode measures parsing a snapshot back into a service
+// result (symbol re-interning included) — the read path of report serving
+// for evicted jobs and of every /diff request.
+func BenchmarkSnapshotDecode(b *testing.B) {
+	enc := store.EncodeResult(audited(b)[0])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := store.DecodeResult(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.ByTrace) == 0 {
+			b.Fatal("empty decode")
+		}
+	}
+}
+
+// BenchmarkFSStorePut measures one durable snapshot write end to end:
+// encode, hash, temp-file write, fsync, rename.
+func BenchmarkFSStorePut(b *testing.B) {
+	res := audited(b)[0]
+	st, err := store.OpenFSStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Put("bench-job", res); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

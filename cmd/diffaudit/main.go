@@ -1,15 +1,18 @@
 // Command diffaudit runs the full DiffAudit pipeline. In dataset mode
 // (default) it synthesizes the six-service dataset and audits every
 // service; in file mode it audits capture files you point it at; in serve
-// mode it runs the long-lived audit server.
+// mode it runs the long-lived audit server; in diff mode it compares two
+// stored audits of one service over time.
 //
 // Usage:
 //
 //	diffaudit [-scale 0.01] [-service Quizlet] [-findings] [-policy]
 //	          [-persona eu-teen:13-15] [-rulepack gdpr=15]
 //	diffaudit -har child=child.har -har loggedout=out.har -name MyApp
+//	          [-snapshot audit.snap] [-data-dir ./snapshots]
 //	diffaudit serve [-addr :8080] [-workers 2] [-queue 16] [-pprof 127.0.0.1:6060]
-//	          [-persona eu-teen:13-15]
+//	          [-persona eu-teen:13-15] [-data-dir ./snapshots]
+//	diffaudit diff [-data-dir ./snapshots] [-format md|json] <old> <new>
 //
 // -persona registers additional personas beyond the paper's four built-in
 // trace categories; capture flags and upload form fields then accept
@@ -19,15 +22,28 @@
 //
 // File mode streams captures from disk: HAR entries decode one at a time
 // and PCAP frames iterate without materializing the file, so capture size
-// does not bound memory. Serve mode shuts down gracefully on SIGINT or
-// SIGTERM: the listener closes, in-flight requests get a deadline, and
-// queued audit jobs drain before the process exits.
+// does not bound memory. -snapshot writes the audit result as a
+// self-contained snapshot file; -data-dir appends it to a filesystem
+// snapshot store instead.
+//
+// Serve mode shuts down gracefully on SIGINT or SIGTERM: the listener
+// closes, in-flight requests get a deadline, and queued audit jobs drain
+// before the process exits. With -data-dir, finished audits persist as
+// snapshots: reports survive restarts and eviction, and GET /snapshots
+// plus GET /diff serve the longitudinal API.
+//
+// Diff mode resolves <old> and <new> as snapshot file paths or, with
+// -data-dir, as store references (sequence number, content hash, unique
+// hash prefix, or job ID) and reports the per-persona flow delta. With
+// -data-dir, store references take precedence; unmatched references fall
+// back to file paths.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // profiling handlers for `serve -pprof` (separate listener)
@@ -100,6 +116,12 @@ func main() {
 		serve(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		if err := runDiff(os.Args[2:], os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var hars, pcaps traceFlag
 	var personas personaFlag
@@ -110,6 +132,8 @@ func main() {
 	keylog := flag.String("keylog", "", "SSLKEYLOGFILE for pcap decryption (file mode)")
 	findings := flag.Bool("findings", true, "print regulation findings")
 	policyCheck := flag.Bool("policy", true, "print privacy-policy contradictions")
+	snapshotOut := flag.String("snapshot", "", "write the audit result to this snapshot file (file mode)")
+	dataDir := flag.String("data-dir", "", "append the audit result to this snapshot store (file mode)")
 	flag.Var(&personas, "persona", "register a persona, e.g. eu-teen:13-15 or visitor:loggedout (repeatable; place before -har/-pcap flags that use it)")
 	flag.Var(&packs, "rulepack", "regulation rule pack to audit under: coppa, ccpa, gdpr, gdpr=15 (repeatable; default coppa+ccpa)")
 	flag.Var(&hars, "har", "persona=path of a website HAR capture (repeatable)")
@@ -123,7 +147,7 @@ func main() {
 
 	auditor := diffaudit.New()
 	if len(hars.entries) > 0 || len(pcaps.entries) > 0 {
-		auditFiles(auditor, *name, *keylog, hars, pcaps, *findings, scenario)
+		auditFiles(auditor, *name, *keylog, hars, pcaps, *findings, scenario, *snapshotOut, *dataDir)
 		return
 	}
 
@@ -190,9 +214,20 @@ func serve(args []string) {
 	queue := fs.Int("queue", 16, "bounded job queue depth")
 	maxUpload := fs.Int64("max-upload", 1<<30, "max upload size in bytes")
 	tempDir := fs.String("tempdir", "", "staging dir for uploads (default: system temp)")
+	dataDir := fs.String("data-dir", "", "snapshot store directory: finished audits persist (and survive restarts); enables /snapshots and /diff")
 	pprofAddr := fs.String("pprof", "", "localhost address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables profiling")
 	fs.Var(&personas, "persona", "register a persona accepted as an upload field, e.g. eu-teen:13-15 (repeatable)")
 	fs.Parse(args)
+
+	var snapStore diffaudit.SnapshotStore
+	if *dataDir != "" {
+		st, err := diffaudit.OpenSnapshotStore(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snapStore = st
+		log.Printf("diffaudit serve: snapshots persist under %s", *dataDir)
+	}
 
 	if *pprofAddr != "" {
 		// The profiler listens on its own (typically loopback-only)
@@ -213,6 +248,7 @@ func serve(args []string) {
 		QueueDepth:     *queue,
 		MaxUploadBytes: *maxUpload,
 		TempDir:        *tempDir,
+		Store:          snapStore,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	stop := make(chan os.Signal, 1)
@@ -231,6 +267,71 @@ func serve(args []string) {
 	<-drained
 	srv.Close() // run every queued job to completion before exiting
 	log.Printf("diffaudit serve: all jobs drained; exiting")
+}
+
+// runDiff implements the diff subcommand: load two snapshots (file paths,
+// or store references when -data-dir is given) and render their
+// longitudinal diff.
+func runDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	dataDir := fs.String("data-dir", "", "snapshot store to resolve non-file references against (seq, hash, hash prefix, or job ID)")
+	format := fs.String("format", "md", "output format: md or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: diffaudit diff [-data-dir dir] [-format md|json] <old> <new>")
+	}
+
+	var st diffaudit.SnapshotStore
+	if *dataDir != "" {
+		var err error
+		if st, err = diffaudit.OpenSnapshotStore(*dataDir); err != nil {
+			return err
+		}
+	}
+	load := func(ref string) (*diffaudit.ServiceResult, error) {
+		// With a store, references resolve there first — a stray local
+		// file named "1" or "job-1" must not shadow a store reference.
+		// File paths still work: an unmatched ref falls back to disk.
+		if st != nil {
+			res, _, err := st.Get(ref)
+			if err == nil {
+				return res, nil
+			}
+			if fi, statErr := os.Stat(ref); statErr == nil && fi.Mode().IsRegular() {
+				return diffaudit.LoadSnapshot(ref)
+			}
+			return nil, err
+		}
+		if fi, err := os.Stat(ref); err == nil && fi.Mode().IsRegular() {
+			return diffaudit.LoadSnapshot(ref)
+		}
+		return nil, fmt.Errorf("%s: no such snapshot file (pass -data-dir to resolve store references)", ref)
+	}
+	from, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	to, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	d := diffaudit.DiffSnapshots(from, to)
+	switch *format {
+	case "json":
+		data, err := diffaudit.ExportDiffJSON(d)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s\n", data)
+	case "md":
+		fmt.Fprint(out, diffaudit.RenderDiffReport(d))
+	default:
+		return fmt.Errorf("unknown -format %q (want md or json)", *format)
+	}
+	return nil
 }
 
 // openSources opens every capture as a streaming source. The caller owns
@@ -280,7 +381,7 @@ func (c *countingSource) Next() (diffaudit.RequestRecord, error) {
 // auditFiles streams the given captures through the pipeline twice: one
 // pass to guess the service identity, one to audit — so whole captures are
 // never resident no matter their size.
-func auditFiles(auditor *diffaudit.Auditor, name, keylog string, hars, pcaps traceFlag, findings bool, scenario *diffaudit.Scenario) {
+func auditFiles(auditor *diffaudit.Auditor, name, keylog string, hars, pcaps traceFlag, findings bool, scenario *diffaudit.Scenario, snapshotOut, dataDir string) {
 	srcs, _, err := openSources(keylog, hars, pcaps)
 	if err != nil {
 		log.Fatal(err)
@@ -324,5 +425,22 @@ func auditFiles(auditor *diffaudit.Auditor, name, keylog string, hars, pcaps tra
 		for _, f := range diffaudit.FindingsScenario(res, scenario) {
 			fmt.Println(" ", f)
 		}
+	}
+	if snapshotOut != "" {
+		if err := diffaudit.SaveSnapshot(snapshotOut, res); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot written to %s\n", snapshotOut)
+	}
+	if dataDir != "" {
+		st, err := diffaudit.OpenSnapshotStore(dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		meta, err := st.Put("", res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot stored: seq=%d hash=%s\n", meta.Seq, meta.Hash[:12])
 	}
 }

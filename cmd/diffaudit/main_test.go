@@ -4,6 +4,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -86,6 +88,108 @@ func TestPackFlagAndScenario(t *testing.T) {
 	}
 	if f.String() != "coppa,gdpr=15" {
 		t.Errorf("String() = %q", f.String())
+	}
+}
+
+// diffResults builds two audits of one service with a controlled flow
+// delta: the second sees one extra request carrying an advertising ID to a
+// tracker.
+func diffResults(t *testing.T) (*diffaudit.ServiceResult, *diffaudit.ServiceResult) {
+	t.Helper()
+	auditor := diffaudit.New()
+	id := diffaudit.ServiceIdentity{Name: "delta-svc", Owner: "Delta Inc", FirstPartyESLDs: []string{"delta.example"}}
+	base := []diffaudit.RequestRecord{{
+		Trace: diffaudit.Child, Platform: diffaudit.Web, Method: "GET",
+		URL: "https://api.delta.example/v1?user_id=u1", FQDN: "api.delta.example",
+	}}
+	extra := append(append([]diffaudit.RequestRecord(nil), base...), diffaudit.RequestRecord{
+		Trace: diffaudit.Child, Platform: diffaudit.Web, Method: "GET",
+		URL: "https://stats.g.doubleclick.net/collect?advertising_id=a1", FQDN: "stats.g.doubleclick.net",
+	})
+	return auditor.AuditRecords(id, base), auditor.AuditRecords(id, extra)
+}
+
+// TestRunDiff drives the diff subcommand over snapshot files and over a
+// filesystem store: both must report the injected flow delta.
+func TestRunDiff(t *testing.T) {
+	from, to := diffResults(t)
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.snap")
+	newPath := filepath.Join(dir, "new.snap")
+	if err := diffaudit.SaveSnapshot(oldPath, from); err != nil {
+		t.Fatal(err)
+	}
+	if err := diffaudit.SaveSnapshot(newPath, to); err != nil {
+		t.Fatal(err)
+	}
+
+	var md strings.Builder
+	if err := runDiff([]string{oldPath, newPath}, &md); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"stats.g.doubleclick.net", "+ "} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown diff missing %q:\n%s", want, md.String())
+		}
+	}
+
+	var js strings.Builder
+	if err := runDiff([]string{"-format", "json", oldPath, newPath}, &js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"changed": true`) || !strings.Contains(js.String(), "stats.g.doubleclick.net") {
+		t.Errorf("json diff missing delta:\n%s", js.String())
+	}
+
+	// Store-backed references: store both snapshots and diff by sequence.
+	storeDir := t.TempDir()
+	st, err := diffaudit.OpenSnapshotStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put("", from); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put("", to); err != nil {
+		t.Fatal(err)
+	}
+	var stored strings.Builder
+	if err := runDiff([]string{"-data-dir", storeDir, "1", "2"}, &stored); err != nil {
+		t.Fatal(err)
+	}
+	if stored.String() != md.String() {
+		t.Errorf("store-backed diff differs from file-backed diff:\n%s\nvs\n%s", stored.String(), md.String())
+	}
+
+	// A stray local file whose name collides with a store reference must
+	// not shadow the store: "1" resolves to sequence 1, not to ./1.
+	shadowDir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(shadowDir, "1"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Not t.Chdir: the CI matrix still runs Go 1.22/1.23.
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(shadowDir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(wd) })
+	var shadowed strings.Builder
+	if err := runDiff([]string{"-data-dir", storeDir, "1", "2"}, &shadowed); err != nil {
+		t.Fatalf("store ref shadowed by stray file: %v", err)
+	}
+	if shadowed.String() != md.String() {
+		t.Error("stray file changed the store-ref diff output")
+	}
+
+	// Error paths: missing file without a store, bad arg count.
+	if err := runDiff([]string{"nope.snap", newPath}, &strings.Builder{}); err == nil {
+		t.Error("missing snapshot file accepted")
+	}
+	if err := runDiff([]string{oldPath}, &strings.Builder{}); err == nil {
+		t.Error("single argument accepted")
 	}
 }
 

@@ -42,6 +42,7 @@ import (
 	"diffaudit/internal/report"
 	"diffaudit/internal/server"
 	"diffaudit/internal/services"
+	"diffaudit/internal/store"
 	"diffaudit/internal/synth"
 )
 
@@ -127,6 +128,21 @@ type (
 	ServerConfig = server.Config
 	// ServerJob is one queued or completed server-side audit.
 	ServerJob = server.Job
+	// SnapshotStore persists audit results as content-addressed,
+	// sequence-ordered snapshots (backends: NewMemSnapshotStore,
+	// OpenSnapshotStore).
+	SnapshotStore = store.Store
+	// SnapshotMeta describes one stored snapshot (sequence, content
+	// hash, service, originating job).
+	SnapshotMeta = store.Meta
+	// LongitudinalDiff compares two audits of one service over time,
+	// per persona.
+	LongitudinalDiff = core.LongitudinalDiff
+	// PersonaDelta is one persona's longitudinal flow delta.
+	PersonaDelta = core.PersonaDelta
+	// DiffDoc is the machine-readable longitudinal diff document served
+	// by GET /diff.
+	DiffDoc = report.DiffDoc
 )
 
 // Trace categories.
@@ -288,7 +304,50 @@ func BuiltinPersonas() []Persona { return flows.BuiltinPersonas() }
 
 // NewServer starts an audit server: POST /audit uploads captures onto a
 // bounded job queue, GET /jobs/{id}/report.{json,csv} fetches results.
+// With ServerConfig.Store set, finished audits persist as snapshots and
+// GET /snapshots and GET /diff serve the longitudinal API.
 func NewServer(cfg ServerConfig) *AuditServer { return server.New(cfg) }
+
+// NewMemSnapshotStore returns an in-memory snapshot store — the full
+// snapshot API with process-lifetime durability.
+func NewMemSnapshotStore() SnapshotStore { return store.NewMemStore() }
+
+// OpenSnapshotStore opens (creating if needed) a filesystem snapshot
+// store: one append-only, crash-safe file per snapshot under dir, rescanned
+// on open so snapshots survive restarts. This is the store behind
+// `diffaudit serve -data-dir`.
+func OpenSnapshotStore(dir string) (SnapshotStore, error) { return store.OpenFSStore(dir) }
+
+// SaveSnapshot writes an audit result to path as a standalone snapshot
+// file: a self-contained, versioned binary encoding (symbol tables
+// included) that any later diffaudit process can read back.
+func SaveSnapshot(path string, r *ServiceResult) error { return store.SaveFile(path, r) }
+
+// LoadSnapshot reads a snapshot file written by SaveSnapshot.
+func LoadSnapshot(path string) (*ServiceResult, error) { return store.LoadFile(path) }
+
+// EncodeSnapshot serializes a result with the versioned snapshot codec.
+// The encoding is canonical: identical results encode to identical bytes,
+// which is what makes content hashing meaningful.
+func EncodeSnapshot(r *ServiceResult) []byte { return store.EncodeResult(r) }
+
+// DecodeSnapshot parses a snapshot encoding back into a result,
+// re-registering any custom personas it references.
+func DecodeSnapshot(data []byte) (*ServiceResult, error) { return store.DecodeResult(data) }
+
+// DiffSnapshots compares two audits of one service over time (oldest
+// first): per persona, the added and removed flows plus Table 4 grid
+// similarity — the longitudinal counterpart of Diff.
+func DiffSnapshots(from, to *ServiceResult) LongitudinalDiff {
+	return core.Longitudinal(from, to)
+}
+
+// RenderDiffReport renders a longitudinal diff as markdown.
+func RenderDiffReport(d LongitudinalDiff) string { return report.DiffReport(d) }
+
+// ExportDiffJSON renders a longitudinal diff as machine-readable JSON —
+// the GET /diff response body.
+func ExportDiffJSON(d LongitudinalDiff) ([]byte, error) { return report.ExportDiffJSON(d) }
 
 // LoadHARFile parses a website capture exported from the browser's network
 // panel into request records.

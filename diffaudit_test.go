@@ -29,6 +29,60 @@ func TestAuditAllEndToEnd(t *testing.T) {
 	}
 }
 
+// TestSnapshotWorkflowPublicAPI drives the snapshot surface end to end:
+// save an audit, reload it, verify the reload renders identically, and
+// diff it against a later audit with an injected flow.
+func TestSnapshotWorkflowPublicAPI(t *testing.T) {
+	auditor := diffaudit.New()
+	id := diffaudit.ServiceIdentity{Name: "snap-svc", Owner: "Snap Inc", FirstPartyESLDs: []string{"snap.example"}}
+	base := []diffaudit.RequestRecord{{
+		Trace: diffaudit.Adult, Platform: diffaudit.Web, Method: "GET",
+		URL: "https://api.snap.example/v1?email=a@b.c", FQDN: "api.snap.example",
+	}}
+	first := auditor.AuditRecords(id, base)
+
+	path := filepath.Join(t.TempDir(), "first.snap")
+	if err := diffaudit.SaveSnapshot(path, first); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := diffaudit.LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := diffaudit.ExportJSON([]*diffaudit.ServiceResult{first})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := diffaudit.ExportJSON([]*diffaudit.ServiceResult{reloaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotJSON) != string(wantJSON) {
+		t.Error("reloaded snapshot renders differently")
+	}
+	if string(diffaudit.EncodeSnapshot(reloaded)) != string(diffaudit.EncodeSnapshot(first)) {
+		t.Error("snapshot encoding is not canonical through the public API")
+	}
+
+	second := auditor.AuditRecords(id, append(append([]diffaudit.RequestRecord(nil), base...),
+		diffaudit.RequestRecord{
+			Trace: diffaudit.Adult, Platform: diffaudit.Mobile, Method: "POST",
+			URL: "https://pixel.mathtag.com/sync?advertising_id=x1", FQDN: "pixel.mathtag.com",
+		}))
+	d := diffaudit.DiffSnapshots(reloaded, second)
+	if !d.Changed() {
+		t.Fatal("injected flow not detected")
+	}
+	md := diffaudit.RenderDiffReport(d)
+	if !strings.Contains(md, "pixel.mathtag.com") {
+		t.Errorf("diff report missing injected destination:\n%s", md)
+	}
+	js, err := diffaudit.ExportDiffJSON(d)
+	if err != nil || !strings.Contains(string(js), `"changed": true`) {
+		t.Errorf("diff JSON: %v\n%s", err, js)
+	}
+}
+
 func TestPolicyConsistencyMatchesPaper(t *testing.T) {
 	// "All but one of the services had privacy policies that were
 	// inconsistent with the data flows we observed" — YouTube is the one.

@@ -122,6 +122,86 @@ func AgeDifferential(r *ServiceResult) map[flows.Persona]float64 {
 	return Differential(r, flows.Adult, func(p flows.Persona) bool { return p.AgeBelow(16) })
 }
 
+// PersonaDelta is one persona's longitudinal comparison: how the flows
+// observed for that persona changed between an older and a newer audit of
+// the same service.
+type PersonaDelta struct {
+	Persona flows.Persona
+	// Added holds flows present only in the newer audit; Removed only in
+	// the older one. Both use the (category, FQDN) flow identity, like Diff.
+	Added, Removed []flows.Flow
+	// Unchanged counts flows present in both audits.
+	Unchanged int
+	// GridSimilarity is the Table 4 grid similarity between the two audits
+	// (1 = identical processing at group × destination-class granularity).
+	GridSimilarity float64
+	// GridDeltas lists the grid cells that changed.
+	GridDeltas []GroupDelta
+}
+
+// LongitudinalDiff compares a service against itself over time: the same
+// differential machinery the paper applies across personas at one point in
+// time (Diff, GridSimilarity, GridDiff), applied per persona across two
+// audits — did a finding regress after an app update?
+type LongitudinalDiff struct {
+	// From and To identify the older and newer audits.
+	From, To ServiceIdentity
+	// Personas holds one delta per persona present in either audit, in
+	// registry order. A persona absent from one side compares against the
+	// empty flow set.
+	Personas []PersonaDelta
+}
+
+// Changed reports whether any persona's flows differ between the audits.
+func (d LongitudinalDiff) Changed() bool {
+	for _, p := range d.Personas {
+		if len(p.Added) > 0 || len(p.Removed) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Longitudinal diffs two audits of one service, oldest first.
+func Longitudinal(from, to *ServiceResult) LongitudinalDiff {
+	d := LongitudinalDiff{From: from.Identity, To: to.Identity}
+	seen := make(map[flows.Persona]bool, len(from.ByTrace)+len(to.ByTrace))
+	var personas []flows.Persona
+	for p := range from.ByTrace {
+		if !seen[p] {
+			seen[p] = true
+			personas = append(personas, p)
+		}
+	}
+	for p := range to.ByTrace {
+		if !seen[p] {
+			seen[p] = true
+			personas = append(personas, p)
+		}
+	}
+	flows.SortPersonas(personas)
+	empty := flows.NewSet()
+	for _, p := range personas {
+		a, b := from.ByTrace[p], to.ByTrace[p]
+		if a == nil {
+			a = empty
+		}
+		if b == nil {
+			b = empty
+		}
+		fd := Diff(a, b)
+		d.Personas = append(d.Personas, PersonaDelta{
+			Persona:        p,
+			Added:          fd.OnlyB,
+			Removed:        fd.OnlyA,
+			Unchanged:      len(fd.Both),
+			GridSimilarity: GridSimilarity(a, b),
+			GridDeltas:     GridDiff(a, b),
+		})
+	}
+	return d
+}
+
 // PlatformCell is a Table 4 grid cell observed on exactly one platform.
 type PlatformCell struct {
 	Trace flows.Persona

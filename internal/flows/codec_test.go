@@ -1,0 +1,162 @@
+package flows
+
+import (
+	"testing"
+
+	"diffaudit/internal/ontology"
+	"diffaudit/internal/wire"
+)
+
+// buildSet assembles a set with known flows across both platforms,
+// including a custom (non-canonical) category.
+func buildSet(t *testing.T) *Set {
+	t.Helper()
+	age, ok := ontology.Lookup("Age")
+	if !ok {
+		t.Fatal("canonical category missing")
+	}
+	custom := &ontology.Category{Name: "Codec Custom Type", Group: ontology.Sensors}
+	s := NewSet()
+	s.Add(Flow{Category: age, Dest: Destination{FQDN: "a.example", ESLD: "example", Owner: "Example Inc", Class: FirstParty}}, Web)
+	s.Add(Flow{Category: age, Dest: Destination{FQDN: "t.tracker.example", ESLD: "tracker.example", Owner: "Tracker", Class: ThirdPartyATS}}, Mobile)
+	s.Add(Flow{Category: custom, Dest: Destination{FQDN: "a.example", ESLD: "example", Owner: "Example Inc", Class: FirstParty}}, Web)
+	s.Add(Flow{Category: custom, Dest: Destination{FQDN: "a.example", ESLD: "example", Owner: "Example Inc", Class: FirstParty}}, Mobile)
+	return s
+}
+
+// encodeSets serializes sets the way the store codec does: shared tables
+// first, then each set.
+func encodeSets(sets ...*Set) []byte {
+	enc := NewSetEncoder()
+	for _, s := range sets {
+		enc.Collect(s)
+	}
+	w := &wire.Writer{}
+	enc.WriteTables(w)
+	for _, s := range sets {
+		enc.WriteSet(w, s)
+	}
+	return w.Bytes()
+}
+
+func TestSetCodecRoundTrip(t *testing.T) {
+	s := buildSet(t)
+	data := encodeSets(s)
+
+	r := wire.NewReader(data)
+	dec, err := ReadSetTables(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.ReadSet(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Len() != s.Len() {
+		t.Fatalf("decoded %d flows, want %d", got.Len(), s.Len())
+	}
+	want := s.Flows()
+	for i, f := range got.Flows() {
+		if f.Key() != want[i].Key() || f.Dest != want[i].Dest {
+			t.Errorf("flow %d = %+v, want %+v", i, f, want[i])
+		}
+		if got.Platforms(f) != s.Platforms(f) {
+			t.Errorf("flow %d platform mask = %v, want %v", i, got.Platforms(f), s.Platforms(f))
+		}
+	}
+
+	// Canonical: re-encoding the decoded set reproduces the bytes.
+	if string(encodeSets(got)) != string(data) {
+		t.Error("re-encoding the decoded set is not byte-identical")
+	}
+
+	// The custom category decodes with its serialized group, and the
+	// canonical one resolves to the canonical pointer (full metadata).
+	for _, f := range got.Flows() {
+		switch f.Category.Name {
+		case "Codec Custom Type":
+			if f.Category.Group != ontology.Sensors {
+				t.Errorf("custom category group = %v", f.Category.Group)
+			}
+		case "Age":
+			if canonical, _ := ontology.Lookup("Age"); f.Category != canonical {
+				t.Error("canonical category did not resolve to the ontology pointer")
+			}
+		}
+	}
+}
+
+func TestSetCodecEmptyAndNil(t *testing.T) {
+	data := encodeSets(NewSet(), nil)
+	r := wire.NewReader(data)
+	dec, err := ReadSetTables(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		set, err := dec.ReadSet(r)
+		if err != nil || set.Len() != 0 {
+			t.Fatalf("set %d: len=%d err=%v", i, set.Len(), err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetCodecRejectsBadReferences(t *testing.T) {
+	s := buildSet(t)
+	data := encodeSets(s)
+
+	// Re-read tables, then hand-craft a set whose flow references an
+	// out-of-range symbol index.
+	r := wire.NewReader(data)
+	dec, err := ReadSetTables(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dec
+
+	w := &wire.Writer{}
+	w.Int(1)
+	w.Uvarint(99) // category index out of range
+	w.Uvarint(0)
+	w.Byte(byte(OnWeb))
+	r2 := wire.NewReader(w.Bytes())
+	if _, err := dec.ReadSet(r2); err == nil {
+		t.Error("accepted out-of-range category index")
+	}
+
+	// Invalid platform mask.
+	w = &wire.Writer{}
+	w.Int(1)
+	w.Uvarint(0)
+	w.Uvarint(0)
+	w.Byte(0)
+	if _, err := dec.ReadSet(wire.NewReader(w.Bytes())); err == nil {
+		t.Error("accepted zero platform mask")
+	}
+}
+
+func TestAddMask(t *testing.T) {
+	age, _ := ontology.Lookup("Age")
+	c := InternCategory(age)
+	d := InternDestination(Destination{FQDN: "m.example", ESLD: "example", Owner: "E", Class: ThirdParty})
+	s := NewSet()
+	s.AddMask(c, d, 0) // no-op
+	if s.Len() != 0 {
+		t.Fatal("zero mask inserted a flow")
+	}
+	s.AddMask(c, d, OnWeb|OnMobile)
+	if s.Len() != 1 {
+		t.Fatal("flow not inserted")
+	}
+	f := s.Flows()[0]
+	if got := s.Platforms(f); got != OnWeb|OnMobile {
+		t.Errorf("mask = %v", got)
+	}
+}

@@ -224,6 +224,21 @@ func (s *Set) AddIDs(c CatID, d DestID, p Platform) {
 	}
 }
 
+// AddMask records a flow by its interned IDs with an explicit platform
+// mask — the snapshot decoder's inner loop, which replays masks that may
+// cover both platforms in one call. A zero mask is a no-op.
+func (s *Set) AddMask(c CatID, d DestID, m PlatformMask) {
+	if m == 0 {
+		return
+	}
+	k := PackFlowKey(c, d)
+	n := len(s.flows)
+	s.flows[k] |= m
+	if len(s.flows) != n {
+		s.sorted.Store(nil)
+	}
+}
+
 // Merge folds another set into this one. Packed keys are global, so this
 // is a direct key-wise mask union.
 func (s *Set) Merge(other *Set) {

@@ -100,8 +100,8 @@ type CINorm struct {
 	Personas PersonaPredicate
 	// Classes limits the norm to destination classes (nil = any).
 	Classes []flows.DestClass
-	Verdict  Verdict
-	Reason   string
+	Verdict Verdict
+	Reason  string
 }
 
 // ConsentNorm names the transmission principle governing a persona's

@@ -1,0 +1,138 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"diffaudit/internal/core"
+	"diffaudit/internal/flows"
+)
+
+// Longitudinal diff rendering: the human- and machine-readable views of
+// core.Longitudinal, the "diff a service against itself over time" analysis
+// served by GET /diff and the `diffaudit diff` subcommand.
+
+// DiffFlow is one added or removed flow in export form.
+type DiffFlow struct {
+	Category   string `json:"data_type_category"`
+	Group      string `json:"data_type_group"`
+	Identifier bool   `json:"is_identifier"`
+	FQDN       string `json:"destination"`
+	ESLD       string `json:"esld"`
+	Owner      string `json:"owner"`
+	Class      string `json:"destination_class"`
+}
+
+// DiffPersona is one persona's longitudinal delta in export form.
+type DiffPersona struct {
+	Persona        string     `json:"persona"`
+	Added          []DiffFlow `json:"added,omitempty"`
+	Removed        []DiffFlow `json:"removed,omitempty"`
+	Unchanged      int        `json:"unchanged"`
+	GridSimilarity float64    `json:"grid_similarity"`
+	GridDeltas     []string   `json:"grid_deltas,omitempty"`
+}
+
+// DiffDoc is the machine-readable longitudinal diff document.
+type DiffDoc struct {
+	FromService string        `json:"from_service"`
+	ToService   string        `json:"to_service"`
+	Changed     bool          `json:"changed"`
+	Added       int           `json:"added"`
+	Removed     int           `json:"removed"`
+	Personas    []DiffPersona `json:"personas"`
+}
+
+// diffFlow flattens one flow.
+func diffFlow(f flows.Flow) DiffFlow {
+	return DiffFlow{
+		Category:   f.Category.Name,
+		Group:      f.Category.Group.String(),
+		Identifier: f.Category.IsIdentifier(),
+		FQDN:       f.Dest.FQDN,
+		ESLD:       f.Dest.ESLD,
+		Owner:      f.Dest.Owner,
+		Class:      f.Dest.Class.String(),
+	}
+}
+
+// gridDelta renders one changed grid cell as a compact marker string.
+func gridDelta(gd core.GroupDelta) string {
+	dir := "+"
+	if gd.InA && !gd.InB {
+		dir = "-"
+	}
+	return fmt.Sprintf("%s%s / %s", dir, gd.Group, gd.Class)
+}
+
+// ExportDiff flattens a longitudinal diff into its export document.
+func ExportDiff(d core.LongitudinalDiff) DiffDoc {
+	doc := DiffDoc{
+		FromService: d.From.Name,
+		ToService:   d.To.Name,
+		Changed:     d.Changed(),
+	}
+	for _, p := range d.Personas {
+		dp := DiffPersona{
+			Persona:        p.Persona.String(),
+			Unchanged:      p.Unchanged,
+			GridSimilarity: p.GridSimilarity,
+		}
+		for _, f := range p.Added {
+			dp.Added = append(dp.Added, diffFlow(f))
+		}
+		for _, f := range p.Removed {
+			dp.Removed = append(dp.Removed, diffFlow(f))
+		}
+		for _, gd := range p.GridDeltas {
+			dp.GridDeltas = append(dp.GridDeltas, gridDelta(gd))
+		}
+		doc.Added += len(dp.Added)
+		doc.Removed += len(dp.Removed)
+		doc.Personas = append(doc.Personas, dp)
+	}
+	return doc
+}
+
+// ExportDiffJSON renders a longitudinal diff as an indented JSON document.
+func ExportDiffJSON(d core.LongitudinalDiff) ([]byte, error) {
+	return json.MarshalIndent(ExportDiff(d), "", "  ")
+}
+
+// DiffReport renders a longitudinal diff as markdown: per persona, the
+// added and removed flows plus the Table 4 grid similarity, mirroring the
+// layout of the per-service audit report.
+func DiffReport(d core.LongitudinalDiff) string {
+	var b strings.Builder
+	title := d.From.Name
+	if d.To.Name != d.From.Name {
+		title = d.From.Name + " → " + d.To.Name
+	}
+	fmt.Fprintf(&b, "# Longitudinal diff: %s\n\n", title)
+	if !d.Changed() {
+		b.WriteString("No flow changes between the two audits.\n")
+	}
+	for _, p := range d.Personas {
+		if len(p.Added) == 0 && len(p.Removed) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "## %s\n\n", p.Persona)
+		fmt.Fprintf(&b, "%d added, %d removed, %d unchanged (grid similarity %.2f)\n\n",
+			len(p.Added), len(p.Removed), p.Unchanged, p.GridSimilarity)
+		for _, f := range p.Added {
+			fmt.Fprintf(&b, "+ %s → %s (%s)\n", f.Category.Name, f.Dest.FQDN, f.Dest.Class)
+		}
+		for _, f := range p.Removed {
+			fmt.Fprintf(&b, "- %s → %s (%s)\n", f.Category.Name, f.Dest.FQDN, f.Dest.Class)
+		}
+		if len(p.GridDeltas) > 0 {
+			b.WriteString("\nGrid cells changed:\n")
+			for _, gd := range p.GridDeltas {
+				fmt.Fprintf(&b, "  %s\n", gridDelta(gd))
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

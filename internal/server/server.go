@@ -17,9 +17,26 @@
 //	GET  /personas         registered personas and available rule packs
 //	GET  /jobs             job summaries
 //	GET  /jobs/{id}        one job's status
-//	GET  /jobs/{id}/report.json   full audit export (ready jobs only)
+//	GET  /jobs/{id}/report.json   full audit export (finished jobs)
 //	GET  /jobs/{id}/report.csv    per-flow CSV export
+//	GET  /snapshots        stored snapshot metadata (Store configured)
+//	GET  /diff?from=&to=   longitudinal diff between two snapshots
+//	                       (refs: seq, hash, unique hash prefix, or job
+//	                       ID; ?format=md for markdown, default JSON)
 //	GET  /healthz          liveness + queue depth
+//
+// # Result durability and eviction
+//
+// With no snapshot store configured (Config.Store nil), results are
+// memory-only: once the MaxJobs retention cap evicts a finished job, its
+// ID answers 404 on /jobs/{id} and on both report endpoints — the
+// pre-snapshot behavior. With a Store configured, every successful audit
+// is persisted as a content-addressed snapshot before it becomes
+// evictable; eviction then drops only the in-memory Job bookkeeping, and
+// the report endpoints keep answering 200 for evicted IDs by decoding the
+// stored snapshot (/jobs/{id} itself still answers 404 — the job metadata
+// is gone, the result is not). An FSStore-backed server therefore serves
+// byte-identical reports across restarts.
 package server
 
 import (
@@ -31,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -40,6 +58,7 @@ import (
 	"diffaudit/internal/lawaudit"
 	"diffaudit/internal/report"
 	"diffaudit/internal/services"
+	"diffaudit/internal/store"
 )
 
 // Config tunes the audit server.
@@ -57,11 +76,20 @@ type Config struct {
 	// TempDir holds uploaded captures while their job is live (default
 	// os.TempDir()).
 	TempDir string
-	// MaxJobs bounds how many finished jobs (and their results) are
-	// retained for report fetching (default 256). When the cap is hit,
-	// the oldest finished jobs are evicted — queued and running jobs are
+	// MaxJobs bounds how many finished jobs are retained in memory for
+	// status and report fetching (default 256). When the cap is hit, the
+	// oldest finished jobs are evicted — queued and running jobs are
 	// never evicted, so a long-lived server's memory stays bounded.
+	// Without a Store, eviction destroys the result; with one, it drops
+	// only the in-memory Job and the stored snapshot keeps serving. A
+	// done job whose snapshot failed to persist (Job.SnapshotError) is
+	// retained past the cap rather than silently lost.
 	MaxJobs int
+	// Store persists finished audits as content-addressed snapshots,
+	// enabling the /snapshots and /diff endpoints, report fetching for
+	// evicted jobs, and (with store.FSStore) restart durability. Nil
+	// keeps results memory-only.
+	Store store.Store
 	// NewPipeline constructs the analysis pipeline for each job (default
 	// core.NewPipeline). Jobs never share a pipeline, so label caches are
 	// per-job and results stay deterministic.
@@ -90,6 +118,13 @@ type Job struct {
 	FinishedAt  time.Time `json:"finished_at"`
 	// Files is the number of capture files in the job.
 	Files int `json:"files"`
+	// SnapshotSeq and SnapshotHash reference the stored snapshot of a
+	// successful job (zero when no Store is configured). SnapshotError
+	// records a snapshot persistence failure — the audit itself still
+	// succeeded, but only its in-memory result exists.
+	SnapshotSeq   uint64 `json:"snapshot_seq,omitempty"`
+	SnapshotHash  string `json:"snapshot_hash,omitempty"`
+	SnapshotError string `json:"snapshot_error,omitempty"`
 
 	uploads []upload
 	keylog  string // temp path of the uploaded SSLKEYLOGFILE ("" if none)
@@ -151,7 +186,22 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /jobs/{id}/report.json", s.handleReportJSON)
 	s.mux.HandleFunc("GET /jobs/{id}/report.csv", s.handleReportCSV)
+	s.mux.HandleFunc("GET /snapshots", s.handleSnapshots)
+	s.mux.HandleFunc("GET /diff", s.handleDiff)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	// A restarted server must not mint job IDs that collide with the IDs
+	// recorded in its store's snapshots, or /jobs/{id}/report.* would
+	// serve the wrong audit. Seed the counter past every stored job ID.
+	if cfg.Store != nil {
+		if metas, err := cfg.Store.List(); err == nil {
+			for _, m := range metas {
+				var n int
+				if _, err := fmt.Sscanf(m.JobID, "job-%d", &n); err == nil && n > s.nextID {
+					s.nextID = n
+				}
+			}
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -196,6 +246,15 @@ func (s *Server) run(job *Job) {
 
 	result, err := s.audit(job)
 
+	// Persist the snapshot before the job becomes visible as done (and
+	// thus evictable): a finished job either has its result in memory or
+	// in the store, never neither.
+	var meta store.Meta
+	var storeErr error
+	if err == nil && s.cfg.Store != nil {
+		meta, storeErr = s.cfg.Store.Put(job.ID, result)
+	}
+
 	s.mu.Lock()
 	job.FinishedAt = time.Now().UTC()
 	if err != nil {
@@ -204,6 +263,11 @@ func (s *Server) run(job *Job) {
 	} else {
 		job.State = JobDone
 		job.result = result
+		job.SnapshotSeq = meta.Seq
+		job.SnapshotHash = meta.Hash
+		if storeErr != nil {
+			job.SnapshotError = storeErr.Error()
+		}
 	}
 	s.mu.Unlock()
 	job.cleanup()
@@ -267,7 +331,10 @@ func (s *Server) audit(job *Job) (*core.ServiceResult, error) {
 }
 
 // evictLocked drops the oldest finished jobs once the retention cap is
-// exceeded, so results do not accumulate forever. Callers hold s.mu.
+// exceeded, so in-memory results do not accumulate forever. Only the Job
+// bookkeeping is dropped: with a Store configured the persisted snapshot
+// remains addressable (report endpoints, /snapshots, /diff). Callers hold
+// s.mu.
 func (s *Server) evictLocked() {
 	excess := len(s.jobs) - s.cfg.MaxJobs
 	if excess <= 0 {
@@ -276,7 +343,17 @@ func (s *Server) evictLocked() {
 	kept := s.order[:0]
 	for _, id := range s.order {
 		job := s.jobs[id]
-		if excess > 0 && (job.State == JobDone || job.State == JobFailed) {
+		evictable := job.State == JobDone || job.State == JobFailed
+		if s.cfg.Store != nil && job.State == JobDone && job.SnapshotError != "" {
+			// The snapshot failed to persist (e.g. disk full), so this
+			// in-memory result is the only copy. Evicting it would break
+			// the "in memory or in the store, never neither" invariant —
+			// retain it past MaxJobs and let SnapshotError surface the
+			// problem; the operator-visible trade is slow memory growth
+			// over silent result loss.
+			evictable = false
+		}
+		if excess > 0 && evictable {
 			delete(s.jobs, id)
 			excess--
 			continue
@@ -456,26 +533,82 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, snap)
 }
 
-// reportResult fetches a finished job's result, writing the right error
-// status when it is not available.
-func (s *Server) reportResult(w http.ResponseWriter, id string) (*core.ServiceResult, bool) {
+// fetchResult resolves a job ID to its audit result: live finished jobs
+// from memory, evicted-but-stored jobs by decoding their snapshot. On
+// failure it returns the HTTP status and message the caller should write.
+func (s *Server) fetchResult(id string) (*core.ServiceResult, int, string) {
 	job, okJob := s.lookup(id)
 	if !okJob {
-		httpError(w, http.StatusNotFound, "no such job")
-		return nil, false
+		res, err := s.storedJobResult(id)
+		if err != nil {
+			// A snapshot for this job exists but cannot be served — a
+			// storage failure, not a missing job; 404 would mask it.
+			return nil, http.StatusInternalServerError, fmt.Sprintf("stored snapshot for %s: %v", id, err)
+		}
+		if res != nil {
+			return res, 0, ""
+		}
+		return nil, http.StatusNotFound, "no such job"
 	}
 	s.mu.Lock()
 	state, res, errMsg := job.State, job.result, job.Error
 	s.mu.Unlock()
 	switch state {
 	case JobDone:
-		return res, true
+		return res, 0, ""
 	case JobFailed:
-		httpError(w, http.StatusConflict, "job failed: %s", errMsg)
+		return nil, http.StatusConflict, fmt.Sprintf("job failed: %s", errMsg)
 	default:
-		httpError(w, http.StatusConflict, "job is %s; report not ready", state)
+		return nil, http.StatusConflict, fmt.Sprintf("job is %s; report not ready", state)
 	}
-	return nil, false
+}
+
+// storedJobResult fetches the newest stored snapshot whose recorded job
+// ID matches exactly. Job endpoints must never fall back to the store's
+// general reference resolution (sequence, hash, hash prefix) — otherwise
+// GET /jobs/1/report.json would serve the sequence-1 snapshot of a job
+// that never existed. (nil, nil) means no snapshot for this job; a
+// non-nil error means a matching snapshot exists but cannot be served.
+func (s *Server) storedJobResult(id string) (*core.ServiceResult, error) {
+	if s.cfg.Store == nil {
+		return nil, nil
+	}
+	metas, err := s.cfg.Store.List()
+	if err != nil {
+		return nil, err
+	}
+	for i := len(metas) - 1; i >= 0; i-- {
+		if metas[i].JobID != id {
+			continue
+		}
+		res, _, err := s.cfg.Store.Get(strconv.FormatUint(metas[i].Seq, 10))
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	return nil, nil
+}
+
+// reportResult is fetchResult with the error path written to the response.
+func (s *Server) reportResult(w http.ResponseWriter, id string) (*core.ServiceResult, bool) {
+	res, code, msg := s.fetchResult(id)
+	if code != 0 {
+		httpError(w, code, "%s", msg)
+		return nil, false
+	}
+	return res, true
+}
+
+// writeRendered writes one rendered export, folding the render-error path
+// every report/diff handler shares.
+func writeRendered(w http.ResponseWriter, contentType string, data []byte, err error) {
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "render: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Write(data)
 }
 
 func (s *Server) handleReportJSON(w http.ResponseWriter, r *http.Request) {
@@ -484,12 +617,7 @@ func (s *Server) handleReportJSON(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	data, err := report.ExportJSON([]*core.ServiceResult{res})
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "render: %v", err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(data)
+	writeRendered(w, "application/json", data, err)
 }
 
 func (s *Server) handleReportCSV(w http.ResponseWriter, r *http.Request) {
@@ -498,12 +626,73 @@ func (s *Server) handleReportCSV(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	csv, err := report.ExportFlowsCSV([]*core.ServiceResult{res})
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "render: %v", err)
+	writeRendered(w, "text/csv", []byte(csv), err)
+}
+
+// snapshotErrStatus distinguishes a reference the caller got wrong (404)
+// from a snapshot that exists but cannot be served — corruption or I/O
+// failure, which a 404 would mask (500).
+func snapshotErrStatus(err error) int {
+	if errors.Is(err, store.ErrUnresolved) {
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
+// requireStore writes the no-store error when snapshots are not enabled.
+func (s *Server) requireStore(w http.ResponseWriter) bool {
+	if s.cfg.Store == nil {
+		httpError(w, http.StatusNotImplemented, "snapshot store not configured (serve with -data-dir or set ServerConfig.Store)")
+		return false
+	}
+	return true
+}
+
+// handleSnapshots lists stored snapshot metadata in sequence order.
+func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
 		return
 	}
-	w.Header().Set("Content-Type", "text/csv")
-	io.WriteString(w, csv)
+	metas, err := s.cfg.Store.List()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "store: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"snapshots": metas})
+}
+
+// handleDiff renders the longitudinal diff between two stored snapshots.
+// from and to accept any store reference: sequence number, content hash,
+// unique hash prefix, or job ID.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	fromRef, toRef := r.URL.Query().Get("from"), r.URL.Query().Get("to")
+	if fromRef == "" || toRef == "" {
+		httpError(w, http.StatusBadRequest, "want /diff?from=<ref>&to=<ref> (ref: snapshot seq, hash, hash prefix, or job ID)")
+		return
+	}
+	from, _, err := s.cfg.Store.Get(fromRef)
+	if err != nil {
+		httpError(w, snapshotErrStatus(err), "from: %v", err)
+		return
+	}
+	to, _, err := s.cfg.Store.Get(toRef)
+	if err != nil {
+		httpError(w, snapshotErrStatus(err), "to: %v", err)
+		return
+	}
+	diff := core.Longitudinal(from, to)
+	switch format := r.URL.Query().Get("format"); format {
+	case "md":
+		writeRendered(w, "text/markdown; charset=utf-8", []byte(report.DiffReport(diff)), nil)
+	case "", "json":
+		data, err := report.ExportDiffJSON(diff)
+		writeRendered(w, "application/json", data, err)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown format %q (want md or json)", format)
+	}
 }
 
 // personaView is one registered persona in the /personas listing.
@@ -553,13 +742,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	jobs := len(s.jobs)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	health := map[string]any{
 		"status":      "ok",
 		"jobs":        jobs,
 		"queue_depth": s.cfg.QueueDepth,
 		"queued":      len(s.queue),
 		"workers":     s.cfg.Workers,
-	})
+	}
+	if s.cfg.Store != nil {
+		if metas, err := s.cfg.Store.List(); err == nil {
+			health["snapshots"] = len(metas)
+		}
+	}
+	writeJSON(w, http.StatusOK, health)
 }
 
 // lookup finds a job by ID.
@@ -574,30 +769,29 @@ func (s *Server) lookup(id string) (*Job, bool) {
 // the job exclusively).
 func (j *Job) snapshot() Job {
 	return Job{
-		ID:          j.ID,
-		State:       j.State,
-		Service:     j.Service,
-		Error:       j.Error,
-		SubmittedAt: j.SubmittedAt,
-		StartedAt:   j.StartedAt,
-		FinishedAt:  j.FinishedAt,
-		Files:       j.Files,
+		ID:            j.ID,
+		State:         j.State,
+		Service:       j.Service,
+		Error:         j.Error,
+		SubmittedAt:   j.SubmittedAt,
+		StartedAt:     j.StartedAt,
+		FinishedAt:    j.FinishedAt,
+		Files:         j.Files,
+		SnapshotSeq:   j.SnapshotSeq,
+		SnapshotHash:  j.SnapshotHash,
+		SnapshotError: j.SnapshotError,
 	}
 }
 
 // Result returns a finished job's audit result (nil until JobDone) — the
-// programmatic counterpart of the report endpoints.
+// programmatic counterpart of the report endpoints, including their
+// evicted-but-stored fallback.
 func (s *Server) Result(id string) (*core.ServiceResult, error) {
-	job, okJob := s.lookup(id)
-	if !okJob {
-		return nil, errors.New("server: no such job")
+	res, code, msg := s.fetchResult(id)
+	if code != 0 {
+		return nil, errors.New("server: " + msg)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if job.State != JobDone {
-		return nil, fmt.Errorf("server: job is %s", job.State)
-	}
-	return job.result, nil
+	return res, nil
 }
 
 // uploadErrStatus distinguishes an upload that tripped MaxUploadBytes

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"mime/multipart"
@@ -18,6 +19,7 @@ import (
 	"diffaudit/internal/har"
 	"diffaudit/internal/report"
 	"diffaudit/internal/services"
+	"diffaudit/internal/store"
 	"diffaudit/internal/synth"
 )
 
@@ -407,9 +409,12 @@ func TestJobEviction(t *testing.T) {
 	}
 }
 
-// TestJobEvictionOldestFirstAnd404Reports pins the retention policy: when
-// the cap is exceeded, finished jobs are evicted strictly oldest-first,
-// and every endpoint for an evicted ID answers 404 — never a stale report.
+// TestJobEvictionOldestFirstAnd404Reports pins the memory-only retention
+// policy (no snapshot store configured): when the cap is exceeded,
+// finished jobs are evicted strictly oldest-first, and every endpoint for
+// an evicted ID answers 404 — never a stale report. With a Store
+// configured, the report endpoints keep serving evicted IDs instead; see
+// TestEvictedJobServedFromStore.
 func TestJobEvictionOldestFirstAnd404Reports(t *testing.T) {
 	srv := New(Config{Workers: 1, QueueDepth: 8, MaxJobs: 2, TempDir: t.TempDir()})
 	defer srv.Close()
@@ -473,6 +478,365 @@ func TestJobEvictionOldestFirstAnd404Reports(t *testing.T) {
 	r.Body.Close()
 	if len(list.Jobs) != 2 || list.Jobs[0].ID != ids[2] || list.Jobs[1].ID != ids[3] {
 		t.Errorf("retained jobs = %+v, want [%s %s]", list.Jobs, ids[2], ids[3])
+	}
+}
+
+// getBody fetches a path, returning status and body.
+func getBody(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, body
+}
+
+// runJob submits the given parts and waits for the job to finish.
+func runJob(t *testing.T, ts *httptest.Server, parts map[string][2]string) Job {
+	t.Helper()
+	resp := submit(t, ts, parts)
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: %d: %s", resp.StatusCode, body)
+	}
+	job := decodeJob(t, resp)
+	done := wait(t, ts, job.ID)
+	if done.State != JobDone {
+		t.Fatalf("job %s failed: %s", job.ID, done.Error)
+	}
+	return done
+}
+
+// TestEvictedJobServedFromStore pins the stored-200 semantics: with a
+// Store configured, eviction drops only the in-memory Job — /jobs/{id}
+// answers 404 for an evicted ID, but both report endpoints keep serving
+// the persisted snapshot byte-identically.
+func TestEvictedJobServedFromStore(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 8, MaxJobs: 2, TempDir: t.TempDir(), Store: store.NewMemStore()})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	harData := string(childHAR(t))
+	var ids []string
+	var preEvictionJSON, preEvictionCSV []byte
+	for i := 0; i < 4; i++ {
+		job := runJob(t, ts, map[string][2]string{"child": {"c.har", harData}, "name": {"", "Quizlet"}})
+		ids = append(ids, job.ID)
+		if job.SnapshotHash == "" || job.SnapshotSeq == 0 {
+			t.Fatalf("finished job carries no snapshot ref: %+v", job)
+		}
+		if i == 0 {
+			_, preEvictionJSON = getBody(t, ts, "/jobs/"+job.ID+"/report.json")
+			_, preEvictionCSV = getBody(t, ts, "/jobs/"+job.ID+"/report.csv")
+		}
+	}
+
+	// The oldest job is evicted from memory...
+	if code, _ := getBody(t, ts, "/jobs/"+ids[0]); code != http.StatusNotFound {
+		t.Errorf("evicted /jobs/%s: %d, want 404", ids[0], code)
+	}
+	// ...but its reports still serve, byte-identically, from the store.
+	code, gotJSON := getBody(t, ts, "/jobs/"+ids[0]+"/report.json")
+	if code != http.StatusOK || !bytes.Equal(gotJSON, preEvictionJSON) {
+		t.Errorf("evicted report.json: %d, identical=%v", code, bytes.Equal(gotJSON, preEvictionJSON))
+	}
+	code, gotCSV := getBody(t, ts, "/jobs/"+ids[0]+"/report.csv")
+	if code != http.StatusOK || !bytes.Equal(gotCSV, preEvictionCSV) {
+		t.Errorf("evicted report.csv: %d, identical=%v", code, bytes.Equal(gotCSV, preEvictionCSV))
+	}
+	// The programmatic accessor agrees.
+	if _, err := srv.Result(ids[0]); err != nil {
+		t.Errorf("Result(%s) after eviction: %v", ids[0], err)
+	}
+
+	// The job endpoints must match stored snapshots by job ID only: a
+	// bare sequence number or hash prefix is not a job and stays 404.
+	snaps, err := srv.cfg.Store.List()
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("store listing: %v", err)
+	}
+	for _, ref := range []string{"1", snaps[0].Hash[:8]} {
+		if code, _ := getBody(t, ts, "/jobs/"+ref+"/report.json"); code != http.StatusNotFound {
+			t.Errorf("/jobs/%s/report.json resolved a non-job store reference: %d", ref, code)
+		}
+	}
+}
+
+// failingStore wraps a Store whose Put always errors — the disk-full case.
+type failingStore struct {
+	store.Store
+}
+
+func (f failingStore) Put(jobID string, r *core.ServiceResult) (store.Meta, error) {
+	return store.Meta{}, errors.New("disk full")
+}
+
+// TestSnapshotFailureBlocksEviction: when the store cannot persist a
+// result, the job records SnapshotError and is retained past MaxJobs —
+// the in-memory copy is the only one, and eviction must not destroy it.
+func TestSnapshotFailureBlocksEviction(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 8, MaxJobs: 2, TempDir: t.TempDir(), Store: failingStore{store.NewMemStore()}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	harData := string(childHAR(t))
+	var ids []string
+	for i := 0; i < 4; i++ {
+		job := runJob(t, ts, map[string][2]string{"child": {"c.har", harData}, "name": {"", "Quizlet"}})
+		if job.SnapshotError == "" || job.SnapshotHash != "" {
+			t.Fatalf("job %+v: want SnapshotError and no hash", job)
+		}
+		ids = append(ids, job.ID)
+	}
+	// Every job survives the cap: none were persisted, so none may be
+	// evicted, and every report still serves from memory.
+	for _, id := range ids {
+		if code, _ := getBody(t, ts, "/jobs/"+id+"/report.json"); code != http.StatusOK {
+			t.Errorf("unpersisted job %s evicted: report %d, want 200", id, code)
+		}
+	}
+}
+
+// brokenGetStore lists one snapshot for job-9 but fails to serve it —
+// the deleted/bit-rotted snapshot file case.
+type brokenGetStore struct {
+	store.Store
+}
+
+func (b brokenGetStore) List() ([]store.Meta, error) {
+	return []store.Meta{{Seq: 1, Hash: "deadbeef", JobID: "job-9", Service: "X"}}, nil
+}
+
+func (b brokenGetStore) Get(ref string) (*core.ServiceResult, store.Meta, error) {
+	return nil, store.Meta{}, errors.New("snapshot checksum mismatch")
+}
+
+// TestUnreadableStoredSnapshotIs500: a job whose snapshot exists but
+// cannot be read is a storage failure, not a missing job — the report
+// endpoint must answer 500, never a masking 404.
+func TestUnreadableStoredSnapshotIs500(t *testing.T) {
+	srv := New(Config{TempDir: t.TempDir(), Store: brokenGetStore{store.NewMemStore()}})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, body := getBody(t, ts, "/jobs/job-9/report.json")
+	if code != http.StatusInternalServerError || !strings.Contains(string(body), "checksum") {
+		t.Errorf("unreadable snapshot: %d %s, want 500 with the store error", code, body)
+	}
+	// A job that never existed anywhere still answers 404.
+	if code, _ := getBody(t, ts, "/jobs/job-77/report.json"); code != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", code)
+	}
+	// The diff endpoint draws the same line: a serving failure is 500,
+	// not a masking 404 (unresolvable refs stay 404, see
+	// TestSnapshotsAndDiffEndpoints).
+	if code, body := getBody(t, ts, "/diff?from=1&to=1"); code != http.StatusInternalServerError {
+		t.Errorf("diff over unreadable snapshot: %d %s, want 500", code, body)
+	}
+}
+
+// deltaHAR builds a minimal HAR capture from request URLs, so tests can
+// inject precise flow deltas.
+func deltaHAR(t *testing.T, urls ...string) string {
+	t.Helper()
+	h := har.New()
+	for _, u := range urls {
+		h.Log.Entries = append(h.Log.Entries, har.Entry{
+			Request: har.Request{Method: "GET", URL: u, HTTPVersion: "HTTP/1.1"},
+		})
+	}
+	data, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestSnapshotsAndDiffEndpoints runs the end-to-end longitudinal
+// acceptance path: two audits with an injected flow delta persisted
+// through an FSStore, a full server restart between them, and GET /diff
+// reporting exactly the delta — identical to a no-restart diff computed
+// directly over the pipeline results.
+func TestSnapshotsAndDiffEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	baseURL := "https://api.quizlet.com/v1/profile?user_id=u123"
+	injectedURL := "https://stats.g.doubleclick.net/collect?advertising_id=adid9"
+
+	st1, err := store.OpenFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := New(Config{TempDir: t.TempDir(), Store: st1})
+	ts1 := httptest.NewServer(srv1)
+	job1 := runJob(t, ts1, map[string][2]string{
+		"child": {"before.har", deltaHAR(t, baseURL)},
+		"name":  {"", "Quizlet"},
+	})
+	ts1.Close()
+	srv1.Close()
+
+	// Restart: fresh store over the same directory, fresh server.
+	st2, err := store.OpenFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(Config{TempDir: t.TempDir(), Store: st2})
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+
+	job2 := runJob(t, ts2, map[string][2]string{
+		"child": {"after.har", deltaHAR(t, baseURL, injectedURL)},
+		"name":  {"", "Quizlet"},
+	})
+	if job2.ID == job1.ID {
+		t.Fatalf("restarted server reused job ID %s", job2.ID)
+	}
+
+	// Both snapshots are listed.
+	code, body := getBody(t, ts2, "/snapshots")
+	if code != http.StatusOK {
+		t.Fatalf("/snapshots: %d: %s", code, body)
+	}
+	var listing struct {
+		Snapshots []store.Meta `json:"snapshots"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Snapshots) != 2 || listing.Snapshots[0].JobID != job1.ID || listing.Snapshots[1].JobID != job2.ID {
+		t.Fatalf("snapshots = %+v", listing.Snapshots)
+	}
+
+	// The diff reports the injected flow, via job-ID refs...
+	code, gotDiff := getBody(t, ts2, "/diff?from="+job1.ID+"&to="+job2.ID)
+	if code != http.StatusOK {
+		t.Fatalf("/diff: %d: %s", code, gotDiff)
+	}
+	var doc report.DiffDoc
+	if err := json.Unmarshal(gotDiff, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Changed || doc.Added == 0 {
+		t.Fatalf("diff reports no change: %s", gotDiff)
+	}
+	foundInjected := false
+	for _, p := range doc.Personas {
+		for _, f := range p.Added {
+			if f.FQDN == "stats.g.doubleclick.net" {
+				foundInjected = true
+			}
+		}
+		if len(p.Removed) != 0 {
+			t.Errorf("unexpected removed flows for %s: %+v", p.Persona, p.Removed)
+		}
+	}
+	if !foundInjected {
+		t.Errorf("injected flow missing from diff: %s", gotDiff)
+	}
+
+	// ...and the served diff is byte-identical to one computed directly
+	// over the pipeline, i.e. the restart changed nothing.
+	want := directDiffJSON(t, baseURL, injectedURL)
+	if !bytes.Equal(gotDiff, want) {
+		t.Errorf("served diff differs from direct pipeline diff:\n got: %s\nwant: %s", gotDiff, want)
+	}
+
+	// Sequence-number refs and the markdown rendering agree.
+	code, md := getBody(t, ts2, "/diff?from=1&to=2&format=md")
+	if code != http.StatusOK || !strings.Contains(string(md), "stats.g.doubleclick.net") {
+		t.Errorf("markdown diff: %d: %s", code, md)
+	}
+
+	// Unknown refs 404; missing params and unknown formats 400.
+	if code, _ := getBody(t, ts2, "/diff?from=99&to=1"); code != http.StatusNotFound {
+		t.Errorf("unknown ref: %d, want 404", code)
+	}
+	if code, _ := getBody(t, ts2, "/diff?from=1"); code != http.StatusBadRequest {
+		t.Errorf("missing param: %d, want 400", code)
+	}
+	if code, _ := getBody(t, ts2, "/diff?from=1&to=2&format=csv"); code != http.StatusBadRequest {
+		t.Errorf("unknown format: %d, want 400", code)
+	}
+}
+
+// directDiffJSON computes the expected longitudinal diff straight through
+// the pipeline, bypassing upload, store, and restart.
+func directDiffJSON(t *testing.T, baseURL, injectedURL string) []byte {
+	t.Helper()
+	spec, _ := services.ByName("Quizlet")
+	id := core.ServiceIdentity{Name: spec.Name, Owner: spec.Owner, FirstPartyESLDs: spec.FirstPartyESLDs}
+	audit := func(urls ...string) *core.ServiceResult {
+		h, err := har.Parse([]byte(deltaHAR(t, urls...)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.NewPipeline().AnalyzeRecords(id, core.FromHAR(h, flows.Child, flows.Web))
+	}
+	want, err := report.ExportDiffJSON(core.Longitudinal(audit(baseURL), audit(baseURL, injectedURL)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// TestSnapshotEndpointsWithoutStore: a memory-only server declines the
+// snapshot endpoints explicitly rather than 404ing.
+func TestSnapshotEndpointsWithoutStore(t *testing.T) {
+	srv := New(Config{TempDir: t.TempDir()})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for _, path := range []string{"/snapshots", "/diff?from=1&to=2"} {
+		if code, _ := getBody(t, ts, path); code != http.StatusNotImplemented {
+			t.Errorf("GET %s without store: %d, want 501", path, code)
+		}
+	}
+}
+
+// TestRestartDurability pins the report byte-stability guarantee: an
+// FSStore-backed server restarted over the same data directory serves the
+// same report.json, byte for byte, for a job audited before the restart.
+func TestRestartDurability(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := store.OpenFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := New(Config{TempDir: t.TempDir(), Store: st1})
+	ts1 := httptest.NewServer(srv1)
+	job := runJob(t, ts1, map[string][2]string{"child": {"c.har", string(childHAR(t))}, "name": {"", "Quizlet"}})
+	code, want := getBody(t, ts1, "/jobs/"+job.ID+"/report.json")
+	if code != http.StatusOK {
+		t.Fatalf("pre-restart report: %d", code)
+	}
+	ts1.Close()
+	srv1.Close()
+
+	st2, err := store.OpenFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(Config{TempDir: t.TempDir(), Store: st2})
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+
+	code, got := getBody(t, ts2, "/jobs/"+job.ID+"/report.json")
+	if code != http.StatusOK {
+		t.Fatalf("post-restart report: %d: %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("report.json differs across restart")
+	}
+	// CSV too.
+	if code, csv := getBody(t, ts2, "/jobs/"+job.ID+"/report.csv"); code != http.StatusOK || len(csv) == 0 {
+		t.Errorf("post-restart report.csv: %d", code)
 	}
 }
 

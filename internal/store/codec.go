@@ -1,0 +1,276 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"diffaudit/internal/core"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/wire"
+)
+
+// Snapshot codec: a self-contained, versioned binary encoding of one
+// core.ServiceResult. "Self-contained" means the encoding carries its own
+// symbol tables (category names and groups, resolved destinations, persona
+// registrations), so a snapshot written by one process decodes in another
+// whose intern tables assigned entirely different IDs — decoding re-interns
+// every symbol into the live tables.
+//
+// The encoding is canonical: map-backed fields (domains, eSLDs, raw keys,
+// persona attributes) are written sorted, flows in FlowKeyLess order, and
+// personas by name (never by process-local registry ID), so
+// encode(decode(encode(x))) == encode(x) byte for byte and identical
+// results encode identically even across processes whose registries
+// assigned different persona IDs. Content hashing (Hash) and the
+// restart-durability guarantee ("the served report is byte-identical
+// after a restart") both rest on this property.
+//
+// Layout:
+//
+//	magic "DASN" | version uint16 LE | payload | crc32(IEEE) uint32 LE
+//
+// The CRC covers magic, version, and payload. Truncated or corrupted input
+// fails cleanly: every payload read is bounds-checked (package wire), so
+// even a CRC collision cannot make the decoder panic or over-allocate.
+// Decoders reject versions newer than SnapshotVersion with a clear error,
+// leaving room for forward-versioned format evolution.
+
+// snapMagic identifies a DiffAudit snapshot ("DiffAudit SNapshot").
+const snapMagic = "DASN"
+
+// SnapshotVersion is the current snapshot format version.
+const SnapshotVersion = 1
+
+// headerLen is magic + version; trailerLen is the CRC.
+const (
+	headerLen  = len(snapMagic) + 2
+	trailerLen = 4
+)
+
+// Hash returns the content hash of an encoded snapshot: hex SHA-256 over
+// the full encoding. Identical audit results hash identically no matter
+// when or where they were serialized.
+func Hash(encoded []byte) string {
+	sum := sha256.Sum256(encoded)
+	return hex.EncodeToString(sum[:])
+}
+
+// EncodeResult serializes a service result as a versioned snapshot.
+func EncodeResult(r *core.ServiceResult) []byte {
+	w := &wire.Writer{}
+	w.Raw([]byte(snapMagic))
+	var ver [2]byte
+	binary.LittleEndian.PutUint16(ver[:], SnapshotVersion)
+	w.Raw(ver[:])
+
+	// Identity.
+	w.String(r.Identity.Name)
+	w.String(r.Identity.Owner)
+	w.Int(len(r.Identity.FirstPartyESLDs))
+	for _, e := range r.Identity.FirstPartyESLDs {
+		w.String(e)
+	}
+
+	// Counters.
+	w.Int(r.Packets)
+	w.Int(r.TCPFlows)
+	w.Int(r.DroppedKeys)
+
+	// Dataset-level string sets, sorted for canonical output.
+	writeStringSet(w, r.Domains)
+	writeStringSet(w, r.ESLDs)
+	writeStringSet(w, r.RawKeys)
+
+	// Personas present in the result, each with the full registration
+	// record so decoding processes can re-register them. Ordered by name,
+	// not by registry ID: ID assignment depends on registration order,
+	// which varies across processes (e.g. -persona flags passed in a
+	// different order), and the content hash must not.
+	personas := r.Personas()
+	sort.Slice(personas, func(i, j int) bool {
+		return personas[i].Info().Name < personas[j].Info().Name
+	})
+	w.Int(len(personas))
+	for _, p := range personas {
+		writePersonaInfo(w, p.Info())
+	}
+
+	// Flow symbol tables shared across the per-persona sets, then the sets
+	// themselves, aligned with the persona list above.
+	enc := flows.NewSetEncoder()
+	for _, p := range personas {
+		enc.Collect(r.ByTrace[p])
+	}
+	enc.WriteTables(w)
+	for _, p := range personas {
+		enc.WriteSet(w, r.ByTrace[p])
+	}
+
+	// Trailer CRC over everything so far.
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(w.Bytes()))
+	w.Raw(crc[:])
+	return w.Bytes()
+}
+
+// DecodeResult parses a snapshot back into a service result. Personas the
+// snapshot references are registered into the process-wide registry
+// (idempotently); a snapshot persona conflicting with an already-registered
+// one of the same name is an error.
+func DecodeResult(data []byte) (*core.ServiceResult, error) {
+	if len(data) < headerLen+trailerLen {
+		return nil, fmt.Errorf("store: snapshot too short (%d bytes)", len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("store: not a snapshot (bad magic %q)", data[:len(snapMagic)])
+	}
+	version := binary.LittleEndian.Uint16(data[len(snapMagic):headerLen])
+	if version == 0 || version > SnapshotVersion {
+		return nil, fmt.Errorf("store: snapshot version %d not supported (this build reads up to %d)", version, SnapshotVersion)
+	}
+	body, trailer := data[:len(data)-trailerLen], data[len(data)-trailerLen:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("store: snapshot checksum mismatch (corrupted or truncated)")
+	}
+
+	r := wire.NewReader(body[headerLen:])
+	res := &core.ServiceResult{
+		Identity: core.ServiceIdentity{
+			Name:  r.String(),
+			Owner: r.String(),
+		},
+		ByTrace: make(map[flows.Persona]*flows.Set),
+	}
+	nESLDs := r.Count(1)
+	for i := 0; i < nESLDs; i++ {
+		res.Identity.FirstPartyESLDs = append(res.Identity.FirstPartyESLDs, r.String())
+	}
+
+	res.Packets = r.Int()
+	res.TCPFlows = r.Int()
+	res.DroppedKeys = r.Int()
+
+	res.Domains = readStringSet(r)
+	res.ESLDs = readStringSet(r)
+	res.RawKeys = readStringSet(r)
+
+	nPersonas := r.Count(1)
+	personas := make([]flows.Persona, 0, nPersonas)
+	for i := 0; i < nPersonas; i++ {
+		info, err := readPersonaInfo(r)
+		if err != nil {
+			return nil, err
+		}
+		p, err := flows.RegisterPersona(info)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot persona %q: %w", info.Name, err)
+		}
+		personas = append(personas, p)
+	}
+
+	dec, err := flows.ReadSetTables(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot symbol tables: %w", err)
+	}
+	for _, p := range personas {
+		set, err := dec.ReadSet(r)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot flow set for %s: %w", p, err)
+		}
+		res.ByTrace[p] = set
+	}
+
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("store: snapshot payload: %w", err)
+	}
+	return res, nil
+}
+
+// writeStringSet writes a set-valued map as a sorted string list.
+func writeStringSet(w *wire.Writer, set map[string]bool) {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Int(len(keys))
+	for _, k := range keys {
+		w.String(k)
+	}
+}
+
+// readStringSet reads a string list back into a set-valued map.
+func readStringSet(r *wire.Reader) map[string]bool {
+	n := r.Count(1)
+	set := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		if s := r.String(); r.Err() == nil {
+			set[s] = true
+		}
+	}
+	return set
+}
+
+// writePersonaInfo writes one persona registration record.
+func writePersonaInfo(w *wire.Writer, info flows.PersonaInfo) {
+	w.String(info.Name)
+	w.Int(len(info.Aliases))
+	for _, a := range info.Aliases {
+		w.String(a)
+	}
+	w.Bool(info.AgeKnown)
+	w.Int(info.AgeMin)
+	w.Int(info.AgeMax)
+	w.Bool(info.LoggedIn)
+	w.String(info.Subject)
+	keys := make([]string, 0, len(info.Attrs))
+	for k := range info.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Int(len(keys))
+	for _, k := range keys {
+		w.String(k)
+		w.String(info.Attrs[k])
+	}
+}
+
+// readPersonaInfo reads one persona registration record.
+func readPersonaInfo(r *wire.Reader) (flows.PersonaInfo, error) {
+	var info flows.PersonaInfo
+	info.Name = r.String()
+	nAliases := r.Count(1)
+	for i := 0; i < nAliases; i++ {
+		info.Aliases = append(info.Aliases, r.String())
+	}
+	info.AgeKnown = r.Bool()
+	info.AgeMin = r.Int()
+	info.AgeMax = r.Int()
+	info.LoggedIn = r.Bool()
+	info.Subject = r.String()
+	nAttrs := r.Count(2)
+	if nAttrs > 0 {
+		info.Attrs = make(map[string]string, nAttrs)
+		for i := 0; i < nAttrs; i++ {
+			k := r.String()
+			v := r.String()
+			if r.Err() == nil {
+				info.Attrs[k] = v
+			}
+		}
+	}
+	if err := r.Err(); err != nil {
+		return info, err
+	}
+	if info.Name == "" {
+		return info, fmt.Errorf("store: snapshot persona with empty name")
+	}
+	if info.AgeKnown && info.AgeMin > info.AgeMax {
+		return info, fmt.Errorf("store: snapshot persona %q has inverted age bracket", info.Name)
+	}
+	return info, nil
+}

@@ -1,0 +1,151 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"diffaudit/internal/core"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/report"
+	"diffaudit/internal/synth"
+)
+
+// auditOne runs the pipeline over one synthesized service.
+func auditOne(t testing.TB, name string) *core.ServiceResult {
+	t.Helper()
+	ds := synth.Generate(synth.Config{Scale: 0.01})
+	st := ds.Service(name)
+	return core.NewPipeline().AnalyzeRecords(st.Identity(), st.Records())
+}
+
+// TestRoundTrip pins the codec's core contract: decode(encode(x)) renders
+// byte-identically to x through every export path, and re-encoding the
+// decoded result reproduces the original bytes (canonical encoding — the
+// content hash is stable across encode/decode cycles).
+func TestRoundTrip(t *testing.T) {
+	res := auditOne(t, "Quizlet")
+	enc := EncodeResult(res)
+
+	dec, err := DecodeResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scalar and identity fields survive (ServiceIdentity holds a slice,
+	// so compare field-wise).
+	if dec.Identity.Name != res.Identity.Name || dec.Identity.Owner != res.Identity.Owner {
+		t.Errorf("identity = %+v, want %+v", dec.Identity, res.Identity)
+	}
+	if len(dec.Identity.FirstPartyESLDs) != len(res.Identity.FirstPartyESLDs) {
+		t.Errorf("eslds = %v, want %v", dec.Identity.FirstPartyESLDs, res.Identity.FirstPartyESLDs)
+	}
+	if dec.Packets != res.Packets || dec.TCPFlows != res.TCPFlows || dec.DroppedKeys != res.DroppedKeys {
+		t.Errorf("counters = %d/%d/%d, want %d/%d/%d",
+			dec.Packets, dec.TCPFlows, dec.DroppedKeys, res.Packets, res.TCPFlows, res.DroppedKeys)
+	}
+	if len(dec.Domains) != len(res.Domains) || len(dec.RawKeys) != len(res.RawKeys) {
+		t.Error("domain/raw-key sets differ")
+	}
+
+	// Rendered artifacts are byte-identical.
+	wantJSON, err := report.ExportJSON([]*core.ServiceResult{res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := report.ExportJSON([]*core.ServiceResult{dec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Error("ExportJSON differs after decode(encode(x))")
+	}
+	if got, want := report.AuditReport(dec), report.AuditReport(res); got != want {
+		t.Error("AuditReport differs after decode(encode(x))")
+	}
+
+	// Canonical: re-encoding the decoded result reproduces the bytes, so
+	// the content hash is stable.
+	enc2 := EncodeResult(dec)
+	if !bytes.Equal(enc, enc2) {
+		t.Error("encode(decode(encode(x))) is not byte-identical")
+	}
+	if Hash(enc) != Hash(enc2) {
+		t.Error("content hash unstable across a round trip")
+	}
+}
+
+// TestRoundTripCustomPersona checks snapshots carry custom persona
+// registrations: a result keyed by a custom persona decodes with the
+// persona registered and its flows intact.
+func TestRoundTripCustomPersona(t *testing.T) {
+	p, err := flows.RegisterPersona(flows.PersonaInfo{
+		Name: "Codec Kid", Aliases: []string{"codec-kid"},
+		AgeKnown: true, AgeMin: 6, AgeMax: 9, LoggedIn: true,
+		Attrs: map[string]string{"region": "EU", "tier": "free"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := auditOne(t, "Duolingo")
+	// Move the child trace onto the custom persona.
+	res.ByTrace[p] = res.ByTrace[flows.Child]
+	delete(res.ByTrace, flows.Child)
+
+	enc := EncodeResult(res)
+	dec, err := DecodeResult(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := dec.ByTrace[p]
+	if set == nil || set.Len() != res.ByTrace[p].Len() {
+		t.Fatalf("custom persona set lost: %v", set)
+	}
+	if !bytes.Equal(EncodeResult(dec), enc) {
+		t.Error("custom-persona snapshot not canonical")
+	}
+}
+
+// TestDecodeRejectsCorruption covers the failure paths: truncation, bad
+// magic, future versions, and flipped payload bytes must all fail cleanly.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	res := auditOne(t, "TikTok")
+	enc := EncodeResult(res)
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := DecodeResult(nil); err == nil {
+			t.Error("decoded nil input")
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), enc...)
+		bad[0] ^= 0xff
+		if _, err := DecodeResult(bad); err == nil {
+			t.Error("decoded bad magic")
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		bad := append([]byte(nil), enc...)
+		binary.LittleEndian.PutUint16(bad[4:6], SnapshotVersion+1)
+		if _, err := DecodeResult(bad); err == nil {
+			t.Error("decoded future version")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{1, 7, len(enc) / 2, len(enc) - 1} {
+			if _, err := DecodeResult(enc[:n]); err == nil {
+				t.Errorf("decoded %d-byte truncation", n)
+			}
+		}
+	})
+	t.Run("flipped byte", func(t *testing.T) {
+		// Flip a payload byte; the CRC must catch it.
+		for _, off := range []int{8, len(enc) / 2, len(enc) - 8} {
+			bad := append([]byte(nil), enc...)
+			bad[off] ^= 0x40
+			if _, err := DecodeResult(bad); err == nil {
+				t.Errorf("decoded snapshot with byte %d flipped", off)
+			}
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"diffaudit/internal/core"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/synth"
+)
+
+// FuzzDecodeResult is the snapshot codec's robustness harness: DecodeResult
+// must never panic, whatever the input — it either returns a result or a
+// clean error. When it does decode, the result must re-encode and decode
+// again (the codec accepts its own output). Run with:
+//
+//	go test -fuzz FuzzDecodeResult ./internal/store
+//
+// Seed corpus: testdata/fuzz/FuzzDecodeResult holds committed seeds (a
+// valid snapshot, header fragments, junk); the f.Add seeds below regenerate
+// richer live encodings each run.
+func FuzzDecodeResult(f *testing.F) {
+	ds := synth.Generate(synth.Config{Scale: 0.005})
+	pipe := core.NewPipeline()
+	var enc []byte
+	for _, name := range []string{"Quizlet", "TikTok"} {
+		st := ds.Service(name)
+		res := pipe.AnalyzeRecords(st.Identity(), st.Records())
+		enc = EncodeResult(res)
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])                // truncated
+		f.Add(append([]byte(nil), enc[8:]...)) // headerless tail
+	}
+	corrupted := append([]byte(nil), enc...)
+	corrupted[len(corrupted)/2] ^= 0xa5
+	f.Add(corrupted)
+	f.Add([]byte(snapMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeResult(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip through the canonical encoding.
+		reenc := EncodeResult(res)
+		res2, err := DecodeResult(reenc)
+		if err != nil {
+			t.Fatalf("re-decode of accepted snapshot failed: %v", err)
+		}
+		if !bytes.Equal(EncodeResult(res2), reenc) {
+			t.Fatal("accepted snapshot is not canonical")
+		}
+	})
+}
+
+// FuzzDecodeVersioned drives structured mutations through the header so
+// the version gate keeps rejecting cleanly.
+func FuzzDecodeVersioned(f *testing.F) {
+	res := core.NewPipeline().AnalyzeRecords(
+		core.ServiceIdentity{Name: "fuzz-svc", FirstPartyESLDs: []string{"fuzz.example"}},
+		nil)
+	if res.ByTrace[flows.Child] == nil {
+		f.Fatal("pipeline produced no built-in traces")
+	}
+	enc := EncodeResult(res)
+	f.Add(uint16(SnapshotVersion), enc[6:])
+	f.Add(uint16(SnapshotVersion+1), enc[6:])
+	f.Add(uint16(0), []byte{})
+
+	f.Fuzz(func(t *testing.T, version uint16, payload []byte) {
+		data := make([]byte, 0, 6+len(payload))
+		data = append(data, snapMagic...)
+		data = binary.LittleEndian.AppendUint16(data, version)
+		data = append(data, payload...)
+		res, err := DecodeResult(data)
+		if version > SnapshotVersion && err == nil {
+			t.Fatalf("accepted future version %d", version)
+		}
+		if err == nil && res == nil {
+			t.Fatal("nil result without error")
+		}
+	})
+}

@@ -1,0 +1,515 @@
+// Package store persists audit results as first-class, addressable
+// snapshots — the durable substrate the audit server's longitudinal
+// features build on. A snapshot is one core.ServiceResult serialized with
+// the versioned codec (codec.go), keyed by its content hash (SHA-256 over
+// the canonical encoding) plus a monotonic sequence number assigned at Put
+// time. Two backends implement the Store interface:
+//
+//   - MemStore keeps snapshots in process memory — the ephemeral behavior
+//     the server had before snapshots existed, now behind the same
+//     interface, useful for tests and single-run tooling.
+//   - FSStore appends snapshots as individual files under a data
+//     directory. Writes are crash-safe (write to a temp file in the same
+//     directory, fsync, then rename), and opening the store rescans the
+//     directory so a restarted process serves everything the previous one
+//     stored.
+//
+// References are user-facing: Get and Delete resolve a snapshot by decimal
+// sequence number, full content hash, unique hash prefix (≥ 6 hex chars),
+// or the job ID recorded at Put time.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"diffaudit/internal/core"
+	"diffaudit/internal/wire"
+)
+
+// Meta describes one stored snapshot.
+type Meta struct {
+	// Seq is the store-local monotonic sequence number, assigned at Put
+	// time — later snapshots always compare greater, which is what makes
+	// "diff the service against itself over time" well ordered.
+	Seq uint64 `json:"seq"`
+	// Hash is the content hash (hex SHA-256 of the canonical encoding).
+	Hash string `json:"hash"`
+	// Service is the audited service's name.
+	Service string `json:"service"`
+	// JobID records which server job produced the snapshot ("" for
+	// snapshots stored outside the server).
+	JobID string `json:"job_id,omitempty"`
+	// CreatedAt is the Put time (UTC).
+	CreatedAt time.Time `json:"created_at"`
+	// Bytes is the encoded snapshot size.
+	Bytes int `json:"bytes"`
+}
+
+// Store is a snapshot store. Implementations are safe for concurrent use.
+type Store interface {
+	// Put serializes and stores a result, returning its metadata. jobID
+	// may be "" when the snapshot is not tied to a server job.
+	Put(jobID string, r *core.ServiceResult) (Meta, error)
+	// Get resolves a reference (sequence number, hash, unique hash
+	// prefix, or job ID) and decodes the snapshot.
+	Get(ref string) (*core.ServiceResult, Meta, error)
+	// List returns all snapshot metadata in ascending sequence order.
+	List() ([]Meta, error)
+	// Delete removes the snapshot a reference resolves to.
+	Delete(ref string) error
+}
+
+// ErrUnresolved tags reference-resolution failures — no match, ambiguous
+// prefix, empty reference — where the caller's reference is wrong, as
+// distinct from storage failures (I/O errors, corruption) where the
+// snapshot exists but cannot be served. HTTP layers map the former to
+// 404 and the latter to 500.
+var ErrUnresolved = errors.New("unresolved snapshot reference")
+
+// Resolve finds the snapshot a user-facing reference denotes among metas:
+// a decimal number matches the sequence, otherwise the reference matches a
+// job ID, a full hash, or a unique hash prefix of at least 6 characters.
+// When several snapshots share a hash (identical content stored twice),
+// the newest wins.
+func Resolve(metas []Meta, ref string) (Meta, error) {
+	ref = strings.TrimSpace(ref)
+	if ref == "" {
+		return Meta{}, fmt.Errorf("store: %w: empty reference", ErrUnresolved)
+	}
+	if seq, err := strconv.ParseUint(ref, 10, 64); err == nil {
+		for _, m := range metas {
+			if m.Seq == seq {
+				return m, nil
+			}
+		}
+		// No such sequence — fall through: an all-digit reference can
+		// still be a valid hash prefix (≈6% of hex hashes open with six
+		// decimal digits) or an all-digit job ID.
+	}
+	var jobMatches, hashMatches []Meta
+	for _, m := range metas {
+		switch {
+		case m.JobID != "" && m.JobID == ref:
+			jobMatches = append(jobMatches, m)
+		case m.Hash == ref:
+			hashMatches = append(hashMatches, m)
+		case len(ref) >= 6 && strings.HasPrefix(m.Hash, ref):
+			hashMatches = append(hashMatches, m)
+		}
+	}
+	// A job ID resolves to its latest snapshot (a re-run job overwrites
+	// nothing; the newer audit wins), and takes precedence over a hash
+	// prefix that happens to collide with it.
+	if len(jobMatches) > 0 {
+		best := jobMatches[0]
+		for _, m := range jobMatches {
+			if m.Seq > best.Seq {
+				best = m
+			}
+		}
+		return best, nil
+	}
+	if len(hashMatches) == 0 {
+		return Meta{}, fmt.Errorf("store: %w: no snapshot matches %q", ErrUnresolved, ref)
+	}
+	// Identical content stored twice shares a hash and resolves to the
+	// newest copy; a prefix spanning different contents is ambiguous.
+	best := hashMatches[0]
+	distinct := map[string]bool{}
+	for _, m := range hashMatches {
+		distinct[m.Hash] = true
+		if m.Seq > best.Seq {
+			best = m
+		}
+	}
+	if len(distinct) > 1 {
+		return Meta{}, fmt.Errorf("store: %w: %q is ambiguous (%d snapshots match)", ErrUnresolved, ref, len(hashMatches))
+	}
+	return best, nil
+}
+
+// MemStore keeps snapshots in process memory: the full snapshot API with
+// process-lifetime durability. A server only uses it when configured
+// (ServerConfig.Store) — the server's default remains no store at all,
+// with memory-only result semantics. Memory grows with every Put;
+// long-lived servers that need durability or a bound should use FSStore.
+type MemStore struct {
+	mu      sync.Mutex
+	snaps   []memSnap
+	nextSeq uint64
+}
+
+type memSnap struct {
+	meta Meta
+	data []byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{nextSeq: 1}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(jobID string, r *core.ServiceResult) (Meta, error) {
+	data := EncodeResult(r)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	meta := Meta{
+		Seq:       s.nextSeq,
+		Hash:      Hash(data),
+		Service:   r.Identity.Name,
+		JobID:     jobID,
+		CreatedAt: time.Now().UTC(),
+		Bytes:     len(data),
+	}
+	s.nextSeq++
+	s.snaps = append(s.snaps, memSnap{meta: meta, data: data})
+	return meta, nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(ref string) (*core.ServiceResult, Meta, error) {
+	s.mu.Lock()
+	snaps := append([]memSnap(nil), s.snaps...)
+	s.mu.Unlock()
+	metas := make([]Meta, len(snaps))
+	for i, sn := range snaps {
+		metas[i] = sn.meta
+	}
+	meta, err := Resolve(metas, ref)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	for _, sn := range snaps {
+		if sn.meta.Seq == meta.Seq {
+			res, err := DecodeResult(sn.data)
+			return res, meta, err
+		}
+	}
+	return nil, Meta{}, fmt.Errorf("store: snapshot %d vanished", meta.Seq)
+}
+
+// List implements Store.
+func (s *MemStore) List() ([]Meta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metas := make([]Meta, len(s.snaps))
+	for i, sn := range s.snaps {
+		metas[i] = sn.meta
+	}
+	return metas, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(ref string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metas := make([]Meta, len(s.snaps))
+	for i, sn := range s.snaps {
+		metas[i] = sn.meta
+	}
+	meta, err := Resolve(metas, ref)
+	if err != nil {
+		return err
+	}
+	for i, sn := range s.snaps {
+		if sn.meta.Seq == meta.Seq {
+			s.snaps = append(s.snaps[:i], s.snaps[i+1:]...)
+			return nil
+		}
+	}
+	return nil
+}
+
+// FSStore persists snapshots as append-only files under a directory. One
+// snapshot is one file, <seq>.snap, holding a small envelope (JSON metadata)
+// followed by the codec bytes. Files are written to a temp name in the same
+// directory and renamed into place, so a crash mid-write never leaves a
+// half-visible snapshot — at worst a .tmp-* orphan, which Open removes.
+type FSStore struct {
+	dir string
+
+	mu      sync.Mutex
+	metas   []Meta // ascending seq
+	nextSeq uint64
+}
+
+// envelope magic and version for the FSStore file framing (distinct from
+// the snapshot codec version: the framing can evolve independently).
+const (
+	fileMagic   = "DASF"
+	fileVersion = 1
+)
+
+// OpenFSStore opens (creating if needed) a snapshot directory and rescans
+// it, so snapshots stored by previous processes are served again.
+// Unreadable or corrupted files are skipped rather than failing the open:
+// a damaged snapshot must not take down the store that holds the healthy
+// ones.
+func OpenFSStore(dir string) (*FSStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: data directory required")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &FSStore{dir: dir, nextSeq: 1}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, ".tmp-") {
+			// Orphan from a crashed write; never renamed, never visible.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if e.IsDir() || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		// Every .snap file claims the sequence its name encodes, even when
+		// it cannot be read (corrupt, or written by a newer build): a
+		// later Put must never rename over it and destroy bytes a better
+		// decoder could still recover.
+		if n, err := strconv.ParseUint(strings.TrimSuffix(name, ".snap"), 10, 64); err == nil && n >= s.nextSeq {
+			s.nextSeq = n + 1
+		}
+		meta, data, err := readSnapFile(filepath.Join(dir, name))
+		if err != nil || Hash(data) != meta.Hash {
+			continue
+		}
+		s.metas = append(s.metas, meta)
+		if meta.Seq >= s.nextSeq {
+			s.nextSeq = meta.Seq + 1
+		}
+	}
+	sort.Slice(s.metas, func(i, j int) bool { return s.metas[i].Seq < s.metas[j].Seq })
+	return s, nil
+}
+
+// Dir returns the store's data directory.
+func (s *FSStore) Dir() string { return s.dir }
+
+// path returns the file backing a sequence number.
+func (s *FSStore) path(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%012d.snap", seq))
+}
+
+// Put implements Store. Publication is exclusive (hard link, not rename):
+// if another handle or process over the same directory already claimed
+// the sequence, this writer skips past it instead of overwriting — two
+// concurrent writers never destroy each other's snapshots. A concurrent
+// writer's own snapshots become visible to this handle on the next Open.
+func (s *FSStore) Put(jobID string, r *core.ServiceResult) (Meta, error) {
+	data := EncodeResult(r)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		meta := Meta{
+			Seq:       s.nextSeq,
+			Hash:      Hash(data),
+			Service:   r.Identity.Name,
+			JobID:     jobID,
+			CreatedAt: time.Now().UTC(),
+			Bytes:     len(data),
+		}
+		err := publishSnapFile(s.dir, s.path(meta.Seq), meta, data)
+		if os.IsExist(err) {
+			// Sequence taken by a foreign writer; claim the next one.
+			s.nextSeq++
+			continue
+		}
+		if err != nil {
+			return Meta{}, err
+		}
+		s.nextSeq++
+		s.metas = append(s.metas, meta)
+		return meta, nil
+	}
+}
+
+// Get implements Store.
+func (s *FSStore) Get(ref string) (*core.ServiceResult, Meta, error) {
+	metas, _ := s.List()
+	meta, err := Resolve(metas, ref)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	stored, data, err := readSnapFile(s.path(meta.Seq))
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	if stored.Hash != meta.Hash {
+		return nil, Meta{}, fmt.Errorf("store: snapshot %d changed on disk (hash %s != %s)", meta.Seq, stored.Hash, meta.Hash)
+	}
+	res, err := DecodeResult(data)
+	if err != nil {
+		return nil, Meta{}, fmt.Errorf("store: snapshot %d: %w", meta.Seq, err)
+	}
+	return res, meta, nil
+}
+
+// List implements Store.
+func (s *FSStore) List() ([]Meta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Meta(nil), s.metas...), nil
+}
+
+// Delete implements Store.
+func (s *FSStore) Delete(ref string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	meta, err := Resolve(s.metas, ref)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(s.path(meta.Seq)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
+	}
+	for i, m := range s.metas {
+		if m.Seq == meta.Seq {
+			s.metas = append(s.metas[:i], s.metas[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// syncDir flushes a directory's entry metadata so a just-published link
+// or rename survives power loss, not only process crash. Open failure is
+// real (the directory vanished); a failing Sync degrades silently — the
+// snapshot bytes themselves are already fsynced, and some filesystems
+// cannot sync a directory handle at all.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	d.Sync()
+	d.Close()
+	return nil
+}
+
+// writeTemp writes data durably to a fresh .tmp-* file in dir (write,
+// fsync, close) and returns its path. The caller publishes it via link or
+// rename and removes it on failure.
+func writeTemp(dir string, data []byte) (string, error) {
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return "", fmt.Errorf("store: %w", err)
+	}
+	return f.Name(), nil
+}
+
+// publishSnapFile writes one snapshot file crash-safely and exclusively:
+// temp file in the same directory, fsync, then a hard link to the final
+// name — which fails with os.IsExist (passed through un-wrapped) when the
+// name is already taken, instead of overwriting it as a rename would.
+func publishSnapFile(dir, path string, meta Meta, data []byte) error {
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	w := &wire.Writer{}
+	var hdr [6]byte
+	copy(hdr[:], fileMagic)
+	hdr[4] = fileVersion
+	hdr[5] = 0
+	w.Raw(hdr[:])
+	w.Int(len(metaJSON))
+	w.Raw(metaJSON)
+	w.Raw(data)
+
+	tmp, err := writeTemp(dir, w.Bytes())
+	if err != nil {
+		return err
+	}
+	err = os.Link(tmp, path)
+	os.Remove(tmp)
+	if err != nil {
+		if os.IsExist(err) {
+			return err
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// readSnapFile parses one snapshot file's envelope, returning the metadata
+// and the codec bytes.
+func readSnapFile(path string) (Meta, []byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("store: %w", err)
+	}
+	if len(raw) < 6 || string(raw[:4]) != fileMagic {
+		return Meta{}, nil, fmt.Errorf("store: %s: not a snapshot file", filepath.Base(path))
+	}
+	if raw[4] != fileVersion {
+		return Meta{}, nil, fmt.Errorf("store: %s: file version %d not supported (this build reads %d)", filepath.Base(path), raw[4], fileVersion)
+	}
+	r := wire.NewReader(raw[6:])
+	n := r.Count(1)
+	if r.Err() != nil || n > r.Remaining() {
+		return Meta{}, nil, fmt.Errorf("store: %s: corrupt envelope", filepath.Base(path))
+	}
+	rest := raw[len(raw)-r.Remaining():]
+	metaJSON, data := rest[:n], rest[n:]
+	var meta Meta
+	if err := json.Unmarshal(metaJSON, &meta); err != nil {
+		return Meta{}, nil, fmt.Errorf("store: %s: envelope metadata: %w", filepath.Base(path), err)
+	}
+	return meta, data, nil
+}
+
+// SaveFile writes one result as a standalone snapshot file (the raw codec
+// encoding, no envelope — the `diffaudit diff` CLI reads these directly).
+// The write is crash-safe like FSStore's; unlike a store sequence file,
+// the caller named the target, so an existing file is replaced.
+func SaveFile(path string, r *core.ServiceResult) error {
+	dir := filepath.Dir(path)
+	tmp, err := writeTemp(dir, EncodeResult(r))
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// LoadFile reads a standalone snapshot file written by SaveFile.
+func LoadFile(path string) (*core.ServiceResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	res, err := DecodeResult(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", filepath.Base(path), err)
+	}
+	return res, nil
+}

@@ -1,0 +1,312 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"diffaudit/internal/core"
+	"diffaudit/internal/report"
+)
+
+// exportOf renders one result's JSON export.
+func exportOf(t *testing.T, r *core.ServiceResult) []byte {
+	t.Helper()
+	data, err := report.ExportJSON([]*core.ServiceResult{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// testStoreContract exercises the Store interface contract shared by both
+// backends.
+func testStoreContract(t *testing.T, s Store) {
+	t.Helper()
+	a := auditOne(t, "Quizlet")
+	b := auditOne(t, "Roblox")
+
+	ma, err := s.Put("job-1", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := s.Put("job-2", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Seq >= mb.Seq {
+		t.Errorf("sequence not monotonic: %d then %d", ma.Seq, mb.Seq)
+	}
+	if ma.Hash == mb.Hash {
+		t.Error("different results share a content hash")
+	}
+	if ma.Service != "Quizlet" || mb.Service != "Roblox" {
+		t.Errorf("services = %q, %q", ma.Service, mb.Service)
+	}
+
+	metas, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 2 || metas[0].Seq != ma.Seq || metas[1].Seq != mb.Seq {
+		t.Fatalf("List = %+v", metas)
+	}
+
+	// Get by every reference kind.
+	for _, ref := range []string{"job-1", ma.Hash, ma.Hash[:8]} {
+		got, meta, err := s.Get(ref)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", ref, err)
+		}
+		if meta.Seq != ma.Seq {
+			t.Errorf("Get(%q) seq = %d, want %d", ref, meta.Seq, ma.Seq)
+		}
+		if !bytes.Equal(exportOf(t, got), exportOf(t, a)) {
+			t.Errorf("Get(%q) export differs from the stored result", ref)
+		}
+	}
+	// By sequence number (formatted as decimal).
+	if _, meta, err := s.Get("2"); err != nil || meta.Seq != 2 {
+		t.Errorf("Get by seq: meta=%+v err=%v", meta, err)
+	}
+	// Unknown and too-short prefixes fail.
+	for _, ref := range []string{"job-9", "999", ma.Hash[:4], "zzzzzz"} {
+		if _, _, err := s.Get(ref); err == nil {
+			t.Errorf("Get(%q) succeeded", ref)
+		}
+	}
+
+	// Storing identical content again: new seq, same hash; the hash ref
+	// resolves to the newest copy.
+	ma2, err := s.Put("job-3", a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma2.Hash != ma.Hash {
+		t.Error("identical content hashed differently")
+	}
+	if _, meta, err := s.Get(ma.Hash); err != nil || meta.Seq != ma2.Seq {
+		t.Errorf("hash ref resolves to seq %d (err %v), want newest %d", meta.Seq, err, ma2.Seq)
+	}
+
+	// Delete drops exactly one snapshot.
+	if err := s.Delete("job-3"); err != nil {
+		t.Fatal(err)
+	}
+	metas, _ = s.List()
+	if len(metas) != 2 {
+		t.Fatalf("after delete: %+v", metas)
+	}
+	if _, _, err := s.Get("job-1"); err != nil {
+		t.Errorf("job-1 gone after deleting job-3: %v", err)
+	}
+}
+
+func TestMemStore(t *testing.T) { testStoreContract(t, NewMemStore()) }
+
+func TestFSStore(t *testing.T) {
+	s, err := OpenFSStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStoreContract(t, s)
+}
+
+// TestFSStoreRestart pins restart durability: a fresh FSStore over the same
+// directory serves the previous process's snapshots byte-identically and
+// continues the sequence without reuse.
+func TestFSStoreRestart(t *testing.T) {
+	dir := t.TempDir()
+	res := auditOne(t, "Quizlet")
+
+	s1, err := OpenFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := s1.Put("job-1", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exportOf(t, res)
+
+	s2, err := OpenFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, m2, err := s2.Get("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Hash != m1.Hash || m2.Seq != m1.Seq || m2.JobID != "job-1" {
+		t.Errorf("rescanned meta = %+v, want %+v", m2, m1)
+	}
+	if !bytes.Equal(exportOf(t, got), want) {
+		t.Error("rescanned snapshot export differs")
+	}
+
+	// The restarted store must not reuse sequence numbers.
+	m3, err := s2.Put("job-2", auditOne(t, "Roblox"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.Seq <= m1.Seq {
+		t.Errorf("restarted store reused sequence: %d after %d", m3.Seq, m1.Seq)
+	}
+}
+
+// TestFSStoreIgnoresJunk checks rescan resilience: crash orphans and
+// corrupted snapshot files are skipped, not fatal, and a truncated
+// snapshot never serves.
+func TestFSStoreIgnoresJunk(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Put("job-1", auditOne(t, "Quizlet")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A crash orphan, a random file, and a truncated copy of the real one.
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-crash"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	real, err := os.ReadFile(filepath.Join(dir, "000000000001.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "000000000099.snap"), real[:len(real)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas, _ := s2.List()
+	if len(metas) != 1 || metas[0].JobID != "job-1" {
+		t.Fatalf("rescan over junk: %+v", metas)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-crash")); !os.IsNotExist(err) {
+		t.Error("crash orphan not cleaned up")
+	}
+
+	// A skipped file still owns its sequence number: the next Put must
+	// not rename over the corrupt 000000000099.snap (a newer build might
+	// still recover it), so it lands at sequence 100.
+	corrupt, err := os.ReadFile(filepath.Join(dir, "000000000099.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s2.Put("job-2", auditOne(t, "Roblox"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seq != 100 {
+		t.Errorf("Put after corrupt seq 99 got seq %d, want 100", m.Seq)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "000000000099.snap"))
+	if err != nil || !bytes.Equal(after, corrupt) {
+		t.Error("Put overwrote a skipped snapshot file")
+	}
+}
+
+// TestFSStoreConcurrentHandles: two store handles over one directory (a
+// live server plus a CLI run, or two processes) must never overwrite each
+// other's snapshots — publication is link-exclusive, so the loser of a
+// sequence race skips to the next free number.
+func TestFSStoreConcurrentHandles(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenFSStore(dir) // same nextSeq view as a
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA := auditOne(t, "Quizlet")
+	resB := auditOne(t, "Roblox")
+	ma, err := a.Put("job-a", resA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := b.Put("job-b", resB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ma.Seq == mb.Seq {
+		t.Fatalf("both handles claimed sequence %d", ma.Seq)
+	}
+
+	// Both snapshots survive a rescan.
+	fresh, err := OpenFSStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metas, _ := fresh.List()
+	if len(metas) != 2 {
+		t.Fatalf("rescan found %d snapshots, want 2: %+v", len(metas), metas)
+	}
+	if got, _, err := fresh.Get("job-a"); err != nil || got.Identity.Name != "Quizlet" {
+		t.Errorf("job-a: %v", err)
+	}
+	if got, _, err := fresh.Get("job-b"); err != nil || got.Identity.Name != "Roblox" {
+		t.Errorf("job-b: %v", err)
+	}
+}
+
+// TestResolveJobIDNewestWins: a job ID recorded on several snapshots
+// (re-runs, concurrent writers) resolves to the newest one even when the
+// contents differ — job refs are not subject to the hash ambiguity rule.
+func TestResolveJobIDNewestWins(t *testing.T) {
+	metas := []Meta{
+		{Seq: 1, Hash: "aaaa111111", JobID: "job-1"},
+		{Seq: 2, Hash: "bbbb222222", JobID: "job-1"},
+	}
+	if m, err := Resolve(metas, "job-1"); err != nil || m.Seq != 2 {
+		t.Errorf("job ref: %+v, %v", m, err)
+	}
+}
+
+// TestResolveAmbiguity: a prefix matching two different snapshots errors.
+func TestResolveAmbiguity(t *testing.T) {
+	metas := []Meta{
+		{Seq: 1, Hash: "abcdef1111", JobID: "job-1"},
+		{Seq: 2, Hash: "abcdef2222", JobID: "job-2"},
+	}
+	if _, err := Resolve(metas, "abcdef"); err == nil {
+		t.Error("ambiguous prefix resolved")
+	}
+	if m, err := Resolve(metas, "abcdef1111"); err != nil || m.Seq != 1 {
+		t.Errorf("exact hash: %+v, %v", m, err)
+	}
+	if _, err := Resolve(metas, ""); err == nil {
+		t.Error("empty ref resolved")
+	}
+}
+
+// TestResolveAllDigitHashPrefix: a reference that parses as a number but
+// matches no sequence must still fall through to hash-prefix matching —
+// about 6% of hex hashes open with six decimal digits.
+func TestResolveAllDigitHashPrefix(t *testing.T) {
+	metas := []Meta{
+		{Seq: 1, Hash: "482913abcdef", JobID: "job-1"},
+		{Seq: 2, Hash: "feedbeefcafe", JobID: "job-2"},
+	}
+	if m, err := Resolve(metas, "482913"); err != nil || m.Seq != 1 {
+		t.Errorf("all-digit hash prefix: %+v, %v", m, err)
+	}
+	// Sequence matches keep precedence over digit-prefix hashes.
+	if m, err := Resolve(metas, "2"); err != nil || m.Seq != 2 {
+		t.Errorf("seq precedence: %+v, %v", m, err)
+	}
+	// And a number matching neither seq nor hash still errors.
+	if _, err := Resolve(metas, "999999"); err == nil {
+		t.Error("unmatched number resolved")
+	}
+}
