@@ -11,7 +11,7 @@
 //	diffaudit -har child=child.har -har loggedout=out.har -name MyApp
 //	          [-snapshot audit.snap] [-data-dir ./snapshots]
 //	diffaudit serve [-addr :8080] [-workers 2] [-queue 16] [-pprof 127.0.0.1:6060]
-//	          [-persona eu-teen:13-15] [-data-dir ./snapshots]
+//	          [-persona eu-teen:13-15] [-data-dir ./snapshots] [-job-timeout 10m]
 //	diffaudit diff [-data-dir ./snapshots] [-format md|json] <old> <new>
 //
 // -persona registers additional personas beyond the paper's four built-in
@@ -30,7 +30,10 @@
 // closes, in-flight requests get a deadline, and queued audit jobs drain
 // before the process exits. With -data-dir, finished audits persist as
 // snapshots: reports survive restarts and eviction, and GET /snapshots
-// plus GET /diff serve the longitudinal API.
+// plus GET /diff serve the longitudinal API. -data-dir also enables the
+// crash-safe job journal (<data-dir>/journal): accepted uploads survive
+// even an unclean kill and re-run on the next start. -job-timeout bounds
+// one audit's run time so a pathological capture cannot wedge a worker.
 //
 // Diff mode resolves <old> and <new> as snapshot file paths or, with
 // -data-dir, as store references (sequence number, content hash, unique
@@ -49,6 +52,7 @@ import (
 	_ "net/http/pprof" // profiling handlers for `serve -pprof` (separate listener)
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -214,19 +218,25 @@ func serve(args []string) {
 	queue := fs.Int("queue", 16, "bounded job queue depth")
 	maxUpload := fs.Int64("max-upload", 1<<30, "max upload size in bytes")
 	tempDir := fs.String("tempdir", "", "staging dir for uploads (default: system temp)")
-	dataDir := fs.String("data-dir", "", "snapshot store directory: finished audits persist (and survive restarts); enables /snapshots and /diff")
+	dataDir := fs.String("data-dir", "", "snapshot store directory: finished audits persist (and survive restarts); enables /snapshots, /diff, and the crash-safe job journal")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job audit deadline, e.g. 10m; a job exceeding it lands in the \"timeout\" state (0 = unlimited)")
 	pprofAddr := fs.String("pprof", "", "localhost address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables profiling")
 	fs.Var(&personas, "persona", "register a persona accepted as an upload field, e.g. eu-teen:13-15 (repeatable)")
 	fs.Parse(args)
 
 	var snapStore diffaudit.SnapshotStore
+	journalDir := ""
 	if *dataDir != "" {
 		st, err := diffaudit.OpenSnapshotStore(*dataDir)
 		if err != nil {
 			log.Fatal(err)
 		}
 		snapStore = st
-		log.Printf("diffaudit serve: snapshots persist under %s", *dataDir)
+		// The journal lives beside the snapshots: a job and its eventual
+		// snapshot share one durable volume, and a restart over the same
+		// -data-dir re-runs whatever the crash interrupted.
+		journalDir = filepath.Join(*dataDir, "journal")
+		log.Printf("diffaudit serve: snapshots persist under %s (job journal in %s)", *dataDir, journalDir)
 	}
 
 	if *pprofAddr != "" {
@@ -243,13 +253,18 @@ func serve(args []string) {
 		}()
 	}
 
-	srv := diffaudit.NewServer(diffaudit.ServerConfig{
+	srv, err := diffaudit.OpenServer(diffaudit.ServerConfig{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		MaxUploadBytes: *maxUpload,
 		TempDir:        *tempDir,
 		Store:          snapStore,
+		JournalDir:     journalDir,
+		JobTimeout:     *jobTimeout,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)

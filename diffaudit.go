@@ -32,6 +32,7 @@ import (
 
 	"diffaudit/internal/classifier"
 	"diffaudit/internal/core"
+	"diffaudit/internal/faults"
 	"diffaudit/internal/flows"
 	"diffaudit/internal/har"
 	"diffaudit/internal/lawaudit"
@@ -128,6 +129,12 @@ type (
 	ServerConfig = server.Config
 	// ServerJob is one queued or completed server-side audit.
 	ServerJob = server.Job
+	// ServerJobState is a server job's lifecycle state.
+	ServerJobState = server.JobState
+	// RetryPolicy tunes how the server retries transient failures
+	// (snapshot persistence, journal writes): attempt count and capped
+	// exponential backoff.
+	RetryPolicy = faults.RetryPolicy
 	// SnapshotStore persists audit results as content-addressed,
 	// sequence-ordered snapshots (backends: NewMemSnapshotStore,
 	// OpenSnapshotStore).
@@ -302,11 +309,31 @@ func Personas() []Persona { return flows.Personas() }
 // BuiltinPersonas returns the paper's four personas in table order.
 func BuiltinPersonas() []Persona { return flows.BuiltinPersonas() }
 
+// Server job states.
+const (
+	ServerJobQueued   = server.JobQueued
+	ServerJobRunning  = server.JobRunning
+	ServerJobDone     = server.JobDone
+	ServerJobFailed   = server.JobFailed
+	ServerJobTimedOut = server.JobTimedOut
+)
+
 // NewServer starts an audit server: POST /audit uploads captures onto a
 // bounded job queue, GET /jobs/{id}/report.{json,csv} fetches results.
 // With ServerConfig.Store set, finished audits persist as snapshots and
 // GET /snapshots and GET /diff serve the longitudinal API.
 func NewServer(cfg ServerConfig) *AuditServer { return server.New(cfg) }
+
+// OpenServer is NewServer with the crash-safety surface: when
+// ServerConfig.JournalDir is set, accepted uploads are journaled before
+// they are queued and OpenServer re-enqueues jobs interrupted by a crash
+// before taking new traffic. The error is journal directory creation.
+func OpenServer(cfg ServerConfig) (*AuditServer, error) { return server.Open(cfg) }
+
+// TransientError marks an error as retryable under the server's
+// RetryPolicy — store implementations return it for failures worth
+// re-attempting (momentary I/O stalls) as opposed to permanent ones.
+func TransientError(err error) error { return faults.Transient(err) }
 
 // NewMemSnapshotStore returns an in-memory snapshot store — the full
 // snapshot API with process-lifetime durability.

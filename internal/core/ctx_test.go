@@ -1,0 +1,132 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"diffaudit/internal/faults"
+	"diffaudit/internal/flows"
+)
+
+// ctxTestRecords fabricates enough records for several stream batches.
+func ctxTestRecords(n int) []RequestRecord {
+	recs := make([]RequestRecord, n)
+	for i := range recs {
+		recs[i] = RequestRecord{
+			Trace:    flows.Child,
+			Platform: flows.Web,
+			Method:   "GET",
+			URL:      fmt.Sprintf("https://api.example.com/v1/item?user_id=u%d", i),
+			FQDN:     "api.example.com",
+			ConnID:   fmt.Sprintf("c%d", i%7),
+		}
+	}
+	return recs
+}
+
+func ctxTestIdentity() ServiceIdentity {
+	return ServiceIdentity{Name: "ctx-test", Owner: "Example", FirstPartyESLDs: []string{"example.com"}}
+}
+
+// TestAnalyzeContextCancelledReturnsErr: an already-dead context aborts
+// both entry points with ctx.Err() and no partial result, on the
+// sequential and parallel paths alike.
+func TestAnalyzeContextCancelledReturnsErr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	recs := ctxTestRecords(4 * analyzeChunkSize)
+	for _, workers := range []int{1, 4} {
+		p := NewPipeline()
+		p.Workers = workers
+		res, err := p.AnalyzeRecordsContext(ctx, ctxTestIdentity(), recs)
+		if res != nil || !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d AnalyzeRecordsContext = (%v, %v), want (nil, Canceled)", workers, res, err)
+		}
+		res, err = p.AnalyzeStreamContext(ctx, ctxTestIdentity(), SliceSource(recs))
+		if res != nil || !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d AnalyzeStreamContext = (%v, %v), want (nil, Canceled)", workers, res, err)
+		}
+	}
+}
+
+// TestAnalyzeContextBackgroundIdentical: a background context changes
+// nothing — results match the context-free paths exactly.
+func TestAnalyzeContextBackgroundIdentical(t *testing.T) {
+	recs := ctxTestRecords(3*analyzeChunkSize + 17)
+	id := ctxTestIdentity()
+	for _, workers := range []int{1, 4} {
+		p := NewPipeline()
+		p.Workers = workers
+		want := p.AnalyzeRecords(id, recs)
+		got, err := p.AnalyzeRecordsContext(context.Background(), id, recs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got.Packets != want.Packets || got.TCPFlows != want.TCPFlows || len(got.Domains) != len(want.Domains) || len(got.RawKeys) != len(want.RawKeys) {
+			t.Errorf("workers=%d context run differs: got %+v want %+v", workers, got, want)
+		}
+		sres, err := p.AnalyzeStreamContext(context.Background(), id, SliceSource(recs))
+		if err != nil {
+			t.Fatalf("workers=%d stream: %v", workers, err)
+		}
+		if sres.Packets != want.Packets || len(sres.RawKeys) != len(want.RawKeys) {
+			t.Errorf("workers=%d stream context run differs", workers)
+		}
+	}
+}
+
+// TestAnalyzeStreamDeadlineAborts: with injected per-batch latency, a
+// deadline shorter than the stream trips at a batch boundary and the
+// stream reports DeadlineExceeded instead of running to completion.
+func TestAnalyzeStreamDeadlineAborts(t *testing.T) {
+	defer faults.Reset()
+	faults.Set("decode.slow", faults.Plan{Delay: 30 * time.Millisecond, Count: -1})
+	ctx, cancel := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancel()
+	// ≥3 batches: boundary checks at t≈0, ≥30ms, ≥60ms — the last is
+	// past the 40ms deadline regardless of scheduling.
+	recs := ctxTestRecords(2*streamBatchSize + 8)
+	for _, workers := range []int{1, 4} {
+		p := NewPipeline()
+		p.Workers = workers
+		faults.Set("decode.slow", faults.Plan{Delay: 30 * time.Millisecond, Count: -1})
+		res, err := p.AnalyzeStreamContext(ctx, ctxTestIdentity(), SliceSource(recs))
+		if res != nil || !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("workers=%d = (%v, %v), want (nil, DeadlineExceeded)", workers, res, err)
+		}
+	}
+}
+
+// TestWatchedSourceAborts: a watched source passes records through until
+// the context dies, then fails at the next batch-sized checkpoint.
+func TestWatchedSourceAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	src := WatchedSource(ctx, SliceSource(ctxTestRecords(2*streamBatchSize)))
+	for i := 0; i < streamBatchSize; i++ {
+		if _, err := src.Next(); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	cancel()
+	if _, err := src.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel Next = %v, want Canceled at the batch checkpoint", err)
+	}
+}
+
+// TestDecodeSlowErrorAbortsStream: an error-mode decode.slow injection
+// surfaces as the stream error — the hook the chaos suite uses to model
+// a decoder failing mid-capture.
+func TestDecodeSlowErrorAbortsStream(t *testing.T) {
+	defer faults.Reset()
+	boom := errors.New("injected decode failure")
+	faults.Set("decode.slow", faults.Plan{Err: boom, On: 2})
+	p := NewPipeline()
+	p.Workers = 1
+	_, err := p.AnalyzeStreamContext(context.Background(), ctxTestIdentity(), SliceSource(ctxTestRecords(3*streamBatchSize)))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+}

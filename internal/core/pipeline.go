@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -400,6 +401,16 @@ const analyzeChunkSize = 256
 // property the equivalence tests assert byte-for-byte on rendered
 // artifacts.
 func (p *Pipeline) AnalyzeRecords(id ServiceIdentity, recs []RequestRecord) *ServiceResult {
+	res, _ := p.AnalyzeRecordsContext(context.Background(), id, recs)
+	return res
+}
+
+// AnalyzeRecordsContext is AnalyzeRecords under a context. Cancellation
+// and deadline expiry are observed at chunk boundaries only: a run that
+// completes is byte-identical to the context-free path, a run that is cut
+// short returns ctx.Err() and no partial result. With the background
+// context the error is always nil.
+func (p *Pipeline) AnalyzeRecordsContext(ctx context.Context, id ServiceIdentity, recs []RequestRecord) (*ServiceResult, error) {
 	memo := &destMemo{owner: id.Owner, eslds: id.FirstPartyESLDs, ats: p.ATS}
 
 	workers := p.Workers
@@ -412,8 +423,17 @@ func (p *Pipeline) AnalyzeRecords(id ServiceIdentity, recs []RequestRecord) *Ser
 
 	if workers <= 1 {
 		pr := newPartialResult(len(recs))
-		p.analyzeChunk(recs, memo, pr)
-		return pr.result(id)
+		for lo := 0; lo < len(recs); lo += analyzeChunkSize {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			hi := lo + analyzeChunkSize
+			if hi > len(recs) {
+				hi = len(recs)
+			}
+			p.analyzeChunk(recs[lo:hi], memo, pr)
+		}
+		return pr.result(id), nil
 	}
 
 	partials := make([]*partialResult, workers)
@@ -422,7 +442,9 @@ func (p *Pipeline) AnalyzeRecords(id ServiceIdentity, recs []RequestRecord) *Ser
 	claim := func() (lo, hi int, ok bool) {
 		cursor.Lock()
 		defer cursor.Unlock()
-		if next >= len(recs) {
+		// An expired context stops workers at the next chunk boundary;
+		// chunks already claimed run to completion.
+		if next >= len(recs) || ctx.Err() != nil {
 			return 0, 0, false
 		}
 		lo = next
@@ -451,12 +473,15 @@ func (p *Pipeline) AnalyzeRecords(id ServiceIdentity, recs []RequestRecord) *Ser
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	total := partials[0]
 	for _, pr := range partials[1:] {
 		total.merge(pr)
 	}
-	return total.result(id)
+	return total.result(id), nil
 }
 
 // Table1Totals aggregates results into the unique-total row of Table 1.

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"diffaudit/internal/faults"
 )
 
 // defaultWorkers is the pool size when Pipeline.Workers is 0.
@@ -64,6 +67,33 @@ func (m *multiSource) Next() (RequestRecord, error) {
 	return RequestRecord{}, io.EOF
 }
 
+// watchedSource threads a context into any RecordSource consumer that
+// does not take one itself (e.g. the identity-guess pass): Next fails
+// with ctx.Err() once the context dies, checked every streamBatchSize
+// records so the per-record cost stays negligible.
+type watchedSource struct {
+	ctx context.Context
+	src RecordSource
+	n   int
+}
+
+// WatchedSource wraps src so an expired or cancelled ctx aborts the
+// stream at batch-sized intervals — the deadline discipline for pull
+// paths outside AnalyzeStreamContext.
+func WatchedSource(ctx context.Context, src RecordSource) RecordSource {
+	return &watchedSource{ctx: ctx, src: src}
+}
+
+func (w *watchedSource) Next() (RequestRecord, error) {
+	if w.n%streamBatchSize == 0 {
+		if err := w.ctx.Err(); err != nil {
+			return RequestRecord{}, err
+		}
+	}
+	w.n++
+	return w.src.Next()
+}
+
 // streamBatchSize is the number of records pulled from a source per batch.
 // It matches analyzeChunkSize so the parallel stream path hands workers the
 // same unit of work the in-memory path does.
@@ -94,12 +124,23 @@ type streamStats struct {
 // peak memory is independent of stream length. The source is drained on
 // the calling goroutine; workers only see completed batches.
 func (p *Pipeline) AnalyzeStream(id ServiceIdentity, src RecordSource) (*ServiceResult, error) {
-	res, _, err := p.analyzeStream(id, src)
+	return p.AnalyzeStreamContext(context.Background(), id, src)
+}
+
+// AnalyzeStreamContext is AnalyzeStream under a context: cancellation and
+// deadline expiry are honored at batch boundaries only — a batch already
+// handed to the pool always completes, so a run that finishes produces
+// artifacts byte-identical to the context-free path, and a run that is
+// cut short returns ctx.Err() instead of a partial result. This is what
+// gives every server job a deadline without ever wedging a worker
+// mid-record.
+func (p *Pipeline) AnalyzeStreamContext(ctx context.Context, id ServiceIdentity, src RecordSource) (*ServiceResult, error) {
+	res, _, err := p.analyzeStream(ctx, id, src)
 	return res, err
 }
 
-// analyzeStream is AnalyzeStream plus residency instrumentation.
-func (p *Pipeline) analyzeStream(id ServiceIdentity, src RecordSource) (*ServiceResult, *streamStats, error) {
+// analyzeStream is AnalyzeStreamContext plus residency instrumentation.
+func (p *Pipeline) analyzeStream(ctx context.Context, id ServiceIdentity, src RecordSource) (*ServiceResult, *streamStats, error) {
 	memo := &destMemo{owner: id.Owner, eslds: id.FirstPartyESLDs, ats: p.ATS}
 	stats := &streamStats{}
 
@@ -109,7 +150,7 @@ func (p *Pipeline) analyzeStream(id ServiceIdentity, src RecordSource) (*Service
 	}
 
 	if workers <= 1 {
-		return p.analyzeStreamSequential(id, src, memo, stats)
+		return p.analyzeStreamSequential(ctx, id, src, memo, stats)
 	}
 
 	// live counts batches currently resident (filled but not yet fully
@@ -142,7 +183,18 @@ func (p *Pipeline) analyzeStream(id ServiceIdentity, src RecordSource) (*Service
 	}
 
 	var srcErr error
-	for {
+	for srcErr == nil {
+		// Batch boundary: the only place cancellation (and injected
+		// decode latency) is observed, so completed runs stay
+		// byte-identical to the context-free path.
+		if err := ctx.Err(); err != nil {
+			srcErr = err
+			break
+		}
+		if err := faults.Inject("decode.slow"); err != nil {
+			srcErr = err
+			break
+		}
 		batch := make([]RequestRecord, 0, streamBatchSize)
 		for len(batch) < streamBatchSize {
 			rec, err := src.Next()
@@ -159,9 +211,6 @@ func (p *Pipeline) analyzeStream(id ServiceIdentity, src RecordSource) (*Service
 		if len(batch) > 0 {
 			acquire()
 			batches <- batch
-		}
-		if srcErr != nil {
-			break
 		}
 	}
 	close(batches)
@@ -181,11 +230,17 @@ func (p *Pipeline) analyzeStream(id ServiceIdentity, src RecordSource) (*Service
 
 // analyzeStreamSequential is the workers<=1 path: one reused batch buffer,
 // so exactly one batch is ever resident.
-func (p *Pipeline) analyzeStreamSequential(id ServiceIdentity, src RecordSource, memo *destMemo, stats *streamStats) (*ServiceResult, *streamStats, error) {
+func (p *Pipeline) analyzeStreamSequential(ctx context.Context, id ServiceIdentity, src RecordSource, memo *destMemo, stats *streamStats) (*ServiceResult, *streamStats, error) {
 	pr := newPartialResult(streamBatchSize)
 	batch := make([]RequestRecord, 0, streamBatchSize)
 	stats.peakBatches = 1
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		if err := faults.Inject("decode.slow"); err != nil {
+			return nil, stats, err
+		}
 		batch = batch[:0]
 		var srcErr error
 		for len(batch) < streamBatchSize {

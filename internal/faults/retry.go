@@ -1,0 +1,140 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"syscall"
+	"time"
+)
+
+// ErrTransient is the marker transient errors carry (via Transient or a
+// Transient() bool method). errors.Is(err, ErrTransient) holds for any
+// error the retry discipline will re-attempt.
+var ErrTransient = errors.New("transient failure")
+
+// transientError marks a wrapped error as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+func (e *transientError) Is(target error) bool {
+	return target == ErrTransient
+}
+
+// Transient wraps an error as retryable: Retry will re-attempt the
+// operation with backoff instead of failing it on first sight. Wrapping
+// nil returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient classifies an error as worth retrying. Explicit marks win
+// (Transient wrapping, or a Transient() bool method anywhere in the
+// chain); beyond that, timeouts and the classic momentary syscall errors
+// (EAGAIN, EINTR, EBUSY, ETIMEDOUT, ECONNRESET) count as transient.
+// Context expiry is always permanent — the deadline belongs to the
+// caller, and retrying against a dead context only burns its remains.
+// Everything else (corruption, validation, ENOSPC-style persistent
+// resource exhaustion) is permanent: retrying cannot fix it within one
+// backoff window.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	var marked interface{ Transient() bool }
+	if errors.As(err, &marked) {
+		return marked.Transient()
+	}
+	var timeout interface{ Timeout() bool }
+	if errors.As(err, &timeout) && timeout.Timeout() {
+		return true
+	}
+	for _, errno := range []syscall.Errno{syscall.EAGAIN, syscall.EINTR, syscall.EBUSY, syscall.ETIMEDOUT, syscall.ECONNRESET} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}
+
+// RetryPolicy tunes Retry. The zero value means the defaults: 4 attempts,
+// 50ms base backoff, capped at 2s.
+type RetryPolicy struct {
+	// Attempts is the total number of tries (first call included).
+	Attempts int
+	// Base is the backoff before the second attempt; each further attempt
+	// doubles it.
+	Base time.Duration
+	// Max caps one backoff sleep.
+	Max time.Duration
+	// OnRetry, when set, observes each backoff: the attempt that just
+	// failed (1-based), its error, and the sleep about to happen. The
+	// server uses it to surface retry activity in /healthz.
+	OnRetry func(attempt int, err error, delay time.Duration)
+}
+
+// withDefaults fills zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 2 * time.Second
+	}
+	return p
+}
+
+// backoff returns the sleep before attempt+1: Base doubled per completed
+// attempt, capped at Max, with ±50% jitter so a fleet of retriers never
+// thunders in phase.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.Base << (attempt - 1)
+	if d <= 0 || d > p.Max {
+		d = p.Max
+	}
+	// Jitter over [d/2, d): full-jitter's convergence with a floor that
+	// keeps backoff monotone enough to matter.
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// Retry runs op, re-attempting transient failures (per IsTransient) with
+// capped exponential backoff plus jitter. It stops on success, on a
+// permanent error, when attempts are exhausted (the final error is
+// wrapped with the attempt count), or when ctx expires mid-backoff.
+func Retry(ctx context.Context, p RetryPolicy, op func() error) error {
+	p = p.withDefaults()
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt >= p.Attempts {
+			return fmt.Errorf("giving up after %d attempts: %w", attempt, err)
+		}
+		delay := p.backoff(attempt)
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err, delay)
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return fmt.Errorf("retry aborted by %v: %w", ctx.Err(), err)
+		case <-timer.C:
+		}
+	}
+}

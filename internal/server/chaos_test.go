@@ -1,0 +1,330 @@
+// The fault-injection (chaos) suite: every injection point the faults
+// package exposes in the serving path, driven end to end over HTTP —
+// panicking workers, flaky and dead snapshot stores, journal write
+// failures, job deadlines, and overload — asserting the server degrades
+// the way DESIGN.md promises and never wedges a worker.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diffaudit/internal/faults"
+	"diffaudit/internal/store"
+)
+
+// quizletParts is a small known-service upload (skips the identity-guess
+// pass, so tests that count injection firings see only the audit stream).
+func quizletParts(t *testing.T) map[string][2]string {
+	t.Helper()
+	return map[string][2]string{
+		"child": {"child.har", string(childHAR(t))},
+		"name":  {"", "Quizlet"},
+	}
+}
+
+// TestWorkerPanicRecovery: an audit that panics fails its own job with
+// the panic value and stack attached — and the same worker (Workers: 1)
+// keeps serving: the next job completes normally.
+func TestWorkerPanicRecovery(t *testing.T) {
+	defer faults.Reset()
+	faults.Set("worker.panic", faults.Plan{Panic: "chaos monkey", On: 1})
+
+	srv := New(Config{Workers: 1, TempDir: t.TempDir()})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := submit(t, ts, quizletParts(t))
+	job := decodeJob(t, resp)
+	failed := wait(t, ts, job.ID)
+	if failed.State != JobFailed {
+		t.Fatalf("panicked job = %+v, want failed", failed)
+	}
+	for _, wantFrag := range []string{"audit panicked", "chaos monkey", "goroutine"} {
+		if !strings.Contains(failed.Error, wantFrag) {
+			t.Errorf("failed.Error missing %q:\n%s", wantFrag, failed.Error)
+		}
+	}
+
+	// The injection is spent; the single worker must still be alive.
+	next := runJob(t, ts, quizletParts(t))
+	if next.State != JobDone {
+		t.Fatalf("post-panic job = %+v", next)
+	}
+}
+
+// TestTransientStorePutRetries: a snapshot store that fails transiently
+// twice is retried with backoff and the job still lands done with its
+// snapshot persisted and no SnapshotError.
+func TestTransientStorePutRetries(t *testing.T) {
+	defer faults.Reset()
+	faults.Set("store.put", faults.Plan{Err: faults.Transient(errors.New("flaky volume")), Count: 2})
+
+	var retries atomic.Int32
+	srv := New(Config{
+		Workers: 1,
+		TempDir: t.TempDir(),
+		Store:   store.NewMemStore(),
+		Retry: faults.RetryPolicy{
+			Attempts: 4,
+			Base:     time.Millisecond,
+			Max:      4 * time.Millisecond,
+			OnRetry:  func(int, error, time.Duration) { retries.Add(1) },
+		},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	done := runJob(t, ts, quizletParts(t))
+	if done.SnapshotError != "" || done.SnapshotSeq == 0 {
+		t.Fatalf("job = %+v, want a persisted snapshot", done)
+	}
+	if got := faults.Calls("store.put"); got != 3 {
+		t.Errorf("store.put attempts = %d, want 3 (two injected failures + success)", got)
+	}
+	if retries.Load() != 2 {
+		t.Errorf("observed retries = %d, want 2", retries.Load())
+	}
+}
+
+// TestTransientStoreWriteRetried exercises the full upload → journal →
+// retry → snapshot path against a real FSStore with its temp-file write
+// ("store.write", inside FSStore.Put) failing transiently once: the
+// server-side retry re-invokes Put and the snapshot still lands durable.
+func TestTransientStoreWriteRetried(t *testing.T) {
+	defer faults.Reset()
+	faults.Set("store.write", faults.Plan{Err: faults.Transient(errors.New("momentary I/O stall")), Count: 1})
+
+	dir := t.TempDir()
+	st, err := store.OpenFSStore(dir + "/snapshots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Open(Config{
+		Workers:    1,
+		JournalDir: dir + "/journal",
+		Store:      st,
+		Retry:      faults.RetryPolicy{Attempts: 3, Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	done := runJob(t, ts, quizletParts(t))
+	if done.SnapshotError != "" || done.SnapshotSeq == 0 {
+		t.Fatalf("job = %+v, want a persisted snapshot after the transient write failure", done)
+	}
+	// Durable for real: a second store over the same directory serves it.
+	st2, err := store.OpenFSStore(dir + "/snapshots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st2.Get(done.ID); err != nil {
+		t.Fatalf("snapshot not durable: %v", err)
+	}
+}
+
+// TestPermanentStorePutFails: a permanent store failure is NOT retried —
+// the audit result survives in memory with SnapshotError set (the
+// existing snapshot-failure semantics), and exactly one Put was tried.
+func TestPermanentStorePutFails(t *testing.T) {
+	defer faults.Reset()
+	faults.Set("store.put", faults.Plan{Err: errors.New("volume detached"), Count: -1})
+
+	srv := New(Config{Workers: 1, TempDir: t.TempDir(), Store: store.NewMemStore()})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := submit(t, ts, quizletParts(t))
+	job := decodeJob(t, resp)
+	done := wait(t, ts, job.ID)
+	if done.State != JobDone || !strings.Contains(done.SnapshotError, "volume detached") || done.SnapshotSeq != 0 {
+		t.Fatalf("job = %+v, want done with SnapshotError", done)
+	}
+	if got := faults.Calls("store.put"); got != 1 {
+		t.Errorf("store.put attempts = %d, want 1 (permanent errors must not retry)", got)
+	}
+	// The in-memory result still serves.
+	code, _ := getBody(t, ts, "/jobs/"+job.ID+"/report.json")
+	if code != http.StatusOK {
+		t.Errorf("report after snapshot failure: %d", code)
+	}
+}
+
+// TestJobTimeoutFreesWorker is the no-wedged-workers acceptance test:
+// with injected per-batch decode latency, a job that blows through
+// Config.JobTimeout lands in the "timeout" state (409 on its report),
+// and the same single worker picks up and completes the next job.
+func TestJobTimeoutFreesWorker(t *testing.T) {
+	defer faults.Reset()
+	// Three stream batches (600 records) × 50ms injected latency against
+	// a 75ms deadline: boundary checks at t≈0, ≥50ms, ≥100ms — the third
+	// is past the deadline regardless of scheduling.
+	faults.Set("decode.slow", faults.Plan{Delay: 50 * time.Millisecond, Count: -1})
+
+	urls := make([]string, 600)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("https://api.quizlet.com/v1/item?i=%d", i)
+	}
+	slowParts := map[string][2]string{
+		"child": {"slow.har", deltaHAR(t, urls...)},
+		"name":  {"", "Quizlet"},
+	}
+
+	srv := New(Config{Workers: 1, TempDir: t.TempDir(), JobTimeout: 75 * time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := submit(t, ts, slowParts)
+	job := decodeJob(t, resp)
+	timedOut := wait(t, ts, job.ID)
+	if timedOut.State != JobTimedOut || !strings.Contains(timedOut.Error, "job timeout") {
+		t.Fatalf("job = %+v, want state %q", timedOut, JobTimedOut)
+	}
+	code, body := getBody(t, ts, "/jobs/"+job.ID+"/report.json")
+	if code != http.StatusConflict || !strings.Contains(string(body), "timed out") {
+		t.Errorf("timed-out report fetch = %d: %s", code, body)
+	}
+
+	// Worker freed at the batch boundary: with the latency cleared, the
+	// next job on the same worker must finish well inside the deadline.
+	faults.Reset()
+	next := runJob(t, ts, quizletParts(t))
+	if next.State != JobDone {
+		t.Fatalf("post-timeout job = %+v", next)
+	}
+}
+
+// TestOverloadRetryAfter: both 503 paths (queue full, shutting down)
+// carry a Retry-After header so clients back off instead of failing.
+func TestOverloadRetryAfter(t *testing.T) {
+	gate := make(chan struct{})
+	srv := New(Config{Workers: 1, QueueDepth: 1, TempDir: t.TempDir(), NewPipeline: stalledPipeline(gate)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	parts := quizletParts(t)
+	first := decodeJob(t, submit(t, ts, parts))
+	// Wait until the worker owns job 1, so the next submit occupies the
+	// queue slot deterministically.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started running")
+		}
+		resp, err := http.Get(ts.URL + "/jobs/" + first.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jb Job
+		json.NewDecoder(resp.Body).Decode(&jb)
+		resp.Body.Close()
+		if jb.State == JobRunning {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if resp := submit(t, ts, parts); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("queue-filling submit: %d", resp.StatusCode)
+	}
+
+	resp := submit(t, ts, parts)
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("overload submit = %d, Retry-After=%q; want 503 with a hint", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	resp.Body.Close()
+
+	close(gate)
+	srv.Close() // drains the queued job
+
+	// The shutdown 503 carries the hint too.
+	resp = submit(t, ts, parts)
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("shutdown submit = %d, Retry-After=%q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	resp.Body.Close()
+}
+
+// TestSubmitJournalWriteFailure: when the journal cannot record a job
+// even after retries, the upload is rejected (500) rather than accepted
+// without durability, and its staged files are released.
+func TestSubmitJournalWriteFailure(t *testing.T) {
+	defer faults.Reset()
+	faults.Set("journal.write", faults.Plan{Err: errors.New("journal volume detached"), Count: -1})
+
+	jdir := t.TempDir()
+	srv, err := Open(Config{Workers: 1, JournalDir: jdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := submit(t, ts, quizletParts(t))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("submit with dead journal = %d, want 500", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// No job, no record, and — once the handler's deferred cleanup runs —
+	// no staged files.
+	code, body := getBody(t, ts, "/jobs")
+	if code != http.StatusOK || !strings.Contains(string(body), `"jobs":[]`) {
+		t.Errorf("jobs after rejected submit = %d: %s", code, body)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		left, err := os.ReadDir(srv.stagingDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(left) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("staged files not cleaned after journal failure: %d left", len(left))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestJournalWriteTransientRetried: a transiently failing journal write
+// is retried and the submit still lands 202 — durability hiccups cost
+// latency, not uploads.
+func TestJournalWriteTransientRetried(t *testing.T) {
+	defer faults.Reset()
+	faults.Set("journal.write", faults.Plan{Err: faults.Transient(errors.New("momentary stall")), Count: 1})
+
+	srv, err := Open(Config{
+		Workers:    1,
+		JournalDir: t.TempDir(),
+		Retry:      faults.RetryPolicy{Attempts: 3, Base: time.Millisecond, Max: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	done := runJob(t, ts, quizletParts(t))
+	if done.State != JobDone {
+		t.Fatalf("job = %+v", done)
+	}
+}

@@ -1,0 +1,247 @@
+// The durable job journal: the piece that makes an accepted upload
+// survive a process kill at any point before its snapshot lands.
+//
+// With Config.JournalDir set, handleSubmit stages uploads under
+// <JournalDir>/staging and, before the job is queued, records it in
+// <JournalDir>/<id>.job — a small JSON document (job ID, service name,
+// persona-tagged staged file paths) written with the same
+// temp+fsync+rename discipline as the snapshot store, so a crash never
+// leaves a half-visible record. State transitions rewrite the record;
+// reaching a safe terminal state (snapshot persisted, or a deterministic
+// failure/timeout) deletes it.
+//
+// On the next Open over the same directory, the journal is rescanned:
+// every surviving record is an interrupted job — queued or running when
+// the process died — and is re-enqueued from its staged files, so a
+// kill -9 between upload and snapshot loses nothing. Staging files no
+// record references (the upload crashed mid-stage, or its record was
+// corrupt) and .tmp-* leftovers from interrupted writes are deleted,
+// so crashes cannot leak disk forever.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"diffaudit/internal/faults"
+	"diffaudit/internal/flows"
+)
+
+// journalVersion versions the record format; readers reject records from
+// a future format instead of misinterpreting them.
+const journalVersion = 1
+
+// journalRecord is one job's durable form. Personas are recorded by name,
+// not ID: registry IDs depend on registration order, which a restarted
+// process may not replay identically.
+type journalRecord struct {
+	Version     int             `json:"version"`
+	ID          string          `json:"id"`
+	Service     string          `json:"service"`
+	State       JobState        `json:"state"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	Keylog      string          `json:"keylog,omitempty"`
+	Uploads     []journalUpload `json:"uploads"`
+}
+
+// journalUpload is one staged capture file.
+type journalUpload struct {
+	Path    string `json:"path"`
+	HAR     bool   `json:"har"`
+	Persona string `json:"persona"`
+}
+
+// journal persists job records under one directory.
+type journal struct {
+	dir string
+}
+
+// openJournal creates (if needed) the journal and staging directories.
+func openJournal(dir string) (*journal, error) {
+	j := &journal{dir: dir}
+	for _, d := range []string{dir, j.staging()} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+	}
+	return j, nil
+}
+
+// staging is where journaled servers stage uploads: next to the records,
+// on the same (durable) volume, so a journal record's file paths survive
+// exactly as long as the record does.
+func (j *journal) staging() string { return filepath.Join(j.dir, "staging") }
+
+// path returns the record file for a job ID.
+func (j *journal) path(id string) string { return filepath.Join(j.dir, id+".job") }
+
+// recordOf builds a job's journal record. The caller owns the job or
+// holds s.mu; uploads and keylog are immutable after submit.
+func recordOf(job *Job, state JobState) journalRecord {
+	rec := journalRecord{
+		Version:     journalVersion,
+		ID:          job.ID,
+		Service:     job.Service,
+		State:       state,
+		SubmittedAt: job.SubmittedAt,
+		Keylog:      job.keylog,
+	}
+	for _, up := range job.uploads {
+		rec.Uploads = append(rec.Uploads, journalUpload{Path: up.path, HAR: up.har, Persona: up.trace.String()})
+	}
+	return rec
+}
+
+// write persists a record crash-safely: temp file in the journal
+// directory, fsync, rename over the final name (atomic replace — a state
+// update must overwrite the previous record), then directory sync. The
+// "journal.write" injection point models the record write failing.
+func (j *journal) write(rec journalRecord) error {
+	if err := faults.Inject("journal.write"); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	f, err := os.CreateTemp(j.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := os.Rename(f.Name(), j.path(rec.ID)); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("journal: %w", err)
+	}
+	if d, err := os.Open(j.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// remove deletes a job's record — the job reached a state recovery must
+// not replay.
+func (j *journal) remove(id string) {
+	os.Remove(j.path(id))
+}
+
+// recoverJobs rescans the journal after a restart. Every surviving record
+// becomes a Job: re-runnable ones (staged files present, personas
+// registered) come back queued; unrecoverable ones come back failed with
+// a diagnostic, so the interruption is visible rather than silent. As it
+// scans it garbage-collects crash leftovers — .tmp-* files from
+// interrupted writes, corrupt records, and staging files no surviving
+// record references.
+func (j *journal) recoverJobs() []*Job {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil
+	}
+	referenced := map[string]bool{}
+	var jobs []*Job
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, ".tmp-") {
+			os.Remove(filepath.Join(j.dir, name))
+			continue
+		}
+		if e.IsDir() || !strings.HasSuffix(name, ".job") {
+			continue
+		}
+		path := filepath.Join(j.dir, name)
+		var rec journalRecord
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = json.Unmarshal(data, &rec)
+		}
+		if err != nil || rec.ID == "" || rec.Version > journalVersion {
+			// Unreadable or from a future build: drop the record; its
+			// staging files fall out as unreferenced orphans below.
+			os.Remove(path)
+			continue
+		}
+		job := &Job{
+			ID:          rec.ID,
+			State:       JobQueued,
+			Service:     rec.Service,
+			SubmittedAt: rec.SubmittedAt,
+			Files:       len(rec.Uploads),
+			keylog:      rec.Keylog,
+			recovered:   true,
+		}
+		broken := ""
+		for _, up := range rec.Uploads {
+			persona, ok := flows.ParsePersona(up.Persona)
+			if !ok {
+				broken = fmt.Sprintf("persona %q is not registered in this process", up.Persona)
+				break
+			}
+			if _, err := os.Stat(up.Path); err != nil {
+				broken = fmt.Sprintf("staged capture missing: %v", err)
+				break
+			}
+			job.uploads = append(job.uploads, upload{path: up.Path, har: up.HAR, trace: persona})
+		}
+		if broken == "" && job.keylog != "" {
+			if _, err := os.Stat(job.keylog); err != nil {
+				broken = fmt.Sprintf("staged keylog missing: %v", err)
+			}
+		}
+		if broken != "" {
+			// Not re-runnable: surface the loss as a failed job instead of
+			// re-queueing something that cannot succeed, and release what
+			// is left of its staging.
+			job.State = JobFailed
+			job.Error = "crash recovery: " + broken
+			job.FinishedAt = time.Now().UTC()
+			job.cleanup()
+			j.remove(rec.ID)
+		} else {
+			for _, up := range job.uploads {
+				referenced[up.path] = true
+			}
+			if job.keylog != "" {
+				referenced[job.keylog] = true
+			}
+		}
+		jobs = append(jobs, job)
+	}
+	// Staging orphans: uploads whose submit crashed before the journal
+	// record landed (or whose record was corrupt) accumulate forever
+	// without this sweep.
+	if stray, err := os.ReadDir(j.staging()); err == nil {
+		for _, e := range stray {
+			p := filepath.Join(j.staging(), e.Name())
+			if !e.IsDir() && !referenced[p] {
+				os.Remove(p)
+			}
+		}
+	}
+	// Deterministic re-enqueue order: job IDs are "job-<n>", so numeric
+	// order is submission order.
+	sort.Slice(jobs, func(a, b int) bool { return jobIDNum(jobs[a].ID) < jobIDNum(jobs[b].ID) })
+	return jobs
+}
+
+// jobIDNum extracts the numeric suffix of a "job-<n>" ID (0 when foreign).
+func jobIDNum(id string) int {
+	var n int
+	fmt.Sscanf(id, "job-%d", &n)
+	return n
+}

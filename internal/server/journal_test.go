@@ -1,0 +1,364 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"diffaudit/internal/core"
+	"diffaudit/internal/store"
+)
+
+// stalledPipeline returns a NewPipeline that blocks on gate — the
+// in-process stand-in for a worker frozen mid-audit when the process is
+// killed. Abandoning a server built on it (no Close) leaks the blocked
+// goroutine for the remainder of the test binary, which is exactly the
+// "process died here" semantics the crash matrix needs.
+func stalledPipeline(gate chan struct{}) func() *core.Pipeline {
+	return func() *core.Pipeline {
+		<-gate
+		return core.NewPipeline()
+	}
+}
+
+// stalledPutStore wraps a Store so Put blocks forever — the crash point
+// between "audit finished" and "snapshot durable".
+type stalledPutStore struct {
+	store.Store
+	gate chan struct{}
+}
+
+func (s *stalledPutStore) Put(jobID string, r *core.ServiceResult) (store.Meta, error) {
+	<-s.gate
+	return s.Store.Put(jobID, r)
+}
+
+// healthSnapshot decodes GET /healthz.
+func healthSnapshot(t *testing.T, ts *httptest.Server) map[string]any {
+	t.Helper()
+	code, body := getBody(t, ts, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d: %s", code, body)
+	}
+	var h map[string]any
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestJournalCrashRecoveryMatrix is the acceptance matrix for the
+// journal: a server is abandoned (never Closed — the in-process stand-in
+// for kill -9) at three points in a job's life, a fresh server is opened
+// over the same journal and store directories, and in every case the
+// interrupted job re-runs to done with a report byte-identical to an
+// uninterrupted server's.
+func TestJournalCrashRecoveryMatrix(t *testing.T) {
+	harData := string(childHAR(t))
+	parts := map[string][2]string{
+		"child": {"child.har", harData},
+		"name":  {"", "Quizlet"},
+	}
+
+	// The uninterrupted baseline.
+	baseDir := t.TempDir()
+	baseStore, err := store.OpenFSStore(filepath.Join(baseDir, "snapshots"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSrv := New(Config{Workers: 1, JournalDir: filepath.Join(baseDir, "journal"), Store: baseStore})
+	baseTS := httptest.NewServer(baseSrv)
+	job := runJob(t, baseTS, parts)
+	_, want := getBody(t, baseTS, "/jobs/"+job.ID+"/report.json")
+	baseTS.Close()
+	baseSrv.Close()
+
+	// submit stages parts and requires 202 without waiting.
+	accept := func(t *testing.T, ts *httptest.Server) Job {
+		t.Helper()
+		resp := submit(t, ts, parts)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: %d", resp.StatusCode)
+		}
+		return decodeJob(t, resp)
+	}
+
+	// recover opens a healthy server over the crashed one's directories
+	// and asserts every interrupted job re-runs to a byte-identical done.
+	recoverAndCheck := func(t *testing.T, dir string, ids ...string) {
+		t.Helper()
+		st, err := store.OpenFSStore(filepath.Join(dir, "snapshots"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := Open(Config{Workers: 1, JournalDir: filepath.Join(dir, "journal"), Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		for _, id := range ids {
+			done := wait(t, ts, id)
+			if done.State != JobDone {
+				t.Fatalf("recovered %s = %+v", id, done)
+			}
+			code, got := getBody(t, ts, "/jobs/"+id+"/report.json")
+			if code != http.StatusOK {
+				t.Fatalf("recovered report %s: %d", id, code)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("recovered %s report differs from the uninterrupted baseline", id)
+			}
+		}
+		// All recovered jobs settled: the journal must be empty again and
+		// healthz back to non-degraded.
+		if h := healthSnapshot(t, ts); h["degraded"] != false {
+			t.Fatalf("healthz after recovery = %v", h)
+		}
+		left, _ := filepath.Glob(filepath.Join(dir, "journal", "*.job"))
+		if len(left) != 0 {
+			t.Fatalf("journal records left after recovery: %v", left)
+		}
+	}
+
+	t.Run("killed-with-job-queued-and-job-running", func(t *testing.T) {
+		// One wedged worker: job-1 dies running (mid-audit), job-2 dies
+		// queued — the first two matrix cells in one crash.
+		dir := t.TempDir()
+		st, err := store.OpenFSStore(filepath.Join(dir, "snapshots"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashed := New(Config{
+			Workers:     1,
+			JournalDir:  filepath.Join(dir, "journal"),
+			Store:       st,
+			NewPipeline: stalledPipeline(make(chan struct{})),
+		})
+		ts := httptest.NewServer(crashed)
+		j1 := accept(t, ts)
+		j2 := accept(t, ts)
+		ts.Close() // abandon crashed without Close: the "kill -9"
+		recoverAndCheck(t, dir, j1.ID, j2.ID)
+	})
+
+	t.Run("killed-mid-store-put", func(t *testing.T) {
+		// The audit finished but the snapshot write never returned: the
+		// journal record must survive so the restart re-runs the job.
+		dir := t.TempDir()
+		st, err := store.OpenFSStore(filepath.Join(dir, "snapshots"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		crashed := New(Config{
+			Workers:    1,
+			JournalDir: filepath.Join(dir, "journal"),
+			Store:      &stalledPutStore{Store: st, gate: make(chan struct{})},
+		})
+		ts := httptest.NewServer(crashed)
+		j1 := accept(t, ts)
+		// Wait until the worker is provably inside Put (job running and
+		// its journal record rewritten to running) before "killing" it.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if time.Now().After(deadline) {
+				t.Fatal("job never reached running")
+			}
+			resp, err := http.Get(ts.URL + "/jobs/" + j1.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var jb Job
+			json.NewDecoder(resp.Body).Decode(&jb)
+			resp.Body.Close()
+			if jb.State == JobRunning {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		time.Sleep(20 * time.Millisecond) // let the audit reach the stalled Put
+		ts.Close()
+		recoverAndCheck(t, dir, j1.ID)
+	})
+}
+
+// TestJournalStartupGC: opening a server over a journal littered with
+// crash leftovers — interrupted record writes (.tmp-*), corrupt records,
+// and staging files no record references — deletes all of them.
+func TestJournalStartupGC(t *testing.T) {
+	dir := t.TempDir()
+	jdir := filepath.Join(dir, "journal")
+	if err := os.MkdirAll(filepath.Join(jdir, "staging"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tmpLeft := filepath.Join(jdir, ".tmp-interrupted")
+	corrupt := filepath.Join(jdir, "job-9.job")
+	orphan := filepath.Join(jdir, "staging", "diffaudit-child-orphan")
+	for _, f := range []string{tmpLeft, corrupt, orphan} {
+		if err := os.WriteFile(f, []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv, err := Open(Config{JournalDir: jdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, f := range []string{tmpLeft, corrupt, orphan} {
+		if _, err := os.Stat(f); !os.IsNotExist(err) {
+			t.Errorf("%s survived startup GC (err=%v)", f, err)
+		}
+	}
+}
+
+// TestJournalRecoveryMissingUpload: a record whose staged capture is gone
+// (the crash interleaved with cleanup, or an operator pruned staging)
+// recovers as a failed job with a diagnostic — visible loss, not a
+// silent drop and not an endless crash-rerun loop.
+func TestJournalRecoveryMissingUpload(t *testing.T) {
+	jdir := filepath.Join(t.TempDir(), "journal")
+	j, err := openJournal(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := journalRecord{
+		Version:     journalVersion,
+		ID:          "job-3",
+		Service:     "custom-service",
+		State:       JobQueued,
+		SubmittedAt: time.Now().UTC(),
+		Uploads:     []journalUpload{{Path: filepath.Join(jdir, "staging", "gone.har"), HAR: true, Persona: "child"}},
+	}
+	if err := j.write(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := Open(Config{JournalDir: jdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	code, body := getBody(t, ts, "/jobs/job-3")
+	if code != http.StatusOK {
+		t.Fatalf("recovered job: %d: %s", code, body)
+	}
+	var job Job
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.State != JobFailed || !strings.Contains(job.Error, "crash recovery") {
+		t.Fatalf("job = %+v, want failed with a crash-recovery diagnostic", job)
+	}
+	// The unrecoverable record must not survive to fail again next boot.
+	if _, err := os.Stat(j.path("job-3")); !os.IsNotExist(err) {
+		t.Fatalf("journal record for unrecoverable job survived (err=%v)", err)
+	}
+	// healthz: a recovered-failed job settled immediately; not degraded.
+	if h := healthSnapshot(t, ts); h["degraded"] != false {
+		t.Fatalf("healthz = %v", h)
+	}
+}
+
+// TestJournalRecoveryDegradedHealth: while crash-recovered jobs are still
+// re-running, healthz reports degraded with the recovering count; once
+// they settle it returns to normal.
+func TestJournalRecoveryDegradedHealth(t *testing.T) {
+	dir := t.TempDir()
+	jdir := filepath.Join(dir, "journal")
+
+	crashed := New(Config{
+		Workers:     1,
+		JournalDir:  jdir,
+		NewPipeline: stalledPipeline(make(chan struct{})),
+	})
+	ts := httptest.NewServer(crashed)
+	resp := submit(t, ts, map[string][2]string{
+		"child": {"child.har", string(childHAR(t))},
+		"name":  {"", "Quizlet"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	job := decodeJob(t, resp)
+	ts.Close() // abandon
+
+	gate := make(chan struct{})
+	srv, err := Open(Config{Workers: 1, JournalDir: jdir, NewPipeline: stalledPipeline(gate)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts2 := httptest.NewServer(srv)
+	defer ts2.Close()
+
+	h := healthSnapshot(t, ts2)
+	if h["degraded"] != true || h["recovering"] != float64(1) {
+		t.Fatalf("healthz during recovery = %v, want degraded with recovering=1", h)
+	}
+
+	close(gate)
+	done := wait(t, ts2, job.ID)
+	if done.State != JobDone {
+		t.Fatalf("recovered job = %+v", done)
+	}
+	h = healthSnapshot(t, ts2)
+	if h["degraded"] != false || h["recovering"] != float64(0) {
+		t.Fatalf("healthz after recovery = %v", h)
+	}
+}
+
+// TestJournalRecoveredIDsFenceNextID: a restarted server must mint IDs
+// past every recovered job, or a new upload would alias a crashed one.
+func TestJournalRecoveredIDsFenceNextID(t *testing.T) {
+	dir := t.TempDir()
+	jdir := filepath.Join(dir, "journal")
+
+	crashed := New(Config{
+		Workers:     1,
+		JournalDir:  jdir,
+		NewPipeline: stalledPipeline(make(chan struct{})),
+	})
+	ts := httptest.NewServer(crashed)
+	parts := map[string][2]string{
+		"child": {"child.har", string(childHAR(t))},
+		"name":  {"", "Quizlet"},
+	}
+	var last Job
+	for i := 0; i < 3; i++ {
+		resp := submit(t, ts, parts)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d", i, resp.StatusCode)
+		}
+		last = decodeJob(t, resp)
+	}
+	ts.Close() // abandon
+
+	srv, err := Open(Config{Workers: 1, JournalDir: jdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts2 := httptest.NewServer(srv)
+	defer ts2.Close()
+
+	resp := submit(t, ts2, parts)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-recovery submit: %d", resp.StatusCode)
+	}
+	fresh := decodeJob(t, resp)
+	if jobIDNum(fresh.ID) <= jobIDNum(last.ID) {
+		t.Fatalf("fresh job %s does not fence recovered %s", fresh.ID, last.ID)
+	}
+}

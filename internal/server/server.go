@@ -40,6 +40,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -48,12 +49,15 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"diffaudit/internal/core"
+	"diffaudit/internal/faults"
 	"diffaudit/internal/flows"
 	"diffaudit/internal/lawaudit"
 	"diffaudit/internal/report"
@@ -94,6 +98,23 @@ type Config struct {
 	// core.NewPipeline). Jobs never share a pipeline, so label caches are
 	// per-job and results stay deterministic.
 	NewPipeline func() *core.Pipeline
+	// JournalDir enables the crash-safe job journal: accepted uploads are
+	// staged under <JournalDir>/staging and journaled before they are
+	// queued, and Open re-enqueues interrupted jobs from the journal after
+	// a crash. Empty disables journaling (jobs accepted before a crash are
+	// lost, the pre-journal behavior). Point it at the same volume as the
+	// snapshot store (serve -data-dir does this) so a job and its eventual
+	// snapshot share durability.
+	JournalDir string
+	// JobTimeout bounds one audit job's run time (0 = unlimited). A job
+	// that exceeds it is marked with the "timeout" state and its worker
+	// moves on at the next pipeline batch boundary — a pathological
+	// capture cannot wedge a worker forever.
+	JobTimeout time.Duration
+	// Retry governs how transient failures (snapshot persistence, journal
+	// writes) are retried. Zero fields take faults.RetryPolicy defaults
+	// (4 attempts, 50ms base, 2s cap).
+	Retry faults.RetryPolicy
 }
 
 // JobState is the lifecycle of an audit job.
@@ -101,11 +122,18 @@ type JobState string
 
 // Job states.
 const (
-	JobQueued  JobState = "queued"
-	JobRunning JobState = "running"
-	JobDone    JobState = "done"
-	JobFailed  JobState = "failed"
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobTimedOut JobState = "timeout"
 )
+
+// Terminal reports whether a state is final — the job will never run
+// again in this process.
+func (st JobState) Terminal() bool {
+	return st == JobDone || st == JobFailed || st == JobTimedOut
+}
 
 // Job is one queued or completed audit.
 type Job struct {
@@ -129,6 +157,9 @@ type Job struct {
 	uploads []upload
 	keylog  string // temp path of the uploaded SSLKEYLOGFILE ("" if none)
 	result  *core.ServiceResult
+	// recovered marks a job re-enqueued from the journal after a crash;
+	// healthz reports "degraded" until every recovered job settles.
+	recovered bool
 }
 
 // upload is one capture file staged on disk.
@@ -138,24 +169,46 @@ type upload struct {
 	trace flows.TraceCategory
 }
 
-// Server is the audit server. Create with New, mount via Handler, stop
-// with Close.
+// Server is the audit server. Create with Open (or New), mount via
+// Handler, stop with Close.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	queue chan *Job
+	cfg     Config
+	mux     *http.ServeMux
+	queue   chan *Job
+	journal *journal // nil when Config.JournalDir is empty
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string
-	nextID int
-	closed bool
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	order      []string
+	nextID     int
+	closed     bool
+	recovering int // crash-recovered jobs not yet terminal
+
+	// retrying counts operations currently in a backoff-retry loop; it
+	// feeds healthz's "degraded" signal.
+	retrying atomic.Int32
 
 	wg sync.WaitGroup
 }
 
-// New starts a server's worker pool and returns it.
+// New starts a server's worker pool and returns it. It is Open for
+// configurations that cannot fail — with JournalDir set, journal I/O
+// errors panic; use Open to handle them.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic("server: " + err.Error())
+	}
+	return s
+}
+
+// Open starts a server, recovering interrupted jobs from the journal
+// first when Config.JournalDir is set: surviving journal records are
+// re-enqueued ahead of new submissions (in original submission order),
+// crash leftovers in the journal and staging directories are deleted, and
+// only then does the worker pool start. The only error source is journal
+// directory creation.
+func Open(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
 	}
@@ -175,10 +228,9 @@ func New(cfg Config) *Server {
 		cfg.NewPipeline = core.NewPipeline
 	}
 	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		queue: make(chan *Job, cfg.QueueDepth),
-		jobs:  make(map[string]*Job),
+		cfg:  cfg,
+		mux:  http.NewServeMux(),
+		jobs: make(map[string]*Job),
 	}
 	s.mux.HandleFunc("POST /audit", s.handleSubmit)
 	s.mux.HandleFunc("GET /personas", s.handlePersonas)
@@ -195,18 +247,47 @@ func New(cfg Config) *Server {
 	if cfg.Store != nil {
 		if metas, err := cfg.Store.List(); err == nil {
 			for _, m := range metas {
-				var n int
-				if _, err := fmt.Sscanf(m.JobID, "job-%d", &n); err == nil && n > s.nextID {
+				if n := jobIDNum(m.JobID); n > s.nextID {
 					s.nextID = n
 				}
 			}
 		}
 	}
+
+	var recovered []*Job
+	if cfg.JournalDir != "" {
+		j, err := openJournal(cfg.JournalDir)
+		if err != nil {
+			return nil, err
+		}
+		s.journal = j
+		recovered = j.recoverJobs()
+	}
+	// Recovered job IDs must also be fenced off, including the failed
+	// ones — reusing a crashed job's ID would alias two distinct uploads.
+	var requeue []*Job
+	for _, job := range recovered {
+		if n := jobIDNum(job.ID); n > s.nextID {
+			s.nextID = n
+		}
+		s.jobs[job.ID] = job
+		s.order = append(s.order, job.ID)
+		if !job.State.Terminal() {
+			s.recovering++
+			requeue = append(requeue, job)
+		}
+	}
+	// The queue must absorb every recovered job plus QueueDepth new ones;
+	// recovery never 503s the jobs the journal promised to keep.
+	s.queue = make(chan *Job, cfg.QueueDepth+len(requeue))
+	for _, job := range requeue {
+		s.queue <- job
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP handler to mount.
@@ -243,24 +324,52 @@ func (s *Server) run(job *Job) {
 	job.State = JobRunning
 	job.StartedAt = time.Now().UTC()
 	s.mu.Unlock()
+	// Best-effort state update: recovery re-runs a "running" record the
+	// same as a "queued" one, so losing this write costs nothing.
+	if s.journal != nil {
+		s.journal.write(recordOf(job, JobRunning))
+	}
 
-	result, err := s.audit(job)
+	// The deadline covers the audit only. Snapshot persistence runs under
+	// its own clock (the retry policy bounds it): abandoning a finished
+	// result because the analysis ran long would waste the work the
+	// deadline already paid for.
+	ctx := context.Background()
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+
+	result, err := s.runAudit(ctx, job)
 
 	// Persist the snapshot before the job becomes visible as done (and
 	// thus evictable): a finished job either has its result in memory or
-	// in the store, never neither.
+	// in the store, never neither. Transient store failures are retried
+	// with backoff before giving up.
 	var meta store.Meta
 	var storeErr error
 	if err == nil && s.cfg.Store != nil {
-		meta, storeErr = s.cfg.Store.Put(job.ID, result)
+		storeErr = s.retry(context.Background(), func() error {
+			if ierr := faults.Inject("store.put"); ierr != nil {
+				return ierr
+			}
+			var perr error
+			meta, perr = s.cfg.Store.Put(job.ID, result)
+			return perr
+		})
 	}
 
 	s.mu.Lock()
 	job.FinishedAt = time.Now().UTC()
-	if err != nil {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		job.State = JobTimedOut
+		job.Error = fmt.Sprintf("audit exceeded the %v job timeout", s.cfg.JobTimeout)
+	case err != nil:
 		job.State = JobFailed
 		job.Error = err.Error()
-	} else {
+	default:
 		job.State = JobDone
 		job.result = result
 		job.SnapshotSeq = meta.Seq
@@ -269,12 +378,69 @@ func (s *Server) run(job *Job) {
 			job.SnapshotError = storeErr.Error()
 		}
 	}
+	state := job.State
+	if job.recovered {
+		s.recovering--
+	}
 	s.mu.Unlock()
+
+	// A done job whose snapshot could not persist keeps its journal record
+	// and staged files: the in-memory result is the only copy, and a
+	// restart re-runs the audit and re-attempts persistence. Every other
+	// terminal state is safe to forget — done-and-persisted is durable in
+	// the store, failed/timeout are deterministic re-runs of the same
+	// inputs.
+	if s.journal != nil && state == JobDone && job.SnapshotError != "" && s.cfg.Store != nil {
+		s.journal.write(recordOf(job, JobQueued))
+		return
+	}
+	if s.journal != nil {
+		s.journal.remove(job.ID)
+	}
 	job.cleanup()
 }
 
+// runAudit is audit with panic containment: a panicking decoder or
+// analysis pass fails its own job with the stack attached instead of
+// killing the worker (and with it the whole process).
+func (s *Server) runAudit(ctx context.Context, job *Job) (result *core.ServiceResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result = nil
+			err = fmt.Errorf("audit panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if ierr := faults.Inject("worker.panic"); ierr != nil {
+		return nil, ierr
+	}
+	return s.audit(ctx, job)
+}
+
+// retry runs op under the configured retry policy, counting the loop in
+// s.retrying (healthz "degraded") while backoff is in progress.
+func (s *Server) retry(ctx context.Context, op func() error) error {
+	p := s.cfg.Retry
+	inner := p.OnRetry
+	retried := false
+	p.OnRetry = func(attempt int, err error, delay time.Duration) {
+		if !retried {
+			retried = true
+			s.retrying.Add(1)
+		}
+		if inner != nil {
+			inner(attempt, err, delay)
+		}
+	}
+	defer func() {
+		if retried {
+			s.retrying.Add(-1)
+		}
+	}()
+	return faults.Retry(ctx, p, op)
+}
+
 // audit runs the streaming pipeline over a job's staged captures.
-func (s *Server) audit(job *Job) (*core.ServiceResult, error) {
+func (s *Server) audit(ctx context.Context, job *Job) (*core.ServiceResult, error) {
 	open := func() (core.RecordSource, []*core.FileSource, error) {
 		srcs := make([]core.RecordSource, 0, len(job.uploads))
 		files := make([]*core.FileSource, 0, len(job.uploads))
@@ -309,7 +475,9 @@ func (s *Server) audit(job *Job) (*core.ServiceResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		id, err = core.GuessIdentitySource(job.Service, src)
+		// The guess pass pulls records itself, so the deadline reaches it
+		// through a watched source rather than a context parameter.
+		id, err = core.GuessIdentitySource(job.Service, core.WatchedSource(ctx, src))
 		for _, f := range files {
 			f.Close()
 		}
@@ -327,7 +495,7 @@ func (s *Server) audit(job *Job) (*core.ServiceResult, error) {
 			f.Close()
 		}
 	}()
-	return s.cfg.NewPipeline().AnalyzeStream(id, src)
+	return s.cfg.NewPipeline().AnalyzeStreamContext(ctx, id, src)
 }
 
 // evictLocked drops the oldest finished jobs once the retention cap is
@@ -343,7 +511,7 @@ func (s *Server) evictLocked() {
 	kept := s.order[:0]
 	for _, id := range s.order {
 		job := s.jobs[id]
-		evictable := job.State == JobDone || job.State == JobFailed
+		evictable := job.State.Terminal()
 		if s.cfg.Store != nil && job.State == JobDone && job.SnapshotError != "" {
 			// The snapshot failed to persist (e.g. disk full), so this
 			// in-memory result is the only copy. Evicting it would break
@@ -412,22 +580,47 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "server shutting down")
+		unavailable(w, "server shutting down")
 		return
 	}
 	s.nextID++
 	job.ID = fmt.Sprintf("job-%d", s.nextID)
 	job.State = JobQueued
 	job.Files = len(job.uploads)
+	s.mu.Unlock()
+
+	// Journal before queue: once a client sees 202, a crash must not lose
+	// the job. The write is retried on transient failure; a permanent
+	// failure rejects the upload rather than accepting work the journal
+	// cannot promise to keep. (The minted ID is abandoned on failure — ID
+	// gaps are harmless, reuse is not.)
+	if s.journal != nil {
+		if err := s.retry(r.Context(), func() error { return s.journal.write(recordOf(job, JobQueued)) }); err != nil {
+			httpError(w, http.StatusInternalServerError, "journaling job: %v", err)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		if s.journal != nil {
+			s.journal.remove(job.ID)
+		}
+		unavailable(w, "server shutting down")
+		return
+	}
 	select {
 	case s.queue <- job:
 		s.jobs[job.ID] = job
 		s.order = append(s.order, job.ID)
 		s.evictLocked()
 	default:
-		s.nextID--
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "job queue full (depth %d); retry later", s.cfg.QueueDepth)
+		if s.journal != nil {
+			s.journal.remove(job.ID)
+		}
+		unavailable(w, fmt.Sprintf("job queue full (depth %d); retry later", s.cfg.QueueDepth))
 		return
 	}
 	snap := job.snapshot()
@@ -436,6 +629,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	ok = true
 	w.Header().Set("Location", "/jobs/"+job.ID)
 	writeJSON(w, http.StatusAccepted, snap)
+}
+
+// unavailable writes a 503 with a Retry-After hint — overload here is
+// transient by construction (a bounded queue draining, or a shutdown the
+// operator's balancer should route around), so well-behaved clients
+// should back off and retry rather than fail.
+func unavailable(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusServiceUnavailable, "%s", msg)
 }
 
 // consumePart stages one multipart part: a capture file, the keylog, or a
@@ -483,9 +685,19 @@ func (s *Server) consumePart(job *Job, part *multipart.Part) error {
 	return nil
 }
 
+// stagingDir is where uploads are staged: the journal's staging
+// directory when journaling (so staged paths share the journal's
+// durability and its orphan GC), TempDir otherwise.
+func (s *Server) stagingDir() string {
+	if s.journal != nil {
+		return s.journal.staging()
+	}
+	return s.cfg.TempDir
+}
+
 // stageFile streams one part to a temp file and returns its path.
 func (s *Server) stageFile(part *multipart.Part, label string) (string, error) {
-	f, err := os.CreateTemp(s.cfg.TempDir, "diffaudit-"+label+"-*")
+	f, err := os.CreateTemp(s.stagingDir(), "diffaudit-"+label+"-*")
 	if err != nil {
 		return "", err
 	}
@@ -558,6 +770,8 @@ func (s *Server) fetchResult(id string) (*core.ServiceResult, int, string) {
 		return res, 0, ""
 	case JobFailed:
 		return nil, http.StatusConflict, fmt.Sprintf("job failed: %s", errMsg)
+	case JobTimedOut:
+		return nil, http.StatusConflict, fmt.Sprintf("job timed out: %s", errMsg)
 	default:
 		return nil, http.StatusConflict, fmt.Sprintf("job is %s; report not ready", state)
 	}
@@ -741,13 +955,21 @@ func (s *Server) handlePersonas(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	jobs := len(s.jobs)
+	recovering := s.recovering
 	s.mu.Unlock()
+	retrying := int(s.retrying.Load())
 	health := map[string]any{
 		"status":      "ok",
 		"jobs":        jobs,
 		"queue_depth": s.cfg.QueueDepth,
 		"queued":      len(s.queue),
 		"workers":     s.cfg.Workers,
+		// degraded: the server is serving, but crash-recovered jobs are
+		// still settling or an operation is in a backoff-retry loop —
+		// fresh results may lag.
+		"degraded":   recovering > 0 || retrying > 0,
+		"recovering": recovering,
+		"retrying":   retrying,
 	}
 	if s.cfg.Store != nil {
 		if metas, err := s.cfg.Store.List(); err == nil {

@@ -77,7 +77,7 @@ func wait(t *testing.T, ts *httptest.Server, id string) Job {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		if job.State == JobDone || job.State == JobFailed {
+		if job.State.Terminal() {
 			return job
 		}
 		time.Sleep(5 * time.Millisecond)

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"diffaudit/internal/core"
+	"diffaudit/internal/faults"
 	"diffaudit/internal/wire"
 )
 
@@ -403,8 +404,13 @@ func syncDir(dir string) error {
 
 // writeTemp writes data durably to a fresh .tmp-* file in dir (write,
 // fsync, close) and returns its path. The caller publishes it via link or
-// rename and removes it on failure.
+// rename and removes it on failure. The "store.write" injection point
+// models the write failing before any byte lands — the transient-I/O case
+// the server's retry loop exists for.
 func writeTemp(dir string, data []byte) (string, error) {
+	if err := faults.Inject("store.write"); err != nil {
+		return "", fmt.Errorf("store: %w", err)
+	}
 	f, err := os.CreateTemp(dir, ".tmp-*")
 	if err != nil {
 		return "", fmt.Errorf("store: %w", err)
