@@ -24,6 +24,7 @@ import (
 	"diffaudit/internal/netcap/pcapio"
 	"diffaudit/internal/netcap/reassembly"
 	"diffaudit/internal/ontology"
+	"diffaudit/internal/server"
 	"diffaudit/internal/store"
 	"diffaudit/internal/synth"
 )
@@ -353,6 +354,124 @@ func BenchmarkFSStorePut(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := st.Put("bench-job", res); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLazyOpen measures opening a lazy snapshot view over the
+// FSStore — resolve, mmap, envelope + CRC validation — without
+// materializing anything: the fixed cost a partial read pays before
+// touching only the sections it needs.
+func BenchmarkSnapshotLazyOpen(b *testing.B) {
+	res := audited(b)[0]
+	st, err := store.OpenFSStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := st.Put("bench-job", res); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		view, err := st.View("1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if view.Version() == 0 {
+			b.Fatal("unversioned view")
+		}
+		view.Close()
+	}
+}
+
+// benchReportServer stores one audited snapshot in an FSStore behind a
+// server and returns the server plus the snapshot's reference.
+func benchReportServer(b *testing.B, cacheBytes int64) (*server.Server, string) {
+	b.Helper()
+	st, err := store.OpenFSStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	meta, err := st.Put("bench-job", audited(b)[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(server.Config{TempDir: b.TempDir(), Store: st, CacheBytes: cacheBytes})
+	b.Cleanup(srv.Close)
+	return srv, fmt.Sprintf("%d", meta.Seq)
+}
+
+// BenchmarkReportFromStoreCold measures the server's snapshot read path
+// with the decoded-snapshot cache disabled: every fetch resolves, opens a
+// lazy view, and fully materializes — the per-request cost the PR-5
+// server paid on every report for an evicted job.
+func BenchmarkReportFromStoreCold(b *testing.B) {
+	srv, ref := benchReportServer(b, -1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := srv.SnapshotResult(ref)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.ByTrace) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkReportFromStoreWarm measures the same fetch with the cache
+// warm: resolve + hash lookup, zero snapshot decodes. The ratio against
+// ReportFromStoreCold is the PR's headline claim — decode disappears from
+// the hot read path.
+func BenchmarkReportFromStoreWarm(b *testing.B) {
+	srv, ref := benchReportServer(b, 0) // default cache
+	if _, _, err := srv.SnapshotResult(ref); err != nil {
+		b.Fatal(err) // prime
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := srv.SnapshotResult(ref)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.ByTrace) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkDiffPartial measures a persona-filtered longitudinal diff on
+// the zero-copy path: both snapshots open as mmap views and only the
+// compared persona's flow sections materialize.
+func BenchmarkDiffPartial(b *testing.B) {
+	res := audited(b)[0]
+	st, err := store.OpenFSStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := st.Put(fmt.Sprintf("bench-job-%d", i), res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	only := map[flows.Persona]bool{flows.Child: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sides [2]*core.ServiceResult
+		for j, ref := range [2]string{"1", "2"} {
+			view, err := st.View(ref)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sides[j], err = view.PartialResult([]string{"child"})
+			view.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		d := core.LongitudinalFiltered(sides[0], sides[1], only)
+		if len(d.Personas) != 1 {
+			b.Fatal("diff compared the wrong personas")
 		}
 	}
 }

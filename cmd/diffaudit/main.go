@@ -12,6 +12,7 @@
 //	          [-snapshot audit.snap] [-data-dir ./snapshots]
 //	diffaudit serve [-addr :8080] [-workers 2] [-queue 16] [-pprof 127.0.0.1:6060]
 //	          [-persona eu-teen:13-15] [-data-dir ./snapshots] [-job-timeout 10m]
+//	          [-cache-mb 64]
 //	diffaudit diff [-data-dir ./snapshots] [-format md|json] <old> <new>
 //
 // -persona registers additional personas beyond the paper's four built-in
@@ -34,6 +35,11 @@
 // crash-safe job journal (<data-dir>/journal): accepted uploads survive
 // even an unclean kill and re-run on the next start. -job-timeout bounds
 // one audit's run time so a pathological capture cannot wedge a worker.
+// The HTTP API is versioned under /v1 (unprefixed paths remain as
+// deprecated aliases); stored snapshots are read lazily via mmap and
+// decoded results are cached under a -cache-mb byte budget, so repeat
+// report/diff reads and conditional GETs (ETag / If-None-Match) skip
+// decoding entirely.
 //
 // Diff mode resolves <old> and <new> as snapshot file paths or, with
 // -data-dir, as store references (sequence number, content hash, unique
@@ -220,6 +226,7 @@ func serve(args []string) {
 	tempDir := fs.String("tempdir", "", "staging dir for uploads (default: system temp)")
 	dataDir := fs.String("data-dir", "", "snapshot store directory: finished audits persist (and survive restarts); enables /snapshots, /diff, and the crash-safe job journal")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job audit deadline, e.g. 10m; a job exceeding it lands in the \"timeout\" state (0 = unlimited)")
+	cacheMB := fs.Int64("cache-mb", 64, "decoded-snapshot cache budget in MiB shared by the report/snapshot/diff read path (0 disables)")
 	pprofAddr := fs.String("pprof", "", "localhost address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables profiling")
 	fs.Var(&personas, "persona", "register a persona accepted as an upload field, e.g. eu-teen:13-15 (repeatable)")
 	fs.Parse(args)
@@ -253,6 +260,10 @@ func serve(args []string) {
 		}()
 	}
 
+	cacheBytes := *cacheMB << 20
+	if cacheBytes == 0 {
+		cacheBytes = -1 // Config treats 0 as "use the default"; -1 disables
+	}
 	srv, err := diffaudit.OpenServer(diffaudit.ServerConfig{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -261,6 +272,7 @@ func serve(args []string) {
 		Store:          snapStore,
 		JournalDir:     journalDir,
 		JobTimeout:     *jobTimeout,
+		CacheBytes:     cacheBytes,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -275,7 +287,7 @@ func serve(args []string) {
 		display = "localhost" + display
 	}
 	log.Printf("diffaudit serve: listening on %s (%d workers, queue depth %d)", *addr, *workers, *queue)
-	log.Printf("submit captures:  curl -F child=@child.har -F name=MyApp http://%s/audit", display)
+	log.Printf("submit captures:  curl -F child=@child.har -F name=MyApp http://%s/v1/audits", display)
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

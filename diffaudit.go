@@ -142,6 +142,15 @@ type (
 	// SnapshotMeta describes one stored snapshot (sequence, content
 	// hash, service, originating job).
 	SnapshotMeta = store.Meta
+	// SnapshotView is a lazily-materialized handle over one stored
+	// snapshot: the envelope (magic, version, CRC) is validated once at
+	// open, and decoding happens only when Result or PartialResult is
+	// called. Close releases the underlying mapping.
+	SnapshotView = store.SnapshotView
+	// SnapshotViewer is implemented by snapshot stores whose snapshots
+	// can be opened as lazy views instead of eagerly decoded (both
+	// built-in backends implement it).
+	SnapshotViewer = store.Viewer
 	// LongitudinalDiff compares two audits of one service over time,
 	// per persona.
 	LongitudinalDiff = core.LongitudinalDiff

@@ -164,17 +164,26 @@ func (d LongitudinalDiff) Changed() bool {
 
 // Longitudinal diffs two audits of one service, oldest first.
 func Longitudinal(from, to *ServiceResult) LongitudinalDiff {
+	return LongitudinalFiltered(from, to, nil)
+}
+
+// LongitudinalFiltered diffs two audits like Longitudinal, restricted to
+// the personas the filter selects (nil selects every persona present in
+// either audit). Pairs with partially-materialized snapshots: a diff over
+// two personas needs only those personas' flow sets decoded, and the
+// output for the selected personas is identical to the unfiltered diff's.
+func LongitudinalFiltered(from, to *ServiceResult, only map[flows.Persona]bool) LongitudinalDiff {
 	d := LongitudinalDiff{From: from.Identity, To: to.Identity}
 	seen := make(map[flows.Persona]bool, len(from.ByTrace)+len(to.ByTrace))
 	var personas []flows.Persona
 	for p := range from.ByTrace {
-		if !seen[p] {
+		if !seen[p] && (only == nil || only[p]) {
 			seen[p] = true
 			personas = append(personas, p)
 		}
 	}
 	for p := range to.ByTrace {
-		if !seen[p] {
+		if !seen[p] && (only == nil || only[p]) {
 			seen[p] = true
 			personas = append(personas, p)
 		}

@@ -166,6 +166,22 @@ func ReadSetTables(r *wire.Reader) (*SetDecoder, error) {
 	return d, nil
 }
 
+// DecodeSetBytes decodes one set from a standalone byte slice (a snapshot
+// section), requiring the slice to contain exactly one set. The set copies
+// everything it needs out of data, so the slice may alias a transient
+// buffer (e.g. an mmap) without tying the set's lifetime to it.
+func (d *SetDecoder) DecodeSetBytes(data []byte) (*Set, error) {
+	r := wire.NewReader(data)
+	set, err := d.ReadSet(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
 // ReadSet reads one set written by WriteSet against the decoded tables.
 func (d *SetDecoder) ReadSet(r *wire.Reader) (*Set, error) {
 	// A flow entry is ≥ 3 bytes (two indices + mask).

@@ -1,0 +1,575 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"diffaudit/internal/store"
+)
+
+// get performs a GET and returns the full response (caller closes Body).
+func get(t *testing.T, ts *httptest.Server, path string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// getWithHeader is get with one request header set.
+func getWithHeader(t *testing.T, ts *httptest.Server, path, header, value string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(header, value)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// storeServer boots a MemStore-backed server with one finished job and
+// returns the server, test listener, and the job.
+func storeServer(t *testing.T, cfg Config) (*Server, *httptest.Server, Job) {
+	t.Helper()
+	if cfg.TempDir == "" {
+		cfg.TempDir = t.TempDir()
+	}
+	if cfg.Store == nil {
+		cfg.Store = store.NewMemStore()
+	}
+	srv := New(cfg)
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	job := runJob(t, ts, map[string][2]string{
+		"child": {"child.har", string(childHAR(t))},
+		"name":  {"", "Quizlet"},
+	})
+	return srv, ts, job
+}
+
+// TestV1RouteTable is the golden route-table test: every v1 route
+// answers, its legacy alias answers the same status with the same body,
+// and only the alias carries the Deprecation and successor-version Link
+// headers.
+func TestV1RouteTable(t *testing.T) {
+	_, ts, job := storeServer(t, Config{})
+
+	paths := []string{
+		"/jobs",
+		"/jobs/" + job.ID,
+		"/jobs/" + job.ID + "/report.json",
+		"/jobs/" + job.ID + "/report.csv",
+		"/snapshots",
+		"/snapshots/1",
+		"/diff?from=1&to=1",
+		"/personas",
+		"/healthz",
+	}
+	for _, path := range paths {
+		v1 := get(t, ts, "/v1"+path)
+		v1Body, _ := io.ReadAll(v1.Body)
+		v1.Body.Close()
+		if v1.StatusCode != http.StatusOK {
+			t.Errorf("GET /v1%s = %d: %s", path, v1.StatusCode, v1Body)
+			continue
+		}
+		if v1.Header.Get("Deprecation") != "" {
+			t.Errorf("GET /v1%s carries a Deprecation header", path)
+		}
+
+		legacy := get(t, ts, path)
+		legacyBody, _ := io.ReadAll(legacy.Body)
+		legacy.Body.Close()
+		if legacy.StatusCode != v1.StatusCode {
+			t.Errorf("GET %s = %d, v1 = %d", path, legacy.StatusCode, v1.StatusCode)
+		}
+		if !bytes.Equal(legacyBody, v1Body) {
+			t.Errorf("GET %s body differs from its v1 route", path)
+		}
+		if legacy.Header.Get("Deprecation") == "" {
+			t.Errorf("GET %s (legacy) missing Deprecation header", path)
+		}
+		wantLink := "/v1" + strings.SplitN(path, "?", 2)[0]
+		if link := legacy.Header.Get("Link"); !strings.Contains(link, wantLink) || !strings.Contains(link, `rel="successor-version"`) {
+			t.Errorf("GET %s Link = %q, want successor %s", path, link, wantLink)
+		}
+	}
+
+	// The renamed submit route: POST /v1/audits is POST /audit's
+	// successor, and each surface's Location points at itself.
+	var buf bytes.Buffer
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/audits", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "multipart/form-data; boundary=x")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("POST /v1/audits (empty) = %d, want 400", resp.StatusCode)
+	}
+	v1Job := runJobAt(t, ts, "/v1/audits", map[string][2]string{
+		"child": {"child.har", string(childHAR(t))},
+		"name":  {"", "Quizlet"},
+	})
+	if !strings.HasPrefix(v1Job.location, "/v1/jobs/") {
+		t.Errorf("v1 submit Location = %q, want /v1/jobs/...", v1Job.location)
+	}
+}
+
+// submittedJob is runJobAt's result: the finished job plus the Location
+// header the submit answered with.
+type submittedJob struct {
+	Job
+	location string
+}
+
+// runJobAt submits to an explicit submit path (v1 or legacy) and waits.
+func runJobAt(t *testing.T, ts *httptest.Server, path string, parts map[string][2]string) submittedJob {
+	t.Helper()
+	var buf bytes.Buffer
+	resp := submitTo(t, ts, path, parts, &buf)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit %s: %d: %s", path, resp.StatusCode, body)
+	}
+	location := resp.Header.Get("Location")
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	done := wait(t, ts, job.ID)
+	if done.State != JobDone {
+		t.Fatalf("job %s failed: %s", job.ID, done.Error)
+	}
+	return submittedJob{Job: done, location: location}
+}
+
+// TestErrorEnvelope pins the one error shape every handler emits:
+// {"error":{"code","message"}} with the documented typed codes, plus
+// retry_after on 503s.
+func TestErrorEnvelope(t *testing.T) {
+	srv := New(Config{TempDir: t.TempDir()}) // no store
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	decodeEnvelope := func(t *testing.T, body []byte) apiErrorBody {
+		t.Helper()
+		var envelope struct {
+			Error apiErrorBody `json:"error"`
+		}
+		if err := json.Unmarshal(body, &envelope); err != nil {
+			t.Fatalf("error body is not the envelope: %v: %s", err, body)
+		}
+		if envelope.Error.Code == "" || envelope.Error.Message == "" {
+			t.Fatalf("envelope missing code or message: %s", body)
+		}
+		return envelope.Error
+	}
+
+	for _, tc := range []struct {
+		path     string
+		status   int
+		code     string
+	}{
+		{"/v1/jobs/nope", http.StatusNotFound, "not_found"},
+		{"/v1/jobs/nope/report.json", http.StatusNotFound, "not_found"},
+		{"/v1/snapshots", http.StatusNotImplemented, "not_implemented"},
+		{"/v1/snapshots/1", http.StatusNotImplemented, "not_implemented"},
+		{"/v1/diff?from=1&to=2", http.StatusNotImplemented, "not_implemented"},
+		{"/v1/jobs?limit=zero", http.StatusBadRequest, "invalid_request"},
+	} {
+		code, body := getBody(t, ts, tc.path)
+		if code != tc.status {
+			t.Errorf("GET %s = %d, want %d", tc.path, code, tc.status)
+			continue
+		}
+		if e := decodeEnvelope(t, body); e.Code != tc.code {
+			t.Errorf("GET %s code = %q, want %q", tc.path, e.Code, tc.code)
+		}
+	}
+
+	// Store-backed error codes.
+	_, ts2, _ := storeServer(t, Config{})
+	for _, tc := range []struct {
+		path   string
+		status int
+		code   string
+	}{
+		{"/v1/diff?from=1", http.StatusBadRequest, "invalid_request"},
+		{"/v1/diff?from=1&to=1&format=csv", http.StatusBadRequest, "invalid_request"},
+		{"/v1/diff?from=1&to=1&personas=ghost", http.StatusBadRequest, "invalid_request"},
+		{"/v1/diff?from=99&to=1", http.StatusNotFound, "not_found"},
+		{"/v1/snapshots/99", http.StatusNotFound, "not_found"},
+		{"/v1/snapshots?cursor=xyz", http.StatusBadRequest, "invalid_request"},
+		{"/v1/jobs?cursor=xyz", http.StatusBadRequest, "invalid_request"},
+	} {
+		code, body := getBody(t, ts2, tc.path)
+		if code != tc.status {
+			t.Errorf("GET %s = %d, want %d: %s", tc.path, code, tc.status, body)
+			continue
+		}
+		if e := decodeEnvelope(t, body); e.Code != tc.code {
+			t.Errorf("GET %s code = %q, want %q", tc.path, e.Code, tc.code)
+		}
+	}
+
+	// The 503 envelope carries retry_after, mirroring the Retry-After
+	// header the chaos suite already pins.
+	srv3 := New(Config{TempDir: t.TempDir()})
+	ts3 := httptest.NewServer(srv3)
+	defer ts3.Close()
+	srv3.Close()
+	resp := submit(t, ts3, map[string][2]string{"child": {"c.har", "{}"}})
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after close = %d, want 503", resp.StatusCode)
+	}
+	e := decodeEnvelope(t, body)
+	if e.Code != "unavailable" || e.RetryAfter < 1 {
+		t.Errorf("503 envelope = %+v, want code=unavailable with retry_after", e)
+	}
+}
+
+// TestPagination covers the listing contract on /v1/jobs and
+// /v1/snapshots: stable order, limit cuts with next_cursor, cursor
+// resumes past the last item, empty pages beyond the end, and the
+// unpaginated default staying the legacy full listing.
+func TestPagination(t *testing.T) {
+	_, ts, _ := storeServer(t, Config{Workers: 1})
+	// Two more jobs → three jobs, three snapshots.
+	for i := 0; i < 2; i++ {
+		runJob(t, ts, map[string][2]string{
+			"child": {"child.har", string(childHAR(t))},
+			"name":  {"", "Quizlet"},
+		})
+	}
+
+	type jobsPage struct {
+		Jobs       []Job  `json:"jobs"`
+		NextCursor string `json:"next_cursor"`
+	}
+	readJobs := func(path string) jobsPage {
+		t.Helper()
+		code, body := getBody(t, ts, path)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", path, code, body)
+		}
+		var page jobsPage
+		if err := json.Unmarshal(body, &page); err != nil {
+			t.Fatal(err)
+		}
+		return page
+	}
+
+	full := readJobs("/v1/jobs")
+	if len(full.Jobs) != 3 || full.NextCursor != "" {
+		t.Fatalf("unpaginated jobs = %d items, cursor %q; want 3 items, no cursor", len(full.Jobs), full.NextCursor)
+	}
+	page1 := readJobs("/v1/jobs?limit=2")
+	if len(page1.Jobs) != 2 || page1.NextCursor != page1.Jobs[1].ID {
+		t.Fatalf("page1 = %d items, cursor %q", len(page1.Jobs), page1.NextCursor)
+	}
+	page2 := readJobs("/v1/jobs?limit=2&cursor=" + page1.NextCursor)
+	if len(page2.Jobs) != 1 || page2.NextCursor != "" {
+		t.Fatalf("page2 = %d items, cursor %q; want the final item, no cursor", len(page2.Jobs), page2.NextCursor)
+	}
+	if page1.Jobs[0].ID != full.Jobs[0].ID || page2.Jobs[0].ID != full.Jobs[2].ID {
+		t.Error("paginated walk visits jobs out of order")
+	}
+	// Cursor past the end: empty page, not an error.
+	if end := readJobs("/v1/jobs?limit=2&cursor=" + full.Jobs[2].ID); len(end.Jobs) != 0 || end.NextCursor != "" {
+		t.Errorf("past-end page = %d items, cursor %q; want empty", len(end.Jobs), end.NextCursor)
+	}
+
+	type snapsPage struct {
+		Snapshots  []store.Meta `json:"snapshots"`
+		NextCursor string       `json:"next_cursor"`
+	}
+	readSnaps := func(path string) snapsPage {
+		t.Helper()
+		code, body := getBody(t, ts, path)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", path, code, body)
+		}
+		var page snapsPage
+		if err := json.Unmarshal(body, &page); err != nil {
+			t.Fatal(err)
+		}
+		return page
+	}
+	sFull := readSnaps("/v1/snapshots")
+	if len(sFull.Snapshots) != 3 || sFull.NextCursor != "" {
+		t.Fatalf("unpaginated snapshots = %d, cursor %q", len(sFull.Snapshots), sFull.NextCursor)
+	}
+	sPage1 := readSnaps("/v1/snapshots?limit=2")
+	if len(sPage1.Snapshots) != 2 || sPage1.NextCursor != "2" {
+		t.Fatalf("snapshots page1 = %d items, cursor %q; want 2 items, cursor 2", len(sPage1.Snapshots), sPage1.NextCursor)
+	}
+	sPage2 := readSnaps("/v1/snapshots?limit=2&cursor=" + sPage1.NextCursor)
+	if len(sPage2.Snapshots) != 1 || sPage2.Snapshots[0].Seq != 3 || sPage2.NextCursor != "" {
+		t.Fatalf("snapshots page2 = %+v", sPage2)
+	}
+	if end := readSnaps("/v1/snapshots?limit=1&cursor=999"); len(end.Snapshots) != 0 || end.NextCursor != "" {
+		t.Errorf("past-end snapshots page = %+v", end)
+	}
+}
+
+// TestETagAndConditionalGet pins the cache semantics: cacheable GETs
+// carry a strong content-hash ETag, If-None-Match answers 304 with no
+// body, the CSV and JSON representations never validate against each
+// other, and a snapshot fetched by its full hash is immutable-cacheable.
+func TestETagAndConditionalGet(t *testing.T) {
+	_, ts, job := storeServer(t, Config{})
+
+	report := get(t, ts, "/v1/jobs/"+job.ID+"/report.json")
+	body, _ := io.ReadAll(report.Body)
+	report.Body.Close()
+	etag := report.Header.Get("ETag")
+	wantETag := `"` + job.SnapshotHash + `"`
+	if etag != wantETag {
+		t.Fatalf("report ETag = %q, want %q", etag, wantETag)
+	}
+	if cc := report.Header.Get("Cache-Control"); cc != "no-cache" {
+		t.Errorf("report Cache-Control = %q, want no-cache", cc)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty report body")
+	}
+
+	cond := getWithHeader(t, ts, "/v1/jobs/"+job.ID+"/report.json", "If-None-Match", etag)
+	condBody, _ := io.ReadAll(cond.Body)
+	cond.Body.Close()
+	if cond.StatusCode != http.StatusNotModified || len(condBody) != 0 {
+		t.Fatalf("conditional GET = %d with %d body bytes, want 304 empty", cond.StatusCode, len(condBody))
+	}
+	if cond.Header.Get("ETag") != etag {
+		t.Error("304 dropped the ETag")
+	}
+
+	// Weak-comparison: a proxy-weakened validator still matches.
+	weak := getWithHeader(t, ts, "/v1/jobs/"+job.ID+"/report.json", "If-None-Match", "W/"+etag)
+	weak.Body.Close()
+	if weak.StatusCode != http.StatusNotModified {
+		t.Errorf("weak validator = %d, want 304", weak.StatusCode)
+	}
+
+	// A stale validator re-serves the entity.
+	stale := getWithHeader(t, ts, "/v1/jobs/"+job.ID+"/report.json", "If-None-Match", `"deadbeef"`)
+	staleBody, _ := io.ReadAll(stale.Body)
+	stale.Body.Close()
+	if stale.StatusCode != http.StatusOK || !bytes.Equal(staleBody, body) {
+		t.Errorf("stale validator = %d, body equal=%v", stale.StatusCode, bytes.Equal(staleBody, body))
+	}
+
+	// CSV is a different representation of the same snapshot: different
+	// ETag, and the JSON validator must not 304 it.
+	csv := get(t, ts, "/v1/jobs/"+job.ID+"/report.csv")
+	csv.Body.Close()
+	csvETag := csv.Header.Get("ETag")
+	if csvETag == "" || csvETag == etag {
+		t.Errorf("csv ETag = %q (json %q); want distinct", csvETag, etag)
+	}
+	cross := getWithHeader(t, ts, "/v1/jobs/"+job.ID+"/report.csv", "If-None-Match", etag)
+	cross.Body.Close()
+	if cross.StatusCode != http.StatusOK {
+		t.Errorf("csv GET with json validator = %d, want 200", cross.StatusCode)
+	}
+
+	// Snapshot by sequence revalidates; by full hash it is immutable.
+	bySeq := get(t, ts, "/v1/snapshots/1")
+	bySeq.Body.Close()
+	if cc := bySeq.Header.Get("Cache-Control"); cc != "no-cache" {
+		t.Errorf("snapshot-by-seq Cache-Control = %q", cc)
+	}
+	byHash := get(t, ts, "/v1/snapshots/"+job.SnapshotHash)
+	byHash.Body.Close()
+	if cc := byHash.Header.Get("Cache-Control"); !strings.Contains(cc, "immutable") {
+		t.Errorf("snapshot-by-hash Cache-Control = %q, want immutable", cc)
+	}
+	if byHash.Header.Get("ETag") != etag {
+		t.Errorf("snapshot ETag = %q, want %q", byHash.Header.Get("ETag"), etag)
+	}
+
+	// Diff ETags: derived from both hashes, varying by personas/format.
+	diff := get(t, ts, "/v1/diff?from=1&to=1")
+	diff.Body.Close()
+	diffETag := diff.Header.Get("ETag")
+	if diffETag == "" {
+		t.Fatal("diff has no ETag")
+	}
+	cond304 := getWithHeader(t, ts, "/v1/diff?from=1&to=1", "If-None-Match", diffETag)
+	cond304.Body.Close()
+	if cond304.StatusCode != http.StatusNotModified {
+		t.Errorf("conditional diff = %d, want 304", cond304.StatusCode)
+	}
+	filtered := get(t, ts, "/v1/diff?from=1&to=1&personas=child")
+	filtered.Body.Close()
+	if filtered.Header.Get("ETag") == diffETag {
+		t.Error("persona-filtered diff shares the unfiltered ETag")
+	}
+}
+
+// TestWarmPathsPerformZeroDecodes is the decode-counter acceptance test:
+// once a snapshot's result is in the decoded-snapshot cache, repeat
+// report/snapshot/diff reads perform zero snapshot decodes, and a 304
+// performs zero decodes even on a cold cache.
+func TestWarmPathsPerformZeroDecodes(t *testing.T) {
+	// MaxJobs: 1 forces eviction of the finished job when the next one
+	// lands, so report reads must go through the store — the live-job
+	// path serves from job memory and would never decode anything.
+	_, ts, first := storeServer(t, Config{Workers: 1, MaxJobs: 1})
+	runJob(t, ts, map[string][2]string{
+		"child": {"child.har", string(childHAR(t))},
+		"name":  {"", "Quizlet"},
+	})
+	if code, _ := getBody(t, ts, "/v1/jobs/"+first.ID); code != http.StatusNotFound {
+		t.Fatalf("job %s still live; eviction did not happen", first.ID)
+	}
+
+	// Cold 304: the validator is served from metadata alone.
+	etag := `"` + first.SnapshotHash + `"`
+	before := store.Decodes()
+	cond := getWithHeader(t, ts, "/v1/jobs/"+first.ID+"/report.json", "If-None-Match", etag)
+	cond.Body.Close()
+	if cond.StatusCode != http.StatusNotModified {
+		t.Fatalf("cold conditional GET = %d, want 304", cond.StatusCode)
+	}
+	if got := store.Decodes() - before; got != 0 {
+		t.Errorf("cold 304 performed %d decodes, want 0", got)
+	}
+
+	// First full read decodes exactly once and warms the cache.
+	before = store.Decodes()
+	if code, _ := getBody(t, ts, "/v1/jobs/"+first.ID+"/report.json"); code != http.StatusOK {
+		t.Fatal("evicted report not served")
+	}
+	if got := store.Decodes() - before; got != 1 {
+		t.Errorf("cold read performed %d decodes, want 1", got)
+	}
+
+	// Warm reads across every read path: zero decodes.
+	before = store.Decodes()
+	for _, path := range []string{
+		"/v1/jobs/" + first.ID + "/report.json",
+		"/v1/jobs/" + first.ID + "/report.csv",
+		"/v1/snapshots/" + first.SnapshotHash,
+		"/v1/diff?from=1&to=1",
+		"/v1/diff?from=1&to=1&personas=child",
+	} {
+		if code, body := getBody(t, ts, path); code != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", path, code, body)
+		}
+	}
+	if got := store.Decodes() - before; got != 0 {
+		t.Errorf("warm reads performed %d decodes, want 0", got)
+	}
+}
+
+// TestPartialDiffDecodesOnlyComparedPersonas pins the partial-
+// materialization contract end to end: with the cache disabled, a
+// persona-filtered diff yields the same artifact as the full-decode diff
+// restricted to that persona, while the full snapshots are never
+// materialized (their results never enter the cache).
+func TestPartialDiffDecodesOnlyComparedPersonas(t *testing.T) {
+	srv, ts, _ := storeServer(t, Config{Workers: 1, CacheBytes: -1})
+
+	code, filtered := getBody(t, ts, "/v1/diff?from=1&to=1&personas=child")
+	if code != http.StatusOK {
+		t.Fatalf("filtered diff = %d: %s", code, filtered)
+	}
+	var diff struct {
+		Personas []struct {
+			Persona string `json:"persona"`
+		} `json:"personas"`
+	}
+	if err := json.Unmarshal(filtered, &diff); err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Personas) != 1 {
+		t.Fatalf("filtered diff compares %d personas, want 1", len(diff.Personas))
+	}
+	if stats := srv.cache.stats(); stats.Entries != 0 {
+		t.Errorf("partial diff cached %d results; partial materializations must never be cached", stats.Entries)
+	}
+}
+
+// TestHealthzCacheStats checks the cache surface on /v1/healthz: hits and
+// misses move as the read path warms.
+func TestHealthzCacheStats(t *testing.T) {
+	_, ts, first := storeServer(t, Config{Workers: 1, MaxJobs: 1})
+	runJob(t, ts, map[string][2]string{
+		"child": {"child.har", string(childHAR(t))},
+		"name":  {"", "Quizlet"},
+	})
+
+	readStats := func() cacheStats {
+		t.Helper()
+		code, body := getBody(t, ts, "/v1/healthz")
+		if code != http.StatusOK {
+			t.Fatalf("healthz = %d", code)
+		}
+		var health struct {
+			Cache cacheStats `json:"cache"`
+		}
+		if err := json.Unmarshal(body, &health); err != nil {
+			t.Fatal(err)
+		}
+		return health.Cache
+	}
+
+	if stats := readStats(); stats.Capacity != DefaultCacheBytes {
+		t.Errorf("cache capacity = %d, want default %d", stats.Capacity, DefaultCacheBytes)
+	}
+	getBody(t, ts, "/v1/jobs/"+first.ID+"/report.json") // miss + fill
+	getBody(t, ts, "/v1/jobs/"+first.ID+"/report.json") // hit
+	stats := readStats()
+	if stats.Misses == 0 || stats.Hits == 0 || stats.Entries == 0 {
+		t.Errorf("cache stats after warm read = %+v; want movement", stats)
+	}
+}
+
+// submitTo posts a multipart audit request to an explicit path.
+func submitTo(t *testing.T, ts *httptest.Server, path string, parts map[string][2]string, buf *bytes.Buffer) *http.Response {
+	t.Helper()
+	mw := multipart.NewWriter(buf)
+	for field, fc := range parts {
+		if fc[0] == "" { // value part
+			if err := mw.WriteField(field, fc[1]); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		fw, err := mw.CreateFormFile(field, fc[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.WriteString(fw, fc[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mw.Close()
+	resp, err := http.Post(ts.URL+path, mw.FormDataContentType(), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}

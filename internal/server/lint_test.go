@@ -1,0 +1,51 @@
+package server
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoPlainTextErrors enforces the error-envelope invariant at the
+// source level: nothing in internal/server may call http.Error (plain
+// text bodies) — apiError/unavailable are the only ways to answer with an
+// error, so every client sees the one documented envelope. CI runs the
+// same check as a grep gate; this version parses the AST so a comment or
+// string mentioning http.Error does not trip it.
+func TestNoPlainTextErrors(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, okCall := n.(*ast.CallExpr)
+			if !okCall {
+				return true
+			}
+			sel, okSel := call.Fun.(*ast.SelectorExpr)
+			if !okSel {
+				return true
+			}
+			pkg, okPkg := sel.X.(*ast.Ident)
+			if okPkg && pkg.Name == "http" && sel.Sel.Name == "Error" {
+				pos := fset.Position(call.Pos())
+				t.Errorf("%s: http.Error call — use apiError (the JSON error envelope) instead", filepath.Base(pos.String()))
+			}
+			return true
+		})
+	}
+}

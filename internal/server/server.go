@@ -6,24 +6,35 @@
 // stream from disk, and no request ever materializes a whole capture in
 // memory.
 //
-// API:
+// API (v1 — every route also answers without the /v1 prefix as a
+// deprecated legacy alias; see routes.go):
 //
-//	POST /audit            multipart upload; field name = persona (any
+//	POST /v1/audits        multipart upload; field name = persona (any
 //	                       registered persona name or alias — built-ins:
 //	                       child|adolescent|teen|adult|loggedout), file
 //	                       extension selects the decoder (.har vs
 //	                       .pcap/.pcapng); optional fields: name (service
 //	                       name), keylog (SSLKEYLOGFILE part)
-//	GET  /personas         registered personas and available rule packs
-//	GET  /jobs             job summaries
-//	GET  /jobs/{id}        one job's status
-//	GET  /jobs/{id}/report.json   full audit export (finished jobs)
-//	GET  /jobs/{id}/report.csv    per-flow CSV export
-//	GET  /snapshots        stored snapshot metadata (Store configured)
-//	GET  /diff?from=&to=   longitudinal diff between two snapshots
+//	GET  /v1/personas      registered personas and available rule packs
+//	GET  /v1/jobs          job summaries (?limit=&cursor= paginate)
+//	GET  /v1/jobs/{id}     one job's status
+//	GET  /v1/jobs/{id}/report.json   full audit export (finished jobs)
+//	GET  /v1/jobs/{id}/report.csv    per-flow CSV export
+//	GET  /v1/snapshots     stored snapshot metadata (Store configured;
+//	                       ?limit=&cursor= paginate by sequence)
+//	GET  /v1/snapshots/{ref}   one stored snapshot's audit export
+//	GET  /v1/diff?from=&to=    longitudinal diff between two snapshots
 //	                       (refs: seq, hash, unique hash prefix, or job
-//	                       ID; ?format=md for markdown, default JSON)
-//	GET  /healthz          liveness + queue depth
+//	                       ID; ?format=md for markdown, default JSON;
+//	                       ?personas=a,b restricts the diff — served
+//	                       from partial materialization)
+//	GET  /v1/healthz       liveness + queue depth + cache stats
+//
+// Errors use one JSON envelope with typed codes (errors.go). Cacheable
+// GETs (reports, snapshots, diffs) carry strong ETags derived from
+// snapshot content hashes and honor If-None-Match with 304 — a repeat
+// reader costs zero decode work (the decoded-snapshot LRU in cache.go
+// covers the non-conditional repeats).
 //
 // # Result durability and eviction
 //
@@ -50,6 +61,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -115,7 +127,17 @@ type Config struct {
 	// writes) are retried. Zero fields take faults.RetryPolicy defaults
 	// (4 attempts, 50ms base, 2s cap).
 	Retry faults.RetryPolicy
+	// CacheBytes bounds the decoded-snapshot LRU cache shared by the
+	// report, snapshot, and diff read paths (entries charged their
+	// encoded snapshot size). 0 takes the 64 MiB default; negative
+	// disables the cache (every read decodes — the cold-path benchmark
+	// configuration).
+	CacheBytes int64
 }
+
+// DefaultCacheBytes is the decoded-snapshot cache bound when
+// Config.CacheBytes is zero.
+const DefaultCacheBytes int64 = 64 << 20
 
 // JobState is the lifecycle of an audit job.
 type JobState string
@@ -176,6 +198,7 @@ type Server struct {
 	mux     *http.ServeMux
 	queue   chan *Job
 	journal *journal // nil when Config.JournalDir is empty
+	cache   *resultCache
 
 	mu         sync.Mutex
 	jobs       map[string]*Job
@@ -227,20 +250,20 @@ func Open(cfg Config) (*Server, error) {
 	if cfg.NewPipeline == nil {
 		cfg.NewPipeline = core.NewPipeline
 	}
-	s := &Server{
-		cfg:  cfg,
-		mux:  http.NewServeMux(),
-		jobs: make(map[string]*Job),
+	cacheBytes := cfg.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = DefaultCacheBytes
 	}
-	s.mux.HandleFunc("POST /audit", s.handleSubmit)
-	s.mux.HandleFunc("GET /personas", s.handlePersonas)
-	s.mux.HandleFunc("GET /jobs", s.handleJobs)
-	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("GET /jobs/{id}/report.json", s.handleReportJSON)
-	s.mux.HandleFunc("GET /jobs/{id}/report.csv", s.handleReportCSV)
-	s.mux.HandleFunc("GET /snapshots", s.handleSnapshots)
-	s.mux.HandleFunc("GET /diff", s.handleDiff)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	if cacheBytes < 0 {
+		cacheBytes = 0 // disabled: every get misses, every put no-ops
+	}
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		jobs:  make(map[string]*Job),
+		cache: newResultCache(cacheBytes),
+	}
+	s.registerRoutes()
 	// A restarted server must not mint job IDs that collide with the IDs
 	// recorded in its store's snapshots, or /jobs/{id}/report.* would
 	// serve the wrong audit. Seed the counter past every stored job ID.
@@ -546,7 +569,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	mr, err := r.MultipartReader()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "multipart body required: %v", err)
+		apiError(w, http.StatusBadRequest, codeInvalidRequest, "multipart body required: %v", err)
 		return
 	}
 
@@ -564,16 +587,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if err != nil {
-			httpError(w, uploadErrStatus(err), "multipart: %v", err)
+			status, code := uploadErrStatus(err)
+			apiError(w, status, code, "multipart: %v", err)
 			return
 		}
 		if err := s.consumePart(job, part); err != nil {
-			httpError(w, uploadErrStatus(err), "%v", err)
+			status, code := uploadErrStatus(err)
+			apiError(w, status, code, "%v", err)
 			return
 		}
 	}
 	if len(job.uploads) == 0 {
-		httpError(w, http.StatusBadRequest, "no capture files in upload (want parts named after registered personas — built-ins child|adolescent|adult|loggedout — with .har/.pcap/.pcapng filenames)")
+		apiError(w, http.StatusBadRequest, codeInvalidRequest, "no capture files in upload (want parts named after registered personas — built-ins child|adolescent|adult|loggedout — with .har/.pcap/.pcapng filenames)")
 		return
 	}
 
@@ -596,7 +621,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// gaps are harmless, reuse is not.)
 	if s.journal != nil {
 		if err := s.retry(r.Context(), func() error { return s.journal.write(recordOf(job, JobQueued)) }); err != nil {
-			httpError(w, http.StatusInternalServerError, "journaling job: %v", err)
+			apiError(w, http.StatusInternalServerError, codeInternal, "journaling job: %v", err)
 			return
 		}
 	}
@@ -627,17 +652,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	ok = true
-	w.Header().Set("Location", "/jobs/"+job.ID)
+	// A legacy client polls the legacy surface; a v1 client the v1 one.
+	location := "/jobs/" + job.ID
+	if v1Request(r) {
+		location = "/v1/jobs/" + job.ID
+	}
+	w.Header().Set("Location", location)
 	writeJSON(w, http.StatusAccepted, snap)
-}
-
-// unavailable writes a 503 with a Retry-After hint — overload here is
-// transient by construction (a bounded queue draining, or a shutdown the
-// operator's balancer should route around), so well-behaved clients
-// should back off and retry rather than fail.
-func unavailable(w http.ResponseWriter, msg string) {
-	w.Header().Set("Retry-After", "1")
-	httpError(w, http.StatusServiceUnavailable, "%s", msg)
 }
 
 // consumePart stages one multipart part: a capture file, the keylog, or a
@@ -721,22 +742,49 @@ func readSmallValue(part *multipart.Part) (string, error) {
 	return strings.TrimSpace(string(data)), nil
 }
 
-// handleJobs lists job summaries in submission order.
+// handleJobs lists job summaries in submission order (== job-ID order:
+// IDs are minted monotonically and recovery preserves the original
+// order). Without a limit the full listing returns, which is also the
+// legacy behavior; with one, the page cuts after limit jobs and
+// next_cursor names the last job served — pass it back as cursor to
+// resume just past it. The cursor stays stable across eviction: a
+// evicted job's ID still orders the remainder.
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	limit, cursor, perr := pageParams(r)
+	if perr != "" {
+		apiError(w, http.StatusBadRequest, codeInvalidRequest, "%s", perr)
+		return
+	}
+	after := 0
+	if cursor != "" {
+		if after = jobIDNum(cursor); after == 0 {
+			apiError(w, http.StatusBadRequest, codeInvalidRequest, "cursor %q is not a job ID", cursor)
+			return
+		}
+	}
 	s.mu.Lock()
 	out := make([]Job, 0, len(s.order))
 	for _, id := range s.order {
+		if jobIDNum(id) <= after {
+			continue
+		}
 		out = append(out, s.jobs[id].snapshot())
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+	body := map[string]any{}
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+		body["next_cursor"] = out[limit-1].ID
+	}
+	body["jobs"] = out
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleJob reports one job's status.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, okJob := s.lookup(r.PathValue("id"))
 	if !okJob {
-		httpError(w, http.StatusNotFound, "no such job")
+		apiError(w, http.StatusNotFound, codeNotFound, "no such job")
 		return
 	}
 	s.mu.Lock()
@@ -746,166 +794,402 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // fetchResult resolves a job ID to its audit result: live finished jobs
-// from memory, evicted-but-stored jobs by decoding their snapshot. On
-// failure it returns the HTTP status and message the caller should write.
-func (s *Server) fetchResult(id string) (*core.ServiceResult, int, string) {
+// from memory, evicted-but-stored jobs through the decoded-snapshot
+// cache. On failure it returns the HTTP status, typed error code, and
+// message the caller should write.
+func (s *Server) fetchResult(id string) (*core.ServiceResult, int, string, string) {
 	job, okJob := s.lookup(id)
 	if !okJob {
 		res, err := s.storedJobResult(id)
 		if err != nil {
 			// A snapshot for this job exists but cannot be served — a
 			// storage failure, not a missing job; 404 would mask it.
-			return nil, http.StatusInternalServerError, fmt.Sprintf("stored snapshot for %s: %v", id, err)
+			return nil, http.StatusInternalServerError, codeInternal, fmt.Sprintf("stored snapshot for %s: %v", id, err)
 		}
 		if res != nil {
-			return res, 0, ""
+			return res, 0, "", ""
 		}
-		return nil, http.StatusNotFound, "no such job"
+		return nil, http.StatusNotFound, codeNotFound, "no such job"
 	}
 	s.mu.Lock()
 	state, res, errMsg := job.State, job.result, job.Error
 	s.mu.Unlock()
 	switch state {
 	case JobDone:
-		return res, 0, ""
+		return res, 0, "", ""
 	case JobFailed:
-		return nil, http.StatusConflict, fmt.Sprintf("job failed: %s", errMsg)
+		return nil, http.StatusConflict, codeJobFailed, fmt.Sprintf("job failed: %s", errMsg)
 	case JobTimedOut:
-		return nil, http.StatusConflict, fmt.Sprintf("job timed out: %s", errMsg)
+		return nil, http.StatusConflict, codeJobTimedOut, fmt.Sprintf("job timed out: %s", errMsg)
 	default:
-		return nil, http.StatusConflict, fmt.Sprintf("job is %s; report not ready", state)
+		return nil, http.StatusConflict, codeJobNotReady, fmt.Sprintf("job is %s; report not ready", state)
 	}
 }
 
-// storedJobResult fetches the newest stored snapshot whose recorded job
-// ID matches exactly. Job endpoints must never fall back to the store's
+// storedJobMeta finds the newest stored snapshot whose recorded job ID
+// matches exactly. Job endpoints must never fall back to the store's
 // general reference resolution (sequence, hash, hash prefix) — otherwise
 // GET /jobs/1/report.json would serve the sequence-1 snapshot of a job
-// that never existed. (nil, nil) means no snapshot for this job; a
-// non-nil error means a matching snapshot exists but cannot be served.
-func (s *Server) storedJobResult(id string) (*core.ServiceResult, error) {
+// that never existed. ok reports a match; err a List failure.
+func (s *Server) storedJobMeta(id string) (meta store.Meta, ok bool, err error) {
 	if s.cfg.Store == nil {
-		return nil, nil
+		return store.Meta{}, false, nil
 	}
 	metas, err := s.cfg.Store.List()
 	if err != nil {
-		return nil, err
+		return store.Meta{}, false, err
 	}
 	for i := len(metas) - 1; i >= 0; i-- {
-		if metas[i].JobID != id {
-			continue
+		if metas[i].JobID == id {
+			return metas[i], true, nil
 		}
-		res, _, err := s.cfg.Store.Get(strconv.FormatUint(metas[i].Seq, 10))
+	}
+	return store.Meta{}, false, nil
+}
+
+// storedJobResult fetches an evicted job's result from its stored
+// snapshot, through the cache. (nil, nil) means no snapshot for this job;
+// a non-nil error means a matching snapshot exists but cannot be served.
+func (s *Server) storedJobResult(id string) (*core.ServiceResult, error) {
+	meta, okMeta, err := s.storedJobMeta(id)
+	if err != nil || !okMeta {
+		return nil, err
+	}
+	return s.snapshotResult(meta)
+}
+
+// snapshotResult materializes the snapshot meta describes: a cache hit
+// returns the already-decoded result (zero decode work); a miss opens a
+// lazy view where the store supports it (mmap on FSStore), materializes,
+// and caches the result under its content hash for every later reader —
+// report, snapshot, and diff handlers all share this path and therefore
+// this cache.
+func (s *Server) snapshotResult(meta store.Meta) (*core.ServiceResult, error) {
+	if res := s.cache.get(meta.Hash); res != nil {
+		return res, nil
+	}
+	res, err := s.decodeSnapshot(meta, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.put(meta.Hash, res, int64(meta.Bytes))
+	return res, nil
+}
+
+// partialSnapshot materializes only the named personas of a snapshot. A
+// cache hit still wins (the full result subsumes any subset); a miss
+// decodes just the requested flow sections and does NOT cache — a
+// partial result must never satisfy a later full read.
+func (s *Server) partialSnapshot(meta store.Meta, only []string) (*core.ServiceResult, error) {
+	if res := s.cache.get(meta.Hash); res != nil {
+		return res, nil
+	}
+	return s.decodeSnapshot(meta, only)
+}
+
+// decodeSnapshot decodes a snapshot by its exact sequence, lazily via the
+// store's Viewer when available (only selects the persona flow sections
+// to materialize; nil means all), eagerly otherwise.
+func (s *Server) decodeSnapshot(meta store.Meta, only []string) (*core.ServiceResult, error) {
+	ref := strconv.FormatUint(meta.Seq, 10)
+	if viewer, okView := s.cfg.Store.(store.Viewer); okView {
+		view, err := viewer.View(ref)
 		if err != nil {
 			return nil, err
 		}
-		return res, nil
+		defer view.Close()
+		return view.PartialResult(only)
 	}
-	return nil, nil
+	res, _, err := s.cfg.Store.Get(ref)
+	return res, err
 }
 
 // reportResult is fetchResult with the error path written to the response.
 func (s *Server) reportResult(w http.ResponseWriter, id string) (*core.ServiceResult, bool) {
-	res, code, msg := s.fetchResult(id)
-	if code != 0 {
-		httpError(w, code, "%s", msg)
+	res, status, code, msg := s.fetchResult(id)
+	if status != 0 {
+		apiError(w, status, code, "%s", msg)
 		return nil, false
 	}
 	return res, true
 }
 
+// jobETag returns the strong ETag of a job's report (with a variant
+// suffix distinguishing representations: the JSON and CSV exports of one
+// snapshot must not validate against each other). "" when no content
+// hash exists yet — job unfinished, no store, or snapshot persistence
+// failed — in which case the response is simply unconditional. The hash
+// comes from job bookkeeping or stored metadata; no snapshot is decoded.
+func (s *Server) jobETag(id, variant string) string {
+	hash := ""
+	if job, okJob := s.lookup(id); okJob {
+		s.mu.Lock()
+		if job.State == JobDone {
+			hash = job.SnapshotHash
+		}
+		s.mu.Unlock()
+	} else if meta, okMeta, err := s.storedJobMeta(id); err == nil && okMeta {
+		hash = meta.Hash
+	}
+	if hash == "" {
+		return ""
+	}
+	return `"` + hash + variant + `"`
+}
+
 // writeRendered writes one rendered export, folding the render-error path
-// every report/diff handler shares.
-func writeRendered(w http.ResponseWriter, contentType string, data []byte, err error) {
+// every report/diff handler shares. A non-empty etag stamps the response
+// cacheable.
+func writeRendered(w http.ResponseWriter, contentType string, data []byte, err error, etag string) {
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "render: %v", err)
+		apiError(w, http.StatusInternalServerError, codeInternal, "render: %v", err)
 		return
+	}
+	if etag != "" {
+		setCacheHeaders(w, etag, ccRevalidate)
 	}
 	w.Header().Set("Content-Type", contentType)
 	w.Write(data)
 }
 
 func (s *Server) handleReportJSON(w http.ResponseWriter, r *http.Request) {
-	res, okRes := s.reportResult(w, r.PathValue("id"))
+	id := r.PathValue("id")
+	etag := s.jobETag(id, "")
+	if etag != "" && etagMatch(r, etag) {
+		notModified(w, etag, ccRevalidate)
+		return
+	}
+	res, okRes := s.reportResult(w, id)
 	if !okRes {
 		return
 	}
 	data, err := report.ExportJSON([]*core.ServiceResult{res})
-	writeRendered(w, "application/json", data, err)
+	writeRendered(w, "application/json", data, err, etag)
 }
 
 func (s *Server) handleReportCSV(w http.ResponseWriter, r *http.Request) {
-	res, okRes := s.reportResult(w, r.PathValue("id"))
+	id := r.PathValue("id")
+	etag := s.jobETag(id, "+csv")
+	if etag != "" && etagMatch(r, etag) {
+		notModified(w, etag, ccRevalidate)
+		return
+	}
+	res, okRes := s.reportResult(w, id)
 	if !okRes {
 		return
 	}
 	csv, err := report.ExportFlowsCSV([]*core.ServiceResult{res})
-	writeRendered(w, "text/csv", []byte(csv), err)
-}
-
-// snapshotErrStatus distinguishes a reference the caller got wrong (404)
-// from a snapshot that exists but cannot be served — corruption or I/O
-// failure, which a 404 would mask (500).
-func snapshotErrStatus(err error) int {
-	if errors.Is(err, store.ErrUnresolved) {
-		return http.StatusNotFound
-	}
-	return http.StatusInternalServerError
+	writeRendered(w, "text/csv", []byte(csv), err, etag)
 }
 
 // requireStore writes the no-store error when snapshots are not enabled.
 func (s *Server) requireStore(w http.ResponseWriter) bool {
 	if s.cfg.Store == nil {
-		httpError(w, http.StatusNotImplemented, "snapshot store not configured (serve with -data-dir or set ServerConfig.Store)")
+		apiError(w, http.StatusNotImplemented, codeNotImplemented, "snapshot store not configured (serve with -data-dir or set ServerConfig.Store)")
 		return false
 	}
 	return true
 }
 
-// handleSnapshots lists stored snapshot metadata in sequence order.
+// handleSnapshots lists stored snapshot metadata in sequence order,
+// paginated by sequence number: cursor is the last sequence of the
+// previous page, next_cursor appears only when snapshots remain.
 func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
 	if !s.requireStore(w) {
 		return
 	}
-	metas, err := s.cfg.Store.List()
-	if err != nil {
-		httpError(w, http.StatusInternalServerError, "store: %v", err)
+	limit, cursor, perr := pageParams(r)
+	if perr != "" {
+		apiError(w, http.StatusBadRequest, codeInvalidRequest, "%s", perr)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"snapshots": metas})
+	var after uint64
+	if cursor != "" {
+		n, err := strconv.ParseUint(cursor, 10, 64)
+		if err != nil {
+			apiError(w, http.StatusBadRequest, codeInvalidRequest, "cursor %q is not a snapshot sequence", cursor)
+			return
+		}
+		after = n
+	}
+	metas, err := s.cfg.Store.List()
+	if err != nil {
+		apiError(w, http.StatusInternalServerError, codeInternal, "store: %v", err)
+		return
+	}
+	if after > 0 {
+		cut := 0
+		for cut < len(metas) && metas[cut].Seq <= after {
+			cut++
+		}
+		metas = metas[cut:]
+	}
+	body := map[string]any{}
+	if limit > 0 && len(metas) > limit {
+		metas = metas[:limit]
+		body["next_cursor"] = strconv.FormatUint(metas[limit-1].Seq, 10)
+	}
+	body["snapshots"] = metas
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleSnapshot serves one stored snapshot's full audit export (the same
+// shape as /v1/jobs/{id}/report.json) by any store reference. The export
+// is immutable for a given content hash, so a fetch by full hash is
+// immutable-cacheable; any other reference (sequence, prefix, job ID) can
+// come to denote different content over time and must revalidate.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.requireStore(w) {
+		return
+	}
+	ref := r.PathValue("ref")
+	metas, err := s.cfg.Store.List()
+	if err != nil {
+		apiError(w, http.StatusInternalServerError, codeInternal, "store: %v", err)
+		return
+	}
+	meta, err := store.Resolve(metas, ref)
+	if err != nil {
+		status, code := snapshotErrStatus(err)
+		apiError(w, status, code, "%v", err)
+		return
+	}
+	etag := `"` + meta.Hash + `"`
+	cacheControl := ccRevalidate
+	if ref == meta.Hash {
+		cacheControl = ccImmutable
+	}
+	if etagMatch(r, etag) {
+		notModified(w, etag, cacheControl)
+		return
+	}
+	res, err := s.snapshotResult(meta)
+	if err != nil {
+		status, code := snapshotErrStatus(err)
+		apiError(w, status, code, "snapshot %d: %v", meta.Seq, err)
+		return
+	}
+	data, err := report.ExportJSON([]*core.ServiceResult{res})
+	if err != nil {
+		apiError(w, http.StatusInternalServerError, codeInternal, "render: %v", err)
+		return
+	}
+	setCacheHeaders(w, etag, cacheControl)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
 }
 
 // handleDiff renders the longitudinal diff between two stored snapshots.
 // from and to accept any store reference: sequence number, content hash,
-// unique hash prefix, or job ID.
+// unique hash prefix, or job ID. An optional personas=a,b parameter
+// restricts the diff to those personas — and on a cold cache only their
+// flow sections are ever decoded (partial materialization). The response
+// ETag derives from both content hashes plus the requested personas and
+// format, so a matching If-None-Match answers 304 with zero decodes.
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	if !s.requireStore(w) {
 		return
 	}
-	fromRef, toRef := r.URL.Query().Get("from"), r.URL.Query().Get("to")
+	q := r.URL.Query()
+	fromRef, toRef := q.Get("from"), q.Get("to")
 	if fromRef == "" || toRef == "" {
-		httpError(w, http.StatusBadRequest, "want /diff?from=<ref>&to=<ref> (ref: snapshot seq, hash, hash prefix, or job ID)")
+		apiError(w, http.StatusBadRequest, codeInvalidRequest, "want /v1/diff?from=<ref>&to=<ref> (ref: snapshot seq, hash, hash prefix, or job ID)")
 		return
 	}
-	from, _, err := s.cfg.Store.Get(fromRef)
+	format := q.Get("format")
+	if format == "" {
+		format = "json"
+	}
+	if format != "json" && format != "md" {
+		apiError(w, http.StatusBadRequest, codeInvalidRequest, "unknown format %q (want md or json)", format)
+		return
+	}
+	var personaNames []string
+	var only map[flows.Persona]bool
+	if raw := q.Get("personas"); raw != "" {
+		only = make(map[flows.Persona]bool)
+		for _, name := range strings.Split(raw, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			p, okP := flows.ParsePersona(name)
+			if !okP {
+				apiError(w, http.StatusBadRequest, codeInvalidRequest, "unknown persona %q (see /v1/personas)", name)
+				return
+			}
+			if !only[p] {
+				only[p] = true
+				personaNames = append(personaNames, p.Info().Name)
+			}
+		}
+		if len(personaNames) == 0 {
+			apiError(w, http.StatusBadRequest, codeInvalidRequest, "personas parameter selects no personas")
+			return
+		}
+		sort.Strings(personaNames)
+	}
+
+	metas, err := s.cfg.Store.List()
 	if err != nil {
-		httpError(w, snapshotErrStatus(err), "from: %v", err)
+		apiError(w, http.StatusInternalServerError, codeInternal, "store: %v", err)
 		return
 	}
-	to, _, err := s.cfg.Store.Get(toRef)
+	fromMeta, err := store.Resolve(metas, fromRef)
 	if err != nil {
-		httpError(w, snapshotErrStatus(err), "to: %v", err)
+		status, code := snapshotErrStatus(err)
+		apiError(w, status, code, "from: %v", err)
 		return
 	}
-	diff := core.Longitudinal(from, to)
-	switch format := r.URL.Query().Get("format"); format {
+	toMeta, err := store.Resolve(metas, toRef)
+	if err != nil {
+		status, code := snapshotErrStatus(err)
+		apiError(w, status, code, "to: %v", err)
+		return
+	}
+	// The diff is a pure function of the two contents, the persona
+	// filter, and the format — exactly the ETag's ingredients. Resolution
+	// happens on metadata alone, so the 304 path never decodes.
+	variant := format
+	if len(personaNames) > 0 {
+		variant += ";" + strings.Join(personaNames, ",")
+	}
+	etag := `"` + fromMeta.Hash + "-" + toMeta.Hash + "+" + variant + `"`
+	if etagMatch(r, etag) {
+		notModified(w, etag, ccRevalidate)
+		return
+	}
+
+	fetch := func(meta store.Meta, side string) (*core.ServiceResult, bool) {
+		var res *core.ServiceResult
+		var ferr error
+		if only != nil {
+			res, ferr = s.partialSnapshot(meta, personaNames)
+		} else {
+			res, ferr = s.snapshotResult(meta)
+		}
+		if ferr != nil {
+			status, code := snapshotErrStatus(ferr)
+			apiError(w, status, code, "%s: %v", side, ferr)
+			return nil, false
+		}
+		return res, true
+	}
+	from, okFrom := fetch(fromMeta, "from")
+	if !okFrom {
+		return
+	}
+	to, okTo := fetch(toMeta, "to")
+	if !okTo {
+		return
+	}
+	diff := core.LongitudinalFiltered(from, to, only)
+	switch format {
 	case "md":
-		writeRendered(w, "text/markdown; charset=utf-8", []byte(report.DiffReport(diff)), nil)
-	case "", "json":
-		data, err := report.ExportDiffJSON(diff)
-		writeRendered(w, "application/json", data, err)
+		writeRendered(w, "text/markdown; charset=utf-8", []byte(report.DiffReport(diff)), nil, etag)
 	default:
-		httpError(w, http.StatusBadRequest, "unknown format %q (want md or json)", format)
+		data, err := report.ExportDiffJSON(diff)
+		writeRendered(w, "application/json", data, err, etag)
 	}
 }
 
@@ -975,6 +1259,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		if metas, err := s.cfg.Store.List(); err == nil {
 			health["snapshots"] = len(metas)
 		}
+		// The decoded-snapshot cache only matters when there are
+		// snapshots to decode; its hit/miss/eviction counters tell an
+		// operator whether CacheBytes is sized to the working set.
+		health["cache"] = s.cache.stats()
 	}
 	writeJSON(w, http.StatusOK, health)
 }
@@ -1009,26 +1297,33 @@ func (j *Job) snapshot() Job {
 // programmatic counterpart of the report endpoints, including their
 // evicted-but-stored fallback.
 func (s *Server) Result(id string) (*core.ServiceResult, error) {
-	res, code, msg := s.fetchResult(id)
-	if code != 0 {
+	res, status, _, msg := s.fetchResult(id)
+	if status != 0 {
 		return nil, errors.New("server: " + msg)
 	}
 	return res, nil
 }
 
-// uploadErrStatus distinguishes an upload that tripped MaxUploadBytes
-// (413, the connection is already doomed by MaxBytesReader) from a
-// malformed one (400).
-func uploadErrStatus(err error) int {
-	var tooLarge *http.MaxBytesError
-	if errors.As(err, &tooLarge) {
-		return http.StatusRequestEntityTooLarge
+// SnapshotResult resolves any store reference and materializes its result
+// through the decoded-snapshot cache — the programmatic counterpart of
+// GET /v1/snapshots/{ref}, and the read path the benchmarks drive.
+func (s *Server) SnapshotResult(ref string) (*core.ServiceResult, store.Meta, error) {
+	if s.cfg.Store == nil {
+		return nil, store.Meta{}, errors.New("server: no snapshot store configured")
 	}
-	return http.StatusBadRequest
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	metas, err := s.cfg.Store.List()
+	if err != nil {
+		return nil, store.Meta{}, err
+	}
+	meta, err := store.Resolve(metas, ref)
+	if err != nil {
+		return nil, store.Meta{}, err
+	}
+	res, err := s.snapshotResult(meta)
+	if err != nil {
+		return nil, store.Meta{}, err
+	}
+	return res, meta, nil
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sort"
+	"sync/atomic"
 
 	"diffaudit/internal/core"
 	"diffaudit/internal/flows"
@@ -29,9 +30,18 @@ import (
 // restart-durability guarantee ("the served report is byte-identical
 // after a restart") both rest on this property.
 //
-// Layout:
+// Layout (version 2):
 //
-//	magic "DASN" | version uint16 LE | payload | crc32(IEEE) uint32 LE
+//	magic "DASN" | version uint16 LE | section directory | sections | crc32(IEEE) uint32 LE
+//
+// The payload is framed into independently seekable sections
+// (wire.WriteSections): a directory of (kind, length) entries, then the
+// bodies. Section order is fixed and canonical — meta, personas, symbol
+// tables, then one flow-set section per persona in persona order — but a
+// reader can locate any section from the directory alone, which is what
+// lets SnapshotView materialize a single persona's flows without decoding
+// (or re-interning) anything else. Version 1 wrote the same logical fields
+// as one unframed stream; decoders accept both.
 //
 // The CRC covers magic, version, and payload. Truncated or corrupted input
 // fails cleanly: every payload read is bounds-checked (package wire), so
@@ -42,14 +52,34 @@ import (
 // snapMagic identifies a DiffAudit snapshot ("DiffAudit SNapshot").
 const snapMagic = "DASN"
 
-// SnapshotVersion is the current snapshot format version.
-const SnapshotVersion = 1
+// SnapshotVersion is the current snapshot format version. Version 2 added
+// the seekable section framing; version-1 snapshots (PR 5/6 stores) still
+// decode, they just cannot be partially materialized.
+const SnapshotVersion = 2
+
+// Section kinds of the version-2 framing.
+const (
+	secMeta     byte = 1 // identity, counters, dataset string sets
+	secPersonas byte = 2 // persona registration records, sorted by name
+	secSymbols  byte = 3 // flow symbol tables shared by every set
+	secFlowSet  byte = 4 // one per persona, aligned with secPersonas order
+)
 
 // headerLen is magic + version; trailerLen is the CRC.
 const (
 	headerLen  = len(snapMagic) + 2
 	trailerLen = 4
 )
+
+// decodes counts snapshot decode operations process-wide: every
+// DecodeResult call and every SnapshotView materialization that actually
+// touched section bytes. The server's warm read paths (decoded-snapshot
+// cache hits, If-None-Match 304s) are required to leave it untouched —
+// the decode-counter tests pin exactly that.
+var decodes atomic.Uint64
+
+// Decodes returns the process-wide snapshot decode count.
+func Decodes() uint64 { return decodes.Load() }
 
 // Hash returns the content hash of an encoded snapshot: hex SHA-256 over
 // the full encoding. Identical audit results hash identically no matter
@@ -59,56 +89,57 @@ func Hash(encoded []byte) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// sortedPersonas returns a result's personas ordered by name, not by
+// registry ID: ID assignment depends on registration order, which varies
+// across processes (e.g. -persona flags passed in a different order), and
+// the content hash must not.
+func sortedPersonas(r *core.ServiceResult) []flows.Persona {
+	personas := r.Personas()
+	sort.Slice(personas, func(i, j int) bool {
+		return personas[i].Info().Name < personas[j].Info().Name
+	})
+	return personas
+}
+
 // EncodeResult serializes a service result as a versioned snapshot.
 func EncodeResult(r *core.ServiceResult) []byte {
+	personas := sortedPersonas(r)
+
+	meta := &wire.Writer{}
+	writeMetaSection(meta, r)
+
+	pers := &wire.Writer{}
+	pers.Int(len(personas))
+	for _, p := range personas {
+		writePersonaInfo(pers, p.Info())
+	}
+
+	// Flow symbol tables shared across the per-persona sets, then the sets
+	// themselves, one section each, aligned with the persona list above.
+	enc := flows.NewSetEncoder()
+	for _, p := range personas {
+		enc.Collect(r.ByTrace[p])
+	}
+	tables := &wire.Writer{}
+	enc.WriteTables(tables)
+
+	secs := []wire.Section{
+		{Kind: secMeta, Data: meta.Bytes()},
+		{Kind: secPersonas, Data: pers.Bytes()},
+		{Kind: secSymbols, Data: tables.Bytes()},
+	}
+	for _, p := range personas {
+		sw := &wire.Writer{}
+		enc.WriteSet(sw, r.ByTrace[p])
+		secs = append(secs, wire.Section{Kind: secFlowSet, Data: sw.Bytes()})
+	}
+
 	w := &wire.Writer{}
 	w.Raw([]byte(snapMagic))
 	var ver [2]byte
 	binary.LittleEndian.PutUint16(ver[:], SnapshotVersion)
 	w.Raw(ver[:])
-
-	// Identity.
-	w.String(r.Identity.Name)
-	w.String(r.Identity.Owner)
-	w.Int(len(r.Identity.FirstPartyESLDs))
-	for _, e := range r.Identity.FirstPartyESLDs {
-		w.String(e)
-	}
-
-	// Counters.
-	w.Int(r.Packets)
-	w.Int(r.TCPFlows)
-	w.Int(r.DroppedKeys)
-
-	// Dataset-level string sets, sorted for canonical output.
-	writeStringSet(w, r.Domains)
-	writeStringSet(w, r.ESLDs)
-	writeStringSet(w, r.RawKeys)
-
-	// Personas present in the result, each with the full registration
-	// record so decoding processes can re-register them. Ordered by name,
-	// not by registry ID: ID assignment depends on registration order,
-	// which varies across processes (e.g. -persona flags passed in a
-	// different order), and the content hash must not.
-	personas := r.Personas()
-	sort.Slice(personas, func(i, j int) bool {
-		return personas[i].Info().Name < personas[j].Info().Name
-	})
-	w.Int(len(personas))
-	for _, p := range personas {
-		writePersonaInfo(w, p.Info())
-	}
-
-	// Flow symbol tables shared across the per-persona sets, then the sets
-	// themselves, aligned with the persona list above.
-	enc := flows.NewSetEncoder()
-	for _, p := range personas {
-		enc.Collect(r.ByTrace[p])
-	}
-	enc.WriteTables(w)
-	for _, p := range personas {
-		enc.WriteSet(w, r.ByTrace[p])
-	}
+	wire.WriteSections(w, secs)
 
 	// Trailer CRC over everything so far.
 	var crc [4]byte
@@ -117,27 +148,182 @@ func EncodeResult(r *core.ServiceResult) []byte {
 	return w.Bytes()
 }
 
-// DecodeResult parses a snapshot back into a service result. Personas the
-// snapshot references are registered into the process-wide registry
-// (idempotently); a snapshot persona conflicting with an already-registered
-// one of the same name is an error.
-func DecodeResult(data []byte) (*core.ServiceResult, error) {
+// checkSnapshot validates the envelope every snapshot read shares — magic,
+// version gate, CRC — and returns the version and payload. This is the
+// one full pass over the bytes a lazy view performs; everything after it
+// is on-demand.
+func checkSnapshot(data []byte) (version uint16, payload []byte, err error) {
 	if len(data) < headerLen+trailerLen {
-		return nil, fmt.Errorf("store: snapshot too short (%d bytes)", len(data))
+		return 0, nil, fmt.Errorf("store: snapshot too short (%d bytes)", len(data))
 	}
 	if string(data[:len(snapMagic)]) != snapMagic {
-		return nil, fmt.Errorf("store: not a snapshot (bad magic %q)", data[:len(snapMagic)])
+		return 0, nil, fmt.Errorf("store: not a snapshot (bad magic %q)", data[:len(snapMagic)])
 	}
-	version := binary.LittleEndian.Uint16(data[len(snapMagic):headerLen])
+	version = binary.LittleEndian.Uint16(data[len(snapMagic):headerLen])
 	if version == 0 || version > SnapshotVersion {
-		return nil, fmt.Errorf("store: snapshot version %d not supported (this build reads up to %d)", version, SnapshotVersion)
+		return 0, nil, fmt.Errorf("store: snapshot version %d not supported (this build reads up to %d)", version, SnapshotVersion)
 	}
 	body, trailer := data[:len(data)-trailerLen], data[len(data)-trailerLen:]
 	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
-		return nil, fmt.Errorf("store: snapshot checksum mismatch (corrupted or truncated)")
+		return 0, nil, fmt.Errorf("store: snapshot checksum mismatch (corrupted or truncated)")
 	}
+	return version, body[headerLen:], nil
+}
 
-	r := wire.NewReader(body[headerLen:])
+// DecodeResult parses a snapshot back into a service result. Personas the
+// snapshot references are registered into the process-wide registry
+// (idempotently); a snapshot persona conflicting with an already-registered
+// one of the same name is an error. Both current (sectioned, v2) and v1
+// snapshots decode.
+func DecodeResult(data []byte) (*core.ServiceResult, error) {
+	version, payload, err := checkSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	decodes.Add(1)
+	if version == 1 {
+		return decodeV1(payload)
+	}
+	secs, err := splitSections(payload)
+	if err != nil {
+		return nil, err
+	}
+	return secs.materialize(nil)
+}
+
+// snapSections is a parsed v2 section directory: zero-copy slices into the
+// payload, one per section, ready for independent decoding.
+type snapSections struct {
+	meta     []byte
+	personas []byte
+	symbols  []byte
+	flowSets [][]byte
+}
+
+// splitSections parses the v2 directory and checks the section shape: the
+// three fixed sections in canonical order, then one flow-set section per
+// persona. Unknown trailing kinds are rejected — the CRC already proved
+// the bytes are what the writer wrote, so an unknown kind means a format
+// this build does not speak (the version gate should have caught it).
+func splitSections(payload []byte) (*snapSections, error) {
+	all, err := wire.ReadSections(wire.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot sections: %w", err)
+	}
+	if len(all) < 3 || all[0].Kind != secMeta || all[1].Kind != secPersonas || all[2].Kind != secSymbols {
+		return nil, fmt.Errorf("store: snapshot missing canonical sections")
+	}
+	s := &snapSections{meta: all[0].Data, personas: all[1].Data, symbols: all[2].Data}
+	for _, sec := range all[3:] {
+		if sec.Kind != secFlowSet {
+			return nil, fmt.Errorf("store: unexpected snapshot section kind %d", sec.Kind)
+		}
+		s.flowSets = append(s.flowSets, sec.Data)
+	}
+	return s, nil
+}
+
+// decodeMetaSection parses identity, counters, and the dataset string sets
+// into a result with no flow sets yet.
+func decodeMetaSection(data []byte) (*core.ServiceResult, error) {
+	r := wire.NewReader(data)
+	res := &core.ServiceResult{
+		Identity: core.ServiceIdentity{
+			Name:  r.String(),
+			Owner: r.String(),
+		},
+		ByTrace: make(map[flows.Persona]*flows.Set),
+	}
+	nESLDs := r.Count(1)
+	for i := 0; i < nESLDs; i++ {
+		res.Identity.FirstPartyESLDs = append(res.Identity.FirstPartyESLDs, r.String())
+	}
+	res.Packets = r.Int()
+	res.TCPFlows = r.Int()
+	res.DroppedKeys = r.Int()
+	res.Domains = readStringSet(r)
+	res.ESLDs = readStringSet(r)
+	res.RawKeys = readStringSet(r)
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("store: snapshot meta section: %w", err)
+	}
+	return res, nil
+}
+
+// decodePersonaSection parses and registers the snapshot's personas,
+// returning them in section (name) order — the order the flow-set
+// sections follow.
+func decodePersonaSection(data []byte) ([]flows.Persona, error) {
+	r := wire.NewReader(data)
+	nPersonas := r.Count(1)
+	personas := make([]flows.Persona, 0, nPersonas)
+	for i := 0; i < nPersonas; i++ {
+		info, err := readPersonaInfo(r)
+		if err != nil {
+			return nil, err
+		}
+		p, err := flows.RegisterPersona(info)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot persona %q: %w", info.Name, err)
+		}
+		personas = append(personas, p)
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("store: snapshot persona section: %w", err)
+	}
+	return personas, nil
+}
+
+// decodeSymbolSection parses the shared flow symbol tables.
+func decodeSymbolSection(data []byte) (*flows.SetDecoder, error) {
+	r := wire.NewReader(data)
+	dec, err := flows.ReadSetTables(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot symbol tables: %w", err)
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("store: snapshot symbol tables: %w", err)
+	}
+	return dec, nil
+}
+
+// materialize decodes the sections into a result. A non-nil only set
+// restricts which personas' flow sections are decoded at all — the
+// sections of personas outside the filter are never touched, which is the
+// partial-materialization fast path /v1/diff uses.
+func (s *snapSections) materialize(only map[flows.Persona]bool) (*core.ServiceResult, error) {
+	res, err := decodeMetaSection(s.meta)
+	if err != nil {
+		return nil, err
+	}
+	personas, err := decodePersonaSection(s.personas)
+	if err != nil {
+		return nil, err
+	}
+	if len(personas) != len(s.flowSets) {
+		return nil, fmt.Errorf("store: snapshot has %d personas but %d flow sections", len(personas), len(s.flowSets))
+	}
+	dec, err := decodeSymbolSection(s.symbols)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range personas {
+		if only != nil && !only[p] {
+			continue
+		}
+		set, err := dec.DecodeSetBytes(s.flowSets[i])
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot flow set for %s: %w", p, err)
+		}
+		res.ByTrace[p] = set
+	}
+	return res, nil
+}
+
+// decodeV1 parses the unframed version-1 payload — the PR-5 layout, kept
+// so stores written before the section framing still serve.
+func decodeV1(payload []byte) (*core.ServiceResult, error) {
+	r := wire.NewReader(payload)
 	res := &core.ServiceResult{
 		Identity: core.ServiceIdentity{
 			Name:  r.String(),
@@ -188,6 +374,23 @@ func DecodeResult(data []byte) (*core.ServiceResult, error) {
 		return nil, fmt.Errorf("store: snapshot payload: %w", err)
 	}
 	return res, nil
+}
+
+// writeMetaSection writes identity, counters, and the dataset-level string
+// sets (sorted for canonical output).
+func writeMetaSection(w *wire.Writer, r *core.ServiceResult) {
+	w.String(r.Identity.Name)
+	w.String(r.Identity.Owner)
+	w.Int(len(r.Identity.FirstPartyESLDs))
+	for _, e := range r.Identity.FirstPartyESLDs {
+		w.String(e)
+	}
+	w.Int(r.Packets)
+	w.Int(r.TCPFlows)
+	w.Int(r.DroppedKeys)
+	writeStringSet(w, r.Domains)
+	writeStringSet(w, r.ESLDs)
+	writeStringSet(w, r.RawKeys)
 }
 
 // writeStringSet writes a set-valued map as a sorted string list.

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mapFile reads a snapshot file whole on platforms without a usable mmap
+// path. The contract matches the unix version: bytes plus a closer (a
+// no-op here — the garbage collector owns the buffer).
+func mapFile(path string) ([]byte, func() error, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return raw, func() error { return nil }, nil
+}

@@ -1,0 +1,44 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps a snapshot file read-only. The returned closer unmaps it;
+// the bytes are valid only until then. Snapshot files are immutable once
+// published (FSStore links them into place and never rewrites), so a
+// shared read-only mapping is safe for the file's lifetime; deleting the
+// file under a live mapping is also safe — the pages stay valid until the
+// unmap. Empty files map to an empty slice (mmap of length 0 is an error).
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("snapshot file %s too large to map (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Some filesystems refuse mmap; fall back to a plain read.
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		return raw, func() error { return nil }, nil
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -470,6 +470,12 @@ func readSnapFile(path string) (Meta, []byte, error) {
 	if err != nil {
 		return Meta{}, nil, fmt.Errorf("store: %w", err)
 	}
+	return parseSnapEnvelope(path, raw)
+}
+
+// parseSnapEnvelope parses a snapshot file's envelope from bytes already
+// in hand (read or mapped). The returned codec bytes alias raw.
+func parseSnapEnvelope(path string, raw []byte) (Meta, []byte, error) {
 	if len(raw) < 6 || string(raw[:4]) != fileMagic {
 		return Meta{}, nil, fmt.Errorf("store: %s: not a snapshot file", filepath.Base(path))
 	}

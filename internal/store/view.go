@@ -1,0 +1,229 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"diffaudit/internal/core"
+	"diffaudit/internal/flows"
+)
+
+// SnapshotView is a lazy handle over one encoded snapshot: the envelope
+// (magic, version, CRC) is validated exactly once when the view opens, and
+// everything else — symbol tables, persona records, per-persona flow sets —
+// materializes on demand. For version-2 (sectioned) snapshots a view can
+// materialize a subset of personas without ever touching the flow bytes of
+// the others, which is what lets a filtered /v1/diff skip most of the
+// decode work. Version-1 snapshots open fine but materialize all-or-
+// nothing (their payload is one sequential stream).
+//
+// The backing bytes may be an mmap of the store file (FSStore.View on
+// platforms with mmap support). Materialized results never alias those
+// bytes — every string and symbol is copied or re-interned during decode —
+// so results outlive the view, but the view itself must not be used after
+// Close. Views are safe for concurrent use.
+type SnapshotView struct {
+	meta    Meta
+	version uint16
+	secs    *snapSections // nil for version-1 snapshots
+	payload []byte        // version-1 payload (nil for v2)
+
+	mu     sync.Mutex
+	closer func() error
+	closed bool
+}
+
+// NewSnapshotView validates a snapshot's envelope and returns a lazy view.
+// closer, if non-nil, releases the backing bytes (e.g. munmap) and runs
+// exactly once, on Close.
+func NewSnapshotView(data []byte, meta Meta, closer func() error) (*SnapshotView, error) {
+	version, payload, err := checkSnapshot(data)
+	if err != nil {
+		if closer != nil {
+			closer()
+		}
+		return nil, err
+	}
+	v := &SnapshotView{meta: meta, version: version, closer: closer}
+	if version == 1 {
+		v.payload = payload
+		return v, nil
+	}
+	secs, err := splitSections(payload)
+	if err != nil {
+		if closer != nil {
+			closer()
+		}
+		return nil, err
+	}
+	v.secs = secs
+	return v, nil
+}
+
+// Meta returns the stored metadata the view was opened with.
+func (v *SnapshotView) Meta() Meta { return v.meta }
+
+// Version returns the snapshot codec version of the backing bytes.
+func (v *SnapshotView) Version() uint16 { return v.version }
+
+// Close releases the backing bytes. The view (and any zero-copy section
+// slices, but not materialized results) is unusable afterwards.
+func (v *SnapshotView) Close() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return nil
+	}
+	v.closed = true
+	v.secs = nil
+	v.payload = nil
+	if v.closer != nil {
+		return v.closer()
+	}
+	return nil
+}
+
+// Result fully materializes the snapshot — equivalent to DecodeResult over
+// the original bytes, and byte-identical under re-encoding.
+func (v *SnapshotView) Result() (*core.ServiceResult, error) {
+	return v.materialize(nil)
+}
+
+// PartialResult materializes the snapshot's identity, counters, and
+// persona registrations, but only the flow sets of the named personas
+// (matched against persona names and aliases) — the other personas'
+// flow sections are never decoded. Personas outside the filter are absent
+// from ByTrace entirely. A nil filter materializes everything. Version-1
+// snapshots cannot seek, so the filter degrades to a full decode followed
+// by trimming.
+func (v *SnapshotView) PartialResult(only []string) (*core.ServiceResult, error) {
+	if only == nil {
+		return v.materialize(nil)
+	}
+	filter := func(personas []flows.Persona) map[flows.Persona]bool {
+		want := make(map[flows.Persona]bool, len(only))
+		for _, name := range only {
+			if p, ok := flows.ParsePersona(name); ok {
+				want[p] = true
+			}
+		}
+		keep := make(map[flows.Persona]bool, len(personas))
+		for _, p := range personas {
+			if want[p] {
+				keep[p] = true
+			}
+		}
+		return keep
+	}
+	return v.materialize(filter)
+}
+
+// materialize decodes the snapshot, restricting flow-set decoding to the
+// personas the filter selects (computed after persona registration, so the
+// filter can match names the process had never seen). Each call is one
+// decode for the counter — the server's warm paths must never get here.
+func (v *SnapshotView) materialize(filter func([]flows.Persona) map[flows.Persona]bool) (*core.ServiceResult, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return nil, fmt.Errorf("store: snapshot view is closed")
+	}
+	decodes.Add(1)
+	if v.version == 1 {
+		res, err := decodeV1(v.payload)
+		if err != nil || filter == nil {
+			return res, err
+		}
+		keep := filter(res.Personas())
+		for p := range res.ByTrace {
+			if !keep[p] {
+				delete(res.ByTrace, p)
+			}
+		}
+		return res, nil
+	}
+
+	res, err := decodeMetaSection(v.secs.meta)
+	if err != nil {
+		return nil, err
+	}
+	personas, err := decodePersonaSection(v.secs.personas)
+	if err != nil {
+		return nil, err
+	}
+	if len(personas) != len(v.secs.flowSets) {
+		return nil, fmt.Errorf("store: snapshot has %d personas but %d flow sections", len(personas), len(v.secs.flowSets))
+	}
+	var keep map[flows.Persona]bool
+	if filter != nil {
+		keep = filter(personas)
+	}
+	dec, err := decodeSymbolSection(v.secs.symbols)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range personas {
+		if keep != nil && !keep[p] {
+			continue
+		}
+		set, err := dec.DecodeSetBytes(v.secs.flowSets[i])
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot flow set for %s: %w", p, err)
+		}
+		res.ByTrace[p] = set
+	}
+	return res, nil
+}
+
+// Viewer is implemented by stores that can open snapshots as lazy views
+// instead of eagerly decoding them. The caller owns the returned view and
+// must Close it.
+type Viewer interface {
+	View(ref string) (*SnapshotView, error)
+}
+
+// View implements Viewer: the snapshot file is mmapped where the platform
+// supports it (read the whole file otherwise), the envelope is validated
+// once, and nothing is decoded until the view materializes.
+func (s *FSStore) View(ref string) (*SnapshotView, error) {
+	metas, _ := s.List()
+	meta, err := Resolve(metas, ref)
+	if err != nil {
+		return nil, err
+	}
+	raw, closer, err := mapFile(s.path(meta.Seq))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	stored, data, err := parseSnapEnvelope(s.path(meta.Seq), raw)
+	if err != nil {
+		closer()
+		return nil, err
+	}
+	if stored.Hash != meta.Hash {
+		closer()
+		return nil, fmt.Errorf("store: snapshot %d changed on disk (hash %s != %s)", meta.Seq, stored.Hash, meta.Hash)
+	}
+	return NewSnapshotView(data, meta, closer)
+}
+
+// View implements Viewer over the in-memory backend.
+func (s *MemStore) View(ref string) (*SnapshotView, error) {
+	s.mu.Lock()
+	snaps := append([]memSnap(nil), s.snaps...)
+	s.mu.Unlock()
+	metas := make([]Meta, len(snaps))
+	for i, sn := range snaps {
+		metas[i] = sn.meta
+	}
+	meta, err := Resolve(metas, ref)
+	if err != nil {
+		return nil, err
+	}
+	for _, sn := range snaps {
+		if sn.meta.Seq == meta.Seq {
+			return NewSnapshotView(sn.data, meta, nil)
+		}
+	}
+	return nil, fmt.Errorf("store: snapshot %d vanished", meta.Seq)
+}

@@ -1,0 +1,77 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSectionsRoundTrip(t *testing.T) {
+	secs := []Section{
+		{Kind: 1, Data: []byte("meta")},
+		{Kind: 2, Data: nil}, // empty body is legal
+		{Kind: 4, Data: []byte("flows-a")},
+		{Kind: 4, Data: []byte("flows-b")}, // duplicate kinds preserved
+	}
+	w := &Writer{}
+	WriteSections(w, secs)
+
+	got, err := ReadSections(NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(secs) {
+		t.Fatalf("read %d sections, want %d", len(got), len(secs))
+	}
+	for i, s := range secs {
+		if got[i].Kind != s.Kind || !bytes.Equal(got[i].Data, s.Data) {
+			t.Errorf("section %d = (%d, %q), want (%d, %q)", i, got[i].Kind, got[i].Data, s.Kind, s.Data)
+		}
+	}
+}
+
+func TestSectionsZeroCopy(t *testing.T) {
+	w := &Writer{}
+	WriteSections(w, []Section{{Kind: 7, Data: []byte("shared")}})
+	buf := w.Bytes()
+	secs, err := ReadSections(NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The body must alias the input buffer, not a copy.
+	if &secs[0].Data[0] != &buf[len(buf)-len("shared")] {
+		t.Error("section body was copied out of the input")
+	}
+}
+
+func TestSectionsRejectBadInput(t *testing.T) {
+	w := &Writer{}
+	WriteSections(w, []Section{{Kind: 1, Data: []byte("abcdef")}})
+	enc := w.Bytes()
+
+	// Truncated body.
+	if _, err := ReadSections(NewReader(enc[:len(enc)-2])); err == nil {
+		t.Error("accepted truncated sections")
+	}
+	// Trailing garbage.
+	if _, err := ReadSections(NewReader(append(append([]byte(nil), enc...), 0xAA))); err == nil {
+		t.Error("accepted trailing bytes")
+	}
+	// A directory length pointing past the input.
+	huge := &Writer{}
+	huge.Int(1)
+	huge.Byte(1)
+	huge.Int(1 << 30)
+	if _, err := ReadSections(NewReader(huge.Bytes())); err == nil {
+		t.Error("accepted a section length beyond the input")
+	}
+	// Empty input is not an empty section list (missing count).
+	if _, err := ReadSections(NewReader(nil)); err == nil {
+		t.Error("accepted empty input")
+	}
+	// But an explicit empty list is fine.
+	empty := &Writer{}
+	WriteSections(empty, nil)
+	if secs, err := ReadSections(NewReader(empty.Bytes())); err != nil || len(secs) != 0 {
+		t.Errorf("empty section list = %v, %v", secs, err)
+	}
+}

@@ -157,6 +157,22 @@ func (r *Reader) Count(minBytes int) int {
 	return n
 }
 
+// Bytes reads n raw bytes as a subslice of the input — no copy, so the
+// returned slice aliases the reader's backing buffer (for mmap-backed
+// decoders the bytes are only valid while the mapping is).
+func (r *Reader) Bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.Remaining() {
+		r.fail("wire: %d raw bytes exceed remaining input (%d bytes)", n, r.Remaining())
+		return nil
+	}
+	p := r.data[r.off : r.off+n : r.off+n]
+	r.off += n
+	return p
+}
+
 // String reads a length-prefixed string.
 func (r *Reader) String() string {
 	n := r.Int()
