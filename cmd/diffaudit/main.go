@@ -227,6 +227,9 @@ func serve(args []string) {
 	dataDir := fs.String("data-dir", "", "snapshot store directory: finished audits persist (and survive restarts); enables /snapshots, /diff, and the crash-safe job journal")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job audit deadline, e.g. 10m; a job exceeding it lands in the \"timeout\" state (0 = unlimited)")
 	cacheMB := fs.Int64("cache-mb", 64, "decoded-snapshot cache budget in MiB shared by the report/snapshot/diff read path (0 disables)")
+	rateLimit := fs.Float64("rate-limit", 0, "per-client upload rate limit in requests/sec, keyed by X-Client-ID or remote host; over-budget clients draw 429s (0 disables)")
+	breakerThreshold := fs.Float64("breaker-threshold", 0, "snapshot-store circuit breaker failure-rate trip point in [0,1]; while open, reads serve stale from cache and writes defer to the journal (0 = default 0.5, negative disables)")
+	scrubInterval := fs.Duration("scrub-interval", 0, "background snapshot integrity scrub cadence, e.g. 15m: re-verify checksums, quarantine corrupt files, repair from cache (0 disables; needs -data-dir)")
 	pprofAddr := fs.String("pprof", "", "localhost address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables profiling")
 	fs.Var(&personas, "persona", "register a persona accepted as an upload field, e.g. eu-teen:13-15 (repeatable)")
 	fs.Parse(args)
@@ -265,14 +268,17 @@ func serve(args []string) {
 		cacheBytes = -1 // Config treats 0 as "use the default"; -1 disables
 	}
 	srv, err := diffaudit.OpenServer(diffaudit.ServerConfig{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		MaxUploadBytes: *maxUpload,
-		TempDir:        *tempDir,
-		Store:          snapStore,
-		JournalDir:     journalDir,
-		JobTimeout:     *jobTimeout,
-		CacheBytes:     cacheBytes,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		MaxUploadBytes:   *maxUpload,
+		TempDir:          *tempDir,
+		Store:            snapStore,
+		JournalDir:       journalDir,
+		JobTimeout:       *jobTimeout,
+		CacheBytes:       cacheBytes,
+		RateLimit:        *rateLimit,
+		BreakerThreshold: *breakerThreshold,
+		ScrubInterval:    *scrubInterval,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,277 @@
+// The snapshot-store circuit breaker: the server's second overload
+// defense, between the handlers and the Store. PR 6 taught individual
+// store calls to retry transient failures; the breaker handles the case
+// retries cannot — a store that is *down*, where every retried call
+// burns its full backoff budget before failing anyway, turning each
+// read into seconds of latency and each 500 into another reason for the
+// client to retry and make it worse.
+//
+// Classic three-state design over a sliding outcome window:
+//
+//	closed    — calls pass through; outcomes are recorded; when the
+//	            failure rate over the last BreakerWindow outcomes
+//	            reaches BreakerThreshold (with at least a window's
+//	            worth of samples), the breaker trips open.
+//	open      — store calls are short-circuited without touching the
+//	            store. Reads fall back to the decoded-snapshot cache,
+//	            serving stale-but-byte-identical reports with a Warning
+//	            header; cache misses answer 503 (fast) rather than 500
+//	            (slow). Snapshot writes are skipped, with the journal
+//	            keeping the job record so a restart (or the journal
+//	            flush path) re-persists the result later.
+//	half-open — after BreakerCooldown, exactly one call is let through
+//	            as a probe. Success closes the circuit and clears the
+//	            window; failure re-opens it for another cooldown.
+//
+// The "breaker.trip" injection point forces the open state without any
+// real store failure, so tests and runbook rehearsals can watch the
+// degraded mode on demand.
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diffaudit/internal/faults"
+)
+
+// errBreakerOpen tags store operations short-circuited by an open
+// breaker: the store was never called, the failure is known-transient,
+// and clients should retry after the cooldown.
+var errBreakerOpen = errors.New("snapshot store circuit breaker open")
+
+// Breaker tuning defaults (Config fields zero-value to these).
+const (
+	defaultBreakerThreshold = 0.5
+	defaultBreakerWindow    = 8
+	defaultBreakerCooldown  = 15 * time.Second
+)
+
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String renders the state for healthz.
+func (st breakerState) String() string {
+	switch st {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is the store circuit breaker. A nil breaker (threshold < 0 in
+// Config) never opens and records nothing — the pre-breaker behavior.
+type breaker struct {
+	threshold float64
+	window    int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	outcomes []bool // ring buffer of recent outcomes, true = failure
+	idx      int    // next write position
+	count    int    // filled entries
+	fails    int    // failures among filled entries
+	state    breakerState
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+
+	trips         atomic.Uint64 // closed→open transitions (incl. re-opens)
+	staleServed   atomic.Uint64 // cache hits served stale while open
+	shortCircuits atomic.Uint64 // store calls rejected without being tried
+}
+
+// newBreaker builds a breaker from Config knobs; zero values take the
+// defaults above, a negative threshold disables the breaker entirely.
+func newBreaker(threshold float64, window int, cooldown time.Duration) *breaker {
+	if threshold < 0 {
+		return nil
+	}
+	if threshold == 0 {
+		threshold = defaultBreakerThreshold
+	}
+	if window <= 0 {
+		window = defaultBreakerWindow
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	return &breaker{
+		threshold: threshold,
+		window:    window,
+		cooldown:  cooldown,
+		outcomes:  make([]bool, window),
+	}
+}
+
+// forced reports whether the "breaker.trip" injection point is holding
+// the breaker open. One atomic load when disarmed.
+func (b *breaker) forced() bool {
+	return faults.Inject("breaker.trip") != nil
+}
+
+// allow decides whether a store call may proceed, claiming the
+// half-open probe slot when the cooldown has elapsed. Callers that were
+// allowed MUST call record with the call's outcome (except under a nil
+// breaker, where record is a no-op anyway).
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	if b.forced() {
+		b.shortCircuits.Add(1)
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			b.shortCircuits.Add(1)
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			b.shortCircuits.Add(1)
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// isOpen is the passive check the stale-serving read path uses: it
+// never claims the probe slot, so asking "should this cache hit be
+// marked stale?" cannot consume the recovery probe a real store call
+// should get.
+func (b *breaker) isOpen() bool {
+	if b == nil {
+		return false
+	}
+	if b.forced() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen || b.state == breakerHalfOpen
+}
+
+// record feeds one allowed call's outcome back. In the closed state it
+// slides the window and trips on threshold; in half-open it closes on
+// success and re-opens on failure.
+func (b *breaker) record(err error) {
+	if b == nil {
+		return
+	}
+	failed := err != nil
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.probing = false
+		if failed {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			b.trips.Add(1)
+			return
+		}
+		b.state = breakerClosed
+		b.resetWindowLocked()
+	case breakerClosed:
+		if b.count == len(b.outcomes) && b.outcomes[b.idx] {
+			b.fails-- // the slot we are about to overwrite held a failure
+		}
+		b.outcomes[b.idx] = failed
+		b.idx = (b.idx + 1) % len(b.outcomes)
+		if b.count < len(b.outcomes) {
+			b.count++
+		}
+		if failed {
+			b.fails++
+		}
+		if b.count >= b.window && float64(b.fails) >= b.threshold*float64(b.count) {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			b.trips.Add(1)
+		}
+	default:
+		// Open: a straggler call that was allowed before the trip landed.
+		// Its outcome is stale news; ignore it.
+	}
+}
+
+// resetWindowLocked clears the outcome ring after a recovery — the
+// failures that tripped the breaker belong to the outage, not to the
+// recovered store. Callers hold b.mu.
+func (b *breaker) resetWindowLocked() {
+	for i := range b.outcomes {
+		b.outcomes[i] = false
+	}
+	b.idx, b.count, b.fails = 0, 0, 0
+}
+
+// openAge is how long the circuit has been open (zero when not open, or
+// when forced open by injection with no real trip) — the Age header of
+// stale responses.
+func (b *breaker) openAge() time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerClosed || b.openedAt.IsZero() {
+		return 0
+	}
+	return time.Since(b.openedAt)
+}
+
+// breakerStats is the /v1/healthz view of the breaker.
+type breakerStats struct {
+	State         string  `json:"state"`
+	FailureRate   float64 `json:"failure_rate"`
+	WindowFilled  int     `json:"window_filled"`
+	Window        int     `json:"window"`
+	Trips         uint64  `json:"trips"`
+	StaleServed   uint64  `json:"stale_served"`
+	ShortCircuits uint64  `json:"short_circuits"`
+}
+
+// stats snapshots the breaker for healthz. The forced (injected) state
+// reports as open — that is what clients are experiencing.
+func (b *breaker) stats() breakerStats {
+	if b == nil {
+		return breakerStats{State: "disabled"}
+	}
+	st := breakerStats{
+		Trips:         b.trips.Load(),
+		StaleServed:   b.staleServed.Load(),
+		ShortCircuits: b.shortCircuits.Load(),
+	}
+	b.mu.Lock()
+	state := b.state
+	st.WindowFilled = b.count
+	st.Window = b.window
+	if b.count > 0 {
+		st.FailureRate = float64(b.fails) / float64(b.count)
+	}
+	b.mu.Unlock()
+	if b.forced() {
+		state = breakerOpen
+	}
+	st.State = state.String()
+	return st
+}

@@ -1,0 +1,548 @@
+// Graceful-degradation chaos suite: the store circuit breaker (trip,
+// stale-serving, journal-deferred writes, recovery probe), sustained
+// overload at multiples of queue capacity, Close racing in-flight
+// uploads, the background integrity scrubber end to end, and the healthz
+// load gauges. Everything here runs under -race in CI's chaos job.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"diffaudit/internal/faults"
+	"diffaudit/internal/store"
+)
+
+// apiErr decodes the JSON error envelope (failing the test on any other
+// body shape — a degraded server must never emit plain text).
+func apiErr(t *testing.T, body []byte) apiErrorBody {
+	t.Helper()
+	var e struct {
+		Error apiErrorBody `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error.Code == "" {
+		t.Fatalf("not an error envelope: %q (%v)", body, err)
+	}
+	return e.Error
+}
+
+// TestBreakerStaleServing is the stale-serving acceptance: with the
+// breaker forced open by injection, a report whose snapshot is in the
+// decoded cache still answers 200 — byte-identical to the healthy
+// response — flagged with the Warning header; a cache miss answers a
+// fast enveloped 503, never a 500.
+func TestBreakerStaleServing(t *testing.T) {
+	defer faults.Reset()
+	st := store.NewMemStore()
+	srv, ts, first := storeServer(t, Config{Workers: 1, MaxJobs: 1, Store: st})
+
+	// Evict the first job so its report is served from the store (the
+	// path the breaker guards), then warm the cache with a healthy read.
+	runJob(t, ts, quizletParts(t))
+	if _, ok := srv.lookup(first.ID); ok {
+		t.Fatal("first job not evicted; stale test would hit the in-memory path")
+	}
+	code, healthy := getBody(t, ts, "/v1/jobs/"+first.ID+"/report.json")
+	if code != http.StatusOK {
+		t.Fatalf("healthy read = %d: %s", code, healthy)
+	}
+
+	faults.Set("breaker.trip", faults.Plan{Err: errors.New("store outage drill"), Count: -1})
+
+	resp := get(t, ts, "/v1/jobs/"+first.ID+"/report.json")
+	staleBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stale read = %d: %s", resp.StatusCode, staleBody)
+	}
+	if !bytes.Equal(staleBody, healthy) {
+		t.Error("stale response differs from the healthy response")
+	}
+	if warn := resp.Header.Get("Warning"); !strings.Contains(warn, "110") || !strings.Contains(warn, "stale") {
+		t.Errorf("stale response Warning = %q, want a 110 stale warning", warn)
+	}
+
+	// The snapshot surface serves stale from the same cache.
+	resp = get(t, ts, "/v1/snapshots/"+first.SnapshotHash)
+	snapBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Warning") == "" {
+		t.Errorf("stale snapshot read = %d, Warning=%q", resp.StatusCode, resp.Header.Get("Warning"))
+	}
+	if !bytes.Equal(snapBody, healthy) {
+		t.Error("stale snapshot body differs from healthy report")
+	}
+
+	h := healthSnapshot(t, ts)
+	br, _ := h["breaker"].(map[string]any)
+	if br == nil || br["state"] != "open" || br["stale_served"].(float64) < 2 {
+		t.Errorf("healthz breaker = %+v, want open with stale_served >= 2", h["breaker"])
+	}
+
+	// A cold cache has nothing to fall back on: fast enveloped 503 with
+	// the retry hint, not a 500 from a doomed store call.
+	cold := New(Config{Workers: 1, TempDir: t.TempDir(), Store: st})
+	defer cold.Close()
+	coldTS := httptest.NewServer(cold)
+	defer coldTS.Close()
+	resp = get(t, coldTS, "/v1/snapshots/"+first.SnapshotHash)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("cold stale read = %d, Retry-After=%q: %s", resp.StatusCode, resp.Header.Get("Retry-After"), body)
+	}
+	if e := apiErr(t, body); e.Code != codeUnavailable || e.RetryAfter < 1 {
+		t.Errorf("cold 503 envelope = %+v", e)
+	}
+
+	// Circuit restored: both paths serve healthy again, no Warning.
+	faults.Reset()
+	resp = get(t, ts, "/v1/jobs/"+first.ID+"/report.json")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Warning") != "" {
+		t.Errorf("post-recovery read = %d, Warning=%q", resp.StatusCode, resp.Header.Get("Warning"))
+	}
+}
+
+// TestBreakerTripsAndRecovers drives the breaker through its real
+// lifecycle with store.put failures: closed → open at the windowed
+// failure threshold (writes defer, recorded in SnapshotError), then
+// half-open after the cooldown, and closed again on a successful probe.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	defer faults.Reset()
+	faults.Set("store.put", faults.Plan{Err: errors.New("volume detached"), Count: -1})
+
+	srv := New(Config{
+		Workers: 1, TempDir: t.TempDir(), Store: store.NewMemStore(),
+		BreakerWindow: 2, BreakerThreshold: 0.5, BreakerCooldown: 50 * time.Millisecond,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Two failed persists fill the window and trip the circuit.
+	for i := 0; i < 2; i++ {
+		resp := submit(t, ts, quizletParts(t))
+		done := wait(t, ts, decodeJob(t, resp).ID)
+		if done.State != JobDone || !strings.Contains(done.SnapshotError, "volume detached") {
+			t.Fatalf("job %d = %+v, want done with put failure", i+1, done)
+		}
+	}
+	h := healthSnapshot(t, ts)
+	br, _ := h["breaker"].(map[string]any)
+	if br == nil || br["state"] == "closed" || br["trips"].(float64) < 1 {
+		t.Fatalf("healthz breaker after failures = %+v, want tripped", h["breaker"])
+	}
+
+	// While open (or re-opened by a failed probe), persistence defers —
+	// the job still completes with its result in memory.
+	resp := submit(t, ts, quizletParts(t))
+	done := wait(t, ts, decodeJob(t, resp).ID)
+	if done.State != JobDone || done.SnapshotError == "" || done.SnapshotSeq != 0 {
+		t.Fatalf("job under open breaker = %+v, want done with deferred snapshot", done)
+	}
+
+	// Outage over: after the cooldown the next store call is the probe,
+	// it succeeds, and the circuit closes with persistence restored.
+	faults.Reset()
+	time.Sleep(80 * time.Millisecond)
+	recovered := runJob(t, ts, quizletParts(t))
+	if recovered.SnapshotSeq == 0 || recovered.SnapshotError != "" {
+		t.Fatalf("post-recovery job = %+v, want persisted snapshot", recovered)
+	}
+	h = healthSnapshot(t, ts)
+	br, _ = h["breaker"].(map[string]any)
+	if br == nil || br["state"] != "closed" {
+		t.Errorf("healthz breaker after recovery = %+v, want closed", h["breaker"])
+	}
+}
+
+// TestBreakerOpenWritesJournaled pins the deferred-write contract: a job
+// finishing under an open breaker keeps its journal record, so a restart
+// re-runs it and persists the snapshot the outage swallowed — writes
+// queue, they do not vanish.
+func TestBreakerOpenWritesJournaled(t *testing.T) {
+	defer faults.Reset()
+	faults.Set("breaker.trip", faults.Plan{Err: errors.New("store outage drill"), Count: -1})
+
+	dir := t.TempDir()
+	st, err := store.OpenFSStore(dir + "/snapshots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workers: 1, Store: st, JournalDir: dir + "/journal"}
+	srv, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+
+	resp := submit(t, ts, quizletParts(t))
+	done := wait(t, ts, decodeJob(t, resp).ID)
+	if done.State != JobDone || !strings.Contains(done.SnapshotError, "circuit breaker open") || done.SnapshotSeq != 0 {
+		t.Fatalf("job = %+v, want done with breaker-deferred snapshot", done)
+	}
+	// The store was never touched, but the in-memory result still serves.
+	if metas, _ := st.List(); len(metas) != 0 {
+		t.Fatalf("store has %d snapshots during outage, want 0", len(metas))
+	}
+	if code, _ := getBody(t, ts, "/jobs/"+done.ID+"/report.json"); code != http.StatusOK {
+		t.Errorf("report under open breaker = %d, want 200 from memory", code)
+	}
+	ts.Close()
+	srv.Close()
+
+	// Outage over + restart: the journal re-runs the job and the snapshot
+	// finally lands, under the same job ID.
+	faults.Reset()
+	st2, err := store.OpenFSStore(dir + "/snapshots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = st2
+	srv2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if metas, _ := st2.List(); len(metas) == 1 && metas[0].JobID == done.ID {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("deferred snapshot never persisted after restart")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestOverloadNoHangs is the sustained-overload acceptance: with the
+// pipeline wedged and the queue full, a burst of submits at twice the
+// system's total capacity all complete promptly — every rejection an
+// enveloped 503 with a retry hint, zero hung connections.
+func TestOverloadNoHangs(t *testing.T) {
+	gate := make(chan struct{})
+	srv := New(Config{Workers: 1, QueueDepth: 2, TempDir: t.TempDir(), NewPipeline: stalledPipeline(gate)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	parts := quizletParts(t)
+	first := decodeJob(t, submit(t, ts, parts))
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		if int(srv.busy.Load()) == 1 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	_ = first
+	for i := 0; i < 2; i++ { // fill the queue
+		if resp := submit(t, ts, parts); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("queue fill %d: %d", i, resp.StatusCode)
+		}
+	}
+
+	// 2× the system's capacity (1 running + 2 queued), concurrently.
+	var body bytes.Buffer
+	ctype := newMultipart(t, &body, parts)
+	payload := body.Bytes()
+	client := &http.Client{Timeout: 15 * time.Second}
+	const burst = 6
+	type outcome struct {
+		status int
+		retry  string
+		body   []byte
+		err    error
+	}
+	results := make(chan outcome, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Post(ts.URL+"/v1/audits", ctype, bytes.NewReader(payload))
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			results <- outcome{status: resp.StatusCode, retry: resp.Header.Get("Retry-After"), body: b}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r.err != nil {
+			t.Fatalf("request hung or failed: %v", r.err)
+		}
+		if r.status != http.StatusServiceUnavailable {
+			t.Errorf("overload submit = %d, want 503", r.status)
+			continue
+		}
+		if r.retry == "" {
+			t.Error("503 without Retry-After")
+		}
+		if e := apiErr(t, r.body); e.Code != codeUnavailable || e.RetryAfter < 1 {
+			t.Errorf("503 envelope = %+v", e)
+		}
+	}
+
+	close(gate)
+	srv.Close()
+}
+
+// TestCloseRacesInflightUploads: uploads racing Server.Close each end in
+// exactly one of two states — accepted (202) and drained to a terminal
+// job, or rejected with the shutdown 503 envelope. No hung connection,
+// and the journal holds no leftover record for any of them.
+func TestCloseRacesInflightUploads(t *testing.T) {
+	jdir := t.TempDir()
+	srv, err := Open(Config{Workers: 2, QueueDepth: 32, JournalDir: jdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	var body bytes.Buffer
+	ctype := newMultipart(t, &body, quizletParts(t))
+	payload := body.Bytes()
+	client := &http.Client{Timeout: 15 * time.Second}
+
+	const inflight = 12
+	accepted := make(chan string, inflight)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			resp, err := client.Post(ts.URL+"/v1/audits", ctype, bytes.NewReader(payload))
+			if err != nil {
+				t.Errorf("upload racing Close hung/failed: %v", err)
+				return
+			}
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				var job Job
+				if err := json.Unmarshal(b, &job); err != nil {
+					t.Errorf("202 body: %v", err)
+					return
+				}
+				accepted <- job.ID
+			case http.StatusServiceUnavailable:
+				if e := apiErr(t, b); e.Code != codeUnavailable || e.RetryAfter < 1 {
+					t.Errorf("shutdown 503 envelope = %+v", e)
+				}
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("shutdown 503 without Retry-After")
+				}
+			default:
+				t.Errorf("upload racing Close = %d: %s", resp.StatusCode, b)
+			}
+		}()
+	}
+	close(start)
+	// Close mid-burst: some uploads land before, some after.
+	time.Sleep(5 * time.Millisecond)
+	srv.Close()
+	wg.Wait()
+	close(accepted)
+
+	// Every accepted job was drained to a terminal state before Close
+	// returned — a 202 is a promise even during shutdown.
+	for id := range accepted {
+		job, ok := srv.lookup(id)
+		if !ok {
+			t.Errorf("accepted job %s vanished", id)
+			continue
+		}
+		srv.mu.Lock()
+		state := job.State
+		srv.mu.Unlock()
+		if !state.Terminal() {
+			t.Errorf("accepted job %s left %s after Close", id, state)
+		}
+	}
+
+	// The journal settled: accepted jobs completed (records removed),
+	// rejected ones were rolled back — a fresh server over the same
+	// journal recovers nothing. (Partial records would re-run here.)
+	srv2, err := Open(Config{Workers: 1, JournalDir: jdir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	h := healthSnapshot(t, ts2)
+	if h["jobs"].(float64) != 0 || h["recovering"].(float64) != 0 {
+		t.Errorf("journal not settled after Close: jobs=%v recovering=%v", h["jobs"], h["recovering"])
+	}
+}
+
+// TestScrubberRepairAndQuarantine runs the scrubber end to end through
+// the server: mid-run disk corruption is repaired in place from the
+// decoded-snapshot cache when possible, quarantined (and 404ed) when
+// not, with findings on healthz either way.
+func TestScrubberRepairAndQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.OpenFSStore(dir + "/snapshots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 1, TempDir: t.TempDir(), Store: st})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	job := runJob(t, ts, quizletParts(t))
+	// Warm the cache through the snapshot read path (the repair source).
+	code, healthy := getBody(t, ts, "/v1/snapshots/"+job.SnapshotHash)
+	if code != http.StatusOK {
+		t.Fatalf("healthy snapshot read = %d", code)
+	}
+
+	// Corrupt the snapshot on disk mid-run. The cache still holds a clean
+	// decode, so a scrub pass repairs the file in place.
+	path := dir + "/snapshots/" + fmt.Sprintf("%012d.snap", job.SnapshotSeq)
+	mangle(t, path)
+	if r := srv.Scrub(); r.Corrupt != 1 || r.Repaired != 1 {
+		t.Fatalf("scrub with warm cache = %+v, want repair", r)
+	}
+	code, repaired := getBody(t, ts, "/v1/snapshots/"+job.SnapshotHash)
+	if code != http.StatusOK || !bytes.Equal(repaired, healthy) {
+		t.Fatalf("post-repair read = %d, byte-identical=%v", code, bytes.Equal(repaired, healthy))
+	}
+
+	h := healthSnapshot(t, ts)
+	sc, _ := h["scrub"].(map[string]any)
+	if sc == nil || sc["passes"].(float64) < 1 {
+		t.Fatalf("healthz scrub = %+v", h["scrub"])
+	}
+
+	// Same corruption against a cold cache: no clean copy exists, so the
+	// file is quarantined and subsequent reads 404 cleanly — never a 500,
+	// never served corrupt.
+	cold := New(Config{Workers: 1, TempDir: t.TempDir(), Store: st, CacheBytes: -1})
+	defer cold.Close()
+	coldTS := httptest.NewServer(cold)
+	defer coldTS.Close()
+	mangle(t, path)
+	if r := cold.Scrub(); r.Corrupt != 1 || r.Quarantined != 1 {
+		t.Fatalf("scrub with cold cache = %+v, want quarantine", r)
+	}
+	code, body := getBody(t, coldTS, "/v1/snapshots/"+job.SnapshotHash)
+	if code != http.StatusNotFound {
+		t.Fatalf("post-quarantine read = %d: %s", code, body)
+	}
+	if e := apiErr(t, body); e.Code != codeNotFound {
+		t.Errorf("post-quarantine envelope = %+v", e)
+	}
+}
+
+// mangle flips a byte in the middle of a file.
+func mangle(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScrubberBackgroundLoop: with ScrubInterval set, passes tick in the
+// background and Close stops the loop cleanly.
+func TestScrubberBackgroundLoop(t *testing.T) {
+	st, err := store.OpenFSStore(t.TempDir() + "/snapshots")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 1, TempDir: t.TempDir(), Store: st, ScrubInterval: 5 * time.Millisecond})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	runJob(t, ts, quizletParts(t))
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		h := healthSnapshot(t, ts)
+		if sc, _ := h["scrub"].(map[string]any); sc != nil {
+			if sc["passes"].(float64) >= 2 && sc["total"].(map[string]any)["scanned"].(float64) >= 1 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background scrubber never completed two passes")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.Close() // must stop the ticker goroutine (verified by -race/leak-free exit)
+
+	// A MemStore server cannot scrub: the loop never starts and healthz
+	// omits the scrub section rather than reporting idle zeros.
+	mem := New(Config{Workers: 1, TempDir: t.TempDir(), Store: store.NewMemStore(), ScrubInterval: time.Millisecond})
+	defer mem.Close()
+	memTS := httptest.NewServer(mem)
+	defer memTS.Close()
+	if h := healthSnapshot(t, memTS); h["scrub"] != nil {
+		t.Errorf("MemStore healthz reports scrub = %+v", h["scrub"])
+	}
+}
+
+// TestHealthLoadGauges pins the healthz overload gauges: live queue
+// depth vs capacity, busy workers, and total in-flight jobs.
+func TestHealthLoadGauges(t *testing.T) {
+	gate := make(chan struct{})
+	srv := New(Config{Workers: 1, QueueDepth: 4, TempDir: t.TempDir(), NewPipeline: stalledPipeline(gate)})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	parts := quizletParts(t)
+	submit(t, ts, parts).Body.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for int(srv.busy.Load()) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the job")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	submit(t, ts, parts).Body.Close() // sits in the queue behind the wedge
+
+	h := healthSnapshot(t, ts)
+	want := map[string]float64{
+		"queue_depth": 1, "queue_capacity": 4,
+		"workers": 1, "workers_busy": 1, "jobs_inflight": 2,
+	}
+	for k, v := range want {
+		if got, _ := h[k].(float64); got != v {
+			t.Errorf("healthz %s = %v, want %v", k, h[k], v)
+		}
+	}
+	if _, ok := h["admission"].(map[string]any); !ok {
+		t.Errorf("healthz admission section missing: %+v", h["admission"])
+	}
+
+	close(gate)
+	srv.Close()
+}

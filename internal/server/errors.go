@@ -27,7 +27,10 @@ import (
 //	job_not_ready      409  report fetched before the job finished
 //	job_failed         409  report of a failed job
 //	job_timed_out      409  report of a timed-out job
-//	unavailable        503  queue full or server shutting down
+//	rate_limited       429  client over its upload token bucket
+//	                        (RateLimit-* and Retry-After headers present)
+//	unavailable        503  queue full, deadline-aware load shed, store
+//	                        circuit breaker open, or server shutting down
 //	                        (retry_after present, mirrors Retry-After)
 //	not_implemented    501  snapshot endpoints without a configured store
 //	internal           500  storage failure, render failure, journal failure
@@ -38,6 +41,7 @@ const (
 	codeJobNotReady     = "job_not_ready"
 	codeJobFailed       = "job_failed"
 	codeJobTimedOut     = "job_timed_out"
+	codeRateLimited     = "rate_limited"
 	codeUnavailable     = "unavailable"
 	codeNotImplemented  = "not_implemented"
 	codeInternal        = "internal"
@@ -57,12 +61,25 @@ func apiError(w http.ResponseWriter, status int, code, format string, args ...an
 	})
 }
 
-// unavailable writes a 503 with a Retry-After hint (header and envelope
-// field) — overload here is transient by construction (a bounded queue
-// draining, or a shutdown the operator's balancer should route around),
-// so well-behaved clients should back off and retry rather than fail.
-func unavailable(w http.ResponseWriter, msg string) {
-	const retryAfter = 1
+// unavailable writes a 503 with an adaptive Retry-After hint (header and
+// envelope field) — overload here is transient by construction (a
+// bounded queue draining, a tripped breaker cooling down, or a shutdown
+// the operator's balancer should route around), so well-behaved clients
+// should back off and retry rather than fail. Every 503 path — queue
+// full, deadline shed, breaker open, shutting down — funnels through
+// this one helper, so the hint cannot drift between them: it is always
+// derived from the live queue depth and the service-time EWMA
+// (retryAfterSeconds), floored at 1s.
+func (s *Server) unavailable(w http.ResponseWriter, msg string) {
+	writeUnavailable(w, msg, s.retryAfterSeconds())
+}
+
+// writeUnavailable is the envelope writer unavailable wraps: one place
+// that knows a 503 carries the hint in both the header and the body.
+func writeUnavailable(w http.ResponseWriter, msg string, retryAfter int) {
+	if retryAfter < 1 {
+		retryAfter = 1
+	}
 	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
 	writeJSON(w, http.StatusServiceUnavailable, map[string]apiErrorBody{
 		"error": {Code: codeUnavailable, Message: msg, RetryAfter: retryAfter},
@@ -81,11 +98,29 @@ func uploadErrStatus(err error) (int, string) {
 }
 
 // snapshotErrStatus distinguishes a reference the caller got wrong (404)
-// from a snapshot that exists but cannot be served — corruption or I/O
-// failure, which a 404 would mask (500).
+// from a breaker-open short circuit (503 — the store is sick, not the
+// snapshot, and the condition is transient by design) from a snapshot
+// that exists but cannot be served — corruption or I/O failure, which a
+// 404 would mask (500).
 func snapshotErrStatus(err error) (int, string) {
 	if errors.Is(err, store.ErrUnresolved) {
 		return http.StatusNotFound, codeNotFound
 	}
+	if errors.Is(err, errBreakerOpen) {
+		return http.StatusServiceUnavailable, codeUnavailable
+	}
 	return http.StatusInternalServerError, codeInternal
+}
+
+// storeErrResponse writes the response for a snapshot-materialization
+// failure through snapshotErrStatus, routing the breaker-open case onto
+// the shared 503 helper so it carries the adaptive Retry-After like
+// every other unavailability.
+func (s *Server) storeErrResponse(w http.ResponseWriter, err error, format string, args ...any) {
+	status, code := snapshotErrStatus(err)
+	if status == http.StatusServiceUnavailable {
+		s.unavailable(w, fmt.Sprintf(format, args...))
+		return
+	}
+	apiError(w, status, code, format, args...)
 }

@@ -133,6 +133,27 @@ type Config struct {
 	// disables the cache (every read decodes — the cold-path benchmark
 	// configuration).
 	CacheBytes int64
+	// RateLimit enables per-client upload rate limiting: sustained
+	// uploads per second each client (X-Client-ID header, else remote
+	// host) may submit before drawing 429s. 0 disables limiting (the
+	// default); RateBurst caps a client's burst (0 = 2×RateLimit, min 1).
+	RateLimit float64
+	RateBurst int
+	// BreakerThreshold tunes the snapshot-store circuit breaker: the
+	// failure rate over the last BreakerWindow store calls that trips the
+	// circuit open. 0 means the 0.5 default; negative disables the
+	// breaker. While open, reads serve stale from the decoded-snapshot
+	// cache and writes defer to the journal; after BreakerCooldown
+	// (default 15s) a single probe call decides recovery.
+	BreakerThreshold float64
+	BreakerWindow    int
+	BreakerCooldown  time.Duration
+	// ScrubInterval enables the background integrity scrubber: every
+	// interval, one low-priority pass re-verifies each stored snapshot's
+	// CRC and content hash, quarantining corrupt files (repairing them
+	// from cache when possible). 0 disables (the default); requires a
+	// store that implements store.Scrubber (FSStore does).
+	ScrubInterval time.Duration
 }
 
 // DefaultCacheBytes is the decoded-snapshot cache bound when
@@ -200,6 +221,13 @@ type Server struct {
 	journal *journal // nil when Config.JournalDir is empty
 	cache   *resultCache
 
+	// Overload defenses (see admission.go, breaker.go, scrub.go).
+	limiter   *rateLimiter // nil unless Config.RateLimit > 0
+	admission admission
+	breaker   *breaker // nil unless a Store is configured (and not disabled)
+	scrub     scrubState
+	stop      chan struct{} // closed by Close; stops background loops
+
 	mu         sync.Mutex
 	jobs       map[string]*Job
 	order      []string
@@ -210,6 +238,8 @@ type Server struct {
 	// retrying counts operations currently in a backoff-retry loop; it
 	// feeds healthz's "degraded" signal.
 	retrying atomic.Int32
+	// busy counts workers currently running a job (healthz workers_busy).
+	busy atomic.Int32
 
 	wg sync.WaitGroup
 }
@@ -262,6 +292,11 @@ func Open(cfg Config) (*Server, error) {
 		mux:   http.NewServeMux(),
 		jobs:  make(map[string]*Job),
 		cache: newResultCache(cacheBytes),
+		stop:  make(chan struct{}),
+	}
+	s.limiter = newRateLimiter(cfg.RateLimit, cfg.RateBurst)
+	if cfg.Store != nil {
+		s.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerWindow, cfg.BreakerCooldown)
 	}
 	s.registerRoutes()
 	// A restarted server must not mint job IDs that collide with the IDs
@@ -310,6 +345,7 @@ func Open(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.startScrubber()
 	return s, nil
 }
 
@@ -329,6 +365,7 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	close(s.stop) // stop background loops (scrubber) before draining workers
 	close(s.queue)
 	s.wg.Wait()
 }
@@ -343,6 +380,12 @@ func (s *Server) worker() {
 
 // run executes one audit job end to end.
 func (s *Server) run(job *Job) {
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
+	start := time.Now()
+	// Worker occupancy — audit plus snapshot persistence — is what the
+	// admission controller's queue-wait estimate is made of.
+	defer func() { s.admission.observe(time.Since(start)) }()
 	s.mu.Lock()
 	job.State = JobRunning
 	job.StartedAt = time.Now().UTC()
@@ -373,14 +416,23 @@ func (s *Server) run(job *Job) {
 	var meta store.Meta
 	var storeErr error
 	if err == nil && s.cfg.Store != nil {
-		storeErr = s.retry(context.Background(), func() error {
-			if ierr := faults.Inject("store.put"); ierr != nil {
-				return ierr
-			}
-			var perr error
-			meta, perr = s.cfg.Store.Put(job.ID, result)
-			return perr
-		})
+		if !s.breaker.allow() {
+			// Open breaker: skip the store entirely. The job still finishes
+			// with its in-memory result, SnapshotError records the deferral,
+			// and the journal keeps the record (below) so a restart — or the
+			// recovered store — re-persists it: writes queue rather than fail.
+			storeErr = errBreakerOpen
+		} else {
+			storeErr = s.retry(context.Background(), func() error {
+				if ierr := faults.Inject("store.put"); ierr != nil {
+					return ierr
+				}
+				var perr error
+				meta, perr = s.cfg.Store.Put(job.ID, result)
+				return perr
+			})
+			s.breaker.record(storeErr)
+		}
 	}
 
 	s.mu.Lock()
@@ -566,6 +618,11 @@ func (j *Job) cleanup() {
 
 // handleSubmit stages a multipart upload and enqueues the job.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Admission gates run before a single body byte: a rate-limited or
+	// shed upload costs a header parse, not staging I/O.
+	if !s.admit(w, r) {
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	mr, err := r.MultipartReader()
 	if err != nil {
@@ -605,7 +662,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		unavailable(w, "server shutting down")
+		s.unavailable(w, "server shutting down")
 		return
 	}
 	s.nextID++
@@ -632,7 +689,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if s.journal != nil {
 			s.journal.remove(job.ID)
 		}
-		unavailable(w, "server shutting down")
+		s.unavailable(w, "server shutting down")
 		return
 	}
 	select {
@@ -645,7 +702,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if s.journal != nil {
 			s.journal.remove(job.ID)
 		}
-		unavailable(w, fmt.Sprintf("job queue full (depth %d); retry later", s.cfg.QueueDepth))
+		s.unavailable(w, fmt.Sprintf("job queue full (depth %d); retry later", s.cfg.QueueDepth))
 		return
 	}
 	snap := job.snapshot()
@@ -795,34 +852,37 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 // fetchResult resolves a job ID to its audit result: live finished jobs
 // from memory, evicted-but-stored jobs through the decoded-snapshot
-// cache. On failure it returns the HTTP status, typed error code, and
-// message the caller should write.
-func (s *Server) fetchResult(id string) (*core.ServiceResult, int, string, string) {
+// cache. stale marks a result served from cache while the store circuit
+// breaker is open. On failure it returns the HTTP status, typed error
+// code, and message the caller should write.
+func (s *Server) fetchResult(id string) (res *core.ServiceResult, stale bool, status int, code, msg string) {
 	job, okJob := s.lookup(id)
 	if !okJob {
-		res, err := s.storedJobResult(id)
+		res, stale, err := s.storedJobResult(id)
 		if err != nil {
-			// A snapshot for this job exists but cannot be served — a
-			// storage failure, not a missing job; 404 would mask it.
-			return nil, http.StatusInternalServerError, codeInternal, fmt.Sprintf("stored snapshot for %s: %v", id, err)
+			// A snapshot for this job exists but cannot be served: a
+			// breaker-open short circuit answers 503 (transient), anything
+			// else is a storage failure a 404 would mask (500).
+			st, c := snapshotErrStatus(err)
+			return nil, false, st, c, fmt.Sprintf("stored snapshot for %s: %v", id, err)
 		}
 		if res != nil {
-			return res, 0, "", ""
+			return res, stale, 0, "", ""
 		}
-		return nil, http.StatusNotFound, codeNotFound, "no such job"
+		return nil, false, http.StatusNotFound, codeNotFound, "no such job"
 	}
 	s.mu.Lock()
-	state, res, errMsg := job.State, job.result, job.Error
+	state, jres, errMsg := job.State, job.result, job.Error
 	s.mu.Unlock()
 	switch state {
 	case JobDone:
-		return res, 0, "", ""
+		return jres, false, 0, "", ""
 	case JobFailed:
-		return nil, http.StatusConflict, codeJobFailed, fmt.Sprintf("job failed: %s", errMsg)
+		return nil, false, http.StatusConflict, codeJobFailed, fmt.Sprintf("job failed: %s", errMsg)
 	case JobTimedOut:
-		return nil, http.StatusConflict, codeJobTimedOut, fmt.Sprintf("job timed out: %s", errMsg)
+		return nil, false, http.StatusConflict, codeJobTimedOut, fmt.Sprintf("job timed out: %s", errMsg)
 	default:
-		return nil, http.StatusConflict, codeJobNotReady, fmt.Sprintf("job is %s; report not ready", state)
+		return nil, false, http.StatusConflict, codeJobNotReady, fmt.Sprintf("job is %s; report not ready", state)
 	}
 }
 
@@ -850,10 +910,10 @@ func (s *Server) storedJobMeta(id string) (meta store.Meta, ok bool, err error) 
 // storedJobResult fetches an evicted job's result from its stored
 // snapshot, through the cache. (nil, nil) means no snapshot for this job;
 // a non-nil error means a matching snapshot exists but cannot be served.
-func (s *Server) storedJobResult(id string) (*core.ServiceResult, error) {
+func (s *Server) storedJobResult(id string) (*core.ServiceResult, bool, error) {
 	meta, okMeta, err := s.storedJobMeta(id)
 	if err != nil || !okMeta {
-		return nil, err
+		return nil, false, err
 	}
 	return s.snapshotResult(meta)
 }
@@ -864,27 +924,61 @@ func (s *Server) storedJobResult(id string) (*core.ServiceResult, error) {
 // and caches the result under its content hash for every later reader —
 // report, snapshot, and diff handlers all share this path and therefore
 // this cache.
-func (s *Server) snapshotResult(meta store.Meta) (*core.ServiceResult, error) {
+//
+// The cache doubles as the breaker's stale-serving fallback: while the
+// circuit is open a hit is served anyway — byte-identical to the healthy
+// response, merely flagged stale so handlers can say so — and a miss
+// short-circuits with errBreakerOpen (fast 503) instead of dispatching a
+// doomed store call (slow 500).
+func (s *Server) snapshotResult(meta store.Meta) (*core.ServiceResult, bool, error) {
 	if res := s.cache.get(meta.Hash); res != nil {
-		return res, nil
+		if s.breaker.isOpen() {
+			s.breaker.staleServed.Add(1)
+			return res, true, nil
+		}
+		return res, false, nil
+	}
+	if !s.breaker.allow() {
+		return nil, false, fmt.Errorf("snapshot %d: %w", meta.Seq, errBreakerOpen)
 	}
 	res, err := s.decodeSnapshot(meta, nil)
+	s.breaker.record(breakerOutcome(err))
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s.cache.put(meta.Hash, res, int64(meta.Bytes))
-	return res, nil
+	return res, false, nil
 }
 
 // partialSnapshot materializes only the named personas of a snapshot. A
 // cache hit still wins (the full result subsumes any subset); a miss
 // decodes just the requested flow sections and does NOT cache — a
-// partial result must never satisfy a later full read.
-func (s *Server) partialSnapshot(meta store.Meta, only []string) (*core.ServiceResult, error) {
+// partial result must never satisfy a later full read. Breaker gating
+// mirrors snapshotResult.
+func (s *Server) partialSnapshot(meta store.Meta, only []string) (*core.ServiceResult, bool, error) {
 	if res := s.cache.get(meta.Hash); res != nil {
-		return res, nil
+		if s.breaker.isOpen() {
+			s.breaker.staleServed.Add(1)
+			return res, true, nil
+		}
+		return res, false, nil
 	}
-	return s.decodeSnapshot(meta, only)
+	if !s.breaker.allow() {
+		return nil, false, fmt.Errorf("snapshot %d: %w", meta.Seq, errBreakerOpen)
+	}
+	res, err := s.decodeSnapshot(meta, only)
+	s.breaker.record(breakerOutcome(err))
+	return res, false, err
+}
+
+// breakerOutcome filters what a decode error means for store health: a
+// reference that does not resolve is the caller's mistake, not a sick
+// store, and must not count toward tripping the circuit.
+func breakerOutcome(err error) error {
+	if errors.Is(err, store.ErrUnresolved) {
+		return nil
+	}
+	return err
 }
 
 // decodeSnapshot decodes a snapshot by its exact sequence, lazily via the
@@ -904,14 +998,34 @@ func (s *Server) decodeSnapshot(meta store.Meta, only []string) (*core.ServiceRe
 	return res, err
 }
 
-// reportResult is fetchResult with the error path written to the response.
-func (s *Server) reportResult(w http.ResponseWriter, id string) (*core.ServiceResult, bool) {
-	res, status, code, msg := s.fetchResult(id)
+// reportResult is fetchResult with the error path written to the
+// response (breaker-open 503s carry the shared adaptive retry hint).
+func (s *Server) reportResult(w http.ResponseWriter, id string) (*core.ServiceResult, bool, bool) {
+	res, stale, status, code, msg := s.fetchResult(id)
 	if status != 0 {
-		apiError(w, status, code, "%s", msg)
-		return nil, false
+		if status == http.StatusServiceUnavailable {
+			s.unavailable(w, msg)
+		} else {
+			apiError(w, status, code, "%s", msg)
+		}
+		return nil, false, false
 	}
-	return res, true
+	return res, stale, true
+}
+
+// staleHeaders marks a response that was served from the decoded-
+// snapshot cache while the store breaker is open: a Warning the HTTP
+// caching RFCs reserve for exactly this ("response is stale") and an Age
+// giving how long the circuit has been open — i.e. the maximum staleness
+// bound. Callers invoke it before writing the body.
+func (s *Server) staleHeaders(w http.ResponseWriter, stale bool) {
+	if !stale {
+		return
+	}
+	w.Header().Set("Warning", `110 diffaudit "stale: snapshot store circuit open"`)
+	if age := s.breaker.openAge(); age > 0 {
+		w.Header().Set("Age", strconv.Itoa(int(age/time.Second)))
+	}
 }
 
 // jobETag returns the strong ETag of a job's report (with a variant
@@ -959,10 +1073,11 @@ func (s *Server) handleReportJSON(w http.ResponseWriter, r *http.Request) {
 		notModified(w, etag, ccRevalidate)
 		return
 	}
-	res, okRes := s.reportResult(w, id)
+	res, stale, okRes := s.reportResult(w, id)
 	if !okRes {
 		return
 	}
+	s.staleHeaders(w, stale)
 	data, err := report.ExportJSON([]*core.ServiceResult{res})
 	writeRendered(w, "application/json", data, err, etag)
 }
@@ -974,10 +1089,11 @@ func (s *Server) handleReportCSV(w http.ResponseWriter, r *http.Request) {
 		notModified(w, etag, ccRevalidate)
 		return
 	}
-	res, okRes := s.reportResult(w, id)
+	res, stale, okRes := s.reportResult(w, id)
 	if !okRes {
 		return
 	}
+	s.staleHeaders(w, stale)
 	csv, err := report.ExportFlowsCSV([]*core.ServiceResult{res})
 	writeRendered(w, "text/csv", []byte(csv), err, etag)
 }
@@ -1063,10 +1179,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		notModified(w, etag, cacheControl)
 		return
 	}
-	res, err := s.snapshotResult(meta)
+	res, stale, err := s.snapshotResult(meta)
 	if err != nil {
-		status, code := snapshotErrStatus(err)
-		apiError(w, status, code, "snapshot %d: %v", meta.Seq, err)
+		s.storeErrResponse(w, err, "%v", err)
 		return
 	}
 	data, err := report.ExportJSON([]*core.ServiceResult{res})
@@ -1074,6 +1189,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		apiError(w, http.StatusInternalServerError, codeInternal, "render: %v", err)
 		return
 	}
+	s.staleHeaders(w, stale)
 	setCacheHeaders(w, etag, cacheControl)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
@@ -1160,19 +1276,21 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	anyStale := false
 	fetch := func(meta store.Meta, side string) (*core.ServiceResult, bool) {
 		var res *core.ServiceResult
+		var stale bool
 		var ferr error
 		if only != nil {
-			res, ferr = s.partialSnapshot(meta, personaNames)
+			res, stale, ferr = s.partialSnapshot(meta, personaNames)
 		} else {
-			res, ferr = s.snapshotResult(meta)
+			res, stale, ferr = s.snapshotResult(meta)
 		}
 		if ferr != nil {
-			status, code := snapshotErrStatus(ferr)
-			apiError(w, status, code, "%s: %v", side, ferr)
+			s.storeErrResponse(w, ferr, "%s: %v", side, ferr)
 			return nil, false
 		}
+		anyStale = anyStale || stale
 		return res, true
 	}
 	from, okFrom := fetch(fromMeta, "from")
@@ -1183,6 +1301,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	if !okTo {
 		return
 	}
+	s.staleHeaders(w, anyStale)
 	diff := core.LongitudinalFiltered(from, to, only)
 	switch format {
 	case "md":
@@ -1242,18 +1361,34 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	recovering := s.recovering
 	s.mu.Unlock()
 	retrying := int(s.retrying.Load())
+	queued := len(s.queue)
+	busy := int(s.busy.Load())
 	health := map[string]any{
-		"status":      "ok",
-		"jobs":        jobs,
-		"queue_depth": s.cfg.QueueDepth,
-		"queued":      len(s.queue),
-		"workers":     s.cfg.Workers,
+		"status": "ok",
+		"jobs":   jobs,
+		// Load gauges: live queue depth vs its capacity, workers mid-job,
+		// and total in-flight work (queued + running) — the numbers an
+		// operator graphs to see overload coming.
+		"queue_depth":    queued,
+		"queue_capacity": s.cfg.QueueDepth,
+		"queued":         queued,
+		"workers":        s.cfg.Workers,
+		"workers_busy":   busy,
+		"jobs_inflight":  queued + busy,
 		// degraded: the server is serving, but crash-recovered jobs are
 		// still settling or an operation is in a backoff-retry loop —
 		// fresh results may lag.
 		"degraded":   recovering > 0 || retrying > 0,
 		"recovering": recovering,
 		"retrying":   retrying,
+		// Admission-control view: the service-time estimate behind the
+		// shed decision and how many uploads each gate has rejected.
+		"admission": map[string]any{
+			"ewma_ms":      float64(s.admission.ewmaNanos.Load()) / 1e6,
+			"est_wait_ms":  float64(s.admission.estimateWait(queued, s.cfg.Workers)) / 1e6,
+			"shed":         s.admission.shed.Load(),
+			"rate_limited": s.limiter.limitedCount(),
+		},
 	}
 	if s.cfg.Store != nil {
 		if metas, err := s.cfg.Store.List(); err == nil {
@@ -1263,6 +1398,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		// snapshots to decode; its hit/miss/eviction counters tell an
 		// operator whether CacheBytes is sized to the working set.
 		health["cache"] = s.cache.stats()
+		health["breaker"] = s.breaker.stats()
+		if s.scrubbable() != nil {
+			health["scrub"] = s.scrub.stats()
+		}
 	}
 	writeJSON(w, http.StatusOK, health)
 }
@@ -1297,7 +1436,7 @@ func (j *Job) snapshot() Job {
 // programmatic counterpart of the report endpoints, including their
 // evicted-but-stored fallback.
 func (s *Server) Result(id string) (*core.ServiceResult, error) {
-	res, status, _, msg := s.fetchResult(id)
+	res, _, status, _, msg := s.fetchResult(id)
 	if status != 0 {
 		return nil, errors.New("server: " + msg)
 	}
@@ -1319,7 +1458,7 @@ func (s *Server) SnapshotResult(ref string) (*core.ServiceResult, store.Meta, er
 	if err != nil {
 		return nil, store.Meta{}, err
 	}
-	res, err := s.snapshotResult(meta)
+	res, _, err := s.snapshotResult(meta)
 	if err != nil {
 		return nil, store.Meta{}, err
 	}

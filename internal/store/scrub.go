@@ -1,0 +1,173 @@
+// Snapshot integrity scrubbing: proactive detection of at-rest
+// corruption. FSStore already *tolerates* corruption — a damaged file is
+// skipped at Open, and Get re-hashes what it reads — but tolerance is
+// reactive: the damage is discovered by whichever request trips over it,
+// and until then the store advertises a snapshot it cannot serve. A
+// scrub pass walks every listed snapshot, re-verifies the whole chain of
+// custody (envelope parse, codec CRC32, SHA-256 content hash against the
+// listed metadata), and handles what it finds:
+//
+//   - Corrupt files are moved to <dir>/quarantine/ — off the serving
+//     path but preserved byte-for-byte, because a later build (or a
+//     human with a hex editor) may recover what this one cannot, and
+//     because deleting evidence of silent corruption is how you never
+//     find the bad disk.
+//   - If the caller can produce clean bytes for the snapshot's content
+//     hash (the server offers re-encoded results from its decoded-
+//     snapshot cache), the file is rewritten in place from those bytes
+//     and the snapshot keeps serving as if nothing happened.
+//   - Otherwise the metadata is dropped: subsequent reads answer 404
+//     (the reference no longer resolves) instead of 500.
+//
+// The "scrub.corrupt" injection point makes the verifier report a file
+// corrupt without real disk damage, so chaos tests drive the quarantine
+// and repair paths deterministically.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"diffaudit/internal/faults"
+)
+
+// ScrubResult counts what one scrub pass found and did.
+type ScrubResult struct {
+	// Scanned is how many listed snapshots were verified.
+	Scanned int `json:"scanned"`
+	// Corrupt is how many failed verification (envelope, CRC, or
+	// content hash). Corrupt == Repaired + Quarantined.
+	Corrupt int `json:"corrupt"`
+	// Repaired is how many corrupt snapshots were rewritten from clean
+	// bytes the caller supplied and kept serving.
+	Repaired int `json:"repaired"`
+	// Quarantined is how many corrupt snapshots were moved aside and
+	// dropped from the listing.
+	Quarantined int `json:"quarantined"`
+}
+
+// Add accumulates another pass's counts (the server's cumulative
+// healthz totals).
+func (r *ScrubResult) Add(o ScrubResult) {
+	r.Scanned += o.Scanned
+	r.Corrupt += o.Corrupt
+	r.Repaired += o.Repaired
+	r.Quarantined += o.Quarantined
+}
+
+// Scrubber is implemented by stores that can proactively verify their
+// at-rest snapshots. fetch, when non-nil, maps a content hash to clean
+// encoded bytes for repair (return false when no clean copy exists).
+type Scrubber interface {
+	ScrubPass(fetch func(hash string) ([]byte, bool)) ScrubResult
+}
+
+// QuarantineDir is where a scrubbed FSStore parks corrupt snapshot
+// files.
+func (s *FSStore) QuarantineDir() string { return filepath.Join(s.dir, "quarantine") }
+
+// ScrubPass implements Scrubber: one low-priority walk over every listed
+// snapshot. File I/O happens outside the store lock — a pass over a
+// large store must not stall Puts — and each corrupt file is handled
+// under the lock with a re-check, so a concurrent Delete cannot race the
+// quarantine into resurrecting metadata.
+func (s *FSStore) ScrubPass(fetch func(hash string) ([]byte, bool)) ScrubResult {
+	metas, _ := s.List()
+	var res ScrubResult
+	for _, m := range metas {
+		res.Scanned++
+		err := s.verifySnapshotFile(m)
+		if err == nil {
+			continue
+		}
+		res.Corrupt++
+		if s.quarantineAndMaybeRepair(m, fetch) {
+			res.Repaired++
+		} else {
+			res.Quarantined++
+		}
+	}
+	return res
+}
+
+// verifySnapshotFile re-verifies one snapshot file end to end: envelope
+// parse, envelope metadata against the listed metadata, codec CRC32,
+// and the SHA-256 content hash. Any failure — including an unreadable
+// file — reports corrupt; the quarantine path tolerates a file that
+// turns out to be missing.
+func (s *FSStore) verifySnapshotFile(m Meta) error {
+	if err := faults.Inject("scrub.corrupt"); err != nil {
+		return fmt.Errorf("store: scrub: %w", err)
+	}
+	stored, data, err := readSnapFile(s.path(m.Seq))
+	if err != nil {
+		return err
+	}
+	if stored.Hash != m.Hash {
+		return fmt.Errorf("store: scrub: snapshot %d envelope hash %s != listed %s", m.Seq, stored.Hash, m.Hash)
+	}
+	// CRC32 first (cheap, catches truncation and bit rot inside the codec
+	// frame), then the content hash (end-to-end, catches everything else
+	// including a consistently re-written wrong snapshot).
+	if _, _, err := checkSnapshot(data); err != nil {
+		return fmt.Errorf("store: scrub: snapshot %d: %w", m.Seq, err)
+	}
+	if got := Hash(data); got != m.Hash {
+		return fmt.Errorf("store: scrub: snapshot %d content hash %s != listed %s", m.Seq, got, m.Hash)
+	}
+	return nil
+}
+
+// quarantineAndMaybeRepair moves a corrupt snapshot file into the
+// quarantine directory and, when clean bytes are available, republishes
+// the file in place. Returns true when the snapshot was repaired and
+// keeps serving; false when it was quarantined and dropped from the
+// listing.
+func (s *FSStore) quarantineAndMaybeRepair(m Meta, fetch func(hash string) ([]byte, bool)) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Re-check under the lock: a concurrent Delete may have removed the
+	// snapshot while verification ran; there is nothing left to handle.
+	live := false
+	for _, cur := range s.metas {
+		if cur.Seq == m.Seq && cur.Hash == m.Hash {
+			live = true
+			break
+		}
+	}
+	if !live {
+		return false
+	}
+
+	// Park the corrupt bytes. A rename preserves them exactly; failure to
+	// quarantine (quarantine dir unwritable) must not block dropping the
+	// metadata — serving 404 beats serving corruption either way.
+	if err := os.MkdirAll(s.QuarantineDir(), 0o755); err == nil {
+		dest := filepath.Join(s.QuarantineDir(), fmt.Sprintf("%012d.snap", m.Seq))
+		if _, err := os.Stat(dest); err == nil {
+			// A previous pass already parked this sequence; keep the first
+			// evidence and make room for the fresh copy.
+			dest = filepath.Join(s.QuarantineDir(), fmt.Sprintf("%012d.snap.%d", m.Seq, os.Getpid()))
+		}
+		os.Rename(s.path(m.Seq), dest)
+	}
+	os.Remove(s.path(m.Seq)) // if the rename failed, do not leave corruption serveable
+
+	if fetch != nil {
+		if data, ok := fetch(m.Hash); ok && Hash(data) == m.Hash {
+			if err := publishSnapFile(s.dir, s.path(m.Seq), m, data); err == nil {
+				return true // metadata stays; the snapshot never stopped serving
+			}
+		}
+	}
+
+	// No clean copy: drop the listing so reads 404 instead of 500.
+	for i, cur := range s.metas {
+		if cur.Seq == m.Seq {
+			s.metas = append(s.metas[:i], s.metas[i+1:]...)
+			break
+		}
+	}
+	return false
+}
