@@ -24,6 +24,7 @@ import (
 	"diffaudit/internal/netcap/pcapio"
 	"diffaudit/internal/netcap/reassembly"
 	"diffaudit/internal/ontology"
+	"diffaudit/internal/report"
 	"diffaudit/internal/server"
 	"diffaudit/internal/store"
 	"diffaudit/internal/synth"
@@ -438,6 +439,41 @@ func BenchmarkReportFromStoreWarm(b *testing.B) {
 			b.Fatal("empty result")
 		}
 	}
+}
+
+// BenchmarkReportCSV measures rendering the per-flow CSV export. The
+// "export" case allocates the full document per call (the shape of the
+// pre-pool serving path); "append-pooled" is the server's report.csv hot
+// path — rows stream straight off each flow set's sorted keys into a
+// reused buffer, so steady-state serving recycles one allocation instead
+// of rebuilding the export per request.
+func BenchmarkReportCSV(b *testing.B) {
+	res := audited(b)[0]
+	b.Run("export", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := report.ExportFlowsCSV([]*core.ServiceResult{res})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) == 0 {
+				b.Fatal("empty render")
+			}
+		}
+	})
+	b.Run("append-pooled", func(b *testing.B) {
+		var buf []byte
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := report.AppendFlowsCSV(buf[:0], []*core.ServiceResult{res})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) == 0 {
+				b.Fatal("empty render")
+			}
+			buf = out
+		}
+	})
 }
 
 // BenchmarkDiffPartial measures a persona-filtered longitudinal diff on

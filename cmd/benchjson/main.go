@@ -24,6 +24,17 @@
 // are reported as warnings; the exit code stays 0 (soft gate) unless
 // -gate is set. CI machines are noisy, so the default posture is
 // visibility, not flake-prone hard failure.
+//
+// Trajectory aggregation (no benchmarks are run):
+//
+//	go run ./cmd/benchjson -trajectory                # every BENCH_*.json
+//	go run ./cmd/benchjson -trajectory BENCH_a.json BENCH_b.json
+//
+// -trajectory reads the committed trajectory files (positional arguments,
+// or the BENCH_*.json glob in the working directory), orders them by
+// recorded date, and prints one row per benchmark with its ns/op series
+// across the files plus the first→last ns/op and B/op drift — the
+// repo-history view the per-PR files exist to enable.
 package main
 
 import (
@@ -33,8 +44,10 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -82,7 +95,15 @@ func main() {
 	allocThreshold := flag.Float64("alloc-threshold", 0.25, "allocs/op and B/op regression ratio that triggers a warning (with -compare); negative disables")
 	compareFilter := flag.String("compare-filter", ".", "regex of benchmark names the thresholds apply to")
 	gate := flag.Bool("gate", false, "exit nonzero when a filtered benchmark regresses past a threshold")
+	trajectory := flag.Bool("trajectory", false, "aggregate committed BENCH_*.json files into a time-ordered table (runs nothing)")
 	flag.Parse()
+
+	if *trajectory {
+		if err := printTrajectory(flag.Args()); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	args := []string{
 		"test", "-run", "^$",
@@ -245,6 +266,96 @@ func compareBaseline(path string, fresh []BenchResult, nsThreshold, allocThresho
 			nsThreshold*100, allocThreshold*100, filter)
 	}
 	return regressions, nil
+}
+
+// printTrajectory aggregates committed trajectory files into one table:
+// files ordered by recorded date, one row per benchmark with its ns/op
+// series and the first→last drift in ns/op and B/op.
+func printTrajectory(paths []string) error {
+	if len(paths) == 0 {
+		var err error
+		paths, err = filepath.Glob("BENCH_*.json")
+		if err != nil {
+			return err
+		}
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no trajectory files (want BENCH_*.json or explicit paths)")
+	}
+	trajs := make([]Trajectory, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		var t Trajectory
+		if err := json.Unmarshal(data, &t); err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		if t.Label == "" {
+			t.Label = strings.TrimSuffix(filepath.Base(p), ".json")
+		}
+		trajs = append(trajs, t)
+	}
+	sort.SliceStable(trajs, func(i, j int) bool { return trajs[i].Date < trajs[j].Date })
+
+	fmt.Printf("== benchmark trajectory (%d files) ==\n", len(trajs))
+	for i, t := range trajs {
+		fmt.Printf("  [%d] %-12s %-28s %s %s (%d benchmarks)\n",
+			i, t.Commit, t.Label, t.Date, t.GoVersion, len(t.Results))
+	}
+
+	// Union of benchmark names, ordered by first appearance.
+	type series struct {
+		ns    []float64 // aligned to trajs; 0 = absent
+		bytes []float64
+	}
+	byName := map[string]*series{}
+	var order []string
+	for i, t := range trajs {
+		for _, r := range t.Results {
+			s, ok := byName[r.Name]
+			if !ok {
+				s = &series{ns: make([]float64, len(trajs)), bytes: make([]float64, len(trajs))}
+				byName[r.Name] = s
+				order = append(order, r.Name)
+			}
+			s.ns[i] = r.NsPerOp
+			s.bytes[i] = r.BytesPerOp
+		}
+	}
+
+	drift := func(vals []float64) string {
+		var first, last float64
+		for _, v := range vals {
+			if v > 0 {
+				if first == 0 {
+					first = v
+				}
+				last = v
+			}
+		}
+		if first == 0 || last == 0 || first == last {
+			return "-"
+		}
+		return fmt.Sprintf("%+.1f%%", (last/first-1)*100)
+	}
+
+	fmt.Printf("\n%-52s %-40s %10s %10s\n", "benchmark", "ns/op by file", "Δns", "ΔB/op")
+	for _, name := range order {
+		s := byName[name]
+		cells := make([]string, len(trajs))
+		for i, v := range s.ns {
+			if v == 0 {
+				cells[i] = "-"
+			} else {
+				cells[i] = strconv.FormatFloat(v, 'f', 0, 64)
+			}
+		}
+		fmt.Printf("%-52s %-40s %10s %10s\n",
+			name, strings.Join(cells, " → "), drift(s.ns), drift(s.bytes))
+	}
+	return nil
 }
 
 // parseLine extracts one BenchResult from a benchmark output line.

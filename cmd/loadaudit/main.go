@@ -1,0 +1,681 @@
+// Command loadaudit is the population-scale load harness for the audit
+// server: it drives a live `diffaudit serve` (or an in-process server it
+// spawns itself) with synthetic capture corpora and reports p50/p95/p99
+// latency, throughput, and shed counts per operation class in the same
+// JSON schema cmd/benchjson writes — so server-level load results live in
+// the repo's BENCH_*.json trajectory next to the microbenchmarks.
+//
+// The workload has four phases, mirroring how the server is actually hit:
+//
+//  1. Upload storm — fan-out concurrent multipart HAR uploads (one job per
+//     synthetic user, each with a distinct service name so every job
+//     stores a distinct snapshot), fan-in by polling every job to its
+//     terminal state. Measures LoadUpload (POST round trip) and
+//     LoadJobComplete (submit → done).
+//  2. Cold reads — first GET /v1/snapshots/{hash} per stored snapshot:
+//     every read is a decoded-snapshot cache miss (LoadReportCold).
+//  3. Warm reads — repeated reads over the same hashes, now cache hits
+//     (LoadReportWarm).
+//  4. Diff storm + mixed read/write — GET /v1/diff over same-service
+//     snapshot pairs, every third request persona-filtered (LoadDiff),
+//     then an interleaved mix of uploads, reads, diffs, and job listings
+//     (LoadMixed).
+//
+// 429/503 responses count as sheds (the server protecting itself — not a
+// harness failure); anything else non-2xx is a hard error. The process
+// exits nonzero when hard errors exceed -max-errors (default 0), which is
+// what the CI load-smoke job gates on.
+//
+// Usage:
+//
+//	go run ./cmd/loadaudit                          # self-spawned server
+//	go run ./cmd/loadaudit -addr http://host:8080   # external server
+//	go run ./cmd/loadaudit -uploads 48 -c 16 -o BENCH_load.json
+//	go run ./cmd/loadaudit -compare BENCH_2026-08-08_pr9_load.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"diffaudit"
+)
+
+// BenchResult and Trajectory mirror cmd/benchjson's file schema exactly,
+// so load results aggregate into the same trajectory tooling
+// (benchjson -trajectory) as the microbenchmarks.
+type BenchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type Trajectory struct {
+	Label     string        `json:"label,omitempty"`
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Commit    string        `json:"commit,omitempty"`
+	Bench     string        `json:"bench_regex"`
+	Benchtime string        `json:"benchtime"`
+	Results   []BenchResult `json:"results"`
+}
+
+// Operation classes, in report order.
+const (
+	opUpload   = "LoadUpload"
+	opComplete = "LoadJobComplete"
+	opCold     = "LoadReportCold"
+	opWarm     = "LoadReportWarm"
+	opDiff     = "LoadDiff"
+	opMixed    = "LoadMixed"
+)
+
+var opOrder = []string{opUpload, opComplete, opCold, opWarm, opDiff, opMixed}
+
+// recorder accumulates per-class latencies and outcome counts from all
+// workers.
+type recorder struct {
+	mu   sync.Mutex
+	lat  map[string][]time.Duration
+	shed map[string]int64
+	errs map[string]int64
+	wall map[string]time.Duration
+	msgs []string
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		lat:  map[string][]time.Duration{},
+		shed: map[string]int64{},
+		errs: map[string]int64{},
+		wall: map[string]time.Duration{},
+	}
+}
+
+func (r *recorder) observe(op string, d time.Duration) {
+	r.mu.Lock()
+	r.lat[op] = append(r.lat[op], d)
+	r.mu.Unlock()
+}
+
+func (r *recorder) markShed(op string) {
+	r.mu.Lock()
+	r.shed[op]++
+	r.mu.Unlock()
+}
+
+func (r *recorder) markErr(op, msg string) {
+	r.mu.Lock()
+	r.errs[op]++
+	if len(r.msgs) < 8 {
+		r.msgs = append(r.msgs, op+": "+msg)
+	}
+	r.mu.Unlock()
+}
+
+func (r *recorder) totalErrs() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, v := range r.errs {
+		n += v
+	}
+	return n
+}
+
+// percentile reads the q-th quantile off a sorted latency slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// fanOut runs fn(0..n-1) across a bounded worker pool and returns the
+// phase wall time.
+func fanOut(n, workers int, fn func(i int)) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	start := time.Now()
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return time.Since(start)
+}
+
+// corpus is one service's pre-rendered upload payload: the four built-in
+// persona HAR documents, multipart-assembled per upload so each job can
+// carry a distinct service name (distinct name → distinct audit identity →
+// distinct snapshot hash, which is what gives the read phases a
+// population of snapshots instead of six).
+type corpus struct {
+	service string
+	// parts maps persona field name → HAR bytes.
+	parts []harPart
+}
+
+type harPart struct {
+	field string
+	data  []byte
+}
+
+func buildCorpora(scale float64) ([]corpus, error) {
+	ds := diffaudit.GenerateDataset(scale)
+	var out []corpus
+	for _, st := range ds.Services {
+		c := corpus{service: st.Spec.Name}
+		for _, p := range diffaudit.BuiltinPersonas() {
+			data, err := json.Marshal(st.EmitHAR(p))
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %v", st.Spec.Name, p, err)
+			}
+			field := strings.ReplaceAll(strings.ToLower(p.String()), " ", "")
+			c.parts = append(c.parts, harPart{field: field, data: data})
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// body assembles the multipart upload for one job.
+func (c *corpus) body(name string) ([]byte, string, error) {
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	if err := mw.WriteField("name", name); err != nil {
+		return nil, "", err
+	}
+	for _, p := range c.parts {
+		fw, err := mw.CreateFormFile(p.field, p.field+"-web.har")
+		if err != nil {
+			return nil, "", err
+		}
+		if _, err := fw.Write(p.data); err != nil {
+			return nil, "", err
+		}
+	}
+	if err := mw.Close(); err != nil {
+		return nil, "", err
+	}
+	return buf.Bytes(), mw.FormDataContentType(), nil
+}
+
+// client wraps the HTTP surface the harness drives.
+type client struct {
+	base string
+	http *http.Client
+	rec  *recorder
+}
+
+// shedStatus reports whether a status is the server shedding load.
+func shedStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// get performs one timed GET, filing the latency (2xx/304), shed, or
+// error under op. It returns the status and body (nil unless 2xx).
+func (c *client) get(op, path string) (int, []byte) {
+	start := time.Now()
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		c.rec.markErr(op, err.Error())
+		return 0, nil
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	d := time.Since(start)
+	switch {
+	case resp.StatusCode < 300 || resp.StatusCode == http.StatusNotModified:
+		c.rec.observe(op, d)
+		return resp.StatusCode, body
+	case shedStatus(resp.StatusCode):
+		c.rec.markShed(op)
+	default:
+		c.rec.markErr(op, fmt.Sprintf("GET %s: %d %s", path, resp.StatusCode, excerpt(body)))
+	}
+	return resp.StatusCode, nil
+}
+
+// upload POSTs one multipart job, retrying sheds with backoff (each
+// attempt's round trip is measured; sheds are counted, not errors). It
+// returns the job ID, or "" after a hard error / exhausted retries.
+func (c *client) upload(op string, body []byte, ctype string) string {
+	for attempt := 0; attempt < 40; attempt++ {
+		start := time.Now()
+		resp, err := c.http.Post(c.base+"/v1/audits", ctype, bytes.NewReader(body))
+		if err != nil {
+			c.rec.markErr(op, err.Error())
+			return ""
+		}
+		rb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		d := time.Since(start)
+		switch {
+		case resp.StatusCode == http.StatusAccepted:
+			c.rec.observe(op, d)
+			loc := resp.Header.Get("Location")
+			return loc[strings.LastIndexByte(loc, '/')+1:]
+		case shedStatus(resp.StatusCode):
+			c.rec.markShed(op)
+			time.Sleep(time.Duration(5+5*attempt) * time.Millisecond)
+		default:
+			c.rec.markErr(op, fmt.Sprintf("POST /v1/audits: %d %s", resp.StatusCode, excerpt(rb)))
+			return ""
+		}
+	}
+	c.rec.markErr(op, "upload shed past retry budget")
+	return ""
+}
+
+// jobStatus is the slice of the job JSON the harness reads.
+type jobStatus struct {
+	State         string `json:"state"`
+	Error         string `json:"error"`
+	SnapshotHash  string `json:"snapshot_hash"`
+	SnapshotError string `json:"snapshot_error"`
+}
+
+// pollDone polls a job to its terminal state and returns its snapshot
+// hash. Poll requests are not timed — the phase measures submit→done,
+// not the polling GETs themselves.
+func (c *client) pollDone(id string, deadline time.Duration) (string, error) {
+	until := time.Now().Add(deadline)
+	for time.Now().Before(until) {
+		resp, err := c.http.Get(c.base + "/v1/jobs/" + id)
+		if err != nil {
+			return "", err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if shedStatus(resp.StatusCode) {
+			c.rec.markShed(opComplete)
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("GET /v1/jobs/%s: %d %s", id, resp.StatusCode, excerpt(body))
+		}
+		var js jobStatus
+		if err := json.Unmarshal(body, &js); err != nil {
+			return "", err
+		}
+		switch js.State {
+		case "done":
+			if js.SnapshotError != "" {
+				return "", fmt.Errorf("job %s: snapshot not persisted: %s", id, js.SnapshotError)
+			}
+			return js.SnapshotHash, nil
+		case "failed", "timeout":
+			return "", fmt.Errorf("job %s: %s: %s", id, js.State, js.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return "", fmt.Errorf("job %s: not done after %v", id, deadline)
+}
+
+func excerpt(body []byte) string {
+	s := strings.TrimSpace(string(body))
+	if len(s) > 120 {
+		s = s[:120] + "..."
+	}
+	return s
+}
+
+func main() {
+	addr := flag.String("addr", "", "base URL of a running server (default: spawn an in-process server)")
+	scale := flag.Float64("scale", 0.004, "synthetic corpus scale passed to the dataset generator")
+	uploads := flag.Int("uploads", 24, "upload-storm job count (each job stores one snapshot)")
+	reads := flag.Int("reads", 96, "warm read count")
+	diffs := flag.Int("diffs", 64, "diff-storm request count")
+	mixed := flag.Int("mixed", 64, "mixed read/write op count")
+	conc := flag.Int("c", 8, "client concurrency (worker pool size)")
+	workers := flag.Int("workers", runtime.NumCPU(), "self-spawned server audit workers")
+	queue := flag.Int("queue", 64, "self-spawned server queue depth")
+	cacheMB := flag.Int64("cache-mb", 64, "self-spawned server decoded-snapshot cache (0 disables)")
+	label := flag.String("label", "load", "label recorded in the output file")
+	out := flag.String("o", "", "write benchjson-compatible results to this path")
+	compare := flag.String("compare", "", "baseline load trajectory to diff against (warn-only)")
+	threshold := flag.Float64("threshold", 0.50, "latency regression ratio that triggers a warning (with -compare)")
+	maxErrors := flag.Int64("max-errors", 0, "hard-error budget; exceeding it exits nonzero")
+	jobDeadline := flag.Duration("job-deadline", 2*time.Minute, "per-job completion deadline during the upload storm")
+	flag.Parse()
+
+	rec := newRecorder()
+	base := *addr
+	var cleanup func()
+	if base == "" {
+		var err error
+		base, cleanup, err = spawnServer(*workers, *queue, *cacheMB)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadaudit:", err)
+			os.Exit(1)
+		}
+		defer cleanup()
+	}
+	base = strings.TrimRight(base, "/")
+
+	cl := &client{
+		base: base,
+		http: &http.Client{
+			Timeout: 5 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        *conc * 2,
+				MaxIdleConnsPerHost: *conc * 2,
+			},
+		},
+		rec: rec,
+	}
+	if status, _ := cl.get("healthz", "/v1/healthz"); status != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "loadaudit: %s/v1/healthz answered %d; is the server up?\n", base, status)
+		os.Exit(1)
+	}
+	// The healthz probe is plumbing, not workload — drop its sample.
+	rec.lat = map[string][]time.Duration{}
+
+	fmt.Fprintf(os.Stderr, "loadaudit: corpus at scale %g...\n", *scale)
+	corpora, err := buildCorpora(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadaudit:", err)
+		os.Exit(1)
+	}
+
+	// Phase 1: upload storm. Every job gets a unique service name so its
+	// snapshot is distinct content; hashes are grouped per corpus so the
+	// diff storm compares snapshots of the same service.
+	fmt.Fprintf(os.Stderr, "loadaudit: upload storm (%d jobs, %d workers)...\n", *uploads, *conc)
+	hashesBySvc := make([][]string, len(corpora))
+	var hashMu sync.Mutex
+	wall := fanOut(*uploads, *conc, func(i int) {
+		c := &corpora[i%len(corpora)]
+		body, ctype, berr := c.body(fmt.Sprintf("%s-u%03d", c.service, i))
+		if berr != nil {
+			rec.markErr(opUpload, berr.Error())
+			return
+		}
+		start := time.Now()
+		id := cl.upload(opUpload, body, ctype)
+		if id == "" {
+			return
+		}
+		hash, perr := cl.pollDone(id, *jobDeadline)
+		if perr != nil {
+			rec.markErr(opComplete, perr.Error())
+			return
+		}
+		rec.observe(opComplete, time.Since(start))
+		hashMu.Lock()
+		hashesBySvc[i%len(corpora)] = append(hashesBySvc[i%len(corpora)], hash)
+		hashMu.Unlock()
+	})
+	rec.wall[opUpload] = wall
+	rec.wall[opComplete] = wall
+
+	var hashes []string
+	for _, hs := range hashesBySvc {
+		hashes = append(hashes, hs...)
+	}
+	if len(hashes) == 0 {
+		fmt.Fprintln(os.Stderr, "loadaudit: no snapshots stored; cannot run read phases")
+		report(rec, *label, *out, *compare, *threshold)
+		os.Exit(1)
+	}
+
+	// Phase 2: cold reads — first fetch per distinct snapshot decodes.
+	fmt.Fprintf(os.Stderr, "loadaudit: cold reads (%d snapshots)...\n", len(hashes))
+	rec.wall[opCold] = fanOut(len(hashes), *conc, func(i int) {
+		cl.get(opCold, "/v1/snapshots/"+hashes[i])
+	})
+
+	// Phase 3: warm reads — same hashes, now cache hits.
+	fmt.Fprintf(os.Stderr, "loadaudit: warm reads (%d)...\n", *reads)
+	rec.wall[opWarm] = fanOut(*reads, *conc, func(i int) {
+		cl.get(opWarm, "/v1/snapshots/"+hashes[i%len(hashes)])
+	})
+
+	// Phase 4a: diff storm over same-service snapshot pairs; every third
+	// request restricts to one persona, exercising partial materialization.
+	fmt.Fprintf(os.Stderr, "loadaudit: diff storm (%d)...\n", *diffs)
+	rec.wall[opDiff] = fanOut(*diffs, *conc, func(i int) {
+		hs := hashesBySvc[i%len(hashesBySvc)]
+		if len(hs) == 0 {
+			hs = hashes
+		}
+		from := hs[i%len(hs)]
+		to := hs[(i/len(hashesBySvc)+1)%len(hs)]
+		path := "/v1/diff?from=" + from + "&to=" + to
+		if i%3 == 0 {
+			path += "&personas=child"
+		}
+		cl.get(opDiff, path)
+	})
+
+	// Phase 4b: mixed read/write — uploads interleaved with reads, diffs,
+	// and listings, the closest shape to production traffic.
+	fmt.Fprintf(os.Stderr, "loadaudit: mixed read/write (%d)...\n", *mixed)
+	var mixedJobs []string
+	var mixedMu sync.Mutex
+	rec.wall[opMixed] = fanOut(*mixed, *conc, func(i int) {
+		switch i % 4 {
+		case 0:
+			c := &corpora[i%len(corpora)]
+			body, ctype, berr := c.body(fmt.Sprintf("%s-m%03d", c.service, i))
+			if berr != nil {
+				rec.markErr(opMixed, berr.Error())
+				return
+			}
+			if id := cl.upload(opMixed, body, ctype); id != "" {
+				mixedMu.Lock()
+				mixedJobs = append(mixedJobs, id)
+				mixedMu.Unlock()
+			}
+		case 1:
+			cl.get(opMixed, "/v1/snapshots/"+hashes[i%len(hashes)])
+		case 2:
+			cl.get(opMixed, "/v1/diff?from="+hashes[i%len(hashes)]+"&to="+hashes[(i+1)%len(hashes)])
+		default:
+			cl.get(opMixed, "/v1/jobs?limit=20")
+		}
+	})
+	// Fan-in: drain the mixed uploads so a self-spawned server shuts down
+	// idle (untimed — the mixed phase measured submission, not completion).
+	for _, id := range mixedJobs {
+		if _, perr := cl.pollDone(id, *jobDeadline); perr != nil {
+			rec.markErr(opMixed, perr.Error())
+		}
+	}
+
+	report(rec, *label, *out, *compare, *threshold)
+	if total := rec.totalErrs(); total > *maxErrors {
+		fmt.Fprintf(os.Stderr, "loadaudit: %d hard error(s), budget %d\n", total, *maxErrors)
+		for _, m := range rec.msgs {
+			fmt.Fprintln(os.Stderr, "  ", m)
+		}
+		os.Exit(1)
+	}
+}
+
+// spawnServer starts an in-process audit server on a loopback listener
+// with a filesystem snapshot store in a temp dir.
+func spawnServer(workers, queue int, cacheMB int64) (base string, cleanup func(), err error) {
+	tmp, err := os.MkdirTemp("", "loadaudit-*")
+	if err != nil {
+		return "", nil, err
+	}
+	st, err := diffaudit.OpenSnapshotStore(filepath.Join(tmp, "snapshots"))
+	if err != nil {
+		os.RemoveAll(tmp)
+		return "", nil, err
+	}
+	cacheBytes := cacheMB << 20
+	if cacheBytes == 0 {
+		cacheBytes = -1
+	}
+	srv, err := diffaudit.OpenServer(diffaudit.ServerConfig{
+		Workers:    workers,
+		QueueDepth: queue,
+		TempDir:    tmp,
+		Store:      st,
+		MaxJobs:    4096,
+		CacheBytes: cacheBytes,
+	})
+	if err != nil {
+		os.RemoveAll(tmp)
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		os.RemoveAll(tmp)
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	cleanup = func() {
+		hs.Close()
+		srv.Close()
+		os.RemoveAll(tmp)
+	}
+	return "http://" + ln.Addr().String(), cleanup, nil
+}
+
+// report prints the human table, writes the benchjson-compatible file,
+// and runs the optional baseline comparison.
+func report(rec *recorder, label, out, compare string, threshold float64) {
+	traj := Trajectory{
+		Label:     label,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Commit:    gitCommit(),
+		Bench:     "loadaudit",
+		Benchtime: "",
+	}
+
+	fmt.Printf("%-18s %8s %12s %12s %12s %10s %6s %6s\n",
+		"operation", "ops", "p50", "p95", "p99", "rps", "shed", "err")
+	for _, op := range opOrder {
+		lats := rec.lat[op]
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		n := int64(len(lats))
+		p50, p95, p99 := percentile(lats, 0.50), percentile(lats, 0.95), percentile(lats, 0.99)
+		rps := 0.0
+		if w := rec.wall[op]; w > 0 && n > 0 {
+			rps = float64(n) / w.Seconds()
+		}
+		fmt.Printf("%-18s %8d %12s %12s %12s %10.1f %6d %6d\n",
+			op, n, p50.Round(time.Microsecond), p95.Round(time.Microsecond),
+			p99.Round(time.Microsecond), rps, rec.shed[op], rec.errs[op])
+		if n == 0 {
+			continue
+		}
+		traj.Results = append(traj.Results,
+			BenchResult{Name: op + "/p50", Iterations: n, NsPerOp: float64(p50.Nanoseconds()),
+				Metrics: map[string]float64{
+					"rps":    rps,
+					"shed":   float64(rec.shed[op]),
+					"errors": float64(rec.errs[op]),
+				}},
+			BenchResult{Name: op + "/p95", Iterations: n, NsPerOp: float64(p95.Nanoseconds())},
+			BenchResult{Name: op + "/p99", Iterations: n, NsPerOp: float64(p99.Nanoseconds())},
+		)
+	}
+
+	if out != "" {
+		data, err := json.MarshalIndent(traj, "", "  ")
+		if err == nil {
+			err = os.WriteFile(out, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadaudit: write:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "loadaudit: wrote %s (%d results)\n", out, len(traj.Results))
+		}
+	}
+	if compare != "" {
+		compareBaseline(compare, traj.Results, threshold)
+	}
+}
+
+// compareBaseline diffs fresh load percentiles against a committed
+// baseline. Latency warnings never fail the run — shared CI runners are
+// far too noisy for wall-clock load gating; the hard gate is -max-errors.
+func compareBaseline(path string, fresh []BenchResult, threshold float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadaudit: baseline:", err)
+		return
+	}
+	var base Trajectory
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "loadaudit: baseline %s: %v\n", path, err)
+		return
+	}
+	byName := make(map[string]BenchResult, len(base.Results))
+	for _, r := range base.Results {
+		byName[r.Name] = r
+	}
+	fmt.Printf("\n== comparison against %s (%s) ==\n", path, base.Date)
+	warned := 0
+	for _, r := range fresh {
+		b, ok := byName[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Printf("%-22s %12.0f ns (new)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		delta := r.NsPerOp/b.NsPerOp - 1
+		flag := ""
+		if delta > threshold {
+			flag = " <-- SLOWER"
+			warned++
+		}
+		fmt.Printf("%-22s %12.0f -> %12.0f ns  %+6.1f%%%s\n", r.Name, b.NsPerOp, r.NsPerOp, delta*100, flag)
+	}
+	if warned > 0 {
+		fmt.Printf("WARNING: %d load percentile(s) regressed past %.0f%% (informational; the gate is -max-errors)\n",
+			warned, threshold*100)
+	}
+}
+
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

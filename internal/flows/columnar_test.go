@@ -1,0 +1,181 @@
+package flows
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"diffaudit/internal/wire"
+)
+
+// encodeColumnar serializes tables + one columnar set section per set.
+func encodeColumnar(sets ...*Set) (tables []byte, sections [][]byte) {
+	enc := NewSetEncoder()
+	for _, s := range sets {
+		enc.Collect(s)
+	}
+	tw := &wire.Writer{}
+	enc.WriteTables(tw)
+	for _, s := range sets {
+		sw := &wire.Writer{}
+		enc.WriteSetColumnar(sw, s)
+		sections = append(sections, sw.Bytes())
+	}
+	return tw.Bytes(), sections
+}
+
+func TestColumnarRoundTrip(t *testing.T) {
+	s := buildSet(t)
+	tables, sections := encodeColumnar(s)
+
+	dec, err := ReadSetTables(wire.NewReader(tables))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.DecodeSetColumnar(sections[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("decoded %d flows, want %d", got.Len(), s.Len())
+	}
+	if !reflect.DeepEqual(got.GroupGrid(), s.GroupGrid()) {
+		t.Error("decoded grid differs from original")
+	}
+
+	// Canonical: re-encoding the decoded set reproduces the section bytes.
+	_, again := encodeColumnar(got)
+	if !bytes.Equal(again[0], sections[0]) {
+		t.Error("columnar re-encode is not byte-identical")
+	}
+}
+
+func TestColumnarEmptySet(t *testing.T) {
+	tables, sections := encodeColumnar(nil)
+	dec, err := ReadSetTables(wire.NewReader(tables))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.DecodeSetColumnar(sections[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("decoded %d flows from empty set", got.Len())
+	}
+}
+
+// TestColumnarGridEquivalence proves the no-intern scan path produces the
+// exact grid the full decoder produces, including for custom categories
+// absent from the canonical ontology.
+func TestColumnarGridEquivalence(t *testing.T) {
+	s := buildSet(t)
+	tables, sections := encodeColumnar(s)
+
+	ts, err := ScanSetTables(wire.NewReader(tables))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, err := SplitSetColumns(sections[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cols.Len() != s.Len() {
+		t.Fatalf("columns report %d flows, want %d", cols.Len(), s.Len())
+	}
+	grid, err := cols.Grid(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := s.GroupGrid(); !reflect.DeepEqual(grid, want) {
+		t.Errorf("columnar grid = %v, want %v", grid, want)
+	}
+
+	census, err := cols.GroupCensus(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, row := range s.GroupGrid() {
+		var want PlatformMask
+		for _, m := range row {
+			want |= m
+		}
+		if census[g] != want {
+			t.Errorf("census[%v] = %v, want %v", g, census[g], want)
+		}
+	}
+}
+
+func TestColumnarRejectsCorruption(t *testing.T) {
+	s := buildSet(t)
+	tables, sections := encodeColumnar(s)
+	dec, err := ReadSetTables(wire.NewReader(tables))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncations anywhere must fail cleanly.
+	sec := sections[0]
+	for n := 0; n < len(sec); n++ {
+		if _, err := dec.DecodeSetColumnar(sec[:n]); err == nil {
+			t.Fatalf("accepted truncation at %d", n)
+		}
+	}
+
+	// A mask of 0 (no platform) is invalid.
+	bad := append([]byte(nil), sec...)
+	bad[len(bad)-1] = 0
+	if _, err := dec.DecodeSetColumnar(bad); err == nil {
+		t.Error("accepted zero platform mask")
+	}
+
+	// Out-of-range indices are caught by the table bounds.
+	cols, err := SplitSetColumns(sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cols.CatIndices(nil, 0); err == nil {
+		t.Error("accepted category index beyond table")
+	}
+	if _, err := cols.DestIndices(nil, 0); err == nil {
+		t.Error("accepted destination index beyond table")
+	}
+}
+
+// TestColumnarPooledEquivalence reruns encode and decode concurrently so
+// pooled scratch is recycled across goroutines, asserting byte-identical
+// sections every time. Run with -race this pins the pooling contract the
+// snapshot codec relies on.
+func TestColumnarPooledEquivalence(t *testing.T) {
+	s := buildSet(t)
+	tables, want := encodeColumnar(s)
+	dec, err := ReadSetTables(wire.NewReader(tables))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				_, got := encodeColumnar(s)
+				if !bytes.Equal(got[0], want[0]) {
+					t.Error("pooled columnar encode diverged")
+					return
+				}
+				set, err := dec.DecodeSetColumnar(got[0])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if set.Len() != s.Len() {
+					t.Errorf("pooled decode lost flows: %d != %d", set.Len(), s.Len())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

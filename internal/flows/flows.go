@@ -290,6 +290,15 @@ func (s *Set) Range(fn func(key uint64, m PlatformMask)) {
 	}
 }
 
+// RangeKeys calls fn for every flow key in unspecified order — the
+// mask-blind variant of Range for consumers (linkability) that never
+// look at platforms.
+func (s *Set) RangeKeys(fn func(key uint64)) {
+	for k := range s.flows {
+		fn(k)
+	}
+}
+
 // RangeSorted calls fn for every flow in deterministic key order without
 // materializing Flow values.
 func (s *Set) RangeSorted(fn func(key uint64, m PlatformMask)) {

@@ -86,67 +86,113 @@ func (a *indexAcc) count() int {
 	return bits.OnesCount64(a.bits) + len(a.overflow)
 }
 
+// indexState accumulates the single pass over a packed-key stream. The
+// iteration itself stays with the caller (Set range or columnar scan) so
+// the hot Set path keeps its direct, escape-free loop; the shared logic
+// lives in the accumulate/represent/finish methods.
+type indexState struct {
+	byFQDN   map[uint32]indexAcc
+	anyMulti bool
+	allCats  indexAcc // union of every party's category set
+	minKey   map[uint32]uint64
+}
+
 // NewIndex builds the index in a single pass over the set's packed keys
 // (plus one extra pass over the rare multi-role FQDNs of merged sets).
 func NewIndex(set *flows.Set) *Index {
-	byFQDN := make(map[uint32]indexAcc)
-	anyMulti := false
-	var allCats indexAcc // union of every party's category set
-	set.Range(func(key uint64, _ flows.PlatformMask) {
-		c, d := flows.SplitFlowKey(key)
-		syms := flows.DestinationSymbols(d)
-		if !syms.Class.IsThirdParty() {
-			return
-		}
-		a, ok := byFQDN[syms.FQDNID]
-		if !ok {
-			a.repDest = d
-		} else if d != a.repDest {
-			a.multi = true
-			anyMulti = true
-		}
-		if c < 64 {
-			a.bits |= 1 << c
-			allCats.bits |= 1 << c
-		} else {
-			if a.overflow == nil {
-				a.overflow = map[flows.CatID]bool{}
-			}
-			a.overflow[c] = true
-			if allCats.overflow == nil {
-				allCats.overflow = map[flows.CatID]bool{}
-			}
-			allCats.overflow[c] = true
-		}
-		byFQDN[syms.FQDNID] = a
-	})
+	st := indexState{byFQDN: make(map[uint32]indexAcc)}
+	set.RangeKeys(func(key uint64) { st.accumulate(key) })
+	if st.anyMulti {
+		set.RangeKeys(func(key uint64) { st.represent(key) })
+	}
+	return st.finish()
+}
 
-	// Representative destination for multi-role FQDNs: the one carried by
-	// the first flow in key order, exactly as the string-keyed Analyze
-	// exposed. Needs a key-comparing pass, but only over merged sets.
-	if anyMulti {
-		minKey := map[uint32]uint64{}
-		set.Range(func(key uint64, _ flows.PlatformMask) {
-			_, d := flows.SplitFlowKey(key)
-			syms := flows.DestinationSymbols(d)
-			// Same third-party filter as the accumulation pass: a
-			// first-party role of the same FQDN must not become the
-			// representative (Analyze never saw those flows at all).
-			if !syms.Class.IsThirdParty() {
-				return
-			}
-			if a, ok := byFQDN[syms.FQDNID]; !ok || !a.multi {
-				return
-			}
-			if cur, ok := minKey[syms.FQDNID]; !ok || flows.FlowKeyLess(key, cur) {
-				minKey[syms.FQDNID] = key
-			}
+// NewIndexColumns builds the same index straight off one columnar flow
+// section (snapshot codec v3): the linkability analysis is platform-
+// blind, so neither the mask column nor a Set is ever materialized —
+// only the category and destination columns are decoded against the
+// re-interned tables.
+func NewIndexColumns(dec *flows.SetDecoder, cols flows.SetColumns) (*Index, error) {
+	st := indexState{byFQDN: make(map[uint32]indexAcc)}
+	err := dec.RangeFlows(cols, func(c flows.CatID, d flows.DestID) {
+		st.accumulate(flows.PackFlowKey(c, d))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st.anyMulti {
+		err := dec.RangeFlows(cols, func(c flows.CatID, d flows.DestID) {
+			st.represent(flows.PackFlowKey(c, d))
 		})
-		for fid, k := range minKey {
-			a := byFQDN[fid]
-			_, a.repDest = flows.SplitFlowKey(k)
-			byFQDN[fid] = a
+		if err != nil {
+			return nil, err
 		}
+	}
+	return st.finish(), nil
+}
+
+// accumulate folds one flow key into the per-FQDN accumulators.
+func (st *indexState) accumulate(key uint64) {
+	c, d := flows.SplitFlowKey(key)
+	syms := flows.DestinationSymbols(d)
+	if !syms.Class.IsThirdParty() {
+		return
+	}
+	a, ok := st.byFQDN[syms.FQDNID]
+	if !ok {
+		a.repDest = d
+	} else if d != a.repDest {
+		a.multi = true
+		st.anyMulti = true
+	}
+	if c < 64 {
+		a.bits |= 1 << c
+		st.allCats.bits |= 1 << c
+	} else {
+		if a.overflow == nil {
+			a.overflow = map[flows.CatID]bool{}
+		}
+		a.overflow[c] = true
+		if st.allCats.overflow == nil {
+			st.allCats.overflow = map[flows.CatID]bool{}
+		}
+		st.allCats.overflow[c] = true
+	}
+	st.byFQDN[syms.FQDNID] = a
+}
+
+// represent is the second-pass body: representative destination for
+// multi-role FQDNs — the one carried by the first flow in key order,
+// exactly as the string-keyed Analyze exposed. Needed only over merged
+// sets (anyMulti), so the common case never re-streams.
+func (st *indexState) represent(key uint64) {
+	_, d := flows.SplitFlowKey(key)
+	syms := flows.DestinationSymbols(d)
+	// Same third-party filter as the accumulation pass: a first-party
+	// role of the same FQDN must not become the representative (Analyze
+	// never saw those flows at all).
+	if !syms.Class.IsThirdParty() {
+		return
+	}
+	if a, ok := st.byFQDN[syms.FQDNID]; !ok || !a.multi {
+		return
+	}
+	if st.minKey == nil {
+		st.minKey = map[uint32]uint64{}
+	}
+	if cur, ok := st.minKey[syms.FQDNID]; !ok || flows.FlowKeyLess(key, cur) {
+		st.minKey[syms.FQDNID] = key
+	}
+}
+
+// finish assembles the Index from the accumulated state.
+func (st *indexState) finish() *Index {
+	byFQDN, allCats := st.byFQDN, st.allCats
+	for fid, k := range st.minKey {
+		a := byFQDN[fid]
+		_, a.repDest = flows.SplitFlowKey(k)
+		byFQDN[fid] = a
 	}
 
 	// ordered lists every category ID present anywhere in the set, sorted

@@ -1,12 +1,13 @@
 package report
 
 import (
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
-	"fmt"
-	"strings"
+	"strconv"
 
 	"diffaudit/internal/core"
+	"diffaudit/internal/flows"
 	"diffaudit/internal/linkability"
 )
 
@@ -94,28 +95,54 @@ func ExportJSON(results []*core.ServiceResult) ([]byte, error) {
 
 // ExportFlowsCSV renders every data flow as CSV rows with a header.
 func ExportFlowsCSV(results []*core.ServiceResult) (string, error) {
-	var b strings.Builder
-	w := csv.NewWriter(&b)
+	out, err := AppendFlowsCSV(nil, results)
+	return string(out), err
+}
+
+// AppendFlowsCSV appends the CSV flow export to dst and returns the
+// extended buffer — byte-identical to ExportFlowsCSV, but streaming: rows
+// render straight off each set's sorted keys with one reused row slice, no
+// ExportedFlow materialization and no linkability indexing (CSV carries
+// neither), so a server can render into pooled scratch with near-zero
+// per-request garbage.
+func AppendFlowsCSV(dst []byte, results []*core.ServiceResult) ([]byte, error) {
+	buf := bytes.NewBuffer(dst)
+	w := csv.NewWriter(buf)
 	header := []string{
 		"service", "trace", "data_type_category", "data_type_group",
 		"is_identifier", "destination", "esld", "owner",
 		"destination_class", "platforms",
 	}
 	if err := w.Write(header); err != nil {
-		return "", err
+		return nil, err
 	}
+	row := make([]string, len(header))
 	for _, r := range results {
-		for _, ef := range exportService(r).Flows {
-			row := []string{
-				ef.Service, ef.Trace, ef.Category, ef.Group,
-				fmt.Sprintf("%t", ef.Identifier), ef.FQDN, ef.ESLD,
-				ef.Owner, ef.Class, ef.Platforms,
-			}
-			if err := w.Write(row); err != nil {
-				return "", err
+		for _, t := range r.Personas() {
+			trace := t.String()
+			var rowErr error
+			r.ByTrace[t].RangeSorted(func(key uint64, m flows.PlatformMask) {
+				if rowErr != nil {
+					return
+				}
+				f := flows.FlowOfKey(key)
+				row[0] = r.Identity.Name
+				row[1] = trace
+				row[2] = f.Category.Name
+				row[3] = f.Category.Group.String()
+				row[4] = strconv.FormatBool(f.Category.IsIdentifier())
+				row[5] = f.Dest.FQDN
+				row[6] = f.Dest.ESLD
+				row[7] = f.Dest.Owner
+				row[8] = f.Dest.Class.String()
+				row[9] = m.Symbol()
+				rowErr = w.Write(row)
+			})
+			if rowErr != nil {
+				return nil, rowErr
 			}
 		}
 	}
 	w.Flush()
-	return b.String(), w.Error()
+	return buf.Bytes(), w.Error()
 }

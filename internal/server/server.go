@@ -75,6 +75,7 @@ import (
 	"diffaudit/internal/report"
 	"diffaudit/internal/services"
 	"diffaudit/internal/store"
+	"diffaudit/internal/wire"
 )
 
 // Config tunes the audit server.
@@ -1094,8 +1095,17 @@ func (s *Server) handleReportCSV(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.staleHeaders(w, stale)
-	csv, err := report.ExportFlowsCSV([]*core.ServiceResult{res})
-	writeRendered(w, "text/csv", []byte(csv), err, etag)
+	// Render into pooled scratch: the CSV bytes only live until the
+	// response write, so steady-state CSV serving recycles one buffer
+	// instead of rebuilding the whole export per request.
+	buf := wire.GetBuf(32 << 10)
+	out, err := report.AppendFlowsCSV(buf, []*core.ServiceResult{res})
+	writeRendered(w, "text/csv", out, err, etag)
+	if out != nil {
+		wire.PutBuf(out)
+	} else {
+		wire.PutBuf(buf)
+	}
 }
 
 // requireStore writes the no-store error when snapshots are not enabled.

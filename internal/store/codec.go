@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"hash/crc32"
+	"math/bits"
 	"sort"
 	"sync/atomic"
 
@@ -30,7 +31,7 @@ import (
 // restart-durability guarantee ("the served report is byte-identical
 // after a restart") both rest on this property.
 //
-// Layout (version 2):
+// Layout (version 3):
 //
 //	magic "DASN" | version uint16 LE | section directory | sections | crc32(IEEE) uint32 LE
 //
@@ -40,8 +41,13 @@ import (
 // tables, then one flow-set section per persona in persona order — but a
 // reader can locate any section from the directory alone, which is what
 // lets SnapshotView materialize a single persona's flows without decoding
-// (or re-interning) anything else. Version 1 wrote the same logical fields
-// as one unframed stream; decoders accept both.
+// (or re-interning) anything else.
+//
+// Version 3 stores each flow-set section in columnar form (parallel
+// category/destination/mask columns, flows.WriteSetColumnar), so queries
+// decode only the columns they touch; version 2 interleaved the three per
+// flow, and version 1 wrote the same logical fields as one unframed
+// stream. Decoders accept all three.
 //
 // The CRC covers magic, version, and payload. Truncated or corrupted input
 // fails cleanly: every payload read is bounds-checked (package wire), so
@@ -52,12 +58,13 @@ import (
 // snapMagic identifies a DiffAudit snapshot ("DiffAudit SNapshot").
 const snapMagic = "DASN"
 
-// SnapshotVersion is the current snapshot format version. Version 2 added
-// the seekable section framing; version-1 snapshots (PR 5/6 stores) still
-// decode, they just cannot be partially materialized.
-const SnapshotVersion = 2
+// SnapshotVersion is the current snapshot format version. Version 3 made
+// the flow-set sections columnar; version 2 added the seekable section
+// framing; version-1 snapshots (PR 5/6 stores) still decode, they just
+// cannot be partially materialized.
+const SnapshotVersion = 3
 
-// Section kinds of the version-2 framing.
+// Section kinds of the sectioned (v2/v3) framing.
 const (
 	secMeta     byte = 1 // identity, counters, dataset string sets
 	secPersonas byte = 2 // persona registration records, sorted by name
@@ -101,26 +108,38 @@ func sortedPersonas(r *core.ServiceResult) []flows.Persona {
 	return personas
 }
 
-// EncodeResult serializes a service result as a versioned snapshot.
+// uvarintLen returns the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// EncodeResult serializes a service result as a versioned snapshot. Every
+// intermediate section buffer comes from the wire scratch pools; only the
+// returned encoding is freshly allocated, sized exactly, so the caller can
+// hold it indefinitely without pinning pooled memory.
 func EncodeResult(r *core.ServiceResult) []byte {
 	personas := sortedPersonas(r)
 
-	meta := &wire.Writer{}
+	meta := wire.GetWriter()
+	defer wire.PutWriter(meta)
 	writeMetaSection(meta, r)
 
-	pers := &wire.Writer{}
+	pers := wire.GetWriter()
+	defer wire.PutWriter(pers)
 	pers.Int(len(personas))
 	for _, p := range personas {
 		writePersonaInfo(pers, p.Info())
 	}
 
 	// Flow symbol tables shared across the per-persona sets, then the sets
-	// themselves, one section each, aligned with the persona list above.
+	// themselves — columnar, one section each, aligned with the persona
+	// list above.
 	enc := flows.NewSetEncoder()
 	for _, p := range personas {
 		enc.Collect(r.ByTrace[p])
 	}
-	tables := &wire.Writer{}
+	tables := wire.GetWriter()
+	defer wire.PutWriter(tables)
 	enc.WriteTables(tables)
 
 	secs := []wire.Section{
@@ -128,13 +147,27 @@ func EncodeResult(r *core.ServiceResult) []byte {
 		{Kind: secPersonas, Data: pers.Bytes()},
 		{Kind: secSymbols, Data: tables.Bytes()},
 	}
+	setWriters := make([]*wire.Writer, 0, len(personas))
+	defer func() {
+		for _, sw := range setWriters {
+			wire.PutWriter(sw)
+		}
+	}()
 	for _, p := range personas {
-		sw := &wire.Writer{}
-		enc.WriteSet(sw, r.ByTrace[p])
+		sw := wire.GetWriter()
+		setWriters = append(setWriters, sw)
+		enc.WriteSetColumnar(sw, r.ByTrace[p])
 		secs = append(secs, wire.Section{Kind: secFlowSet, Data: sw.Bytes()})
 	}
 
+	// The final size is known exactly: header, directory, bodies, CRC.
+	// One right-sized allocation instead of an append doubling walk.
+	total := headerLen + uvarintLen(uint64(len(secs))) + trailerLen
+	for _, s := range secs {
+		total += 1 + uvarintLen(uint64(len(s.Data))) + len(s.Data)
+	}
 	w := &wire.Writer{}
+	w.Grow(total)
 	w.Raw([]byte(snapMagic))
 	var ver [2]byte
 	binary.LittleEndian.PutUint16(ver[:], SnapshotVersion)
@@ -173,8 +206,8 @@ func checkSnapshot(data []byte) (version uint16, payload []byte, err error) {
 // DecodeResult parses a snapshot back into a service result. Personas the
 // snapshot references are registered into the process-wide registry
 // (idempotently); a snapshot persona conflicting with an already-registered
-// one of the same name is an error. Both current (sectioned, v2) and v1
-// snapshots decode.
+// one of the same name is an error. Current (columnar, v3), v2, and v1
+// snapshots all decode.
 func DecodeResult(data []byte) (*core.ServiceResult, error) {
 	version, payload, err := checkSnapshot(data)
 	if err != nil {
@@ -184,28 +217,31 @@ func DecodeResult(data []byte) (*core.ServiceResult, error) {
 	if version == 1 {
 		return decodeV1(payload)
 	}
-	secs, err := splitSections(payload)
+	secs, err := splitSections(version, payload)
 	if err != nil {
 		return nil, err
 	}
 	return secs.materialize(nil)
 }
 
-// snapSections is a parsed v2 section directory: zero-copy slices into the
-// payload, one per section, ready for independent decoding.
+// snapSections is a parsed v2/v3 section directory: zero-copy slices into
+// the payload, one per section, ready for independent decoding. The
+// version picks the flow-set decoder (interleaved rows vs columns).
 type snapSections struct {
+	version  uint16
 	meta     []byte
 	personas []byte
 	symbols  []byte
 	flowSets [][]byte
 }
 
-// splitSections parses the v2 directory and checks the section shape: the
-// three fixed sections in canonical order, then one flow-set section per
-// persona. Unknown trailing kinds are rejected — the CRC already proved
-// the bytes are what the writer wrote, so an unknown kind means a format
-// this build does not speak (the version gate should have caught it).
-func splitSections(payload []byte) (*snapSections, error) {
+// splitSections parses the sectioned directory and checks the section
+// shape: the three fixed sections in canonical order, then one flow-set
+// section per persona. Unknown trailing kinds are rejected — the CRC
+// already proved the bytes are what the writer wrote, so an unknown kind
+// means a format this build does not speak (the version gate should have
+// caught it).
+func splitSections(version uint16, payload []byte) (*snapSections, error) {
 	all, err := wire.ReadSections(wire.NewReader(payload))
 	if err != nil {
 		return nil, fmt.Errorf("store: snapshot sections: %w", err)
@@ -213,7 +249,7 @@ func splitSections(payload []byte) (*snapSections, error) {
 	if len(all) < 3 || all[0].Kind != secMeta || all[1].Kind != secPersonas || all[2].Kind != secSymbols {
 		return nil, fmt.Errorf("store: snapshot missing canonical sections")
 	}
-	s := &snapSections{meta: all[0].Data, personas: all[1].Data, symbols: all[2].Data}
+	s := &snapSections{version: version, meta: all[0].Data, personas: all[1].Data, symbols: all[2].Data}
 	for _, sec := range all[3:] {
 		if sec.Kind != secFlowSet {
 			return nil, fmt.Errorf("store: unexpected snapshot section kind %d", sec.Kind)
@@ -221,6 +257,15 @@ func splitSections(payload []byte) (*snapSections, error) {
 		s.flowSets = append(s.flowSets, sec.Data)
 	}
 	return s, nil
+}
+
+// decodeFlowSet decodes one flow-set section body in this snapshot's
+// format: columnar from version 3, interleaved rows before.
+func (s *snapSections) decodeFlowSet(dec *flows.SetDecoder, data []byte) (*flows.Set, error) {
+	if s.version >= 3 {
+		return dec.DecodeSetColumnar(data)
+	}
+	return dec.DecodeSetBytes(data)
 }
 
 // decodeMetaSection parses identity, counters, and the dataset string sets
@@ -311,7 +356,7 @@ func (s *snapSections) materialize(only map[flows.Persona]bool) (*core.ServiceRe
 		if only != nil && !only[p] {
 			continue
 		}
-		set, err := dec.DecodeSetBytes(s.flowSets[i])
+		set, err := s.decodeFlowSet(dec, s.flowSets[i])
 		if err != nil {
 			return nil, fmt.Errorf("store: snapshot flow set for %s: %w", p, err)
 		}

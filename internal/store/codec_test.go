@@ -3,6 +3,8 @@ package store
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
+	"sync"
 	"testing"
 
 	"diffaudit/internal/core"
@@ -148,4 +150,54 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestConcurrentPooledEncodeIdentical hammers the pooled encode and
+// columnar-decode scratch from many goroutines at once and requires every
+// artifact to stay byte-identical to a single-threaded reference. Under
+// -race (the CI chaos/race step covers this package) it is the proof
+// that sync.Pool reuse never aliases bytes still owned by another
+// request.
+func TestConcurrentPooledEncodeIdentical(t *testing.T) {
+	res := auditOne(t, "Quizlet")
+	want := EncodeResult(res)
+	meta := Meta{Hash: Hash(want)}
+
+	const goroutines, rounds = 8, 20
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				enc := EncodeResult(res)
+				if !bytes.Equal(enc, want) {
+					errs[g] = fmt.Errorf("round %d: pooled encode diverged from reference", i)
+					return
+				}
+				view, err := NewSnapshotView(enc, meta, nil)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				dec, err := view.Result()
+				view.Close()
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if re := EncodeResult(dec); !bytes.Equal(re, want) {
+					errs[g] = fmt.Errorf("round %d: re-encode after pooled decode diverged", i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
 }

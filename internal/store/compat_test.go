@@ -1,0 +1,245 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"diffaudit/internal/core"
+	"diffaudit/internal/flows"
+	"diffaudit/internal/linkability"
+	"diffaudit/internal/report"
+	"diffaudit/internal/synth"
+	"diffaudit/internal/wire"
+)
+
+// encodeV2 reproduces the version-2 codec (sectioned framing, interleaved
+// row flow sets) the way encodeV1 reproduces PR 5's — test-only, so the
+// compat matrix can exercise real old-format bytes forever.
+func encodeV2(r *core.ServiceResult) []byte {
+	personas := sortedPersonas(r)
+
+	meta := &wire.Writer{}
+	writeMetaSection(meta, r)
+
+	pers := &wire.Writer{}
+	pers.Int(len(personas))
+	for _, p := range personas {
+		writePersonaInfo(pers, p.Info())
+	}
+
+	enc := flows.NewSetEncoder()
+	for _, p := range personas {
+		enc.Collect(r.ByTrace[p])
+	}
+	tables := &wire.Writer{}
+	enc.WriteTables(tables)
+
+	secs := []wire.Section{
+		{Kind: secMeta, Data: meta.Bytes()},
+		{Kind: secPersonas, Data: pers.Bytes()},
+		{Kind: secSymbols, Data: tables.Bytes()},
+	}
+	for _, p := range personas {
+		sw := &wire.Writer{}
+		enc.WriteSet(sw, r.ByTrace[p])
+		secs = append(secs, wire.Section{Kind: secFlowSet, Data: sw.Bytes()})
+	}
+
+	w := &wire.Writer{}
+	w.Raw([]byte(snapMagic))
+	var ver [2]byte
+	binary.LittleEndian.PutUint16(ver[:], 2)
+	w.Raw(ver[:])
+	wire.WriteSections(w, secs)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(w.Bytes()))
+	w.Raw(crc[:])
+	return w.Bytes()
+}
+
+// refreshCRC recomputes the trailer CRC so payload mutations reach the
+// decoder instead of dying at the envelope check.
+func refreshCRC(data []byte) []byte {
+	body := data[:len(data)-trailerLen]
+	binary.LittleEndian.PutUint32(data[len(data)-trailerLen:], crc32.ChecksumIEEE(body))
+	return data
+}
+
+// versionEncodings returns the same audit encoded by every codec version
+// this build must read.
+func versionEncodings(r *core.ServiceResult) map[string][]byte {
+	return map[string][]byte{
+		"v1": encodeV1(r),
+		"v2": encodeV2(r),
+		"v3": EncodeResult(r),
+	}
+}
+
+// TestCompatMatrix is the cross-version decode matrix: v1, v2, and v3
+// bytes of the same audit must decode to results that re-encode to the
+// identical canonical v3 encoding, materialize partially through views,
+// and answer grid queries identically.
+func TestCompatMatrix(t *testing.T) {
+	res := auditOne(t, "Quizlet")
+	canonical := EncodeResult(res)
+	childGrid := res.ByTrace[flows.Child].GroupGrid()
+
+	for name, enc := range versionEncodings(res) {
+		dec, err := DecodeResult(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !bytes.Equal(EncodeResult(dec), canonical) {
+			t.Errorf("%s: decode does not re-encode to the canonical v3 bytes", name)
+		}
+
+		view, err := NewSnapshotView(enc, Meta{Hash: Hash(enc)}, nil)
+		if err != nil {
+			t.Fatalf("%s: view: %v", name, err)
+		}
+		partial, err := view.PartialResult([]string{"child"})
+		if err != nil {
+			t.Fatalf("%s: partial: %v", name, err)
+		}
+		if len(partial.ByTrace) != 1 || partial.ByTrace[flows.Child] == nil {
+			t.Fatalf("%s: partial materialized %d personas", name, len(partial.ByTrace))
+		}
+		if !reflect.DeepEqual(partial.ByTrace[flows.Child].GroupGrid(), childGrid) {
+			t.Errorf("%s: partial child grid differs", name)
+		}
+
+		grid, err := view.PersonaGrid("child")
+		if err != nil {
+			t.Fatalf("%s: PersonaGrid: %v", name, err)
+		}
+		if !reflect.DeepEqual(grid, childGrid) {
+			t.Errorf("%s: PersonaGrid differs from GroupGrid", name)
+		}
+		if _, err := view.PersonaGrid("no-such-persona"); err == nil {
+			t.Errorf("%s: PersonaGrid accepted unknown persona", name)
+		}
+
+		ix, err := view.PersonaLinkability("child")
+		if err != nil {
+			t.Fatalf("%s: PersonaLinkability: %v", name, err)
+		}
+		wantIx := linkability.NewIndex(res.ByTrace[flows.Child])
+		if ix.CountLinkable() != wantIx.CountLinkable() {
+			t.Errorf("%s: columnar CountLinkable = %d, want %d", name, ix.CountLinkable(), wantIx.CountLinkable())
+		}
+		if !reflect.DeepEqual(ix.Parties(), wantIx.Parties()) {
+			t.Errorf("%s: columnar linkability parties differ", name)
+		}
+		view.Close()
+	}
+}
+
+// TestCrossVersionDiffByteIdentity pins the acceptance criterion that
+// longitudinal diffs render byte-identically no matter which codec version
+// either endpoint was stored with.
+func TestCrossVersionDiffByteIdentity(t *testing.T) {
+	from := auditOne(t, "Quizlet")
+	to := auditOne(t, "TikTok")
+	want, err := report.ExportDiffJSON(core.Longitudinal(from, to))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fromEncs, toEncs := versionEncodings(from), versionEncodings(to)
+	for fromVer, fe := range fromEncs {
+		for toVer, te := range toEncs {
+			df, err := DecodeResult(fe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dt, err := DecodeResult(te)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := report.ExportDiffJSON(core.Longitudinal(df, dt))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("diff %s→%s is not byte-identical to the direct diff", fromVer, toVer)
+			}
+		}
+	}
+}
+
+// TestColumnarSectionCorruption drives payload mutations (with a valid
+// CRC, so they reach the columnar decoder) through the full snapshot
+// decode path: every mutation must fail cleanly or decode to a canonical
+// result, never panic.
+func TestColumnarSectionCorruption(t *testing.T) {
+	// A small audit keeps the mutation sweep fast — every offset still
+	// lands somewhere in the columnar sections.
+	ds := synth.Generate(synth.Config{Scale: 0.002})
+	st := ds.Service("Quizlet")
+	res := core.NewPipeline().AnalyzeRecords(st.Identity(), st.Records())
+	enc := EncodeResult(res)
+	// Mutate bytes across the back half, where the flow columns live. The
+	// stride samples ~256 offsets so the sweep stays fast as encodings
+	// grow; the fuzz harness covers the exhaustive walk.
+	stride := (len(enc)/2 - trailerLen) / 256
+	if stride < 1 {
+		stride = 1
+	}
+	for off := len(enc) / 2; off < len(enc)-trailerLen; off += stride {
+		bad := refreshCRC(append([]byte(nil), enc...))
+		bad[off] ^= 0xa5
+		bad = refreshCRC(bad)
+		dec, err := DecodeResult(bad)
+		if err != nil {
+			continue
+		}
+		if dec == nil {
+			t.Fatalf("offset %d: decoder returned nil result without error", off)
+		}
+		// A mutation that still decodes (e.g. a surviving mask bit flip)
+		// must yield a result the canonical encoder accepts.
+		EncodeResult(dec)
+	}
+}
+
+// TestViewDecodeStateCached pins the satellite fix: repeated partial
+// materializations share one persona/symbol index instead of re-deriving
+// it per call, and every call still reports exactly one decode.
+func TestViewDecodeStateCached(t *testing.T) {
+	res := auditOne(t, "Quizlet")
+	enc := EncodeResult(res)
+	view, err := NewSnapshotView(enc, Meta{Hash: Hash(enc)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer view.Close()
+
+	before := Decodes()
+	first, err := view.PartialResult([]string{"child"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := view.PartialResult([]string{"child"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Decodes() - before; got != 2 {
+		t.Errorf("two partial materializations counted %d decodes", got)
+	}
+	if !reflect.DeepEqual(
+		first.ByTrace[flows.Child].GroupGrid(),
+		second.ByTrace[flows.Child].GroupGrid()) {
+		t.Error("cached index changed the materialized result")
+	}
+
+	// Grid queries share the cache and count decodes too.
+	if _, err := view.PersonaGrid("child"); err != nil {
+		t.Fatal(err)
+	}
+	if got := Decodes() - before; got != 3 {
+		t.Errorf("grid query after partials counted %d decodes total", got)
+	}
+}

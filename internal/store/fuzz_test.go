@@ -35,6 +35,20 @@ func FuzzDecodeResult(f *testing.F) {
 	corrupted := append([]byte(nil), enc...)
 	corrupted[len(corrupted)/2] ^= 0xa5
 	f.Add(corrupted)
+	// Columnar-section seeds: payload mutations with a refreshed CRC reach
+	// the v3 column decoders (count mismatches, bad indices, bad masks)
+	// instead of dying at the envelope.
+	for _, off := range []int{len(enc) / 2, len(enc) * 3 / 4, len(enc) - trailerLen - 1} {
+		deep := refreshCRC(append([]byte(nil), enc...))
+		deep[off] ^= 0x11
+		f.Add(refreshCRC(deep))
+	}
+	// The previous interleaved-row format must keep decoding too.
+	st := ds.Service("Quizlet")
+	resV2 := pipe.AnalyzeRecords(st.Identity(), st.Records())
+	v2 := encodeV2(resV2)
+	f.Add(v2)
+	f.Add(v2[:len(v2)*2/3])
 	f.Add([]byte(snapMagic))
 	f.Add([]byte{})
 

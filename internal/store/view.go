@@ -6,6 +6,9 @@ import (
 
 	"diffaudit/internal/core"
 	"diffaudit/internal/flows"
+	"diffaudit/internal/linkability"
+	"diffaudit/internal/ontology"
+	"diffaudit/internal/wire"
 )
 
 // SnapshotView is a lazy handle over one encoded snapshot: the envelope
@@ -26,11 +29,21 @@ type SnapshotView struct {
 	meta    Meta
 	version uint16
 	secs    *snapSections // nil for version-1 snapshots
-	payload []byte        // version-1 payload (nil for v2)
+	payload []byte        // version-1 payload (nil for v2/v3)
 
 	mu     sync.Mutex
 	closer func() error
 	closed bool
+
+	// Decode-state cache, built once on first use (under mu) and shared by
+	// every later materialization: repeated PartialResult calls used to
+	// re-register personas and re-intern the whole symbol table per call.
+	// All three are immutable once built — the registry and intern tables
+	// are append-only, so resolved IDs never go stale.
+	personas []flows.Persona    // registered personas, section order
+	dec      *flows.SetDecoder  // re-interned symbol tables
+	scan     *flows.TableScan   // column-selective table view (v3 only)
+	cols     []flows.SetColumns // split flow columns, persona order (v3 only)
 }
 
 // NewSnapshotView validates a snapshot's envelope and returns a lazy view.
@@ -49,7 +62,7 @@ func NewSnapshotView(data []byte, meta Meta, closer func() error) (*SnapshotView
 		v.payload = payload
 		return v, nil
 	}
-	secs, err := splitSections(payload)
+	secs, err := splitSections(version, payload)
 	if err != nil {
 		if closer != nil {
 			closer()
@@ -77,9 +90,69 @@ func (v *SnapshotView) Close() error {
 	v.closed = true
 	v.secs = nil
 	v.payload = nil
+	v.scan = nil
+	v.cols = nil
 	if v.closer != nil {
 		return v.closer()
 	}
+	return nil
+}
+
+// index builds (once) the decode state every sectioned materialization
+// shares: the registered persona list and the re-interned symbol decoder.
+// Callers hold v.mu.
+func (v *SnapshotView) index() error {
+	if v.personas != nil && v.dec != nil {
+		return nil
+	}
+	personas, err := decodePersonaSection(v.secs.personas)
+	if err != nil {
+		return err
+	}
+	if len(personas) != len(v.secs.flowSets) {
+		return fmt.Errorf("store: snapshot has %d personas but %d flow sections", len(personas), len(v.secs.flowSets))
+	}
+	dec, err := decodeSymbolSection(v.secs.symbols)
+	if err != nil {
+		return err
+	}
+	v.personas, v.dec = personas, dec
+	return nil
+}
+
+// columnIndex builds (once) the column-selective decode state of a v3
+// snapshot: registered personas, the string-skipping table scan, and the
+// split columns of every flow section. Unlike index it interns nothing.
+// Callers hold v.mu.
+func (v *SnapshotView) columnIndex() error {
+	if v.scan != nil {
+		return nil
+	}
+	if v.personas == nil {
+		personas, err := decodePersonaSection(v.secs.personas)
+		if err != nil {
+			return err
+		}
+		if len(personas) != len(v.secs.flowSets) {
+			return fmt.Errorf("store: snapshot has %d personas but %d flow sections", len(personas), len(v.secs.flowSets))
+		}
+		v.personas = personas
+	}
+	r := wire.NewReader(v.secs.symbols)
+	scan, err := flows.ScanSetTables(r)
+	if err != nil {
+		return fmt.Errorf("store: snapshot symbol tables: %w", err)
+	}
+	if err := r.Close(); err != nil {
+		return fmt.Errorf("store: snapshot symbol tables: %w", err)
+	}
+	cols := make([]flows.SetColumns, len(v.secs.flowSets))
+	for i, data := range v.secs.flowSets {
+		if cols[i], err = flows.SplitSetColumns(data); err != nil {
+			return fmt.Errorf("store: snapshot flow set for %s: %w", v.personas[i], err)
+		}
+	}
+	v.scan, v.cols = scan, cols
 	return nil
 }
 
@@ -147,32 +220,119 @@ func (v *SnapshotView) materialize(filter func([]flows.Persona) map[flows.Person
 	if err != nil {
 		return nil, err
 	}
-	personas, err := decodePersonaSection(v.secs.personas)
-	if err != nil {
+	if err := v.index(); err != nil {
 		return nil, err
-	}
-	if len(personas) != len(v.secs.flowSets) {
-		return nil, fmt.Errorf("store: snapshot has %d personas but %d flow sections", len(personas), len(v.secs.flowSets))
 	}
 	var keep map[flows.Persona]bool
 	if filter != nil {
-		keep = filter(personas)
+		keep = filter(v.personas)
 	}
-	dec, err := decodeSymbolSection(v.secs.symbols)
-	if err != nil {
-		return nil, err
-	}
-	for i, p := range personas {
+	for i, p := range v.personas {
 		if keep != nil && !keep[p] {
 			continue
 		}
-		set, err := dec.DecodeSetBytes(v.secs.flowSets[i])
+		set, err := v.secs.decodeFlowSet(v.dec, v.secs.flowSets[i])
 		if err != nil {
 			return nil, fmt.Errorf("store: snapshot flow set for %s: %w", p, err)
 		}
 		res.ByTrace[p] = set
 	}
 	return res, nil
+}
+
+// PersonaGrid reduces one persona's flows to Table 4 granularity — level-2
+// data type group × destination class → platform mask — equal to
+// materializing the persona and calling Set.GroupGrid. On a columnar (v3)
+// snapshot it decodes only that persona's three columns against a
+// string-skipping table scan: no symbol interning, no Set construction,
+// none of the other personas' bytes. Earlier versions fall back to partial
+// materialization. The name matches persona names and aliases, like
+// PartialResult.
+func (v *SnapshotView) PersonaGrid(name string) (map[ontology.Level2]map[flows.DestClass]flows.PlatformMask, error) {
+	if v.Version() >= 3 {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		if v.closed {
+			return nil, fmt.Errorf("store: snapshot view is closed")
+		}
+		decodes.Add(1)
+		if err := v.columnIndex(); err != nil {
+			return nil, err
+		}
+		i, ok := v.personaAt(name)
+		if !ok {
+			return nil, fmt.Errorf("store: snapshot has no persona %q", name)
+		}
+		grid, err := v.cols[i].Grid(v.scan)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot flow set for %s: %w", v.personas[i], err)
+		}
+		return grid, nil
+	}
+	res, err := v.PartialResult([]string{name})
+	if err != nil {
+		return nil, err
+	}
+	for _, set := range res.ByTrace {
+		return set.GroupGrid(), nil
+	}
+	return nil, fmt.Errorf("store: snapshot has no persona %q", name)
+}
+
+// PersonaLinkability builds the third-party linkability index of one
+// persona's flows. On a columnar snapshot the index streams straight off
+// the persona's category and destination columns — the platform-mask
+// column and the flow Set are never materialized. Earlier versions fall
+// back to partial materialization. Name matching follows PartialResult.
+func (v *SnapshotView) PersonaLinkability(name string) (*linkability.Index, error) {
+	if v.Version() >= 3 {
+		v.mu.Lock()
+		defer v.mu.Unlock()
+		if v.closed {
+			return nil, fmt.Errorf("store: snapshot view is closed")
+		}
+		decodes.Add(1)
+		// Linkability resolves live symbols, so it needs the re-interned
+		// tables (index) plus the split columns (columnIndex).
+		if err := v.index(); err != nil {
+			return nil, err
+		}
+		if err := v.columnIndex(); err != nil {
+			return nil, err
+		}
+		i, ok := v.personaAt(name)
+		if !ok {
+			return nil, fmt.Errorf("store: snapshot has no persona %q", name)
+		}
+		ix, err := linkability.NewIndexColumns(v.dec, v.cols[i])
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot flow set for %s: %w", v.personas[i], err)
+		}
+		return ix, nil
+	}
+	res, err := v.PartialResult([]string{name})
+	if err != nil {
+		return nil, err
+	}
+	for _, set := range res.ByTrace {
+		return linkability.NewIndex(set), nil
+	}
+	return nil, fmt.Errorf("store: snapshot has no persona %q", name)
+}
+
+// personaAt resolves a persona name or alias to its section index.
+// Callers hold v.mu with the persona cache built.
+func (v *SnapshotView) personaAt(name string) (int, bool) {
+	p, ok := flows.ParsePersona(name)
+	if !ok {
+		return 0, false
+	}
+	for i, have := range v.personas {
+		if have == p {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // Viewer is implemented by stores that can open snapshots as lazy views

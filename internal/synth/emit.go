@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"net/netip"
 	"sort"
 	"strings"
@@ -104,13 +105,21 @@ func userAgent(p flows.Platform) string {
 // EmitHAR renders one trace of the web platform as a HAR document, the
 // format Chrome DevTools exports.
 func (st *ServiceTraffic) EmitHAR(trace flows.TraceCategory) *har.HAR {
+	return st.EmitHARAt(trace, baseTime)
+}
+
+// EmitHARAt is EmitHAR with an explicit capture start time. Distinct
+// starts yield distinct capture bytes whose audited flows are identical —
+// the per-user variation axis population-scale generation uses (every
+// synthetic user browses the same service, at a different time).
+func (st *ServiceTraffic) EmitHARAt(trace flows.TraceCategory, start time.Time) *har.HAR {
 	h := har.New()
 	h.Log.Pages = []har.Page{{
-		StartedDateTime: baseTime,
+		StartedDateTime: start,
 		ID:              "page_1",
 		Title:           "https://www." + st.Spec.FirstPartyESLDs[0] + "/",
 	}}
-	ts := baseTime
+	ts := start
 	connCtr := 0
 	for _, r := range st.Requests {
 		if r.Trace != trace || r.Platform != flows.Web {
@@ -165,10 +174,17 @@ func (st *ServiceTraffic) EmitHAR(trace flows.TraceCategory) *har.HAR {
 // capture deliberately lacks key material, reproducing the paper's
 // partially-encrypted mobile traces.
 func (st *ServiceTraffic) EmitPCAP(trace flows.TraceCategory) (*pcapio.Capture, error) {
+	return st.EmitPCAPAt(trace, baseTime)
+}
+
+// EmitPCAPAt is EmitPCAP with an explicit capture start time — the mobile
+// counterpart of EmitHARAt's per-user variation (timestamps shift, TLS
+// secrets and decrypted flows do not).
+func (st *ServiceTraffic) EmitPCAPAt(trace flows.TraceCategory, start time.Time) (*pcapio.Capture, error) {
 	capt := &pcapio.Capture{LinkType: pcapio.LinkRaw}
 	clientIP := netip.MustParseAddr("10.215.173.1")
 	var keylog strings.Builder
-	ts := baseTime
+	ts := start
 	connCtr := 0
 
 	dnsIP := netip.MustParseAddr("8.8.8.8")
@@ -326,6 +342,22 @@ func (st *ServiceTraffic) EmitPCAP(trace flows.TraceCategory) (*pcapio.Capture, 
 		capt.Secrets = append(capt.Secrets, []byte(keylog.String()))
 	}
 	return capt, nil
+}
+
+// UserStart derives the deterministic capture start time of one synthetic
+// user: user 0 is the canonical baseTime (emissions byte-identical to
+// EmitHAR/EmitPCAP), every other user an FNV-seeded offset within the
+// following two weeks. The seed depends only on the user index, so a
+// population generated across any number of workers is reproducible
+// file-for-file.
+func UserStart(user int) time.Time {
+	if user <= 0 {
+		return baseTime
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "diffaudit-user-%d", user)
+	offset := time.Duration(h.Sum64()%uint64(14*24*time.Hour/time.Millisecond)) * time.Millisecond
+	return baseTime.Add(offset)
 }
 
 // httpWire renders the request as HTTP/1.1 bytes.

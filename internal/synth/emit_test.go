@@ -2,9 +2,12 @@ package synth
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 
+	"diffaudit/internal/core"
 	"diffaudit/internal/flows"
+	"diffaudit/internal/har"
 	"diffaudit/internal/netcap/pcapio"
 	"diffaudit/internal/netcap/tlsx"
 )
@@ -106,5 +109,39 @@ func TestIdentityMatchesSpec(t *testing.T) {
 		if len(id.FirstPartyESLDs) != len(st.Spec.FirstPartyESLDs) {
 			t.Errorf("%s first-party eSLDs mismatch", st.Spec.Name)
 		}
+	}
+}
+
+// TestUserEmissionFlowsIdentical pins the population-generation contract:
+// a per-user start time changes the capture bytes (timestamps) but never
+// the audited flows — every synthetic user of a service audits to the
+// same grid as the canonical capture.
+func TestUserEmissionFlowsIdentical(t *testing.T) {
+	ds := Generate(Config{Scale: 0.002})
+	st := ds.Service("Quizlet")
+
+	if !UserStart(0).Equal(baseTime) {
+		t.Fatal("user 0 must start at the canonical baseTime")
+	}
+	if UserStart(7).Equal(baseTime) || !UserStart(7).Equal(UserStart(7)) {
+		t.Fatal("user starts must be distinct from baseTime and reproducible")
+	}
+
+	base, _ := st.EmitHAR(flows.Child).Marshal()
+	alt, _ := st.EmitHARAt(flows.Child, UserStart(7)).Marshal()
+	if bytes.Equal(base, alt) {
+		t.Fatal("per-user capture bytes should differ")
+	}
+
+	audit := func(data []byte) interface{} {
+		h, err := har.Parse(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := core.NewPipeline().AnalyzeRecords(st.Identity(), core.FromHAR(h, flows.Child, flows.Web))
+		return res.ByTrace[flows.Child].GroupGrid()
+	}
+	if !reflect.DeepEqual(audit(base), audit(alt)) {
+		t.Error("per-user capture audits to a different grid")
 	}
 }

@@ -1,0 +1,118 @@
+package wire
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch pools for the codec hot paths. Encoding a snapshot builds every
+// section in an intermediate buffer before framing, and decoding a columnar
+// flow section walks index arrays whose size is known up front — both used
+// to allocate fresh scratch per call. The pools below recycle that scratch
+// across calls without changing a single output byte: pooled memory only
+// ever backs intermediate state, never the returned encoding (EncodeResult
+// copies into an exact-size buffer it owns), so artifacts stay
+// byte-identical across pool reuse. The codec equivalence tests run exactly
+// that property under -race.
+//
+// Buffers are size-classed by power of two so a burst of large encodes
+// cannot poison the pool for small ones: a buffer returns to the class its
+// capacity belongs to, and oversized buffers (beyond maxPoolCap) are
+// dropped on Put rather than pinned forever.
+
+const (
+	// minPoolShift..maxPoolShift bound the size classes: 256 B … 4 MiB.
+	minPoolShift = 8
+	maxPoolShift = 22
+	maxPoolCap   = 1 << maxPoolShift
+)
+
+// bufPools holds one pool per size class; entry i serves capacity 1<<i.
+var bufPools [maxPoolShift + 1]sync.Pool
+
+// poolClass returns the size class whose buffers hold at least n bytes,
+// or -1 when n exceeds the largest class.
+func poolClass(n int) int {
+	if n <= 1<<minPoolShift {
+		return minPoolShift
+	}
+	if n > maxPoolCap {
+		return -1
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// GetBuf returns a zero-length byte buffer with capacity at least n from
+// the size-classed pool. Return it with PutBuf when done; keeping it is
+// also fine (the pool just allocates a replacement later).
+func GetBuf(n int) []byte {
+	class := poolClass(n)
+	if class < 0 {
+		return make([]byte, 0, n)
+	}
+	if p, _ := bufPools[class].Get().(*[]byte); p != nil {
+		return (*p)[:0]
+	}
+	return make([]byte, 0, 1<<class)
+}
+
+// PutBuf returns a buffer to the pool of its size class. Buffers larger
+// than the largest class are dropped so one huge encode does not pin
+// megabytes behind every future small one.
+func PutBuf(p []byte) {
+	c := cap(p)
+	if c < 1<<minPoolShift || c > maxPoolCap {
+		return
+	}
+	// File under the class the capacity fully covers, so a Get from that
+	// class always honors its size guarantee.
+	class := bits.Len(uint(c)) - 1
+	buf := p[:0]
+	bufPools[class].Put(&buf)
+}
+
+// writerPool recycles Writers (and their grown backing arrays) across
+// encodings.
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// GetWriter returns an empty Writer from the pool. Callers must copy
+// Bytes() out (or finish framing into a caller-owned buffer) before
+// PutWriter — the backing array is recycled.
+func GetWriter() *Writer {
+	return writerPool.Get().(*Writer)
+}
+
+// PutWriter resets a writer and returns it to the pool. Writers that grew
+// beyond the largest buffer class drop their backing array first.
+func PutWriter(w *Writer) {
+	if w == nil {
+		return
+	}
+	if cap(w.buf) > maxPoolCap {
+		w.buf = nil
+	} else {
+		w.Reset()
+	}
+	writerPool.Put(w)
+}
+
+// idPool recycles uint64 index scratch for the columnar flow decoders.
+var idPool = sync.Pool{New: func() any { return new([]uint64) }}
+
+// GetIDs returns a zero-length uint64 buffer with capacity at least n.
+func GetIDs(n int) []uint64 {
+	p := idPool.Get().(*[]uint64)
+	if cap(*p) < n {
+		*p = make([]uint64, 0, n)
+	}
+	return (*p)[:0]
+}
+
+// PutIDs returns an ID buffer to the pool.
+func PutIDs(ids []uint64) {
+	if cap(ids) == 0 || cap(ids) > maxPoolCap/8 {
+		return
+	}
+	ids = ids[:0]
+	idPool.Put(&ids)
+}

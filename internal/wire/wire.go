@@ -26,6 +26,22 @@ func (w *Writer) Bytes() []byte { return w.buf }
 // Len returns the number of bytes written so far.
 func (w *Writer) Len() int { return len(w.buf) }
 
+// Reset truncates the writer to empty, keeping the allocated capacity so a
+// pooled writer's next encoding reuses the same backing array.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Grow ensures capacity for at least n more bytes, so a caller that knows
+// the final encoding size up front pays one allocation instead of the
+// append doubling walk.
+func (w *Writer) Grow(n int) {
+	if n <= cap(w.buf)-len(w.buf) {
+		return
+	}
+	grown := make([]byte, len(w.buf), len(w.buf)+n)
+	copy(grown, w.buf)
+	w.buf = grown
+}
+
 // Raw appends bytes verbatim.
 func (w *Writer) Raw(p []byte) { w.buf = append(w.buf, p...) }
 
@@ -186,6 +202,32 @@ func (r *Reader) String() string {
 	s := string(r.data[r.off : r.off+n])
 	r.off += n
 	return s
+}
+
+// StringBytes reads a length-prefixed string as a zero-copy subslice of the
+// input — same framing as String, no allocation. The slice aliases the
+// reader's backing buffer (see Bytes).
+func (r *Reader) StringBytes() []byte {
+	n := r.Int()
+	if r.err != nil {
+		return nil
+	}
+	return r.Bytes(n)
+}
+
+// SkipString advances past a length-prefixed string without materializing
+// it — the column-selective snapshot readers use this to walk symbol tables
+// whose strings they do not need.
+func (r *Reader) SkipString() {
+	n := r.Int()
+	if r.err != nil {
+		return
+	}
+	if n > r.Remaining() {
+		r.fail("wire: string length %d exceeds remaining input (%d bytes)", n, r.Remaining())
+		return
+	}
+	r.off += n
 }
 
 // Close asserts the input was fully consumed, returning the sticky error
