@@ -34,7 +34,11 @@
 // or the BENCH_*.json glob in the working directory), orders them by
 // recorded date, and prints one row per benchmark with its ns/op series
 // across the files plus the first→last ns/op and B/op drift — the
-// repo-history view the per-PR files exist to enable.
+// repo-history view the per-PR files exist to enable. Load-harness files
+// (cmd/loadaudit writes the same schema, with Load*/p50-p99 latency
+// results) get their own table in milliseconds, restricted to the files
+// that ran the load harness, so serving-latency drift renders alongside
+// micro-bench drift instead of as raw-nanosecond noise between them.
 package main
 
 import (
@@ -305,20 +309,27 @@ func printTrajectory(paths []string) error {
 			i, t.Commit, t.Label, t.Date, t.GoVersion, len(t.Results))
 	}
 
-	// Union of benchmark names, ordered by first appearance.
+	// Union of benchmark names, ordered by first appearance. Load-harness
+	// results (cmd/loadaudit's Load*/p50-p99 latency rows) are split out:
+	// interleaving 8-digit nanosecond latencies with micro-bench rows
+	// buries both.
 	type series struct {
 		ns    []float64 // aligned to trajs; 0 = absent
 		bytes []float64
 	}
 	byName := map[string]*series{}
-	var order []string
+	var order, loadOrder []string
 	for i, t := range trajs {
 		for _, r := range t.Results {
 			s, ok := byName[r.Name]
 			if !ok {
 				s = &series{ns: make([]float64, len(trajs)), bytes: make([]float64, len(trajs))}
 				byName[r.Name] = s
-				order = append(order, r.Name)
+				if strings.HasPrefix(r.Name, "Benchmark") {
+					order = append(order, r.Name)
+				} else {
+					loadOrder = append(loadOrder, r.Name)
+				}
 			}
 			s.ns[i] = r.NsPerOp
 			s.bytes[i] = r.BytesPerOp
@@ -354,6 +365,38 @@ func printTrajectory(paths []string) error {
 		}
 		fmt.Printf("%-52s %-40s %10s %10s\n",
 			name, strings.Join(cells, " → "), drift(s.ns), drift(s.bytes))
+	}
+
+	if len(loadOrder) == 0 {
+		return nil
+	}
+	// The load table only spans the files that ran the load harness —
+	// most trajectory files are micro-bench-only, and a row of dashes
+	// per micro file says nothing about latency drift.
+	var loadCols []int
+	for i, t := range trajs {
+		for _, r := range t.Results {
+			if !strings.HasPrefix(r.Name, "Benchmark") {
+				loadCols = append(loadCols, i)
+				break
+			}
+		}
+	}
+	fmt.Printf("\n== load latency trajectory (files %v) ==\n", loadCols)
+	fmt.Printf("%-28s %-40s %10s\n", "operation", "ms by file", "Δms")
+	for _, name := range loadOrder {
+		s := byName[name]
+		cells := make([]string, len(loadCols))
+		picked := make([]float64, len(loadCols))
+		for j, i := range loadCols {
+			picked[j] = s.ns[i]
+			if s.ns[i] == 0 {
+				cells[j] = "-"
+			} else {
+				cells[j] = strconv.FormatFloat(s.ns[i]/1e6, 'f', 1, 64)
+			}
+		}
+		fmt.Printf("%-28s %-40s %10s\n", name, strings.Join(cells, " → "), drift(picked))
 	}
 	return nil
 }

@@ -226,6 +226,7 @@ func serve(args []string) {
 	tempDir := fs.String("tempdir", "", "staging dir for uploads (default: system temp)")
 	dataDir := fs.String("data-dir", "", "snapshot store directory: finished audits persist (and survive restarts); enables /snapshots, /diff, and the crash-safe job journal")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job audit deadline, e.g. 10m; a job exceeding it lands in the \"timeout\" state (0 = unlimited)")
+	journalBatch := fs.Duration("journal-batch", 0, "journal group-commit window, e.g. 2ms: concurrent submits journaled within it share one fsync; a lone submit commits immediately (0 = default 2ms; needs -data-dir)")
 	cacheMB := fs.Int64("cache-mb", 64, "decoded-snapshot cache budget in MiB shared by the report/snapshot/diff read path (0 disables)")
 	rateLimit := fs.Float64("rate-limit", 0, "per-client upload rate limit in requests/sec, keyed by X-Client-ID or remote host; over-budget clients draw 429s (0 disables)")
 	breakerThreshold := fs.Float64("breaker-threshold", 0, "snapshot-store circuit breaker failure-rate trip point in [0,1]; while open, reads serve stale from cache and writes defer to the journal (0 = default 0.5, negative disables)")
@@ -274,6 +275,7 @@ func serve(args []string) {
 		TempDir:          *tempDir,
 		Store:            snapStore,
 		JournalDir:       journalDir,
+		JournalBatch:     *journalBatch,
 		JobTimeout:       *jobTimeout,
 		CacheBytes:       cacheBytes,
 		RateLimit:        *rateLimit,

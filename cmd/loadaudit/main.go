@@ -12,8 +12,12 @@
 //     stores a distinct snapshot), fan-in by polling every job to its
 //     terminal state. Measures LoadUpload (POST round trip) and
 //     LoadJobComplete (submit → done).
-//  2. Cold reads — first GET /v1/snapshots/{hash} per stored snapshot:
-//     every read is a decoded-snapshot cache miss (LoadReportCold).
+//  2. Cold-read storm — every worker GETs the SAME snapshot hash at once
+//     while it is still cold (LoadColdStorm). This is the decode-
+//     coalescing worst case: without singleflight each reader pays a full
+//     decode; with it they share one. Then cold reads — first GET
+//     /v1/snapshots/{hash} per remaining stored snapshot: every read is a
+//     decoded-snapshot cache miss (LoadReportCold).
 //  3. Warm reads — repeated reads over the same hashes, now cache hits
 //     (LoadReportWarm).
 //  4. Diff storm + mixed read/write — GET /v1/diff over same-service
@@ -47,6 +51,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -82,15 +87,16 @@ type Trajectory struct {
 
 // Operation classes, in report order.
 const (
-	opUpload   = "LoadUpload"
-	opComplete = "LoadJobComplete"
-	opCold     = "LoadReportCold"
-	opWarm     = "LoadReportWarm"
-	opDiff     = "LoadDiff"
-	opMixed    = "LoadMixed"
+	opUpload    = "LoadUpload"
+	opComplete  = "LoadJobComplete"
+	opColdStorm = "LoadColdStorm"
+	opCold      = "LoadReportCold"
+	opWarm      = "LoadReportWarm"
+	opDiff      = "LoadDiff"
+	opMixed     = "LoadMixed"
 )
 
-var opOrder = []string{opUpload, opComplete, opCold, opWarm, opDiff, opMixed}
+var opOrder = []string{opUpload, opComplete, opColdStorm, opCold, opWarm, opDiff, opMixed}
 
 // recorder accumulates per-class latencies and outcome counts from all
 // workers.
@@ -362,6 +368,7 @@ func main() {
 	reads := flag.Int("reads", 96, "warm read count")
 	diffs := flag.Int("diffs", 64, "diff-storm request count")
 	mixed := flag.Int("mixed", 64, "mixed read/write op count")
+	storm := flag.Int("storm", 16, "same-hash cold-read storm: concurrent GETs of one cold snapshot (0 disables)")
 	conc := flag.Int("c", 8, "client concurrency (worker pool size)")
 	workers := flag.Int("workers", runtime.NumCPU(), "self-spawned server audit workers")
 	queue := flag.Int("queue", 64, "self-spawned server queue depth")
@@ -372,7 +379,20 @@ func main() {
 	threshold := flag.Float64("threshold", 0.50, "latency regression ratio that triggers a warning (with -compare)")
 	maxErrors := flag.Int64("max-errors", 0, "hard-error budget; exceeding it exits nonzero")
 	jobDeadline := flag.Duration("job-deadline", 2*time.Minute, "per-job completion deadline during the upload storm")
+	mutexProfile := flag.String("mutex-profile", "", "write the spawned server's mutex-contention profile here after the run (self-spawn only; arms runtime.SetMutexProfileFraction)")
 	flag.Parse()
+
+	if *mutexProfile != "" {
+		if *addr != "" {
+			fmt.Fprintln(os.Stderr, "loadaudit: -mutex-profile only profiles a self-spawned server; ignoring it with -addr")
+			*mutexProfile = ""
+		} else {
+			// Sample 1-in-5 contended mutex events: cheap enough to leave
+			// on for a whole load run, dense enough that the store and
+			// journal locks show up if they convoy.
+			runtime.SetMutexProfileFraction(5)
+		}
+	}
 
 	rec := newRecorder()
 	base := *addr
@@ -395,6 +415,12 @@ func main() {
 			Transport: &http.Transport{
 				MaxIdleConns:        *conc * 2,
 				MaxIdleConnsPerHost: *conc * 2,
+				// Don't let the transport negotiate gzip transparently:
+				// on loopback the bandwidth it saves is free but the
+				// compression CPU is not, and it would skew the latency
+				// trajectory against baselines recorded before the
+				// server compressed at all.
+				DisableCompression: true,
 			},
 		},
 		rec: rec,
@@ -454,10 +480,39 @@ func main() {
 		os.Exit(1)
 	}
 
-	// Phase 2: cold reads — first fetch per distinct snapshot decodes.
-	fmt.Fprintf(os.Stderr, "loadaudit: cold reads (%d snapshots)...\n", len(hashes))
-	rec.wall[opCold] = fanOut(len(hashes), *conc, func(i int) {
-		cl.get(opCold, "/v1/snapshots/"+hashes[i])
+	// Phase 2a: same-hash cold-read storm. Uploads never pre-warm the
+	// decoded-snapshot cache, so the first hash is still cold here; every
+	// storm worker requests it at the same moment. This is the op the
+	// decode singleflight exists for — the server-side coalesced counter
+	// (healthz) says how many decodes the storm actually shared.
+	stormHash := ""
+	if *storm > 0 {
+		stormHash = hashes[0]
+		fmt.Fprintf(os.Stderr, "loadaudit: cold-read storm (%d concurrent readers, one hash)...\n", *storm)
+		rec.wall[opColdStorm] = fanOut(*storm, *storm, func(i int) {
+			cl.get(opColdStorm, "/v1/snapshots/"+stormHash)
+		})
+		if status, body := cl.get("healthz", "/v1/healthz"); status == http.StatusOK {
+			var h struct {
+				Cache struct {
+					Coalesced uint64 `json:"coalesced"`
+				} `json:"cache"`
+			}
+			if json.Unmarshal(body, &h) == nil {
+				fmt.Fprintf(os.Stderr, "loadaudit: server coalesced %d joined decode(s) so far (healthz cache.coalesced)\n", h.Cache.Coalesced)
+			}
+		}
+	}
+
+	// Phase 2b: cold reads — first fetch per distinct snapshot decodes.
+	// The stormed hash is warm now and stays out of this phase.
+	coldHashes := hashes
+	if stormHash != "" && len(hashes) > 1 {
+		coldHashes = hashes[1:]
+	}
+	fmt.Fprintf(os.Stderr, "loadaudit: cold reads (%d snapshots)...\n", len(coldHashes))
+	rec.wall[opCold] = fanOut(len(coldHashes), *conc, func(i int) {
+		cl.get(opCold, "/v1/snapshots/"+coldHashes[i])
 	})
 
 	// Phase 3: warm reads — same hashes, now cache hits.
@@ -519,6 +574,20 @@ func main() {
 	}
 
 	report(rec, *label, *out, *compare, *threshold)
+	if *mutexProfile != "" {
+		// The spawned server runs in this process, so its lock contention
+		// is this process's mutex profile. CI archives the file so a
+		// convoy regression comes with the profile that names the lock.
+		if f, perr := os.Create(*mutexProfile); perr != nil {
+			fmt.Fprintln(os.Stderr, "loadaudit: mutex profile:", perr)
+		} else {
+			if werr := pprof.Lookup("mutex").WriteTo(f, 0); werr != nil {
+				fmt.Fprintln(os.Stderr, "loadaudit: mutex profile:", werr)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "loadaudit: wrote mutex profile to %s\n", *mutexProfile)
+		}
+	}
 	if total := rec.totalErrs(); total > *maxErrors {
 		fmt.Fprintf(os.Stderr, "loadaudit: %d hard error(s), budget %d\n", total, *maxErrors)
 		for _, m := range rec.msgs {

@@ -111,12 +111,19 @@ func (s *Server) shouldShed() (bool, time.Duration) {
 	return wait > s.cfg.JobTimeout, wait
 }
 
-// retryAfterSeconds converts the current backlog estimate into the
-// Retry-After hint both 503 paths share: roughly when one queue slot
-// should free up, floored at one second (clients must not hot-loop) and
-// capped at five minutes (past that the hint is guesswork).
-func (s *Server) retryAfterSeconds() int {
-	wait := s.admission.estimateWait(len(s.queue), s.cfg.Workers)
+// backlogWait is the one EWMA-and-queue-depth read a 503's Retry-After
+// hint derives from. Handlers that also need the estimate for a decision
+// (the deadline shed) read it once and thread the value through
+// unavailableAfter rather than calling this again.
+func (s *Server) backlogWait() time.Duration {
+	return s.admission.estimateWait(len(s.queue), s.cfg.Workers)
+}
+
+// retryAfterHint converts a backlog estimate into the Retry-After hint
+// every 503 path shares: rounded up to whole seconds — roughly when one
+// queue slot should free up — floored at one second (clients must not
+// hot-loop) and capped at five minutes (past that the hint is guesswork).
+func retryAfterHint(wait time.Duration) int {
 	secs := int((wait + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
@@ -142,8 +149,10 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 	}
 	if shed, wait := s.shouldShed(); shed {
 		s.admission.shed.Add(1)
-		s.unavailable(w, "estimated queue wait "+wait.Round(time.Second).String()+
-			" exceeds the "+s.cfg.JobTimeout.String()+" job deadline; load shed")
+		// The hint reuses the estimate that decided the shed — no second
+		// EWMA read, so message and Retry-After describe the same backlog.
+		s.unavailableAfter(w, "estimated queue wait "+wait.Round(time.Second).String()+
+			" exceeds the "+s.cfg.JobTimeout.String()+" job deadline; load shed", wait)
 		return false
 	}
 	return true

@@ -299,18 +299,42 @@ func TestClientKey(t *testing.T) {
 func TestRetryAfterAdaptive(t *testing.T) {
 	srv := New(Config{Workers: 1, TempDir: t.TempDir()})
 	defer srv.Close()
-	if got := srv.retryAfterSeconds(); got != 1 {
+	if got := retryAfterHint(srv.backlogWait()); got != 1 {
 		t.Errorf("idle hint = %d, want 1", got)
 	}
-	// Simulate history: 3s per job. Queue is empty so the estimate stays
-	// 0 → floor 1; the estimate itself is tested via admission above. Cap:
-	// a monster EWMA is clamped.
+	// Simulate history: a monster EWMA. The queue is empty so the
+	// estimate stays 0 → floor 1; a loaded estimate is clamped below.
 	srv.admission.ewmaNanos.Store(int64(time.Hour))
 	if got := srv.admission.estimateWait(4, 1); got != 4*time.Hour {
 		t.Errorf("estimateWait = %v, want 4h", got)
 	}
-	if got := srv.retryAfterSeconds(); got != 1 {
+	if got := retryAfterHint(srv.backlogWait()); got != 1 {
 		t.Errorf("hint with empty queue = %d, want 1", got)
+	}
+}
+
+// TestRetryAfterHintFloorCap pins retryAfterHint's bounds: zero and
+// sub-second estimates floor at 1s, mid-range estimates round up to
+// whole seconds, and anything past five minutes caps at 300 — the same
+// hint every 503 path derives from one hoisted backlog estimate.
+func TestRetryAfterHintFloorCap(t *testing.T) {
+	cases := []struct {
+		wait time.Duration
+		want int
+	}{
+		{0, 1},
+		{10 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1500 * time.Millisecond, 2},
+		{90 * time.Second, 90},
+		{300 * time.Second, 300},
+		{301 * time.Second, 300},
+		{time.Hour, 300},
+	}
+	for _, c := range cases {
+		if got := retryAfterHint(c.wait); got != c.want {
+			t.Errorf("retryAfterHint(%v) = %d, want %d", c.wait, got, c.want)
+		}
 	}
 }
 

@@ -20,14 +20,34 @@ import (
 // full read can never see a hole. Cached results are shared across
 // requests and must be treated as immutable by everyone who reads them —
 // the handlers only render from them.
+// The cache also owns the decode singleflight: concurrent cold misses
+// for the same snapshot (same content hash, same persona variant) share
+// one decode instead of performing K. The first caller to miss becomes
+// the flight's leader and decodes; everyone else who arrives before the
+// leader finishes blocks on the flight and shares its outcome — result,
+// staleness flag, and error alike. Flights are keyed by content hash
+// plus the partial-materialization variant, so a filtered diff never
+// satisfies (or waits on) a full materialization. The singleflight works
+// even when caching is disabled (capacity <= 0): deduplicating the
+// decodes in flight requires no retention policy.
 type resultCache struct {
 	mu       sync.Mutex
 	capacity int64
 	bytes    int64
 	order    *list.List // front = most recent
 	entries  map[string]*list.Element
+	inflight map[string]*decodeFlight
 
-	hits, misses, evictions uint64
+	hits, misses, evictions, coalesced uint64
+}
+
+// decodeFlight is one in-progress decode. The leader fills res/stale/err
+// and then closes done; waiters read the fields only after done closes.
+type decodeFlight struct {
+	done  chan struct{}
+	res   *core.ServiceResult
+	stale bool
+	err   error
 }
 
 type cacheEntry struct {
@@ -43,7 +63,36 @@ func newResultCache(capacity int64) *resultCache {
 		capacity: capacity,
 		order:    list.New(),
 		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*decodeFlight),
 	}
+}
+
+// join enters the singleflight for key: the first caller gets (flight,
+// true) and must decode and then finish; later callers get (flight,
+// false) and wait on flight.done. Each coalesced waiter bumps the
+// coalesced counter — the healthz number that says how many decodes the
+// singleflight saved.
+func (c *resultCache) join(key string) (*decodeFlight, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.inflight[key]; ok {
+		c.coalesced++
+		return f, false
+	}
+	f := &decodeFlight{done: make(chan struct{})}
+	c.inflight[key] = f
+	return f, true
+}
+
+// finish publishes the leader's outcome to every waiter and retires the
+// flight. Later requests for the key start fresh (normally hitting the
+// cache the leader just populated).
+func (c *resultCache) finish(key string, f *decodeFlight, res *core.ServiceResult, stale bool, err error) {
+	f.res, f.stale, f.err = res, stale, err
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
 }
 
 // get returns the cached result for a content hash, or nil.
@@ -100,6 +149,9 @@ type cacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
+	// Coalesced counts requests that joined another request's in-flight
+	// decode instead of decoding themselves.
+	Coalesced uint64 `json:"coalesced"`
 }
 
 // stats returns a consistent snapshot of the cache counters.
@@ -113,5 +165,6 @@ func (c *resultCache) stats() cacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,
+		Coalesced: c.coalesced,
 	}
 }

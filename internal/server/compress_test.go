@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestAcceptsGzip pins the Accept-Encoding negotiation, including the
+// explicit-refusal qvalues a proxy can send.
+func TestAcceptsGzip(t *testing.T) {
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{"gzip", true},
+		{"gzip, deflate, br", true},
+		{"deflate, gzip;q=0.5", true},
+		{"br;q=1.0, *;q=0.1", true},
+		{"identity", false},
+		{"gzip;q=0", false},
+		{"gzip;q=0.000", false},
+		{"deflate", false},
+	}
+	for _, c := range cases {
+		r := httptest.NewRequest(http.MethodGet, "/v1/jobs/job-1/report.json", nil)
+		if c.header != "" {
+			r.Header.Set("Accept-Encoding", c.header)
+		}
+		if got := acceptsGzip(r); got != c.want {
+			t.Errorf("acceptsGzip(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
+// TestGzipCompressionPreservesETagSemantics is the compression
+// acceptance test: for each heavy export endpoint, the gzip-negotiated
+// response carries the same ETag and decompresses to the same bytes as
+// the identity response, a matching If-None-Match still answers 304
+// (body-free, encoding-free) under compression, and clients that did not
+// negotiate keep getting identity bodies.
+func TestGzipCompressionPreservesETagSemantics(t *testing.T) {
+	_, ts, job := storeServer(t, Config{Workers: 1})
+	// A second, minimal snapshot: diffing the full capture against it
+	// yields a removal for nearly every flow — a diff body heavy enough
+	// to be worth compressing, like a real regression between audits.
+	job2 := runJob(t, ts, map[string][2]string{
+		"child": {"after.har", deltaHAR(t, "https://api.quizlet.com/v1/profile?user_id=u123")},
+		"name":  {"", "Quizlet"},
+	})
+
+	get := func(t *testing.T, path string, hdr map[string]string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	readAll := func(t *testing.T, resp *http.Response) []byte {
+		t.Helper()
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	paths := map[string]string{
+		"report.json": "/v1/jobs/" + job.ID + "/report.json",
+		"report.csv":  "/v1/jobs/" + job.ID + "/report.csv",
+		"diff":        "/v1/diff?from=" + job.SnapshotHash + "&to=" + job2.SnapshotHash,
+	}
+	for name, path := range paths {
+		t.Run(name, func(t *testing.T) {
+			// Identity baseline. (Setting Accept-Encoding explicitly
+			// disables the transport's transparent decompression, so the
+			// bodies and headers below are exactly what was on the wire.)
+			plain := get(t, path, map[string]string{"Accept-Encoding": "identity"})
+			plainBody := readAll(t, plain)
+			etag := plain.Header.Get("ETag")
+			if plain.StatusCode != http.StatusOK || etag == "" {
+				t.Fatalf("identity GET = %d, ETag %q", plain.StatusCode, etag)
+			}
+			if enc := plain.Header.Get("Content-Encoding"); enc != "" {
+				t.Fatalf("identity response has Content-Encoding %q", enc)
+			}
+
+			// The negotiated response: compressed on the wire, same ETag,
+			// same bytes after decompression, smaller before it.
+			zresp := get(t, path, map[string]string{"Accept-Encoding": "gzip"})
+			zbody := readAll(t, zresp)
+			if zresp.StatusCode != http.StatusOK {
+				t.Fatalf("gzip GET = %d", zresp.StatusCode)
+			}
+			if enc := zresp.Header.Get("Content-Encoding"); enc != "gzip" {
+				t.Fatalf("Content-Encoding = %q, want gzip", enc)
+			}
+			if vary := zresp.Header.Get("Vary"); vary != "Accept-Encoding" {
+				t.Errorf("Vary = %q, want Accept-Encoding", vary)
+			}
+			if got := zresp.Header.Get("ETag"); got != etag {
+				t.Errorf("compressed ETag = %q, identity ETag = %q; the validator must name the content, not the encoding", got, etag)
+			}
+			if len(zbody) >= len(plainBody) {
+				t.Errorf("compressed body (%d bytes) is not smaller than identity (%d bytes)", len(zbody), len(plainBody))
+			}
+			zr, err := gzip.NewReader(bytes.NewReader(zbody))
+			if err != nil {
+				t.Fatal(err)
+			}
+			unzipped, err := io.ReadAll(zr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(unzipped, plainBody) {
+				t.Fatal("gzip body does not decompress to the identity body")
+			}
+
+			// Conditional GET under compression: the validator from either
+			// representation revalidates, the 304 has no body and no
+			// Content-Encoding, and nothing was compressed to produce it.
+			cond := get(t, path, map[string]string{"Accept-Encoding": "gzip", "If-None-Match": etag})
+			condBody := readAll(t, cond)
+			if cond.StatusCode != http.StatusNotModified {
+				t.Fatalf("conditional GET = %d, want 304", cond.StatusCode)
+			}
+			if len(condBody) != 0 {
+				t.Errorf("304 carried %d body bytes", len(condBody))
+			}
+			if enc := cond.Header.Get("Content-Encoding"); enc != "" {
+				t.Errorf("304 has Content-Encoding %q", enc)
+			}
+			if got := cond.Header.Get("ETag"); got != etag {
+				t.Errorf("304 ETag = %q, want %q", got, etag)
+			}
+		})
+	}
+}

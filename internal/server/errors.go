@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"diffaudit/internal/store"
 )
@@ -67,11 +68,19 @@ func apiError(w http.ResponseWriter, status int, code, format string, args ...an
 // the operator's balancer should route around), so well-behaved clients
 // should back off and retry rather than fail. Every 503 path — queue
 // full, deadline shed, breaker open, shutting down — funnels through
-// this one helper, so the hint cannot drift between them: it is always
-// derived from the live queue depth and the service-time EWMA
-// (retryAfterSeconds), floored at 1s.
+// this helper or unavailableAfter, so the hint cannot drift between
+// them: it is always retryAfterHint of one backlog estimate.
 func (s *Server) unavailable(w http.ResponseWriter, msg string) {
-	writeUnavailable(w, msg, s.retryAfterSeconds())
+	s.unavailableAfter(w, msg, s.backlogWait())
+}
+
+// unavailableAfter writes the 503 with the hint derived from a backlog
+// estimate the caller already holds. The deadline shed uses this with
+// the same estimate that made its decision — the EWMA and queue depth
+// are read once per request, so the hint can never disagree with the
+// message that explains it.
+func (s *Server) unavailableAfter(w http.ResponseWriter, msg string, wait time.Duration) {
+	writeUnavailable(w, msg, retryAfterHint(wait))
 }
 
 // writeUnavailable is the envelope writer unavailable wraps: one place

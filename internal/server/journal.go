@@ -2,21 +2,41 @@
 // survive a process kill at any point before its snapshot lands.
 //
 // With Config.JournalDir set, handleSubmit stages uploads under
-// <JournalDir>/staging and, before the job is queued, records it in
-// <JournalDir>/<id>.job — a small JSON document (job ID, service name,
-// persona-tagged staged file paths) written with the same
-// temp+fsync+rename discipline as the snapshot store, so a crash never
-// leaves a half-visible record. State transitions rewrite the record;
-// reaching a safe terminal state (snapshot persisted, or a deterministic
-// failure/timeout) deletes it.
+// <JournalDir>/staging and, before the job is queued, records it in the
+// journal. Submit records go through a leader/follower group commit:
+// every submitter queues its record, and the first one to take the
+// leader token drains the queue — closing the batch as soon as the
+// queue empties or the Config.JournalBatch window (default 2ms)
+// elapses, whichever comes first — and lands the whole batch in one
+// batch-<seq>.batch file with a single temp+fsync+rename+dirsync
+// instead of four syscalls per record. Submitters whose record was
+// taken by a leader block until that batch's sync completes, so the
+// 202 a client sees is still a durability promise: an isolated submit
+// leads its own batch of one with no goroutine handoff at all, and a
+// concurrent burst piles up behind the current leader's fsync and
+// shares the next. There is no dedicated committer goroutine — on
+// small-core machines the two scheduler handoffs one would cost per
+// submit are worth more than the fsync it saves.
+//
+// State transitions after submit rewrite the job's own <id>.job record
+// synchronously (same temp+fsync+rename discipline — they are rare and
+// off the submit hot path); at recovery a per-job record supersedes the
+// job's batch entry. Reaching a safe terminal state (snapshot
+// persisted, or a deterministic failure/timeout) deletes the per-job
+// record and tombstones the job's batch entry: one line appended to the
+// batch's .rm sidecar, not a rewrite of the batch file — completions
+// overlap submit storms, and rewriting a batch file per completion costs
+// the storm several ms of 202 tail on one core.
 //
 // On the next Open over the same directory, the journal is rescanned:
-// every surviving record is an interrupted job — queued or running when
-// the process died — and is re-enqueued from its staged files, so a
-// kill -9 between upload and snapshot loses nothing. Staging files no
-// record references (the upload crashed mid-stage, or its record was
-// corrupt) and .tmp-* leftovers from interrupted writes are deleted,
-// so crashes cannot leak disk forever.
+// every surviving record — batch entry or per-job file — is an
+// interrupted job and is re-enqueued from its staged files, so a
+// kill -9 between upload and snapshot loses nothing. Recovery rewrites
+// each re-runnable batch entry as a per-job record and deletes the
+// batch files, so batch state never outlives one crash. Staging files
+// no record references (the upload crashed mid-stage, or its record was
+// corrupt) and .tmp-* leftovers from interrupted writes are deleted, so
+// crashes cannot leak disk forever.
 package server
 
 import (
@@ -26,6 +46,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"diffaudit/internal/faults"
@@ -35,6 +56,11 @@ import (
 // journalVersion versions the record format; readers reject records from
 // a future format instead of misinterpreting them.
 const journalVersion = 1
+
+// defaultJournalBatch is the group-commit window when Config.JournalBatch
+// is zero: long enough to absorb a concurrent burst, short enough to be
+// invisible next to the fsync it amortizes.
+const defaultJournalBatch = 2 * time.Millisecond
 
 // journalRecord is one job's durable form. Personas are recorded by name,
 // not ID: registry IDs depend on registration order, which a restarted
@@ -56,14 +82,58 @@ type journalUpload struct {
 	Persona string `json:"persona"`
 }
 
+// journalBatch is the on-disk form of one group commit: every record the
+// committer gathered for one sync, in one file.
+type journalBatch struct {
+	Version int             `json:"version"`
+	Records []journalRecord `json:"records"`
+}
+
+// commitReq is one submit record waiting for its batch to sync. The
+// leader that commits the batch sends exactly one value on done — the
+// batch's outcome.
+type commitReq struct {
+	rec  journalRecord
+	done chan error
+}
+
 // journal persists job records under one directory.
 type journal struct {
-	dir string
+	dir    string
+	window time.Duration // group-commit gather window
+
+	// pending queues submit records for the next batch; leaderTok is a
+	// one-slot token channel — whoever holds the token is the leader
+	// and commits everything pending.
+	pending   chan commitReq
+	leaderTok chan struct{}
+
+	// Batch membership: which live batch file holds which job's submit
+	// record, so remove can tombstone it and know when a batch has fully
+	// emptied. Guarded by mu; the maps only ever describe files that are
+	// already durable. mu is on the commit hot path, so it only ever
+	// covers map work — remove's sidecar append happens with it free.
+	mu      sync.Mutex
+	seq     uint64
+	batches map[uint64]map[string]struct{}
+	batchOf map[string]uint64
 }
 
 // openJournal creates (if needed) the journal and staging directories.
-func openJournal(dir string) (*journal, error) {
-	j := &journal{dir: dir}
+// window <= 0 takes the default.
+func openJournal(dir string, window time.Duration) (*journal, error) {
+	if window <= 0 {
+		window = defaultJournalBatch
+	}
+	j := &journal{
+		dir:       dir,
+		window:    window,
+		pending:   make(chan commitReq, 64),
+		leaderTok: make(chan struct{}, 1),
+		batches:   make(map[uint64]map[string]struct{}),
+		batchOf:   make(map[string]uint64),
+	}
+	j.leaderTok <- struct{}{}
 	for _, d := range []string{dir, j.staging()} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("journal: %w", err)
@@ -77,8 +147,19 @@ func openJournal(dir string) (*journal, error) {
 // exactly as long as the record does.
 func (j *journal) staging() string { return filepath.Join(j.dir, "staging") }
 
-// path returns the record file for a job ID.
+// path returns the per-job record file for a job ID.
 func (j *journal) path(id string) string { return filepath.Join(j.dir, id+".job") }
+
+// batchPath returns the batch file for a commit sequence number.
+func (j *journal) batchPath(seq uint64) string {
+	return filepath.Join(j.dir, fmt.Sprintf("batch-%06d.batch", seq))
+}
+
+// rmPath returns a batch's tombstone sidecar: one removed job ID per
+// line, appended as jobs from that batch reach terminal states.
+func (j *journal) rmPath(seq uint64) string {
+	return filepath.Join(j.dir, fmt.Sprintf("batch-%06d.rm", seq))
+}
 
 // recordOf builds a job's journal record. The caller owns the job or
 // holds s.mu; uploads and keylog are immutable after submit.
@@ -97,9 +178,132 @@ func recordOf(job *Job, state JobState) journalRecord {
 	return rec
 }
 
-// write persists a record crash-safely: temp file in the journal
-// directory, fsync, rename over the final name (atomic replace — a state
-// update must overwrite the previous record), then directory sync. The
+// append journals a submit record through the group commit and blocks
+// until the batch holding it is durable (or failed). This is what gates
+// handleSubmit's 202: the client's acknowledgment is its batch's fsync.
+// The "journal.write" injection point models the record write failing.
+//
+// The commit itself runs leader/follower: the record is queued, then
+// the submitter either takes the leader token and commits everything
+// queued (its own record included, unless an earlier leader already
+// took it), or learns on done that a leader committed for it. An
+// uncontended submit takes the token immediately and commits a batch
+// of one on its own goroutine — no handoff, same scheduling profile as
+// a direct write; under contention submitters pile up behind the
+// current leader's fsync and the next leader drains them all into one.
+func (j *journal) append(rec journalRecord) error {
+	if err := faults.Inject("journal.write"); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	req := commitReq{rec: rec, done: make(chan error, 1)}
+	j.pending <- req
+	for {
+		select {
+		case err := <-req.done:
+			return err
+		case <-j.leaderTok:
+			j.commitPending()
+			j.leaderTok <- struct{}{}
+			// Loop: our record was committed either by the batch we
+			// just led or by an earlier leader — done has the verdict.
+			// (If another leader drained our record while we waited
+			// for the token, our own batch was empty or all-others.)
+		}
+	}
+}
+
+// commitPending drains the pending queue into one batch and commits it,
+// one staging pass and one fsync+dirsync for the lot. The batch closes
+// as soon as the queue empties or the window elapses — batching costs
+// an idle submit nothing, and bursts that pile up behind one sync (or
+// arrive within the window) share the next. No-op when an earlier
+// leader already drained everything.
+func (j *journal) commitPending() {
+	var batch []commitReq
+	deadline := time.Now().Add(j.window)
+gather:
+	for {
+		select {
+		case req := <-j.pending:
+			batch = append(batch, req)
+			if time.Now().After(deadline) {
+				break gather // sustained pressure: the window caps the batch
+			}
+		default:
+			break gather // queue drained: sync now, don't idle
+		}
+	}
+	if len(batch) == 0 {
+		return
+	}
+	err := j.commitBatch(batch)
+	for _, req := range batch {
+		req.done <- err
+	}
+}
+
+// commitBatch lands one batch durably: every record in one batch file,
+// written with one temp write, one fsync, one rename, one directory
+// sync. Membership is registered before any waiter is released, so a job
+// that finishes immediately after its 202 can already find (and rewrite
+// away) its batch entry. The "journal.batch" injection point models the
+// whole batch failing (or stalling) before it reaches disk.
+func (j *journal) commitBatch(batch []commitReq) error {
+	if err := faults.Inject("journal.batch"); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	recs := make([]journalRecord, len(batch))
+	for i, req := range batch {
+		recs[i] = req.rec
+	}
+	sort.Slice(recs, func(a, b int) bool { return jobIDNum(recs[a].ID) < jobIDNum(recs[b].ID) })
+	data, err := json.Marshal(journalBatch{Version: journalVersion, Records: recs})
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	f, err := os.CreateTemp(j.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.mu.Lock()
+	j.seq++
+	seq := j.seq
+	j.mu.Unlock()
+	if err := os.Rename(f.Name(), j.batchPath(seq)); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("journal: %w", err)
+	}
+	if d, err := os.Open(j.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	j.mu.Lock()
+	m := make(map[string]struct{}, len(recs))
+	for _, r := range recs {
+		m[r.ID] = struct{}{}
+		j.batchOf[r.ID] = seq
+	}
+	j.batches[seq] = m
+	j.mu.Unlock()
+	return nil
+}
+
+// write persists one record crash-safely and synchronously: temp file in
+// the journal directory, fsync, rename over the final name (atomic
+// replace — a state update must overwrite the previous record), then
+// directory sync. Post-submit state transitions use this path directly;
+// it is rare enough that batching it would buy nothing. The
 // "journal.write" injection point models the record write failing.
 func (j *journal) write(rec journalRecord) error {
 	if err := faults.Inject("journal.write"); err != nil {
@@ -135,32 +339,116 @@ func (j *journal) write(rec journalRecord) error {
 	return nil
 }
 
-// remove deletes a job's record — the job reached a state recovery must
-// not replay.
+// remove deletes a job's records — the job reached a state recovery must
+// not replay. The per-job file is unlinked; the job's batch entry (if
+// any) is tombstoned by appending its ID to the batch's .rm sidecar, and
+// once every member of a batch is tombstoned both files are unlinked.
+// The append is a single unsynced write — far cheaper than rewriting the
+// batch file, which matters because completions overlap submit storms on
+// the same core. Losing a tombstone in a crash only re-runs an
+// idempotent, already-persisted job, the same contract the fsync-less
+// batch rewrite had before it.
 func (j *journal) remove(id string) {
 	os.Remove(j.path(id))
+	j.mu.Lock()
+	seq, ok := j.batchOf[id]
+	if !ok {
+		j.mu.Unlock()
+		return
+	}
+	delete(j.batchOf, id)
+	members := j.batches[seq]
+	delete(members, id)
+	empty := len(members) == 0
+	if empty {
+		delete(j.batches, seq)
+	}
+	j.mu.Unlock()
+	if empty {
+		os.Remove(j.batchPath(seq))
+		os.Remove(j.rmPath(seq))
+		return
+	}
+	// O_APPEND writes of short lines don't interleave, so concurrent
+	// removes from the same batch need no lock of their own.
+	f, err := os.OpenFile(j.rmPath(seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	fmt.Fprintln(f, id)
+	f.Close()
 }
 
 // recoverJobs rescans the journal after a restart. Every surviving record
-// becomes a Job: re-runnable ones (staged files present, personas
-// registered) come back queued; unrecoverable ones come back failed with
-// a diagnostic, so the interruption is visible rather than silent. As it
-// scans it garbage-collects crash leftovers — .tmp-* files from
-// interrupted writes, corrupt records, and staging files no surviving
-// record references.
+// — batch entry or per-job file, with the per-job file superseding the
+// job's batch entry when both exist — becomes a Job: re-runnable ones
+// (staged files present, personas registered) come back queued;
+// unrecoverable ones come back failed with a diagnostic, so the
+// interruption is visible rather than silent. Re-runnable batch entries
+// are rewritten as per-job records and every batch file — with its
+// tombstone sidecar — is then deleted: batch state never carries across
+// more than one crash. As it scans it
+// garbage-collects crash leftovers — .tmp-* files from interrupted
+// writes, corrupt records, and staging files no surviving record
+// references.
 func (j *journal) recoverJobs() []*Job {
 	entries, err := os.ReadDir(j.dir)
 	if err != nil {
 		return nil
 	}
-	referenced := map[string]bool{}
-	var jobs []*Job
+	// Pass 1: collect records. Batch entries first, then per-job files on
+	// top — a per-job record is always the newer state.
+	recs := map[string]journalRecord{}
+	fromBatch := map[string]bool{}
+	var batchFiles []string
 	for _, e := range entries {
 		name := e.Name()
 		if strings.HasPrefix(name, ".tmp-") {
 			os.Remove(filepath.Join(j.dir, name))
 			continue
 		}
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, ".rm") {
+			// Tombstone sidecars die with their batch files; one orphaned
+			// by a remove/unlink race is swept here too.
+			batchFiles = append(batchFiles, filepath.Join(j.dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, ".batch") {
+			continue
+		}
+		path := filepath.Join(j.dir, name)
+		batchFiles = append(batchFiles, path)
+		var b journalBatch
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = json.Unmarshal(data, &b)
+		}
+		if err != nil || b.Version > journalVersion {
+			continue // deleted with the other batch files below
+		}
+		// The .rm sidecar lists batch members that reached a terminal
+		// state before the crash: their entries must not resurrect. A
+		// torn final line just fails to match an ID, which re-runs one
+		// idempotent job — same contract as losing the append entirely.
+		removed := map[string]bool{}
+		if data, err := os.ReadFile(strings.TrimSuffix(path, ".batch") + ".rm"); err == nil {
+			for _, id := range strings.Fields(string(data)) {
+				removed[id] = true
+			}
+		}
+		for _, rec := range b.Records {
+			if rec.ID == "" || rec.Version > journalVersion || removed[rec.ID] {
+				continue
+			}
+			recs[rec.ID] = rec
+			fromBatch[rec.ID] = true
+		}
+	}
+	for _, e := range entries {
+		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".job") {
 			continue
 		}
@@ -176,6 +464,14 @@ func (j *journal) recoverJobs() []*Job {
 			os.Remove(path)
 			continue
 		}
+		recs[rec.ID] = rec
+		fromBatch[rec.ID] = false
+	}
+
+	// Pass 2: rebuild jobs.
+	referenced := map[string]bool{}
+	var jobs []*Job
+	for _, rec := range recs {
 		job := &Job{
 			ID:          rec.ID,
 			State:       JobQueued,
@@ -211,7 +507,7 @@ func (j *journal) recoverJobs() []*Job {
 			job.Error = "crash recovery: " + broken
 			job.FinishedAt = time.Now().UTC()
 			job.cleanup()
-			j.remove(rec.ID)
+			os.Remove(j.path(rec.ID))
 		} else {
 			for _, up := range job.uploads {
 				referenced[up.path] = true
@@ -219,8 +515,18 @@ func (j *journal) recoverJobs() []*Job {
 			if job.keylog != "" {
 				referenced[job.keylog] = true
 			}
+			if fromBatch[rec.ID] {
+				// Promote the batch entry to a per-job record before its
+				// batch file goes away: if this process also crashes, the
+				// job must still be on disk.
+				rec.State = JobQueued
+				j.write(rec)
+			}
 		}
 		jobs = append(jobs, job)
+	}
+	for _, path := range batchFiles {
+		os.Remove(path)
 	}
 	// Staging orphans: uploads whose submit crashed before the journal
 	// record landed (or whose record was corrupt) accumulate forever

@@ -3,15 +3,19 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"diffaudit/internal/core"
+	"diffaudit/internal/faults"
 	"diffaudit/internal/store"
 )
 
@@ -126,6 +130,12 @@ func TestJournalCrashRecoveryMatrix(t *testing.T) {
 		if len(left) != 0 {
 			t.Fatalf("journal records left after recovery: %v", left)
 		}
+		// Batch files never outlive one recovery: surviving entries were
+		// promoted to per-job records (and have since settled away).
+		batches, _ := filepath.Glob(filepath.Join(dir, "journal", "*.batch"))
+		if len(batches) != 0 {
+			t.Fatalf("batch files left after recovery: %v", batches)
+		}
 	}
 
 	t.Run("killed-with-job-queued-and-job-running", func(t *testing.T) {
@@ -146,6 +156,12 @@ func TestJournalCrashRecoveryMatrix(t *testing.T) {
 		j1 := accept(t, ts)
 		j2 := accept(t, ts)
 		ts.Close() // abandon crashed without Close: the "kill -9"
+		// The 202s were gated on group commits: the crashed server must
+		// have left durable batch files for the recovery to read.
+		batches, _ := filepath.Glob(filepath.Join(dir, "journal", "*.batch"))
+		if len(batches) == 0 {
+			t.Fatal("no batch files survived the crash — the 202s were not backed by a group commit")
+		}
 		recoverAndCheck(t, dir, j1.ID, j2.ID)
 	})
 
@@ -200,8 +216,9 @@ func TestJournalStartupGC(t *testing.T) {
 	}
 	tmpLeft := filepath.Join(jdir, ".tmp-interrupted")
 	corrupt := filepath.Join(jdir, "job-9.job")
+	corruptBatch := filepath.Join(jdir, "batch-000009.batch")
 	orphan := filepath.Join(jdir, "staging", "diffaudit-child-orphan")
-	for _, f := range []string{tmpLeft, corrupt, orphan} {
+	for _, f := range []string{tmpLeft, corrupt, corruptBatch, orphan} {
 		if err := os.WriteFile(f, []byte("{not json"), 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -213,7 +230,7 @@ func TestJournalStartupGC(t *testing.T) {
 	}
 	defer srv.Close()
 
-	for _, f := range []string{tmpLeft, corrupt, orphan} {
+	for _, f := range []string{tmpLeft, corrupt, corruptBatch, orphan} {
 		if _, err := os.Stat(f); !os.IsNotExist(err) {
 			t.Errorf("%s survived startup GC (err=%v)", f, err)
 		}
@@ -226,7 +243,7 @@ func TestJournalStartupGC(t *testing.T) {
 // silent drop and not an endless crash-rerun loop.
 func TestJournalRecoveryMissingUpload(t *testing.T) {
 	jdir := filepath.Join(t.TempDir(), "journal")
-	j, err := openJournal(jdir)
+	j, err := openJournal(jdir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,4 +378,284 @@ func TestJournalRecoveredIDsFenceNextID(t *testing.T) {
 	if jobIDNum(fresh.ID) <= jobIDNum(last.ID) {
 		t.Fatalf("fresh job %s does not fence recovered %s", fresh.ID, last.ID)
 	}
+}
+
+// TestJournalGroupCommitBurstAndRemove pins the group-commit mechanics at
+// the journal level: a burst of submits that piles up behind one stalled
+// commit lands in a single batch file (one staging pass, one sync for the
+// whole burst), and remove tombstones a finished job in the batch's .rm
+// sidecar — deleting batch file and sidecar once the last member is gone
+// — so recovery can never resurrect a settled job.
+func TestJournalGroupCommitBurstAndRemove(t *testing.T) {
+	j, err := openJournal(filepath.Join(t.TempDir(), "journal"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall the first commit: job-1 syncs alone while jobs 2-4 queue up
+	// behind it and must share the second batch.
+	faults.Set("journal.batch", faults.Plan{Delay: 300 * time.Millisecond, Count: 1})
+	defer faults.Reset()
+
+	rec := func(n int) journalRecord {
+		return journalRecord{Version: journalVersion, ID: fmt.Sprintf("job-%d", n), Service: "Quizlet", State: JobQueued, SubmittedAt: time.Now().UTC()}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	appendOne := func(n int) {
+		defer wg.Done()
+		if err := j.append(rec(n)); err != nil {
+			errs <- fmt.Errorf("append job-%d: %w", n, err)
+		}
+	}
+	wg.Add(1)
+	go appendOne(1)
+	time.Sleep(50 * time.Millisecond) // job-1's commit is inside the stall
+	for n := 2; n <= 4; n++ {
+		wg.Add(1)
+		go appendOne(n)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	readBatch := func(path string) []journalRecord {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b journalBatch
+		if err := json.Unmarshal(data, &b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Records
+	}
+	batches, _ := filepath.Glob(filepath.Join(j.dir, "batch-*.batch"))
+	if len(batches) != 2 {
+		t.Fatalf("4 appends (1 + burst of 3) produced %d batch files, want 2: %v", len(batches), batches)
+	}
+	sort.Strings(batches)
+	if got := len(readBatch(batches[0])); got != 1 {
+		t.Fatalf("first batch holds %d records, want 1", got)
+	}
+	if got := len(readBatch(batches[1])); got != 3 {
+		t.Fatalf("burst batch holds %d records, want all 3 in one sync", got)
+	}
+
+	// remove tombstones the member in the batch's .rm sidecar — the batch
+	// file itself is never rewritten on the completion path...
+	j.remove("job-3")
+	if got := len(readBatch(batches[1])); got != 3 {
+		t.Fatalf("remove(job-3) rewrote the batch file (%d records), want it untouched with a tombstone instead", got)
+	}
+	rmFile := strings.TrimSuffix(batches[1], ".batch") + ".rm"
+	data, err := os.ReadFile(rmFile)
+	if err != nil {
+		t.Fatalf("remove(job-3) left no tombstone sidecar: %v", err)
+	}
+	if got := strings.Fields(string(data)); len(got) != 1 || got[0] != "job-3" {
+		t.Fatalf("tombstone sidecar holds %v, want [job-3]", got)
+	}
+	// ...and deletes batch file and sidecar with the last member.
+	j.remove("job-2")
+	j.remove("job-4")
+	j.remove("job-1")
+	if leftovers, _ := filepath.Glob(filepath.Join(j.dir, "batch-*")); len(leftovers) != 0 {
+		t.Fatalf("batch files survive their last member: %v", leftovers)
+	}
+}
+
+// TestJournalCrashBetweenBatchStages pins the group commit's crash
+// contract at each stage boundary by recovering over the exact directory
+// state a kill at that point leaves behind. Before the rename, no client
+// saw a 202, so the records owe nothing and are garbage; after the
+// rename the batch is the durability promise and every record re-runs to
+// a byte-identical report; and a per-job record written after the batch
+// always supersedes the job's (staler) batch entry.
+func TestJournalCrashBetweenBatchStages(t *testing.T) {
+	harData := childHAR(t)
+	parts := map[string][2]string{
+		"child": {"child.har", string(harData)},
+		"name":  {"", "Quizlet"},
+	}
+
+	// The uninterrupted baseline report every recovered job must match.
+	base := New(Config{Workers: 1})
+	baseTS := httptest.NewServer(base)
+	baseJob := runJob(t, baseTS, parts)
+	_, want := getBody(t, baseTS, "/jobs/"+baseJob.ID+"/report.json")
+	baseTS.Close()
+	base.Close()
+
+	// stage writes a capture into the journal's staging dir and returns a
+	// queued submit record referencing it.
+	stage := func(t *testing.T, jdir, name, id string) journalRecord {
+		t.Helper()
+		staged := filepath.Join(jdir, "staging", name)
+		if err := os.WriteFile(staged, harData, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return journalRecord{
+			Version:     journalVersion,
+			ID:          id,
+			Service:     "Quizlet",
+			State:       JobQueued,
+			SubmittedAt: time.Now().UTC(),
+			Uploads:     []journalUpload{{Path: staged, HAR: true, Persona: "child"}},
+		}
+	}
+	mkJournalDir := func(t *testing.T) string {
+		t.Helper()
+		jdir := filepath.Join(t.TempDir(), "journal")
+		if err := os.MkdirAll(filepath.Join(jdir, "staging"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return jdir
+	}
+	writeJSON := func(t *testing.T, path string, v any) {
+		t.Helper()
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("killed-before-rename", func(t *testing.T) {
+		// The batch died as a temp file: its submitters never got their
+		// 202, so recovery must not resurrect the jobs — and must GC the
+		// temp file and the staged upload it references.
+		jdir := mkJournalDir(t)
+		rec := stage(t, jdir, "diffaudit-child-1.har", "job-1")
+		tmp := filepath.Join(jdir, ".tmp-batch-interrupted")
+		writeJSON(t, tmp, journalBatch{Version: journalVersion, Records: []journalRecord{rec}})
+
+		srv, err := Open(Config{Workers: 1, JournalDir: jdir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		srv.mu.Lock()
+		n := len(srv.jobs)
+		srv.mu.Unlock()
+		if n != 0 {
+			t.Fatalf("unacknowledged batch resurrected %d jobs", n)
+		}
+		for _, f := range []string{tmp, rec.Uploads[0].Path} {
+			if _, err := os.Stat(f); !os.IsNotExist(err) {
+				t.Errorf("%s survived startup GC (err=%v)", f, err)
+			}
+		}
+	})
+
+	t.Run("killed-after-rename", func(t *testing.T) {
+		// The batch file landed (a lost directory sync leaves this same
+		// state when the entry is still visible): both acknowledged jobs
+		// re-run to reports byte-identical to the uninterrupted baseline,
+		// and the batch file itself does not outlive the recovery.
+		jdir := mkJournalDir(t)
+		recs := []journalRecord{
+			stage(t, jdir, "diffaudit-child-1.har", "job-1"),
+			stage(t, jdir, "diffaudit-child-2.har", "job-2"),
+		}
+		batchFile := filepath.Join(jdir, "batch-000001.batch")
+		writeJSON(t, batchFile, journalBatch{Version: journalVersion, Records: recs})
+
+		srv, err := Open(Config{Workers: 1, JournalDir: jdir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		for _, id := range []string{"job-1", "job-2"} {
+			done := wait(t, ts, id)
+			if done.State != JobDone {
+				t.Fatalf("recovered %s = %+v", id, done)
+			}
+			code, got := getBody(t, ts, "/jobs/"+id+"/report.json")
+			if code != http.StatusOK {
+				t.Fatalf("recovered report %s: %d", id, code)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("recovered %s report differs from the uninterrupted baseline", id)
+			}
+		}
+		if _, err := os.Stat(batchFile); !os.IsNotExist(err) {
+			t.Errorf("batch file survived recovery (err=%v)", err)
+		}
+	})
+
+	t.Run("tombstoned-entry-stays-dead", func(t *testing.T) {
+		// One batch member finished (its staging was cleaned and its ID
+		// appended to the .rm sidecar) before the crash; the other was
+		// still in flight. Recovery must re-run only the live member —
+		// resurrecting the tombstoned one would surface a completed job
+		// as a phantom "staged capture missing" failure — and neither the
+		// batch file nor its sidecar may outlive the recovery.
+		jdir := mkJournalDir(t)
+		live := stage(t, jdir, "diffaudit-child-3.har", "job-3")
+		settled := live
+		settled.ID = "job-8"
+		settled.Uploads = []journalUpload{{Path: filepath.Join(jdir, "staging", "cleaned-up.har"), HAR: true, Persona: "child"}}
+		writeJSON(t, filepath.Join(jdir, "batch-000001.batch"), journalBatch{Version: journalVersion, Records: []journalRecord{live, settled}})
+		if err := os.WriteFile(filepath.Join(jdir, "batch-000001.rm"), []byte("job-8\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		srv, err := Open(Config{Workers: 1, JournalDir: jdir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		if done := wait(t, ts, "job-3"); done.State != JobDone {
+			t.Fatalf("live batch member job-3 = %+v", done)
+		}
+		srv.mu.Lock()
+		_, resurrected := srv.jobs["job-8"]
+		srv.mu.Unlock()
+		if resurrected {
+			t.Fatal("tombstoned job-8 resurrected as a job")
+		}
+		if leftovers, _ := filepath.Glob(filepath.Join(jdir, "batch-*")); len(leftovers) != 0 {
+			t.Errorf("batch file or sidecar survived recovery: %v", leftovers)
+		}
+	})
+
+	t.Run("per-job-record-supersedes-batch-entry", func(t *testing.T) {
+		// After the batch, the job's state moved on and wrote a per-job
+		// record; the crash left both. The batch entry points at a capture
+		// that no longer exists — replaying it would fail the job — so
+		// recovery must prefer the newer per-job record, which points at
+		// the real one.
+		jdir := mkJournalDir(t)
+		real := stage(t, jdir, "diffaudit-child-7.har", "job-7")
+		staleEntry := real
+		staleEntry.Uploads = []journalUpload{{Path: filepath.Join(jdir, "staging", "long-gone.har"), HAR: true, Persona: "child"}}
+		writeJSON(t, filepath.Join(jdir, "batch-000001.batch"), journalBatch{Version: journalVersion, Records: []journalRecord{staleEntry}})
+		writeJSON(t, filepath.Join(jdir, "job-7.job"), real)
+
+		srv, err := Open(Config{Workers: 1, JournalDir: jdir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		done := wait(t, ts, "job-7")
+		if done.State != JobDone {
+			t.Fatalf("job-7 = %+v: the stale batch entry won over the per-job record", done)
+		}
+		code, got := getBody(t, ts, "/jobs/job-7/report.json")
+		if code != http.StatusOK || !bytes.Equal(got, want) {
+			t.Fatalf("superseded recovery report differs from baseline (code %d)", code)
+		}
+	})
 }

@@ -119,6 +119,14 @@ type Config struct {
 	// snapshot store (serve -data-dir does this) so a job and its eventual
 	// snapshot share durability.
 	JournalDir string
+	// JournalBatch is the journal's group-commit window. Submit records
+	// are journaled by a committer that gathers everything arriving while
+	// a batch forms — the batch closes as soon as its queue drains or
+	// this window elapses, whichever comes first — and lands the whole
+	// batch with a single fsync+dirsync. An isolated submit commits
+	// immediately; a concurrent burst shares one sync. 0 takes the 2ms
+	// default; only meaningful with JournalDir set.
+	JournalBatch time.Duration
 	// JobTimeout bounds one audit job's run time (0 = unlimited). A job
 	// that exceeds it is marked with the "timeout" state and its worker
 	// moves on at the next pipeline batch boundary — a pathological
@@ -315,7 +323,7 @@ func Open(cfg Config) (*Server, error) {
 
 	var recovered []*Job
 	if cfg.JournalDir != "" {
-		j, err := openJournal(cfg.JournalDir)
+		j, err := openJournal(cfg.JournalDir, cfg.JournalBatch)
 		if err != nil {
 			return nil, err
 		}
@@ -369,6 +377,9 @@ func (s *Server) Close() {
 	close(s.stop) // stop background loops (scrubber) before draining workers
 	close(s.queue)
 	s.wg.Wait()
+	// The journal needs no teardown: group commits run on submitter
+	// goroutines (leader/follower), so there is no background committer
+	// to stop.
 }
 
 // worker drains the job queue.
@@ -678,7 +689,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// cannot promise to keep. (The minted ID is abandoned on failure — ID
 	// gaps are harmless, reuse is not.)
 	if s.journal != nil {
-		if err := s.retry(r.Context(), func() error { return s.journal.write(recordOf(job, JobQueued)) }); err != nil {
+		if err := s.retry(r.Context(), func() error { return s.journal.append(recordOf(job, JobQueued)) }); err != nil {
 			apiError(w, http.StatusInternalServerError, codeInternal, "journaling job: %v", err)
 			return
 		}
@@ -932,23 +943,7 @@ func (s *Server) storedJobResult(id string) (*core.ServiceResult, bool, error) {
 // short-circuits with errBreakerOpen (fast 503) instead of dispatching a
 // doomed store call (slow 500).
 func (s *Server) snapshotResult(meta store.Meta) (*core.ServiceResult, bool, error) {
-	if res := s.cache.get(meta.Hash); res != nil {
-		if s.breaker.isOpen() {
-			s.breaker.staleServed.Add(1)
-			return res, true, nil
-		}
-		return res, false, nil
-	}
-	if !s.breaker.allow() {
-		return nil, false, fmt.Errorf("snapshot %d: %w", meta.Seq, errBreakerOpen)
-	}
-	res, err := s.decodeSnapshot(meta, nil)
-	s.breaker.record(breakerOutcome(err))
-	if err != nil {
-		return nil, false, err
-	}
-	s.cache.put(meta.Hash, res, int64(meta.Bytes))
-	return res, false, nil
+	return s.coalescedSnapshot(meta, nil, meta.Hash)
 }
 
 // partialSnapshot materializes only the named personas of a snapshot. A
@@ -957,6 +952,28 @@ func (s *Server) snapshotResult(meta store.Meta) (*core.ServiceResult, bool, err
 // partial result must never satisfy a later full read. Breaker gating
 // mirrors snapshotResult.
 func (s *Server) partialSnapshot(meta store.Meta, only []string) (*core.ServiceResult, bool, error) {
+	return s.coalescedSnapshot(meta, only, partialKey(meta.Hash, only))
+}
+
+// partialKey is the singleflight key of a partial materialization: the
+// content hash plus the normalized persona filter, so two concurrent
+// diffs of the same snapshot restricted to the same personas share one
+// decode, while a differently-filtered (or full) request never does.
+func partialKey(hash string, only []string) string {
+	names := make([]string, len(only))
+	for i, n := range only {
+		names[i] = strings.ToLower(strings.TrimSpace(n))
+	}
+	sort.Strings(names)
+	return hash + "|" + strings.Join(names, ",")
+}
+
+// coalescedSnapshot is the shared cold path behind snapshotResult and
+// partialSnapshot: check the cache, then join the per-key singleflight.
+// Exactly one of K concurrent cold readers decodes; the rest block on
+// the flight and share its result, staleness, and error. The breaker
+// sees one sample per actual store operation, not one per waiter.
+func (s *Server) coalescedSnapshot(meta store.Meta, only []string, key string) (*core.ServiceResult, bool, error) {
 	if res := s.cache.get(meta.Hash); res != nil {
 		if s.breaker.isOpen() {
 			s.breaker.staleServed.Add(1)
@@ -964,12 +981,38 @@ func (s *Server) partialSnapshot(meta store.Meta, only []string) (*core.ServiceR
 		}
 		return res, false, nil
 	}
+	f, leader := s.cache.join(key)
+	if !leader {
+		<-f.done
+		return f.res, f.stale, f.err
+	}
+	res, stale, err := s.decodeGated(meta, only)
+	s.cache.finish(key, f, res, stale, err)
+	return res, stale, err
+}
+
+// decodeGated performs the flight leader's work: breaker gate, decode,
+// breaker sample, and (for full materializations only) cache fill. The
+// "snapshot.decode" injection point fires inside the flight — with a
+// delay plan it holds the leader mid-decode so tests can pile waiters
+// onto the singleflight deterministically.
+func (s *Server) decodeGated(meta store.Meta, only []string) (*core.ServiceResult, bool, error) {
 	if !s.breaker.allow() {
 		return nil, false, fmt.Errorf("snapshot %d: %w", meta.Seq, errBreakerOpen)
 	}
+	if err := faults.Inject("snapshot.decode"); err != nil {
+		s.breaker.record(breakerOutcome(err))
+		return nil, false, fmt.Errorf("snapshot %d: %w", meta.Seq, err)
+	}
 	res, err := s.decodeSnapshot(meta, only)
 	s.breaker.record(breakerOutcome(err))
-	return res, false, err
+	if err != nil {
+		return nil, false, err
+	}
+	if only == nil {
+		s.cache.put(meta.Hash, res, int64(meta.Bytes))
+	}
+	return res, false, nil
 }
 
 // breakerOutcome filters what a decode error means for store health: a
@@ -1054,8 +1097,10 @@ func (s *Server) jobETag(id, variant string) string {
 
 // writeRendered writes one rendered export, folding the render-error path
 // every report/diff handler shares. A non-empty etag stamps the response
-// cacheable.
-func writeRendered(w http.ResponseWriter, contentType string, data []byte, err error, etag string) {
+// cacheable; the body is gzip-compressed when the request negotiated it.
+// Vary is stamped unconditionally — the representation depends on
+// Accept-Encoding whether or not this particular response compressed.
+func writeRendered(w http.ResponseWriter, r *http.Request, contentType string, data []byte, err error, etag string) {
 	if err != nil {
 		apiError(w, http.StatusInternalServerError, codeInternal, "render: %v", err)
 		return
@@ -1063,8 +1108,9 @@ func writeRendered(w http.ResponseWriter, contentType string, data []byte, err e
 	if etag != "" {
 		setCacheHeaders(w, etag, ccRevalidate)
 	}
+	w.Header().Add("Vary", "Accept-Encoding")
 	w.Header().Set("Content-Type", contentType)
-	w.Write(data)
+	writeMaybeGzip(w, r, data)
 }
 
 func (s *Server) handleReportJSON(w http.ResponseWriter, r *http.Request) {
@@ -1080,7 +1126,7 @@ func (s *Server) handleReportJSON(w http.ResponseWriter, r *http.Request) {
 	}
 	s.staleHeaders(w, stale)
 	data, err := report.ExportJSON([]*core.ServiceResult{res})
-	writeRendered(w, "application/json", data, err, etag)
+	writeRendered(w, r, "application/json", data, err, etag)
 }
 
 func (s *Server) handleReportCSV(w http.ResponseWriter, r *http.Request) {
@@ -1100,7 +1146,7 @@ func (s *Server) handleReportCSV(w http.ResponseWriter, r *http.Request) {
 	// instead of rebuilding the whole export per request.
 	buf := wire.GetBuf(32 << 10)
 	out, err := report.AppendFlowsCSV(buf, []*core.ServiceResult{res})
-	writeRendered(w, "text/csv", out, err, etag)
+	writeRendered(w, r, "text/csv", out, err, etag)
 	if out != nil {
 		wire.PutBuf(out)
 	} else {
@@ -1315,10 +1361,10 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	diff := core.LongitudinalFiltered(from, to, only)
 	switch format {
 	case "md":
-		writeRendered(w, "text/markdown; charset=utf-8", []byte(report.DiffReport(diff)), nil, etag)
+		writeRendered(w, r, "text/markdown; charset=utf-8", []byte(report.DiffReport(diff)), nil, etag)
 	default:
 		data, err := report.ExportDiffJSON(diff)
-		writeRendered(w, "application/json", data, err, etag)
+		writeRendered(w, r, "application/json", data, err, etag)
 	}
 }
 

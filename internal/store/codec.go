@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"math/bits"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"diffaudit/internal/core"
@@ -268,6 +269,73 @@ func (s *snapSections) decodeFlowSet(dec *flows.SetDecoder, data []byte) (*flows
 	return dec.DecodeSetBytes(data)
 }
 
+// maxSectionDecoders bounds the pool that decodes persona flow sections
+// concurrently. Snapshots carry a handful of personas (the paper's corpus
+// has three), so a small pool captures all the available parallelism
+// without letting one wide materialization flood the scheduler while the
+// server is already running one goroutine per request.
+const maxSectionDecoders = 4
+
+// decodeFlowSetsInto decodes the selected persona flow sections into
+// res.ByTrace. With two or more sections selected the decodes run
+// concurrently on a bounded pool — safe because the SetDecoder's symbol
+// tables are read-only after ReadSetTables, each decode builds its own
+// Set, and the wire scratch pools are sync.Pool-backed. Results merge in
+// canonical persona (section) order, and the first error in that order
+// wins, so outputs and errors are identical to the sequential loop.
+func (s *snapSections) decodeFlowSetsInto(dec *flows.SetDecoder, personas []flows.Persona, keep map[flows.Persona]bool, res *core.ServiceResult) error {
+	idx := make([]int, 0, len(personas))
+	for i, p := range personas {
+		if keep != nil && !keep[p] {
+			continue
+		}
+		idx = append(idx, i)
+	}
+	if len(idx) < 2 {
+		for _, i := range idx {
+			set, err := s.decodeFlowSet(dec, s.flowSets[i])
+			if err != nil {
+				return fmt.Errorf("store: snapshot flow set for %s: %w", personas[i], err)
+			}
+			res.ByTrace[personas[i]] = set
+		}
+		return nil
+	}
+	sets := make([]*flows.Set, len(idx))
+	errs := make([]error, len(idx))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < min(maxSectionDecoders, len(idx)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range work {
+				i := idx[k]
+				set, err := s.decodeFlowSet(dec, s.flowSets[i])
+				if err != nil {
+					errs[k] = fmt.Errorf("store: snapshot flow set for %s: %w", personas[i], err)
+					continue
+				}
+				sets[k] = set
+			}
+		}()
+	}
+	for k := range idx {
+		work <- k
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for k, i := range idx {
+		res.ByTrace[personas[i]] = sets[k]
+	}
+	return nil
+}
+
 // decodeMetaSection parses identity, counters, and the dataset string sets
 // into a result with no flow sets yet.
 func decodeMetaSection(data []byte) (*core.ServiceResult, error) {
@@ -352,15 +420,8 @@ func (s *snapSections) materialize(only map[flows.Persona]bool) (*core.ServiceRe
 	if err != nil {
 		return nil, err
 	}
-	for i, p := range personas {
-		if only != nil && !only[p] {
-			continue
-		}
-		set, err := s.decodeFlowSet(dec, s.flowSets[i])
-		if err != nil {
-			return nil, fmt.Errorf("store: snapshot flow set for %s: %w", p, err)
-		}
-		res.ByTrace[p] = set
+	if err := s.decodeFlowSetsInto(dec, personas, only, res); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

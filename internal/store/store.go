@@ -138,20 +138,62 @@ func Resolve(metas []Meta, ref string) (Meta, error) {
 	return best, nil
 }
 
+// storeShards is the number of payload shards in MemStore. Snapshots land
+// in a shard by FNV-1a over their content hash, so concurrent operations
+// on different snapshots almost never share a lock. 32 shards comfortably
+// exceeds the worker/reader parallelism the server runs (GOMAXPROCS-ish)
+// while keeping the fixed footprint trivial; the map in each shard stays
+// small enough that per-shard operations are O(1) lookups.
+const storeShards = 32
+
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// shardOf maps a content hash to its payload shard index.
+func shardOf(hash string) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(hash); i++ {
+		h ^= uint32(hash[i])
+		h *= fnvPrime32
+	}
+	return h % storeShards
+}
+
+// insertMeta inserts m into a seq-ascending meta list. Concurrent Puts
+// reserve sequence numbers in order but can finish out of order, so a
+// plain append is not enough to keep List sorted.
+func insertMeta(metas []Meta, m Meta) []Meta {
+	i := sort.Search(len(metas), func(i int) bool { return metas[i].Seq >= m.Seq })
+	metas = append(metas, Meta{})
+	copy(metas[i+1:], metas[i:])
+	metas[i] = m
+	return metas
+}
+
 // MemStore keeps snapshots in process memory: the full snapshot API with
 // process-lifetime durability. A server only uses it when configured
 // (ServerConfig.Store) — the server's default remains no store at all,
 // with memory-only result semantics. Memory grows with every Put;
 // long-lived servers that need durability or a bound should use FSStore.
+//
+// Concurrency layout: the meta index (seq assignment + the seq-ordered
+// listing) lives under one mutex whose critical sections are a few loads
+// and stores — encoding, hashing, and decoding never run under it. The
+// payload bytes live in FNV(content-hash)-sharded maps so readers of
+// different snapshots fetch their bytes without sharing a lock.
 type MemStore struct {
-	mu      sync.Mutex
-	snaps   []memSnap
+	mu      sync.Mutex // guards metas + nextSeq; short critical sections only
+	metas   []Meta     // ascending seq
 	nextSeq uint64
+
+	shards [storeShards]memShard
 }
 
-type memSnap struct {
-	meta Meta
-	data []byte
+type memShard struct {
+	mu   sync.Mutex
+	data map[uint64][]byte // seq → canonical encoding
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -159,75 +201,94 @@ func NewMemStore() *MemStore {
 	return &MemStore{nextSeq: 1}
 }
 
-// Put implements Store.
+// Put implements Store. The encode and the SHA-256 over it — the
+// expensive part of a Put — run before any lock is taken; the index lock
+// covers only the sequence reservation and the sorted meta insert.
 func (s *MemStore) Put(jobID string, r *core.ServiceResult) (Meta, error) {
 	data := EncodeResult(r)
+	hash := Hash(data)
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	seq := s.nextSeq
+	s.nextSeq++
+	s.mu.Unlock()
 	meta := Meta{
-		Seq:       s.nextSeq,
-		Hash:      Hash(data),
+		Seq:       seq,
+		Hash:      hash,
 		Service:   r.Identity.Name,
 		JobID:     jobID,
 		CreatedAt: time.Now().UTC(),
 		Bytes:     len(data),
 	}
-	s.nextSeq++
-	s.snaps = append(s.snaps, memSnap{meta: meta, data: data})
+	sh := &s.shards[shardOf(hash)]
+	sh.mu.Lock()
+	if sh.data == nil {
+		sh.data = make(map[uint64][]byte)
+	}
+	sh.data[seq] = data
+	sh.mu.Unlock()
+	// Publish the meta last: a reference never resolves to a snapshot
+	// whose bytes are not yet in place.
+	s.mu.Lock()
+	s.metas = insertMeta(s.metas, meta)
+	s.mu.Unlock()
 	return meta, nil
 }
 
-// Get implements Store.
+// fetch returns the stored bytes for a resolved meta. The bytes are
+// immutable after Put, so the reference is shared, not copied. A false
+// return means a concurrent Delete won the race after resolution.
+func (s *MemStore) fetch(meta Meta) ([]byte, bool) {
+	sh := &s.shards[shardOf(meta.Hash)]
+	sh.mu.Lock()
+	data, ok := sh.data[meta.Seq]
+	sh.mu.Unlock()
+	return data, ok
+}
+
+// Get implements Store. Decoding runs outside every lock.
 func (s *MemStore) Get(ref string) (*core.ServiceResult, Meta, error) {
-	s.mu.Lock()
-	snaps := append([]memSnap(nil), s.snaps...)
-	s.mu.Unlock()
-	metas := make([]Meta, len(snaps))
-	for i, sn := range snaps {
-		metas[i] = sn.meta
-	}
+	metas, _ := s.List()
 	meta, err := Resolve(metas, ref)
 	if err != nil {
 		return nil, Meta{}, err
 	}
-	for _, sn := range snaps {
-		if sn.meta.Seq == meta.Seq {
-			res, err := DecodeResult(sn.data)
-			return res, meta, err
-		}
+	data, ok := s.fetch(meta)
+	if !ok {
+		// Deleted between resolution and fetch: the reference no longer
+		// denotes anything, which is a 404, not a 500.
+		return nil, Meta{}, fmt.Errorf("store: %w: snapshot %d deleted", ErrUnresolved, meta.Seq)
 	}
-	return nil, Meta{}, fmt.Errorf("store: snapshot %d vanished", meta.Seq)
+	res, err := DecodeResult(data)
+	return res, meta, err
 }
 
 // List implements Store.
 func (s *MemStore) List() ([]Meta, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	metas := make([]Meta, len(s.snaps))
-	for i, sn := range s.snaps {
-		metas[i] = sn.meta
-	}
-	return metas, nil
+	return append([]Meta(nil), s.metas...), nil
 }
 
-// Delete implements Store.
+// Delete implements Store. The meta is dropped first so no new reference
+// resolves to the snapshot, then the payload is released from its shard.
 func (s *MemStore) Delete(ref string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	metas := make([]Meta, len(s.snaps))
-	for i, sn := range s.snaps {
-		metas[i] = sn.meta
-	}
-	meta, err := Resolve(metas, ref)
+	meta, err := Resolve(s.metas, ref)
 	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
-	for i, sn := range s.snaps {
-		if sn.meta.Seq == meta.Seq {
-			s.snaps = append(s.snaps[:i], s.snaps[i+1:]...)
-			return nil
+	for i, m := range s.metas {
+		if m.Seq == meta.Seq {
+			s.metas = append(s.metas[:i], s.metas[i+1:]...)
+			break
 		}
 	}
+	s.mu.Unlock()
+	sh := &s.shards[shardOf(meta.Hash)]
+	sh.mu.Lock()
+	delete(sh.data, meta.Seq)
+	sh.mu.Unlock()
 	return nil
 }
 
@@ -236,11 +297,19 @@ func (s *MemStore) Delete(ref string) error {
 // followed by the codec bytes. Files are written to a temp name in the same
 // directory and renamed into place, so a crash mid-write never leaves a
 // half-visible snapshot — at worst a .tmp-* orphan, which Open removes.
+//
+// Concurrency layout: like MemStore, the meta index lives under one
+// mutex with short critical sections. File I/O — the temp write, the
+// fsync, the hard-link publish, the dirsync, the unlink — runs entirely
+// outside that lock, so concurrent Puts overlap their fsyncs instead of
+// convoying behind a single global mutex, and readers never wait on a
+// writer's disk. Only the cold scrub-repair path still does I/O under
+// the lock (quarantine must be atomic against Delete).
 type FSStore struct {
 	dir string
 
-	mu      sync.Mutex
-	metas   []Meta // ascending seq
+	mu      sync.Mutex // guards metas + nextSeq; hot-path file I/O never runs under it
+	metas   []Meta     // ascending seq
 	nextSeq uint64
 }
 
@@ -313,12 +382,18 @@ func (s *FSStore) path(seq uint64) string {
 // writer's own snapshots become visible to this handle on the next Open.
 func (s *FSStore) Put(jobID string, r *core.ServiceResult) (Meta, error) {
 	data := EncodeResult(r)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	hash := Hash(data)
 	for {
+		// Reserve a sequence number under a short critical section, then
+		// do every byte of file I/O with no lock held: concurrent Puts
+		// write and fsync in parallel, each against its own reserved file.
+		s.mu.Lock()
+		seq := s.nextSeq
+		s.nextSeq++
+		s.mu.Unlock()
 		meta := Meta{
-			Seq:       s.nextSeq,
-			Hash:      Hash(data),
+			Seq:       seq,
+			Hash:      hash,
 			Service:   r.Identity.Name,
 			JobID:     jobID,
 			CreatedAt: time.Now().UTC(),
@@ -326,15 +401,16 @@ func (s *FSStore) Put(jobID string, r *core.ServiceResult) (Meta, error) {
 		}
 		err := publishSnapFile(s.dir, s.path(meta.Seq), meta, data)
 		if os.IsExist(err) {
-			// Sequence taken by a foreign writer; claim the next one.
-			s.nextSeq++
+			// Sequence taken by a foreign writer over the same directory;
+			// reserve the next one and retry.
 			continue
 		}
 		if err != nil {
 			return Meta{}, err
 		}
-		s.nextSeq++
-		s.metas = append(s.metas, meta)
+		s.mu.Lock()
+		s.metas = insertMeta(s.metas, meta)
+		s.mu.Unlock()
 		return meta, nil
 	}
 }
@@ -348,6 +424,11 @@ func (s *FSStore) Get(ref string) (*core.ServiceResult, Meta, error) {
 	}
 	stored, data, err := readSnapFile(s.path(meta.Seq))
 	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			// Deleted between resolution and the read: a stale reference,
+			// not a storage failure.
+			return nil, Meta{}, fmt.Errorf("store: %w: snapshot %d deleted", ErrUnresolved, meta.Seq)
+		}
 		return nil, Meta{}, err
 	}
 	if stored.Hash != meta.Hash {
@@ -367,22 +448,26 @@ func (s *FSStore) List() ([]Meta, error) {
 	return append([]Meta(nil), s.metas...), nil
 }
 
-// Delete implements Store.
+// Delete implements Store. The meta is dropped under the lock first —
+// no new reference resolves to the snapshot — and the file is unlinked
+// with no lock held. An open View keeps serving: it reads mapped (or
+// copied) bytes whose inode survives the unlink.
 func (s *FSStore) Delete(ref string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	meta, err := Resolve(s.metas, ref)
 	if err != nil {
+		s.mu.Unlock()
 		return err
-	}
-	if err := os.Remove(s.path(meta.Seq)); err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("store: %w", err)
 	}
 	for i, m := range s.metas {
 		if m.Seq == meta.Seq {
 			s.metas = append(s.metas[:i], s.metas[i+1:]...)
 			break
 		}
+	}
+	s.mu.Unlock()
+	if err := os.Remove(s.path(meta.Seq)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: %w", err)
 	}
 	return nil
 }

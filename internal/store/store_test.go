@@ -2,8 +2,12 @@ package store
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"sync"
 	"testing"
 
 	"diffaudit/internal/core"
@@ -308,5 +312,175 @@ func TestResolveAllDigitHashPrefix(t *testing.T) {
 	// And a number matching neither seq nor hash still errors.
 	if _, err := Resolve(metas, "999999"); err == nil {
 		t.Error("unmatched number resolved")
+	}
+}
+
+// TestStoreConcurrentMixedOps hammers both backends with the mixed
+// workload the sharded index exists for: concurrent Gets of stable
+// snapshots, Put+Delete churn, and List scans, all racing. Run under
+// -race this pins the locking layout; the assertions pin the semantics —
+// stable snapshots never fail to serve, the listing stays seq-ascending,
+// and a view opened before its snapshot is deleted keeps serving
+// byte-identical results (MemStore shares immutable bytes; FSStore's
+// mapped inode survives the unlink).
+func TestStoreConcurrentMixedOps(t *testing.T) {
+	seeds := []*core.ServiceResult{auditOne(t, "Quizlet"), auditOne(t, "Roblox")}
+	churn := auditOne(t, "Duolingo")
+	churnExport := exportOf(t, churn)
+
+	backends := []struct {
+		name string
+		open func(t *testing.T) Store
+	}{
+		{"mem", func(t *testing.T) Store { return NewMemStore() }},
+		{"fs", func(t *testing.T) Store {
+			s, err := OpenFSStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+	}
+	for _, be := range backends {
+		t.Run(be.name, func(t *testing.T) {
+			s := be.open(t)
+			refs := make([]string, len(seeds))
+			for i, r := range seeds {
+				m, err := s.Put(fmt.Sprintf("seed-%d", i), r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refs[i] = m.Hash
+			}
+
+			var wg sync.WaitGroup
+			errc := make(chan error, 64)
+			fail := func(format string, args ...any) {
+				select {
+				case errc <- fmt.Errorf(format, args...):
+				default:
+				}
+			}
+
+			// Readers: the seeds are never deleted, so every Get must
+			// succeed and resolve to the right content.
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 40; i++ {
+						ref := refs[(g+i)%len(refs)]
+						res, meta, err := s.Get(ref)
+						if err != nil {
+							fail("Get(%q): %v", ref, err)
+							return
+						}
+						if res == nil || meta.Hash != ref {
+							fail("Get(%q) resolved to %q", ref, meta.Hash)
+							return
+						}
+					}
+				}(g)
+			}
+
+			// Churners: Put and immediately Delete by unique sequence.
+			for g := 0; g < 2; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 15; i++ {
+						m, err := s.Put("churn", churn)
+						if err != nil {
+							fail("churn Put: %v", err)
+							return
+						}
+						if err := s.Delete(strconv.FormatUint(m.Seq, 10)); err != nil {
+							fail("churn Delete(%d): %v", m.Seq, err)
+							return
+						}
+					}
+				}()
+			}
+
+			// Lister: the listing must always be seq-ascending, whatever
+			// order concurrent Puts complete in.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 60; i++ {
+					metas, err := s.List()
+					if err != nil {
+						fail("List: %v", err)
+						return
+					}
+					for j := 1; j < len(metas); j++ {
+						if metas[j-1].Seq >= metas[j].Seq {
+							fail("List out of order: seq %d before %d", metas[j-1].Seq, metas[j].Seq)
+							return
+						}
+					}
+				}
+			}()
+
+			// Delete-while-view-open: a view opened before the delete keeps
+			// serving the full result, byte-identically, while Gets through
+			// the store agree the snapshot is gone.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				viewer, ok := s.(Viewer)
+				if !ok {
+					fail("backend does not implement Viewer")
+					return
+				}
+				for i := 0; i < 8; i++ {
+					m, err := s.Put("view-churn", churn)
+					if err != nil {
+						fail("view Put: %v", err)
+						return
+					}
+					seqRef := strconv.FormatUint(m.Seq, 10)
+					v, err := viewer.View(seqRef)
+					if err != nil {
+						fail("View(%s): %v", seqRef, err)
+						return
+					}
+					if err := s.Delete(seqRef); err != nil {
+						fail("Delete(%s): %v", seqRef, err)
+						return
+					}
+					res, err := v.Result()
+					if err != nil {
+						fail("Result after delete: %v", err)
+						v.Close()
+						return
+					}
+					// exportOf would t.Fatal off the test goroutine; export
+					// directly and report through the error channel instead.
+					export, err := report.ExportJSON([]*core.ServiceResult{res})
+					if err != nil {
+						fail("export after delete: %v", err)
+						v.Close()
+						return
+					}
+					if !bytes.Equal(export, churnExport) {
+						fail("view after delete served different bytes")
+						v.Close()
+						return
+					}
+					v.Close()
+					if _, _, err := s.Get(seqRef); !errors.Is(err, ErrUnresolved) {
+						fail("Get(%s) after delete: %v, want ErrUnresolved", seqRef, err)
+						return
+					}
+				}
+			}()
+
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Error(err)
+			}
+		})
 	}
 }

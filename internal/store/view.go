@@ -2,6 +2,7 @@ package store
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
 	"diffaudit/internal/core"
@@ -227,15 +228,8 @@ func (v *SnapshotView) materialize(filter func([]flows.Persona) map[flows.Person
 	if filter != nil {
 		keep = filter(v.personas)
 	}
-	for i, p := range v.personas {
-		if keep != nil && !keep[p] {
-			continue
-		}
-		set, err := v.secs.decodeFlowSet(v.dec, v.secs.flowSets[i])
-		if err != nil {
-			return nil, fmt.Errorf("store: snapshot flow set for %s: %w", p, err)
-		}
-		res.ByTrace[p] = set
+	if err := v.secs.decodeFlowSetsInto(v.dec, v.personas, keep, res); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -353,6 +347,10 @@ func (s *FSStore) View(ref string) (*SnapshotView, error) {
 	}
 	raw, closer, err := mapFile(s.path(meta.Seq))
 	if err != nil {
+		if os.IsNotExist(err) {
+			// Deleted between resolution and the open: stale reference.
+			return nil, fmt.Errorf("store: %w: snapshot %d deleted", ErrUnresolved, meta.Seq)
+		}
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	stored, data, err := parseSnapEnvelope(s.path(meta.Seq), raw)
@@ -367,23 +365,18 @@ func (s *FSStore) View(ref string) (*SnapshotView, error) {
 	return NewSnapshotView(data, meta, closer)
 }
 
-// View implements Viewer over the in-memory backend.
+// View implements Viewer over the in-memory backend. The view shares the
+// stored bytes (immutable after Put), so it stays readable even if the
+// snapshot is deleted while the view is open.
 func (s *MemStore) View(ref string) (*SnapshotView, error) {
-	s.mu.Lock()
-	snaps := append([]memSnap(nil), s.snaps...)
-	s.mu.Unlock()
-	metas := make([]Meta, len(snaps))
-	for i, sn := range snaps {
-		metas[i] = sn.meta
-	}
+	metas, _ := s.List()
 	meta, err := Resolve(metas, ref)
 	if err != nil {
 		return nil, err
 	}
-	for _, sn := range snaps {
-		if sn.meta.Seq == meta.Seq {
-			return NewSnapshotView(sn.data, meta, nil)
-		}
+	data, ok := s.fetch(meta)
+	if !ok {
+		return nil, fmt.Errorf("store: %w: snapshot %d deleted", ErrUnresolved, meta.Seq)
 	}
-	return nil, fmt.Errorf("store: snapshot %d vanished", meta.Seq)
+	return NewSnapshotView(data, meta, nil)
 }
